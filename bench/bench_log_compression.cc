@@ -1,0 +1,99 @@
+// Reproduces §5.4: with the log buffered in stable memory, old values of
+// committed transactions never reach the disk log — "approximately half of
+// the size of the log stores the old values", so the disk log shrinks ~2x
+// (exactly 2x on the update payloads; framing bytes dilute it slightly).
+//
+// Also demonstrates the space-management point: per-transaction stable
+// areas are freed at commit, so stable-memory occupancy stays bounded by
+// the active-transaction working set, not by history.
+
+#include <cstdio>
+
+#include "db/database.h"
+
+namespace mmdb {
+namespace {
+
+using WalKind = Database::TxnPlaneOptions::WalKind;
+
+struct Result {
+  int64_t logical_bytes;
+  int64_t disk_bytes;
+  int64_t committed;
+  int64_t peak_stable_used;
+};
+
+Result Run(bool compress, int txns) {
+  Database db;
+  Database::TxnPlaneOptions topts;
+  topts.wal_kind = WalKind::kStable;
+  topts.compress_stable_log = compress;
+  topts.num_records = 4096;
+  topts.record_size = 180;  // must match the banking record size below
+  topts.log_write_latency = std::chrono::microseconds(0);
+  MMDB_CHECK(db.EnableTransactions(topts).ok());
+
+  BankingOptions opts;
+  opts.num_accounts = topts.num_records;
+  opts.record_size = 180;  // fatter accounts: ~2 x 360 value bytes per txn
+  MMDB_CHECK(InitAccounts(db.recoverable_store(), opts).ok());
+  // Persist the initial balances to the snapshot: the raw init writes are
+  // not logged, so recovery must find them on disk.
+  MMDB_CHECK(db.CheckpointNow().ok());
+
+  Random rng(3);
+  Result result{};
+  for (int i = 0; i < txns; ++i) {
+    MMDB_CHECK(RunOneTransfer(db.txn_manager(), opts, &rng).ok());
+    result.peak_stable_used =
+        std::max(result.peak_stable_used, db.stable_memory()->used());
+  }
+  // Let the drainer finish, then snapshot stats.
+  db.wal()->Stop();
+  const Wal::Stats stats = db.wal()->stats();
+  result.logical_bytes = stats.logical_bytes;
+  result.disk_bytes = stats.device_bytes;
+  result.committed = stats.commits;
+
+  // Crash + recover to prove the compressed log is still sufficient.
+  MMDB_CHECK(db.recoverable_store() != nullptr);
+  db.recoverable_store()->SimulateCrash();
+  auto rec = RecoverStore(db.recoverable_store(), db.wal(),
+                          db.first_update_table());
+  MMDB_CHECK(rec.ok());
+  const int64_t total = *TotalBalance(db.recoverable_store(), opts);
+  MMDB_CHECK_MSG(total == opts.num_accounts * opts.initial_balance,
+                 "compressed log failed to recover the database");
+  return result;
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main() {
+  using namespace mmdb;
+  constexpr int kTxns = 1500;
+  std::printf("== §5.4 log compression (stable-memory buffer, %d banking "
+              "txns, 180-byte accounts) ==\n\n",
+              kTxns);
+  const Result raw = Run(false, kTxns);
+  const Result compressed = Run(true, kTxns);
+  std::printf("%-24s %14s %14s %12s\n", "mode", "logical bytes",
+              "disk bytes", "bytes/txn");
+  std::printf("%-24s %14lld %14lld %12.0f\n", "old+new values (raw)",
+              static_cast<long long>(raw.logical_bytes),
+              static_cast<long long>(raw.disk_bytes),
+              double(raw.disk_bytes) / double(raw.committed));
+  std::printf("%-24s %14lld %14lld %12.0f\n", "new values only (§5.4)",
+              static_cast<long long>(compressed.logical_bytes),
+              static_cast<long long>(compressed.disk_bytes),
+              double(compressed.disk_bytes) / double(compressed.committed));
+  std::printf("\ndisk log ratio: %.2fx smaller (paper: ~2x — 'approximately "
+              "half of the size of the log stores the old values')\n",
+              double(raw.disk_bytes) / double(compressed.disk_bytes));
+  std::printf("peak stable-memory use: %lld bytes (bounded by active "
+              "transactions, not history)\n",
+              static_cast<long long>(compressed.peak_stable_used));
+  std::printf("both modes recovered a crashed database correctly.\n");
+  return 0;
+}

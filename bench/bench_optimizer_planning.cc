@@ -1,0 +1,117 @@
+// Reproduces §4's access-planning argument: with a large memory,
+// query optimization "is reduced to simply ordering the operators so that
+// the most selective operations are pushed towards the bottom of the
+// query tree", because hash algorithms win everywhere and are insensitive
+// to input order.
+//
+// We optimize a 4-table star query under shrinking memory grants and
+// report (a) which join algorithms the classical W*CPU+IO search picks,
+// and (b) the cost gap between the full search and the §4-reduced planner
+// (hybrid-hash only, no interesting orders). At large |M| the gap is zero.
+
+#include <cstdio>
+
+#include "optimizer/executor.h"
+#include "optimizer/optimizer.h"
+#include "storage/datagen.h"
+
+namespace mmdb {
+namespace {
+
+void CountAlgorithms(const PlanNode& node, int counts[5]) {
+  if (node.kind == PlanNode::Kind::kJoin) {
+    ++counts[static_cast<int>(node.algorithm)];
+  }
+  if (node.child_left) CountAlgorithms(*node.child_left, counts);
+  if (node.child_right) CountAlgorithms(*node.child_right, counts);
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main() {
+  using namespace mmdb;
+
+  // A star: facts(1e5) -> dim_a(1e4), dim_b(1e3), dim_c(100).
+  Catalog catalog(4096);
+  Random rng(13);
+  Relation dim_a(Schema({Column::Int64("a_id"), Column::Char("pad", 92)}));
+  for (int64_t i = 0; i < 10'000; ++i) dim_a.Add({i, std::string()});
+  Relation dim_b(Schema({Column::Int64("b_id"), Column::Char("pad", 92)}));
+  for (int64_t i = 0; i < 1'000; ++i) dim_b.Add({i, std::string()});
+  Relation dim_c(Schema({Column::Int64("c_id"), Column::Char("pad", 92)}));
+  for (int64_t i = 0; i < 100; ++i) dim_c.Add({i, std::string()});
+  Relation facts(Schema({Column::Int64("f_id"), Column::Int64("a"),
+                         Column::Int64("b"), Column::Int64("c"),
+                         Column::Int64("v")}));
+  for (int64_t i = 0; i < 100'000; ++i) {
+    facts.Add({i, static_cast<int64_t>(rng.Uniform(10'000)),
+               static_cast<int64_t>(rng.Uniform(1'000)),
+               static_cast<int64_t>(rng.Uniform(100)),
+               static_cast<int64_t>(rng.Uniform(1000))});
+  }
+  MMDB_CHECK(catalog.RegisterTable("facts", &facts).ok());
+  MMDB_CHECK(catalog.RegisterTable("dim_a", &dim_a).ok());
+  MMDB_CHECK(catalog.RegisterTable("dim_b", &dim_b).ok());
+  MMDB_CHECK(catalog.RegisterTable("dim_c", &dim_c).ok());
+
+  Query q;
+  q.tables = {"facts", "dim_a", "dim_b", "dim_c"};
+  q.joins = {{ColumnRef{"facts", "a"}, ColumnRef{"dim_a", "a_id"}},
+             {ColumnRef{"facts", "b"}, ColumnRef{"dim_b", "b_id"}},
+             {ColumnRef{"facts", "c"}, ColumnRef{"dim_c", "c_id"}}};
+  q.filters = {{"facts", "v", CmpOp::kLt, Value{int64_t{100}}}};
+
+  std::printf("== §4 access planning: 4-table star, W*CPU + IO search vs "
+              "the main-memory reduction ==\n\n");
+  std::printf("%10s | %-38s | %12s | %12s | %s\n", "|M| pages",
+              "algorithms picked by full search", "full cost(s)",
+              "hash-only(s)", "gap");
+  for (int64_t memory : {int64_t{20}, int64_t{60}, int64_t{200},
+                         int64_t{1000}, int64_t{8000}}) {
+    OptimizerOptions full_opts;
+    full_opts.memory_pages = memory;
+    Optimizer full(&catalog, full_opts);
+    auto full_plan = full.Optimize(q);
+    MMDB_CHECK(full_plan.ok());
+    int counts[5] = {};
+    CountAlgorithms(**full_plan, counts);
+    char algs[128];
+    std::snprintf(algs, sizeof(algs), "sm=%d simple=%d grace=%d hybrid=%d",
+                  counts[1], counts[2], counts[3], counts[4]);
+
+    OptimizerOptions reduced_opts = full_opts;
+    reduced_opts.hash_only = true;
+    Optimizer reduced(&catalog, reduced_opts);
+    auto reduced_plan = reduced.Optimize(q);
+    MMDB_CHECK(reduced_plan.ok());
+
+    const double gap =
+        ((*reduced_plan)->est_cost_seconds - (*full_plan)->est_cost_seconds) /
+        std::max(1e-12, (*full_plan)->est_cost_seconds);
+    std::printf("%10lld | %-38s | %12.3f | %12.3f | %+.1f%%\n",
+                static_cast<long long>(memory), algs,
+                (*full_plan)->est_cost_seconds,
+                (*reduced_plan)->est_cost_seconds, gap * 100);
+  }
+
+  // Show one plan and execute it, proving selections sit at the bottom.
+  OptimizerOptions opts;
+  opts.memory_pages = 8000;
+  Optimizer optimizer(&catalog, opts);
+  auto plan = optimizer.Optimize(q);
+  MMDB_CHECK(plan.ok());
+  std::printf("\nchosen plan at |M|=8000 (selections pushed down, hybrid "
+              "hash everywhere):\n%s\n",
+              (*plan)->ToString().c_str());
+  ExecEnv env(8000);
+  auto result = ExecutePlan(**plan, catalog, &env.ctx);
+  MMDB_CHECK(result.ok());
+  std::printf("executed: %lld tuples, %.3f simulated seconds\n",
+              static_cast<long long>(result->num_tuples()),
+              env.clock.Seconds());
+  std::printf("\npaper: \"query optimization is reduced to simply ordering "
+              "the operators... there is only one algorithm to choose "
+              "from\" — the gap column is ~0 once |M| is large.\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Reproduces §5.2's transaction-throughput ladder with REAL time: the log
+// device sleeps 10 ms per 4 KB page write, exactly the paper's constant.
+//
+//   one log I/O per commit            ->  ~100 tps  (1s / 10ms)
+//   group commit (~10 txns / page)    -> ~1000 tps
+//   partitioned log, k devices        -> ~k * 1000 tps
+//   stable-memory log buffer          -> commit at memory speed
+//                                        (device still drains at 100 pages/s)
+//
+// Each configuration runs the banking workload (400-byte-log transfers)
+// with enough client threads to keep commit groups full.
+
+#include <cstdio>
+
+#include "db/database.h"
+
+namespace mmdb {
+namespace {
+
+using WalKind = Database::TxnPlaneOptions::WalKind;
+
+struct Config {
+  const char* name;
+  WalKind kind;
+  int partitions;
+  int threads;
+  double paper_tps;  // the §5.2 ballpark
+};
+
+BankingResult RunConfig(const Config& config, int duration_ms) {
+  Database db;
+  Database::TxnPlaneOptions topts;
+  topts.wal_kind = config.kind;
+  topts.log_partitions = config.partitions;
+  topts.num_records = 20'000;
+  topts.log_write_latency = std::chrono::milliseconds(10);  // the paper's 10ms
+  MMDB_CHECK(db.EnableTransactions(topts).ok());
+
+  BankingOptions opts;
+  opts.num_accounts = topts.num_records;
+  opts.num_threads = config.threads;
+  opts.duration = std::chrono::milliseconds(duration_ms);
+  MMDB_CHECK(InitAccounts(db.recoverable_store(), opts).ok());
+  const int64_t before = *TotalBalance(db.recoverable_store(), opts);
+  BankingResult result = RunBankingWorkload(db.txn_manager(), opts);
+  MMDB_CHECK_MSG(*TotalBalance(db.recoverable_store(), opts) == before,
+                 "balance not conserved");
+  return result;
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main(int argc, char** argv) {
+  using namespace mmdb;
+  const int duration_ms = argc > 1 ? std::atoi(argv[1]) : 3000;
+  const Config configs[] = {
+      {"single log, no group commit", WalKind::kSingleNoGroupCommit, 1, 32,
+       100},
+      {"single log, group commit", WalKind::kSingle, 1, 64, 1000},
+      {"partitioned log, 2 devices", WalKind::kPartitioned, 2, 96, 2000},
+      {"partitioned log, 4 devices", WalKind::kPartitioned, 4, 128, 4000},
+      {"stable-memory log buffer", WalKind::kStable, 1, 64, -1},
+  };
+  std::printf("== §5.2 throughput ladder (10 ms / 4KB log page, %d ms "
+              "runs, banking transfers ~430 B log each) ==\n\n",
+              duration_ms);
+  std::printf("%-30s %9s %10s %11s %11s %11s\n", "configuration",
+              "tps", "paper", "log pages", "group size", "bytes/txn");
+  for (const Config& config : configs) {
+    const BankingResult r = RunConfig(config, duration_ms);
+    char paper[16];
+    if (config.paper_tps > 0) {
+      std::snprintf(paper, sizeof(paper), "~%.0f", config.paper_tps);
+    } else {
+      std::snprintf(paper, sizeof(paper), "cpu-bound");
+    }
+    std::printf("%-30s %9.0f %10s %11lld %11.1f %11.0f\n", config.name,
+                r.tps, paper, static_cast<long long>(r.wal.device_writes),
+                r.wal.avg_commit_group,
+                r.committed > 0
+                    ? double(r.wal.logical_bytes) / double(r.committed)
+                    : 0.0);
+  }
+  std::printf("\npaper: 100 tps -> 1000 tps via group commit; partitioned "
+              "logs scale further; stable memory commits at memory speed "
+              "while the drain is still device-bound.\n");
+  return 0;
+}

@@ -1,0 +1,141 @@
+// §6 future work, implemented and measured: "While locking is generally
+// accepted to be the algorithm of choice for disk resident databases, a
+// versioning mechanism [REED83] may provide superior performance for
+// memory resident systems."
+//
+// Workload: banking writers (2PL through the lock manager) plus one
+// long-scan reader repeatedly summing EVERY account. Three reader modes:
+//
+//   lock-based  — the scan S-locks every record (a consistent 2PL read);
+//                 writers stall behind it and it stalls behind writers;
+//   versioned   — the scan reads a VersionManager snapshot: no locks at
+//                 all; totals are still exact;
+//   none        — no reader (baseline writer throughput).
+//
+// Reported: writer tps, scans completed, and whether every scan saw the
+// conserved total (versioned and lock-based must; a raw unlocked scan
+// would tear — demonstrated in version_store_test).
+
+#include <atomic>
+#include <cstdio>
+#include <thread>
+
+#include "db/database.h"
+
+namespace mmdb {
+namespace {
+
+enum class ReaderMode { kNone, kLocked, kVersioned };
+
+struct Result {
+  double writer_tps = 0;
+  int64_t scans = 0;
+  int64_t consistent_scans = 0;
+};
+
+Result Run(ReaderMode mode, int duration_ms) {
+  Database db;
+  Database::TxnPlaneOptions topts;
+  topts.num_records = 2000;
+  topts.log_write_latency = std::chrono::microseconds(200);
+  topts.enable_versioning = true;
+  MMDB_CHECK(db.EnableTransactions(topts).ok());
+
+  BankingOptions bopts;
+  bopts.num_accounts = topts.num_records;
+  bopts.num_threads = 8;
+  bopts.duration = std::chrono::milliseconds(duration_ms);
+  MMDB_CHECK(InitAccounts(db.recoverable_store(), bopts).ok());
+  const int64_t expected_total =
+      bopts.num_accounts * bopts.initial_balance;
+
+  Result result;
+  std::atomic<bool> stop{false};
+  std::thread reader([&]() {
+    auto* tm = db.txn_manager();
+    auto* vm = db.version_manager();
+    auto* store = db.recoverable_store();
+    while (!stop.load()) {
+      int64_t total = 0;
+      bool ok = true;
+      switch (mode) {
+        case ReaderMode::kNone:
+          return;
+        case ReaderMode::kLocked: {
+          // A 2PL consistent scan: S-lock everything, read, release.
+          const TxnId txn = tm->Begin();
+          for (int64_t r = 0; ok && r < bopts.num_accounts; ++r) {
+            auto v = tm->Read(txn, r);
+            if (!v.ok()) {
+              ok = false;
+              break;
+            }
+            total += DecodeAccount(*v);
+          }
+          if (ok) {
+            ok = tm->Commit(txn).ok();
+          } else {
+            (void)tm->Abort(txn);
+          }
+          break;
+        }
+        case ReaderMode::kVersioned: {
+          const uint64_t snap = vm->BeginSnapshot();
+          for (int64_t r = 0; ok && r < bopts.num_accounts; ++r) {
+            auto v = vm->Read(snap, r, store);
+            if (!v.ok()) {
+              ok = false;
+              break;
+            }
+            total += DecodeAccount(*v);
+          }
+          vm->EndSnapshot(snap);
+          vm->Gc();
+          break;
+        }
+      }
+      if (ok) {
+        ++result.scans;
+        if (total == expected_total) ++result.consistent_scans;
+      }
+    }
+  });
+
+  const BankingResult writers = RunBankingWorkload(db.txn_manager(), bopts);
+  stop.store(true);
+  reader.join();
+  result.writer_tps = writers.tps;
+  return result;
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main(int argc, char** argv) {
+  using namespace mmdb;
+  const int duration_ms = argc > 1 ? std::atoi(argv[1]) : 2000;
+  std::printf("== §6: versioned snapshot reads vs two-phase locking "
+              "(2000 accounts, 8 writers + 1 full-scan reader, %d ms) ==\n\n",
+              duration_ms);
+  std::printf("%-22s %12s %8s %12s\n", "reader mode", "writer tps", "scans",
+              "consistent");
+  struct Case {
+    const char* name;
+    ReaderMode mode;
+  };
+  const Case cases[] = {{"no reader", ReaderMode::kNone},
+                        {"lock-based scan", ReaderMode::kLocked},
+                        {"versioned snapshot", ReaderMode::kVersioned}};
+  for (const Case& c : cases) {
+    const Result r = Run(c.mode, duration_ms);
+    std::printf("%-22s %12.0f %8lld %11lld/%lld\n", c.name, r.writer_tps,
+                static_cast<long long>(r.scans),
+                static_cast<long long>(r.consistent_scans),
+                static_cast<long long>(r.scans));
+  }
+  std::printf("\npaper (§6): versioning frees memory-resident readers from "
+              "the lock manager — writers keep (almost) the reader-free "
+              "throughput while every snapshot scan still sees an exactly "
+              "conserved total.\n");
+  return 0;
+}

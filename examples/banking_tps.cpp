@@ -1,0 +1,78 @@
+// The §5 recovery story as a runnable demo: run the banking workload under
+// each log configuration, crash the database mid-stream, and recover —
+// printing the throughput ladder and verifying no committed money is lost.
+//
+//   $ ./build/examples/banking_tps [duration_ms]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "db/database.h"
+
+using namespace mmdb;  // NOLINT — example brevity
+
+namespace {
+
+const char* WalKindName(Database::TxnPlaneOptions::WalKind kind) {
+  using WalKind = Database::TxnPlaneOptions::WalKind;
+  switch (kind) {
+    case WalKind::kSingleNoGroupCommit:
+      return "single log, no group commit";
+    case WalKind::kSingle:
+      return "single log, group commit";
+    case WalKind::kPartitioned:
+      return "partitioned log (4 devices)";
+    case WalKind::kStable:
+      return "stable-memory log buffer";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using WalKind = Database::TxnPlaneOptions::WalKind;
+  const int duration_ms = argc > 1 ? std::atoi(argv[1]) : 800;
+
+  std::printf("§5 throughput ladder (10 ms log page writes, %d ms runs)\n\n",
+              duration_ms);
+  std::printf("%-32s %8s %8s %10s %12s\n", "configuration", "tps",
+              "aborted", "log pages", "group size");
+
+  for (WalKind kind : {WalKind::kSingleNoGroupCommit, WalKind::kSingle,
+                       WalKind::kPartitioned, WalKind::kStable}) {
+    Database db;
+    Database::TxnPlaneOptions topts;
+    topts.wal_kind = kind;
+    topts.num_records = 10'000;
+    topts.start_checkpointer = false;
+    MMDB_CHECK(db.EnableTransactions(topts).ok());
+
+    BankingOptions bopts;
+    bopts.num_accounts = topts.num_records;
+    bopts.num_threads = 32;  // enough concurrency to fill commit groups
+    bopts.duration = std::chrono::milliseconds(duration_ms);
+    MMDB_CHECK(InitAccounts(db.recoverable_store(), bopts).ok());
+    const int64_t total_before =
+        *TotalBalance(db.recoverable_store(), bopts);
+
+    BankingResult result = RunBankingWorkload(db.txn_manager(), bopts);
+    std::printf("%-32s %8.0f %8lld %10lld %12.1f\n", WalKindName(kind),
+                result.tps, static_cast<long long>(result.aborted),
+                static_cast<long long>(result.wal.device_writes),
+                result.wal.avg_commit_group);
+
+    // Crash and recover; committed money must survive.
+    MMDB_CHECK(db.CheckpointNow().ok());
+    MMDB_CHECK(db.Crash().ok());
+    StatusOr<RecoveryStats> rec = db.Recover();
+    MMDB_CHECK(rec.ok());
+    const int64_t total_after = *TotalBalance(db.recoverable_store(), bopts);
+    MMDB_CHECK_MSG(total_before == total_after,
+                   "balance not conserved across crash+recovery!");
+  }
+
+  std::printf("\nevery configuration conserved the total balance across a "
+              "crash + recovery\n");
+  return 0;
+}

@@ -1,0 +1,111 @@
+// A tiny SQL shell over mmdb: pipe statements in (semicolon- or
+// newline-terminated) or use it interactively.
+//
+//   $ ./build/examples/sql_repl
+//   mmdb> CREATE TABLE emp (id INT64, name CHAR(20), salary DOUBLE)
+//   mmdb> INSERT INTO emp VALUES (1, 'jones', 52000.0), (2, 'smith', 48000.0)
+//   mmdb> SELECT name FROM emp WHERE salary > 50000
+//   mmdb> EXPLAIN SELECT name FROM emp WHERE salary > 50000
+//
+// `\demo` loads the paper's employee/department schema with sample data;
+// `\cost` prints the simulated-time tally; `\quit` exits.
+
+#include <cstdio>
+#include <iostream>
+#include <string>
+
+#include "db/database.h"
+#include "storage/datagen.h"
+
+using namespace mmdb;  // NOLINT — example brevity
+
+namespace {
+
+void PrintRelation(const Relation& rel, int64_t limit = 20) {
+  // Header.
+  for (int c = 0; c < rel.schema().num_columns(); ++c) {
+    std::printf("%s%s", c ? " | " : "", rel.schema().column(c).name.c_str());
+  }
+  std::printf("\n");
+  int64_t shown = 0;
+  for (const Row& row : rel.rows()) {
+    if (shown++ >= limit) {
+      std::printf("... (%lld rows total)\n",
+                  static_cast<long long>(rel.num_tuples()));
+      return;
+    }
+    std::printf("%s\n", RowToString(row).c_str());
+  }
+  std::printf("(%lld rows)\n", static_cast<long long>(rel.num_tuples()));
+}
+
+void LoadDemo(Database* db) {
+  MMDB_CHECK(db->ExecuteSql("CREATE TABLE dept (dept_id INT64, "
+                            "dname CHAR(16))")
+                 .ok());
+  const char* depts[] = {"engineering", "sales", "support", "finance"};
+  for (int64_t d = 0; d < 4; ++d) {
+    MMDB_CHECK(db->ExecuteSql("INSERT INTO dept VALUES (" +
+                              std::to_string(d) + ", '" + depts[d] + "')")
+                   .ok());
+  }
+  Relation emp = MakeEmployeeRelation(5000, 64, 42);
+  MMDB_CHECK(db->CreateTable("emp", emp.schema()).ok());
+  MMDB_CHECK(db->BulkLoad("emp", std::move(emp)).ok());
+  std::printf("loaded: dept (4 rows), emp (5000 rows: emp_id, name, dept, "
+              "salary, pad)\n");
+  std::printf("try:  SELECT name, salary FROM emp WHERE name LIKE 'jones%%'\n");
+  std::printf("      SELECT dname, COUNT(*), AVG(salary) FROM emp, dept "
+              "WHERE emp.dept = dept.dept_id GROUP BY dname\n");
+}
+
+}  // namespace
+
+int main() {
+  Database db;
+  std::string line;
+  const bool tty = isatty(fileno(stdin));
+  if (tty) {
+    std::printf("mmdb SQL shell — \\demo loads sample data, \\cost shows "
+                "simulated time, \\quit exits\n");
+  }
+  while (true) {
+    if (tty) {
+      std::printf("mmdb> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    // Strip trailing semicolon / whitespace.
+    while (!line.empty() &&
+           (line.back() == ';' || std::isspace((unsigned char)line.back()))) {
+      line.pop_back();
+    }
+    if (line.empty()) continue;
+    if (line == "\\quit" || line == "\\q") break;
+    if (line == "\\demo") {
+      LoadDemo(&db);
+      continue;
+    }
+    if (line == "\\cost") {
+      std::printf("%s\n", db.clock()->DebugString().c_str());
+      continue;
+    }
+    auto result = db.ExecuteSql(line);
+    if (!result.ok()) {
+      std::printf("error: %s\n", result.status().ToString().c_str());
+      continue;
+    }
+    if (!result->plan_text.empty() && result->relation.num_tuples() == 0 &&
+        result->relation.schema().num_columns() == 0) {
+      std::printf("%s", result->plan_text.c_str());  // EXPLAIN
+    } else if (result->rows_affected > 0) {
+      std::printf("ok, %lld rows\n",
+                  static_cast<long long>(result->rows_affected));
+    } else if (result->relation.schema().num_columns() > 0) {
+      PrintRelation(result->relation);
+    } else {
+      std::printf("ok\n");
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,36 @@
+#ifndef MMDB_COMMON_CHECK_H_
+#define MMDB_COMMON_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Fatal invariant checks. MMDB_CHECK is always on; MMDB_DCHECK compiles out
+/// in NDEBUG builds. Use for programmer errors only — anticipated runtime
+/// failures (bad input, missing keys, I/O) must return Status instead.
+#define MMDB_CHECK(cond)                                                     \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "MMDB_CHECK failed at %s:%d: %s\n", __FILE__,     \
+                   __LINE__, #cond);                                         \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#define MMDB_CHECK_MSG(cond, msg)                                            \
+  do {                                                                       \
+    if (!(cond)) {                                                           \
+      std::fprintf(stderr, "MMDB_CHECK failed at %s:%d: %s (%s)\n",          \
+                   __FILE__, __LINE__, #cond, msg);                          \
+      std::abort();                                                          \
+    }                                                                        \
+  } while (false)
+
+#ifdef NDEBUG
+#define MMDB_DCHECK(cond) \
+  do {                    \
+  } while (false)
+#else
+#define MMDB_DCHECK(cond) MMDB_CHECK(cond)
+#endif
+
+#endif  // MMDB_COMMON_CHECK_H_

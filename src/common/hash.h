@@ -1,0 +1,45 @@
+#ifndef MMDB_COMMON_HASH_H_
+#define MMDB_COMMON_HASH_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string_view>
+
+namespace mmdb {
+
+/// Finalizer of MurmurHash3: a fast, high-quality 64-bit integer mixer.
+/// Used for hash-partitioning and hash-table bucket selection throughout
+/// the join and aggregation code (§3 of the paper).
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xFF51AFD7ED558CCDull;
+  k ^= k >> 33;
+  k *= 0xC4CEB9FE1A85EC53ull;
+  k ^= k >> 33;
+  return k;
+}
+
+/// FNV-1a over arbitrary bytes, then mixed. Adequate quality for bucket
+/// selection; keys in mmdb are short (≤ ~64 bytes).
+inline uint64_t HashBytes(const void* data, size_t n) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 0xCBF29CE484222325ull;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= p[i];
+    h *= 0x100000001B3ull;
+  }
+  return Mix64(h);
+}
+
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// Combines two hashes (boost::hash_combine-style, 64-bit).
+inline uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return a ^ (b + 0x9E3779B97F4A7C15ull + (a << 6) + (a >> 2));
+}
+
+}  // namespace mmdb
+
+#endif  // MMDB_COMMON_HASH_H_

@@ -1,0 +1,163 @@
+#ifndef MMDB_COMMON_STATUS_H_
+#define MMDB_COMMON_STATUS_H_
+
+#include <cstdlib>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace mmdb {
+
+/// Canonical error space, modelled on absl::StatusCode. mmdb is built without
+/// exceptions: every fallible operation returns a Status or StatusOr<T>.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfRange,
+  kFailedPrecondition,
+  kResourceExhausted,
+  kIOError,
+  kAborted,
+  kDeadlock,
+  kInternal,
+};
+
+/// Returns a human-readable name for `code` ("OK", "NOT_FOUND", ...).
+std::string_view StatusCodeToString(StatusCode code);
+
+/// A success-or-error result. Cheap to copy in the OK case.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) = default;
+  Status& operator=(Status&&) = default;
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
+  }
+  static Status Deadlock(std::string msg) {
+    return Status(StatusCode::kDeadlock, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value-or-error result; holds T exactly when status().ok().
+template <typename T>
+class StatusOr {
+ public:
+  /// Implicit from Status so `return Status::NotFound(...)` works.
+  StatusOr(Status status)  // NOLINT(google-explicit-constructor)
+      : status_(std::move(status)) {
+    if (status_.ok()) {
+      status_ = Status::Internal("StatusOr constructed from OK status");
+    }
+  }
+  /// Implicit from T so `return value;` works.
+  StatusOr(T value)  // NOLINT(google-explicit-constructor)
+      : value_(std::move(value)) {}
+
+  bool ok() const { return value_.has_value(); }
+  const Status& status() const { return status_; }
+
+  /// Precondition: ok(). Aborts otherwise.
+  const T& value() const& {
+    CheckOk();
+    return *value_;
+  }
+  T& value() & {
+    CheckOk();
+    return *value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!value_.has_value()) {
+      std::fprintf(stderr, "StatusOr::value() on error: %s\n",
+                   status_.ToString().c_str());
+      std::abort();
+    }
+  }
+
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace mmdb
+
+/// Propagates a non-OK Status to the caller.
+#define MMDB_RETURN_IF_ERROR(expr)                 \
+  do {                                             \
+    ::mmdb::Status mmdb_status_tmp_ = (expr);      \
+    if (!mmdb_status_tmp_.ok()) return mmdb_status_tmp_; \
+  } while (false)
+
+#define MMDB_STATUS_CONCAT_INNER_(a, b) a##b
+#define MMDB_STATUS_CONCAT_(a, b) MMDB_STATUS_CONCAT_INNER_(a, b)
+
+/// Evaluates a StatusOr expression; on error returns its Status, otherwise
+/// move-assigns the value into `lhs` (which may be a declaration).
+#define MMDB_ASSIGN_OR_RETURN(lhs, expr)                              \
+  auto MMDB_STATUS_CONCAT_(mmdb_statusor_, __LINE__) = (expr);        \
+  if (!MMDB_STATUS_CONCAT_(mmdb_statusor_, __LINE__).ok())            \
+    return MMDB_STATUS_CONCAT_(mmdb_statusor_, __LINE__).status();    \
+  lhs = std::move(MMDB_STATUS_CONCAT_(mmdb_statusor_, __LINE__)).value()
+
+#endif  // MMDB_COMMON_STATUS_H_

@@ -1,0 +1,142 @@
+#include "cost/access_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+namespace {
+
+double Log2(double x) { return std::log2(x); }
+
+/// Pages occupied by the AVL structure: each node is a tuple plus two child
+/// pointers, densely packed (S = ceil(||R||*(L+2*ptr)/P)). The paper notes
+/// S ~= 0.69*S' when L >> 8.
+double AvlPages(const AccessModelParams& p) {
+  return std::ceil(double(p.num_tuples) *
+                   (p.tuple_width + 2.0 * p.pointer_width) /
+                   double(p.page_size));
+}
+
+struct BTreeGeometry {
+  double fanout;
+  double leaves;
+  double height;
+  double pages;
+};
+
+BTreeGeometry ComputeGeometry(const AccessModelParams& p) {
+  BTreeGeometry g;
+  g.fanout = p.btree_occupancy * double(p.page_size) /
+             double(p.key_width + p.pointer_width);
+  MMDB_CHECK_MSG(g.fanout > 1.0, "B+-tree fanout must exceed 1");
+  const double tuples_per_leaf =
+      p.btree_occupancy * double(p.page_size) / double(p.tuple_width);
+  g.leaves = double(p.num_tuples) / tuples_per_leaf;
+  g.height = std::max(1.0, std::ceil(std::log(g.leaves) / std::log(g.fanout)));
+  g.pages = g.leaves * g.fanout / (g.fanout - 1.0);  // D + D/f + D/f^2 + ...
+  return g;
+}
+
+}  // namespace
+
+AvlAccessCost ComputeAvlCost(const AccessModelParams& p,
+                             int64_t memory_pages) {
+  AvlAccessCost out;
+  out.comparisons = Log2(double(p.num_tuples)) + 0.25;
+  out.pages = AvlPages(p);
+  const double resident = std::min(1.0, double(memory_pages) / out.pages);
+  out.faults = out.comparisons * (1.0 - resident);
+  out.cost = p.z * out.faults + p.y * out.comparisons;
+  return out;
+}
+
+BTreeAccessCost ComputeBTreeCost(const AccessModelParams& p,
+                                 int64_t memory_pages) {
+  BTreeAccessCost out;
+  const BTreeGeometry g = ComputeGeometry(p);
+  out.comparisons = std::ceil(Log2(double(p.num_tuples)));
+  out.fanout = g.fanout;
+  out.leaves = g.leaves;
+  out.height = g.height;
+  out.pages = g.pages;
+  const double resident = std::min(1.0, double(memory_pages) / out.pages);
+  out.faults = (out.height + 1.0) * (1.0 - resident);
+  out.cost = p.z * out.faults + out.comparisons;
+  return out;
+}
+
+double RandomAccessCostDiff(const AccessModelParams& p, double h) {
+  // H is a fraction of the AVL structure S (~ the database size).
+  const int64_t memory_pages =
+      static_cast<int64_t>(std::llround(h * AvlPages(p)));
+  const AvlAccessCost avl = ComputeAvlCost(p, memory_pages);
+  const BTreeAccessCost bt = ComputeBTreeCost(p, memory_pages);
+  return bt.cost - avl.cost;
+}
+
+double BreakEvenH(const AccessModelParams& p) {
+  // DIFF(H) is monotonically increasing in H (AVL benefits more from
+  // memory: it has far more faults to shed). Bisect for DIFF = 0.
+  double lo = 0.0, hi = 1.0;
+  if (RandomAccessCostDiff(p, hi) < 0) return 2.0;  // AVL never wins
+  if (RandomAccessCostDiff(p, lo) > 0) return 0.0;  // AVL always wins
+  for (int i = 0; i < 60; ++i) {
+    double mid = (lo + hi) / 2;
+    if (RandomAccessCostDiff(p, mid) > 0) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return (lo + hi) / 2;
+}
+
+double BreakEvenY(const AccessModelParams& p, double h) {
+  // cost(B+) - cost(AVL) = [Z*faults_bt + C'] - [Z*faults_avl + Y*C] = 0
+  //   => Y* = (Z*faults_bt + C' - Z*faults_avl) / C.
+  const int64_t memory_pages =
+      static_cast<int64_t>(std::llround(h * AvlPages(p)));
+  AccessModelParams q = p;
+  q.y = 0.0;
+  const AvlAccessCost avl = ComputeAvlCost(q, memory_pages);
+  const BTreeAccessCost bt = ComputeBTreeCost(q, memory_pages);
+  return (bt.cost - p.z * avl.faults) / avl.comparisons;
+}
+
+SequentialCost ComputeSequentialCost(const AccessModelParams& p, double h,
+                                     int64_t n_records) {
+  const BTreeGeometry g = ComputeGeometry(p);
+  const double s_avl = AvlPages(p);
+  const double memory_pages = h * s_avl;  // H is a fraction of S
+  const double avl_resident = std::min(1.0, h);
+  const double bt_resident = std::min(1.0, memory_pages / g.pages);
+
+  // AVL: each successor visit touches (amortized) one fresh node on its own
+  // page, plus a Y-weighted visit cost per record.
+  const double n = double(n_records);
+  const double avl_faults = n * (1.0 - avl_resident);
+  const double avl_cost = p.z * avl_faults + p.y * n;
+
+  // B+-tree: leaf chain delivers 0.69*P/L tuples per page read; one
+  // comparison-equivalent per record to qualify it.
+  const double tuples_per_leaf =
+      p.btree_occupancy * double(p.page_size) / double(p.tuple_width);
+  const double bt_faults = (n / tuples_per_leaf) * (1.0 - bt_resident);
+  const double bt_cost = p.z * bt_faults + n;
+
+  return SequentialCost{avl_cost, bt_cost};
+}
+
+double BreakEvenYSequential(const AccessModelParams& p, double h,
+                            int64_t n_records) {
+  // Linear in Y again: avl_cost = Z*faults + Y*N; solve bt_cost == avl_cost.
+  AccessModelParams q = p;
+  q.y = 0.0;
+  const SequentialCost base = ComputeSequentialCost(q, h, n_records);
+  return (base.btree_cost - base.avl_cost) / double(n_records);
+}
+
+}  // namespace mmdb

@@ -1,0 +1,89 @@
+#ifndef MMDB_COST_ACCESS_COST_H_
+#define MMDB_COST_ACCESS_COST_H_
+
+#include <cstdint>
+
+namespace mmdb {
+
+/// The §2 access-method cost model:  cost = Z * |page reads| + |comparisons|
+/// comparing an AVL tree against a B+-tree for keyed access to a relation
+/// that is partially memory resident.
+///
+/// Notation (paper §2): ||R|| tuples, key width K, tuple width L, page size
+/// P, pointer size 4; Z = page-read weight (realistic 10..30); Y < 1 = cost
+/// of an AVL comparison relative to a B+-tree comparison; |M| memory pages.
+struct AccessModelParams {
+  int64_t num_tuples = 1'000'000;  ///< ||R||
+  int32_t key_width = 8;           ///< K
+  int32_t tuple_width = 100;       ///< L
+  int64_t page_size = 4096;        ///< P
+  int32_t pointer_width = 4;
+  double btree_occupancy = 0.69;   ///< [YAO78] steady-state node fill
+  double z = 20.0;                 ///< Z: page read vs comparison weight
+  double y = 0.8;                  ///< Y: AVL/B+ comparison cost ratio
+};
+
+/// Cost of one random key lookup through an AVL tree (paper eq. for
+/// cost(AVL)).
+struct AvlAccessCost {
+  double comparisons;  ///< C = log2||R|| + 0.25
+  double pages;        ///< S = ceil(||R|| (L + 2*ptr) / P)
+  double faults;       ///< C * (1 - |M|/S), clamped at 0
+  double cost;         ///< Z*faults + Y*C
+};
+
+/// Cost of one random key lookup through a B+-tree (paper eq. for
+/// cost(B+-tree)).
+struct BTreeAccessCost {
+  double comparisons;  ///< C' = ceil(log2 ||R||)
+  double fanout;       ///< 0.69 * P / (K + ptr)
+  double leaves;       ///< D = ||R|| / (0.69 * P / L)
+  double height;       ///< ceil(log_fanout D)
+  double pages;        ///< S' ~= D * fanout/(fanout-1)
+  double faults;       ///< (height+1) * (1 - |M|/S')
+  double cost;         ///< Z*faults + C'
+};
+
+/// Evaluates the AVL model with |M| = memory_pages.
+AvlAccessCost ComputeAvlCost(const AccessModelParams& p, int64_t memory_pages);
+
+/// Evaluates the B+-tree model with |M| = memory_pages.
+BTreeAccessCost ComputeBTreeCost(const AccessModelParams& p,
+                                 int64_t memory_pages);
+
+/// DIFF = cost(B+) - cost(AVL) at memory fraction H = |M| / S, where
+/// S is the AVL structure size — which is essentially the size of the
+/// database itself (S ~ ||R||·L/P; the paper notes S ~ 0.69·S', so the
+/// B+-tree resident fraction at the same |M| is 0.69·H).
+/// AVL is preferred when DIFF > 0.
+double RandomAccessCostDiff(const AccessModelParams& p, double h);
+
+/// The smallest memory fraction H = |M|/S at which the AVL tree becomes
+/// the cheaper structure for random lookups (bisection over [0, 1]).
+/// This is the paper's "80%-90% of the database" threshold.
+/// Returns a value > 1 if AVL never wins even fully resident.
+double BreakEvenH(const AccessModelParams& p);
+
+/// The largest comparison-cost ratio Y at which AVL wins, given H — the
+/// quantity tabulated in the paper's Table 1 (closed form: the cost
+/// difference is linear in Y). May be < 0 (AVL hopeless) or > 1.
+double BreakEvenY(const AccessModelParams& p, double h);
+
+/// §2 case 2: sequential access to N records after the initial probe.
+/// AVL walks successors node by node (every node on its own page); the
+/// B+-tree streams 0.69*P/L tuples per leaf page. Same Z/Y weighting.
+struct SequentialCost {
+  double avl_cost;
+  double btree_cost;
+};
+SequentialCost ComputeSequentialCost(const AccessModelParams& p, double h,
+                                     int64_t n_records);
+
+/// Break-even Y for the sequential case at memory fraction H' (Table 1's
+/// companion case; paper: "reasonable values for H' are similar to H").
+double BreakEvenYSequential(const AccessModelParams& p, double h,
+                            int64_t n_records);
+
+}  // namespace mmdb
+
+#endif  // MMDB_COST_ACCESS_COST_H_

@@ -1,0 +1,201 @@
+#include "cost/join_cost.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+namespace {
+
+constexpr double kUsPerSecond = 1e6;
+
+double Log2Clamped(double x) { return x > 1.0 ? std::log2(x) : 0.0; }
+
+JoinCostBreakdown Finish(double cpu_us, double io_us) {
+  JoinCostBreakdown out;
+  out.cpu_seconds = cpu_us / kUsPerSecond;
+  out.io_seconds = io_us / kUsPerSecond;
+  out.total_seconds = out.cpu_seconds + out.io_seconds;
+  return out;
+}
+
+}  // namespace
+
+bool TwoPassAssumptionHolds(const JoinWorkload& w, const CostParams& p) {
+  return std::sqrt(double(w.s_pages) * p.fudge) <= double(w.memory_pages);
+}
+
+JoinCostBreakdown SortMergeJoinCost(const JoinWorkload& w,
+                                    const CostParams& p) {
+  const double m = double(w.memory_pages);
+  const double f = p.fudge;
+
+  // Tuples the in-memory priority queue holds (a sort structure for |M|
+  // pages carries the F overhead): {M}_X = |M| * tpp_X / F.
+  const double queue_r = std::max(2.0, m * w.RTuplesPerPage() / f);
+  const double queue_s = std::max(2.0, m * w.STuplesPerPage() / f);
+
+  // Replacement selection yields runs ~2|M| pages long [KNUT73], so
+  // runs_X = |X| F / (2|M|), and all runs merge in one pass because
+  // |M| >= sqrt(|S| F).
+  const double runs_r = std::max(1.0, double(w.r_pages) * f / (2.0 * m));
+  const double runs_s = std::max(1.0, double(w.s_pages) * f / (2.0 * m));
+  // Strictly above the ratio-1.0 point both relations sort fully in memory;
+  // the paper: "above a ratio of 1.0 ... sort-merge will improve to
+  // approximately 900 seconds, since fewer IO operations are needed".
+  const bool in_memory =
+      m > double(w.r_pages) * f && m > double(w.s_pages) * f;
+
+  double cpu_us = 0, io_us = 0;
+  // (||R|| log2{M}R + ||S|| log2{M}S)(comp+swap): form initial runs.
+  cpu_us += (double(w.r_tuples) * Log2Clamped(queue_r) +
+             double(w.s_tuples) * Log2Clamped(queue_s)) *
+            (p.comp_us + p.swap_us);
+  if (!in_memory) {
+    // (|R|+|S|) IOseq: write the runs; (|R|+|S|) IOrand: read them back
+    // interleaved during the merge.
+    io_us += double(w.r_pages + w.s_pages) * (p.io_seq_us + p.io_rand_us);
+    // (||R|| log2 runs_R + ||S|| log2 runs_S)(comp+swap): merge queue.
+    cpu_us += (double(w.r_tuples) * Log2Clamped(runs_r) +
+               double(w.s_tuples) * Log2Clamped(runs_s)) *
+              (p.comp_us + p.swap_us);
+  }
+  // (||R||+||S||) comp: join the merged streams.
+  cpu_us += double(w.r_tuples + w.s_tuples) * p.comp_us;
+
+  return Finish(cpu_us, io_us);
+}
+
+int64_t SimpleHashPasses(int64_t r_pages, int64_t memory_pages, double f) {
+  const double needed = double(r_pages) * f;
+  return std::max<int64_t>(
+      1, static_cast<int64_t>(std::ceil(needed / double(memory_pages))));
+}
+
+JoinCostBreakdown SimpleHashJoinCost(const JoinWorkload& w,
+                                     const CostParams& p) {
+  const double f = p.fudge;
+  const int64_t a = SimpleHashPasses(w.r_pages, w.memory_pages, f);
+
+  // On pass i (1-based), a |M|/F-page slice of R is retained; the fraction
+  // of R (and, with similarly distributed keys, of S) passed over after
+  // pass i is 1 - i |M| / (F |R|).
+  double passed_frac_sum = 0;
+  for (int64_t i = 1; i < a; ++i) {
+    passed_frac_sum += std::max(
+        0.0, 1.0 - double(i) * double(w.memory_pages) / (f * double(w.r_pages)));
+  }
+
+  double cpu_us = 0, io_us = 0;
+  // ||R|| (hash+move): build the hash table (every R tuple, eventually).
+  cpu_us += double(w.r_tuples) * (p.hash_us + p.move_us);
+  // ||S|| (hash + F comp): probe every S tuple.
+  cpu_us += double(w.s_tuples) * (p.hash_us + f * p.comp_us);
+  // Passed-over tuples are re-hashed and re-moved on every later pass.
+  cpu_us += passed_frac_sum * double(w.r_tuples + w.s_tuples) *
+            (p.hash_us + p.move_us);
+  // ... and their pages are written out and read back: 2 IOseq each.
+  io_us += 2.0 * passed_frac_sum * double(w.r_pages + w.s_pages) * p.io_seq_us;
+
+  JoinCostBreakdown out = Finish(cpu_us, io_us);
+  out.passes = double(a);
+  return out;
+}
+
+JoinCostBreakdown GraceHashJoinCost(const JoinWorkload& w,
+                                    const CostParams& p) {
+  const double f = p.fudge;
+  const bool in_memory = double(w.memory_pages) >= double(w.r_pages) * f;
+
+  double cpu_us = 0, io_us = 0;
+  if (in_memory) {
+    // Degenerate single partition: identical to the in-memory simple hash.
+    cpu_us += double(w.r_tuples) * (p.hash_us + p.move_us);
+    cpu_us += double(w.s_tuples) * (p.hash_us + f * p.comp_us);
+    return Finish(cpu_us, io_us);
+  }
+  // Phase 1: hash and move every tuple to an output buffer, flush buffers
+  // (random writes — the |M| buffers land all over the partition files).
+  cpu_us += double(w.r_tuples + w.s_tuples) * (p.hash_us + p.move_us);
+  io_us += double(w.r_pages + w.s_pages) * p.io_rand_us;
+  // Phase 2: read each (R_i, S_i) sequentially, re-hash, build and probe.
+  io_us += double(w.r_pages + w.s_pages) * p.io_seq_us;
+  cpu_us += double(w.r_tuples + w.s_tuples) * p.hash_us;
+  cpu_us += double(w.r_tuples) * p.move_us;           // into hash tables
+  cpu_us += double(w.s_tuples) * f * p.comp_us;       // probes
+
+  JoinCostBreakdown out = Finish(cpu_us, io_us);
+  out.partitions = double(w.memory_pages);  // paper: |M| sets
+  return out;
+}
+
+HybridSplit SolveHybridSplit(int64_t r_pages, int64_t memory_pages, double f) {
+  HybridSplit split;
+  const double rf = double(r_pages) * f;
+  const double m = double(memory_pages);
+  if (m >= rf) {
+    split.q = 1.0;
+    split.num_partitions = 0;
+    return split;
+  }
+  // Fixpoint: q = (|M| - B) / (|R| F); B = ceil((1-q)|R|F / |M|), each
+  // spilled partition sized so its F-inflated hash table fits in |M|.
+  double q = m / rf;
+  int64_t b = 1;
+  for (int iter = 0; iter < 16; ++iter) {
+    const int64_t new_b = std::max<int64_t>(
+        1, static_cast<int64_t>(std::ceil((1.0 - q) * rf / m)));
+    const double new_q = std::max(0.0, (m - double(new_b)) / rf);
+    if (new_b == b && std::abs(new_q - q) < 1e-12) break;
+    b = new_b;
+    q = new_q;
+  }
+  split.q = q;
+  split.num_partitions = b;
+  return split;
+}
+
+JoinCostBreakdown HybridHashJoinCost(const JoinWorkload& w,
+                                     const CostParams& p) {
+  const double f = p.fudge;
+  const HybridSplit split = SolveHybridSplit(w.r_pages, w.memory_pages, f);
+  const double q = split.q;
+
+  double cpu_us = 0, io_us = 0;
+  // (||R||+||S||) hash: partition both relations.
+  cpu_us += double(w.r_tuples + w.s_tuples) * p.hash_us;
+  // (||R||+||S||)(1-q) move: spilled tuples go to output buffers.
+  cpu_us += double(w.r_tuples + w.s_tuples) * (1.0 - q) * p.move_us;
+  // (|R|+|S|)(1-q) writes from the output buffers. Footnote of §3.8: with a
+  // single output buffer (|M| >= |R|F/2 ⇒ B == 1) the writes are
+  // sequential, else random — the source of Figure 1's discontinuity at 0.5.
+  const double write_io_us =
+      split.num_partitions <= 1 ? p.io_seq_us : p.io_rand_us;
+  io_us += double(w.r_pages + w.s_pages) * (1.0 - q) * write_io_us;
+  // (||R||+||S||)(1-q) hash: phase-2 re-hash of spilled tuples.
+  cpu_us += double(w.r_tuples + w.s_tuples) * (1.0 - q) * p.hash_us;
+  // ||S|| F comp: probe for every tuple of S.
+  cpu_us += double(w.s_tuples) * f * p.comp_us;
+  // ||R|| move: move every R tuple into a hash table (phase 1 or 2).
+  cpu_us += double(w.r_tuples) * p.move_us;
+  // (|R|+|S|)(1-q) IOseq: read the spilled partitions back.
+  io_us += double(w.r_pages + w.s_pages) * (1.0 - q) * p.io_seq_us;
+
+  JoinCostBreakdown out = Finish(cpu_us, io_us);
+  out.q = q;
+  out.partitions = double(split.num_partitions);
+  return out;
+}
+
+AllJoinCosts ComputeAllJoinCosts(const JoinWorkload& w, const CostParams& p) {
+  AllJoinCosts out;
+  out.sort_merge = SortMergeJoinCost(w, p);
+  out.simple_hash = SimpleHashJoinCost(w, p);
+  out.grace_hash = GraceHashJoinCost(w, p);
+  out.hybrid_hash = HybridHashJoinCost(w, p);
+  return out;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,90 @@
+#ifndef MMDB_COST_JOIN_COST_H_
+#define MMDB_COST_JOIN_COST_H_
+
+#include <cstdint>
+#include <string>
+
+#include "sim/cost_params.h"
+
+namespace mmdb {
+
+/// Workload description for the §3 join cost model (Table 2 defaults):
+/// R is the smaller (build) relation, S the larger (probe) relation.
+struct JoinWorkload {
+  int64_t r_pages = 10'000;     ///< |R|
+  int64_t s_pages = 10'000;     ///< |S|
+  int64_t r_tuples = 400'000;   ///< ||R||
+  int64_t s_tuples = 400'000;   ///< ||S||
+  int64_t memory_pages = 1'000; ///< |M|
+
+  double RTuplesPerPage() const { return double(r_tuples) / double(r_pages); }
+  double STuplesPerPage() const { return double(s_tuples) / double(s_pages); }
+};
+
+/// Cost of one join, split the way the paper reports it. Seconds under the
+/// CostParams machine model; the analytic simulation behind Figure 1.
+struct JoinCostBreakdown {
+  double cpu_seconds = 0;
+  double io_seconds = 0;
+  double total_seconds = 0;
+  /// Extra diagnostics (algorithm-specific; 0 when not applicable).
+  double passes = 0;        ///< simple hash: number of passes A
+  double q = 0;             ///< hybrid: fraction of R resident in phase 1
+  double partitions = 0;    ///< GRACE/hybrid: number of disk partitions B
+};
+
+/// §3.4 sort-merge join: replacement-selection run formation (runs average
+/// 2|M| pages), one n-way merge (guaranteed single merge level because
+/// |M| >= sqrt(|S| F)), merge-join of the sorted streams.
+JoinCostBreakdown SortMergeJoinCost(const JoinWorkload& w,
+                                    const CostParams& p);
+
+/// §3.5 simple-hash join: repeatedly fill memory with a hash table for a
+/// |M|/F-page slice of R, scanning (and re-writing) the passed-over
+/// remainder of both relations each pass. A = ceil(|R| F / |M|) passes.
+JoinCostBreakdown SimpleHashJoinCost(const JoinWorkload& w,
+                                     const CostParams& p);
+
+/// §3.6 GRACE hash join: partition both relations completely (one output
+/// buffer page per partition, random writes), then join each (R_i, S_i)
+/// pair with an in-memory hash table (sequential reads). Phase 2 uses
+/// hashing rather than the hardware sorter, as the paper itself does.
+JoinCostBreakdown GraceHashJoinCost(const JoinWorkload& w,
+                                    const CostParams& p);
+
+/// §3.7 hybrid-hash join: like GRACE, but phase 1 keeps a hash table for
+/// the first partition R_0 (fraction q of R) in the memory left over from
+/// the B output buffers, joining S_0 on the fly. Includes the paper's
+/// footnoted discontinuity: with a single output buffer (|M| >= |R|F/2)
+/// partition writes are priced IOseq instead of IOrand.
+JoinCostBreakdown HybridHashJoinCost(const JoinWorkload& w,
+                                     const CostParams& p);
+
+/// Solves the hybrid phase-1 split: q (fraction of R kept resident) and B
+/// (number of spilled partitions), satisfying q|R|F + B <= |M| with each
+/// spilled partition fitting in memory (|R_i| F <= |M|).
+struct HybridSplit {
+  double q = 1.0;
+  int64_t num_partitions = 0;  // B
+};
+HybridSplit SolveHybridSplit(int64_t r_pages, int64_t memory_pages, double f);
+
+/// Number of passes of the simple-hash join: A = ceil(|R| F / |M|).
+int64_t SimpleHashPasses(int64_t r_pages, int64_t memory_pages, double f);
+
+/// True when the two-pass assumption sqrt(|S| F) <= |M| holds (§3.2).
+bool TwoPassAssumptionHolds(const JoinWorkload& w, const CostParams& p);
+
+/// Convenience: evaluates all four algorithms; used by Figure 1 / Table 3
+/// benches and by the optimizer.
+struct AllJoinCosts {
+  JoinCostBreakdown sort_merge;
+  JoinCostBreakdown simple_hash;
+  JoinCostBreakdown grace_hash;
+  JoinCostBreakdown hybrid_hash;
+};
+AllJoinCosts ComputeAllJoinCosts(const JoinWorkload& w, const CostParams& p);
+
+}  // namespace mmdb
+
+#endif  // MMDB_COST_JOIN_COST_H_

@@ -1,0 +1,598 @@
+#include "db/database.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "cost/access_cost.h"
+#include "db/query_parser.h"
+
+namespace mmdb {
+
+Database::Database(Options options)
+    : options_(options),
+      clock_(options.cost_params),
+      disk_(options.page_size, &clock_),
+      pool_(&disk_, options.buffer_pool_pages, options.buffer_policy),
+      catalog_(options.page_size) {
+  exec_ctx_.disk = &disk_;
+  exec_ctx_.clock = &clock_;
+  exec_ctx_.memory_pages = options.memory_pages;
+  exec_ctx_.fudge = options.cost_params.fudge;
+}
+
+Status Database::CreateTable(const std::string& name, Schema schema) {
+  if (tables_.count(name)) return Status::AlreadyExists("table " + name);
+  if (schema.num_columns() == 0) {
+    return Status::InvalidArgument("table needs at least one column");
+  }
+  TableHolder holder;
+  holder.relation = Relation(std::move(schema));
+  tables_[name] = std::move(holder);
+  InvalidateCatalog();
+  return Status::OK();
+}
+
+Status Database::Insert(const std::string& name, Row row) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  TableHolder& table = it->second;
+  const Schema& schema = table.relation.schema();
+  if (static_cast<int>(row.size()) != schema.num_columns()) {
+    return Status::InvalidArgument("row arity mismatch");
+  }
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    if (TypeOf(row[static_cast<size_t>(c)]) != schema.column(c).type) {
+      return Status::InvalidArgument("type mismatch in column " +
+                                     schema.column(c).name);
+    }
+  }
+  const int64_t ordinal = table.relation.num_tuples();
+  // Maintain indexes.
+  for (auto& [col_name, index] : table.indexes) {
+    const Value& key = row[static_cast<size_t>(index.column)];
+    switch (index.type) {
+      case IndexType::kAvl:
+        index.avl->Insert(key, ordinal);
+        break;
+      case IndexType::kBTree: {
+        std::vector<char> kbuf(static_cast<size_t>(index.key_width));
+        if (TypeOf(key) == ValueType::kInt64) {
+          BPlusTree::EncodeInt64Key(std::get<int64_t>(key), kbuf.data(),
+                                    index.key_width);
+        } else if (TypeOf(key) == ValueType::kString) {
+          BPlusTree::EncodeStringKey(std::get<std::string>(key), kbuf.data(),
+                                     index.key_width);
+        } else {
+          return Status::InvalidArgument("unsupported B+-tree key type");
+        }
+        char payload[8];
+        std::memcpy(payload, &ordinal, sizeof(ordinal));
+        MMDB_RETURN_IF_ERROR(index.btree->Insert(kbuf.data(), payload));
+        break;
+      }
+      case IndexType::kHash:
+        index.hash->Insert(key, ordinal);
+        break;
+      case IndexType::kAuto:
+        return Status::Internal("unresolved index type");
+    }
+  }
+  table.relation.Add(std::move(row));
+  InvalidateCatalog();
+  return Status::OK();
+}
+
+Status Database::BulkLoad(const std::string& name, Relation relation) {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  if (!(relation.schema() == it->second.relation.schema())) {
+    return Status::InvalidArgument("schema mismatch in bulk load");
+  }
+  for (Row& row : relation.mutable_rows()) {
+    MMDB_RETURN_IF_ERROR(Insert(name, std::move(row)));
+  }
+  InvalidateCatalog();
+  return Status::OK();
+}
+
+StatusOr<const Relation*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return &it->second.relation;
+}
+
+AccessModelParams Database::ModelFor(const TableHolder& table,
+                                     int column) const {
+  AccessModelParams p;
+  p.num_tuples = std::max<int64_t>(1, table.relation.num_tuples());
+  p.tuple_width = table.relation.schema().record_size();
+  p.key_width = table.relation.schema().column(column).width;
+  p.page_size = options_.page_size;
+  return p;
+}
+
+StatusOr<Database::IndexType> Database::PickIndexType(
+    const std::string& table_name, const std::string& column) const {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) return Status::NotFound("table " + table_name);
+  MMDB_ASSIGN_OR_RETURN(int col,
+                        it->second.relation.schema().ColumnIndex(column));
+  const AccessModelParams p = ModelFor(it->second, col);
+  // H = fraction of the structure (≈ the database) resident given our
+  // buffer budget; AVL wins only above the §2 break-even threshold.
+  const double structure_pages =
+      double(p.num_tuples) * (p.tuple_width + 2.0 * p.pointer_width) /
+      double(p.page_size);
+  const double h =
+      std::min(1.0, double(options_.buffer_pool_pages) / structure_pages);
+  return h >= BreakEvenH(p) ? IndexType::kAvl : IndexType::kBTree;
+}
+
+Status Database::BuildIndex(TableHolder* table, const std::string& table_name,
+                            const std::string& column, IndexType type) {
+  MMDB_ASSIGN_OR_RETURN(int col,
+                        table->relation.schema().ColumnIndex(column));
+  IndexHolder index;
+  index.type = type;
+  index.column = col;
+  const Column& col_def = table->relation.schema().column(col);
+  index.key_width = col_def.type == ValueType::kString
+                        ? std::min<int32_t>(col_def.width, 32)
+                        : 8;
+  switch (type) {
+    case IndexType::kAvl: {
+      index.avl = std::make_unique<AvlTree>();
+      int64_t ordinal = 0;
+      for (const Row& row : table->relation.rows()) {
+        index.avl->Insert(row[static_cast<size_t>(col)], ordinal++);
+      }
+      break;
+    }
+    case IndexType::kBTree: {
+      index.btree_file = std::make_unique<PageFile>(
+          &disk_, "btree_" + table_name + "_" + column);
+      BTreeOptions bopts;
+      bopts.key_width = index.key_width;
+      bopts.payload_width = 8;
+      index.btree = std::make_unique<BPlusTree>(&pool_, index.btree_file.get(),
+                                                bopts);
+      std::vector<char> kbuf(static_cast<size_t>(index.key_width));
+      int64_t ordinal = 0;
+      for (const Row& row : table->relation.rows()) {
+        const Value& key = row[static_cast<size_t>(col)];
+        if (TypeOf(key) == ValueType::kInt64) {
+          BPlusTree::EncodeInt64Key(std::get<int64_t>(key), kbuf.data(),
+                                    index.key_width);
+        } else if (TypeOf(key) == ValueType::kString) {
+          BPlusTree::EncodeStringKey(std::get<std::string>(key), kbuf.data(),
+                                     index.key_width);
+        } else {
+          return Status::InvalidArgument("unsupported B+-tree key type");
+        }
+        char payload[8];
+        std::memcpy(payload, &ordinal, sizeof(ordinal));
+        MMDB_RETURN_IF_ERROR(index.btree->Insert(kbuf.data(), payload));
+        ++ordinal;
+      }
+      break;
+    }
+    case IndexType::kHash: {
+      index.hash = std::make_unique<HashIndex>();
+      int64_t ordinal = 0;
+      for (const Row& row : table->relation.rows()) {
+        index.hash->Insert(row[static_cast<size_t>(col)], ordinal++);
+      }
+      break;
+    }
+    case IndexType::kAuto:
+      return Status::Internal("kAuto must be resolved by caller");
+  }
+  table->indexes[column] = std::move(index);
+  return Status::OK();
+}
+
+Status Database::CreateIndex(const std::string& table_name,
+                             const std::string& column, IndexType type) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) return Status::NotFound("table " + table_name);
+  if (it->second.indexes.count(column)) {
+    return Status::AlreadyExists("index on " + table_name + "." + column);
+  }
+  if (type == IndexType::kAuto) {
+    MMDB_ASSIGN_OR_RETURN(type, PickIndexType(table_name, column));
+  }
+  MMDB_RETURN_IF_ERROR(BuildIndex(&it->second, table_name, column, type));
+  InvalidateCatalog();  // the planner must learn about the new index
+  return Status::OK();
+}
+
+StatusOr<Row> Database::RowByOrdinal(const TableHolder& table,
+                                     int64_t ordinal) const {
+  if (ordinal < 0 || ordinal >= table.relation.num_tuples()) {
+    return Status::Internal("index payload out of range");
+  }
+  return table.relation.rows()[static_cast<size_t>(ordinal)];
+}
+
+StatusOr<Row> Database::IndexLookup(const std::string& table_name,
+                                    const std::string& column,
+                                    const Value& key) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) return Status::NotFound("table " + table_name);
+  auto idx_it = it->second.indexes.find(column);
+  if (idx_it == it->second.indexes.end()) {
+    return Status::NotFound("no index on " + table_name + "." + column);
+  }
+  IndexHolder& index = idx_it->second;
+  switch (index.type) {
+    case IndexType::kAvl: {
+      MMDB_ASSIGN_OR_RETURN(int64_t ordinal, index.avl->Find(key));
+      return RowByOrdinal(it->second, ordinal);
+    }
+    case IndexType::kBTree: {
+      std::vector<char> kbuf(static_cast<size_t>(index.key_width));
+      if (TypeOf(key) == ValueType::kInt64) {
+        BPlusTree::EncodeInt64Key(std::get<int64_t>(key), kbuf.data(),
+                                  index.key_width);
+      } else if (TypeOf(key) == ValueType::kString) {
+        BPlusTree::EncodeStringKey(std::get<std::string>(key), kbuf.data(),
+                                   index.key_width);
+      } else {
+        return Status::InvalidArgument("unsupported B+-tree key type");
+      }
+      char payload[8];
+      MMDB_RETURN_IF_ERROR(index.btree->Find(kbuf.data(), payload));
+      int64_t ordinal;
+      std::memcpy(&ordinal, payload, sizeof(ordinal));
+      return RowByOrdinal(it->second, ordinal);
+    }
+    case IndexType::kHash: {
+      MMDB_ASSIGN_OR_RETURN(int64_t ordinal, index.hash->Find(key));
+      return RowByOrdinal(it->second, ordinal);
+    }
+    case IndexType::kAuto:
+      break;
+  }
+  return Status::Internal("unresolved index type");
+}
+
+Status Database::IndexRangeScan(const std::string& table_name,
+                                const std::string& column, const Value& low,
+                                int64_t limit,
+                                const std::function<bool(const Row&)>& fn) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) return Status::NotFound("table " + table_name);
+  auto idx_it = it->second.indexes.find(column);
+  if (idx_it == it->second.indexes.end()) {
+    return Status::NotFound("no index on " + table_name + "." + column);
+  }
+  IndexHolder& index = idx_it->second;
+  const TableHolder& table = it->second;
+  switch (index.type) {
+    case IndexType::kAvl: {
+      Status status = Status::OK();
+      index.avl->ScanFrom(
+          low,
+          [&](const Value&, int64_t ordinal) {
+            StatusOr<Row> row = RowByOrdinal(table, ordinal);
+            if (!row.ok()) {
+              status = row.status();
+              return false;
+            }
+            return fn(*row);
+          },
+          limit);
+      return status;
+    }
+    case IndexType::kBTree: {
+      std::vector<char> kbuf(static_cast<size_t>(index.key_width));
+      if (TypeOf(low) == ValueType::kInt64) {
+        BPlusTree::EncodeInt64Key(std::get<int64_t>(low), kbuf.data(),
+                                  index.key_width);
+      } else if (TypeOf(low) == ValueType::kString) {
+        BPlusTree::EncodeStringKey(std::get<std::string>(low), kbuf.data(),
+                                   index.key_width);
+      } else {
+        return Status::InvalidArgument("unsupported B+-tree key type");
+      }
+      Status status = Status::OK();
+      MMDB_RETURN_IF_ERROR(index.btree->ScanFrom(
+          kbuf.data(),
+          [&](const char*, const char* payload) {
+            int64_t ordinal;
+            std::memcpy(&ordinal, payload, sizeof(ordinal));
+            StatusOr<Row> row = RowByOrdinal(table, ordinal);
+            if (!row.ok()) {
+              status = row.status();
+              return false;
+            }
+            return fn(*row);
+          },
+          limit));
+      return status;
+    }
+    case IndexType::kHash:
+      return Status::FailedPrecondition(
+          "hash indexes do not support ordered scans");
+    case IndexType::kAuto:
+      break;
+  }
+  return Status::Internal("unresolved index type");
+}
+
+const Catalog& Database::catalog() {
+  if (catalog_dirty_) {
+    catalog_ = Catalog(options_.page_size);
+    for (const auto& [name, table] : tables_) {
+      Status s = catalog_.RegisterTable(name, &table.relation);
+      MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
+      for (const auto& [column, index] : table.indexes) {
+        IndexKind kind = IndexKind::kHash;
+        switch (index.type) {
+          case IndexType::kAvl:
+            kind = IndexKind::kAvl;
+            break;
+          case IndexType::kBTree:
+            kind = IndexKind::kBTree;
+            break;
+          case IndexType::kHash:
+          case IndexType::kAuto:
+            kind = IndexKind::kHash;
+            break;
+        }
+        s = catalog_.RegisterIndex(name, column, kind);
+        MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
+      }
+    }
+    catalog_dirty_ = false;
+  }
+  return catalog_;
+}
+
+StatusOr<Relation> Database::IndexLookupAll(const std::string& table_name,
+                                            const Predicate& pred) {
+  auto it = tables_.find(table_name);
+  if (it == tables_.end()) return Status::NotFound("table " + table_name);
+  auto idx_it = it->second.indexes.find(pred.column);
+  if (idx_it == it->second.indexes.end()) {
+    return Status::NotFound("no index on " + table_name + "." + pred.column);
+  }
+  IndexHolder& index = idx_it->second;
+  const TableHolder& table = it->second;
+  Relation out(table.relation.schema());
+  auto emit = [&](int64_t ordinal) -> Status {
+    MMDB_ASSIGN_OR_RETURN(Row row, RowByOrdinal(table, ordinal));
+    out.Add(std::move(row));
+    return Status::OK();
+  };
+
+  if (pred.op == CmpOp::kEq) {
+    switch (index.type) {
+      case IndexType::kHash: {
+        const int64_t comps_before = index.hash->stats().comparisons;
+        Status status = Status::OK();
+        clock_.Hash();
+        index.hash->FindAll(pred.literal, [&](int64_t ordinal) {
+          if (status.ok()) status = emit(ordinal);
+        });
+        clock_.Comp(index.hash->stats().comparisons - comps_before);
+        return status.ok() ? StatusOr<Relation>(std::move(out))
+                           : StatusOr<Relation>(status);
+      }
+      case IndexType::kAvl: {
+        const int64_t comps_before = index.avl->stats().comparisons;
+        Status status = Status::OK();
+        index.avl->ScanFrom(pred.literal, [&](const Value& k, int64_t ord) {
+          if (!ValuesEqual(k, pred.literal)) return false;
+          if (status.ok()) status = emit(ord);
+          return status.ok();
+        });
+        clock_.Comp(index.avl->stats().comparisons - comps_before);
+        return status.ok() ? StatusOr<Relation>(std::move(out))
+                           : StatusOr<Relation>(status);
+      }
+      case IndexType::kBTree:
+        break;  // handled below via the shared ordered-scan path
+      case IndexType::kAuto:
+        return Status::Internal("unresolved index type");
+    }
+  }
+  // Ordered scans: B+-tree equality, and AVL/B+-tree prefix queries.
+  const bool prefix = pred.op == CmpOp::kPrefix;
+  if (!prefix && pred.op != CmpOp::kEq) {
+    return Status::InvalidArgument("IndexLookupAll serves = and LIKE only");
+  }
+  if (index.type == IndexType::kHash) {
+    return Status::FailedPrecondition("hash index cannot serve a prefix");
+  }
+  Status status = Status::OK();
+  auto qualifies = [&](const Value& key) {
+    if (!prefix) return ValuesEqual(key, pred.literal);
+    if (TypeOf(key) != ValueType::kString) return false;
+    const std::string& s = std::get<std::string>(key);
+    const std::string& p = std::get<std::string>(pred.literal);
+    return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
+  };
+  const int col_index = index.column;
+  MMDB_RETURN_IF_ERROR(IndexRangeScan(
+      table_name, pred.column, pred.literal, /*limit=*/-1,
+      [&](const Row& row) {
+        clock_.Comp();
+        if (!qualifies(row[size_t(col_index)])) return false;  // past range
+        if (status.ok()) {
+          out.Add(row);
+        }
+        return status.ok();
+      }));
+  MMDB_RETURN_IF_ERROR(status);
+  return out;
+}
+
+StatusOr<QueryResult> Database::Execute(const Query& query) {
+  OptimizerOptions opts;
+  opts.memory_pages = options_.memory_pages;
+  opts.cost_params = options_.cost_params;
+  opts.w_cpu = options_.w_cpu;
+  opts.hash_only = options_.planner_hash_only;
+  return RunQuery(query, catalog(), opts, &exec_ctx_, this);
+}
+
+StatusOr<Relation> Database::ExecuteAggregate(const Query& query,
+                                              const AggregateSpec& agg) {
+  MMDB_ASSIGN_OR_RETURN(QueryResult result, Execute(query));
+  return HashAggregate(result.relation, agg, &exec_ctx_);
+}
+
+StatusOr<std::string> Database::Explain(const Query& query) {
+  OptimizerOptions opts;
+  opts.memory_pages = options_.memory_pages;
+  opts.cost_params = options_.cost_params;
+  opts.w_cpu = options_.w_cpu;
+  opts.hash_only = options_.planner_hash_only;
+  Optimizer optimizer(&catalog(), opts);
+  MMDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
+                        optimizer.Optimize(query));
+  return plan->ToString();
+}
+
+StatusOr<Database::SqlResult> Database::ExecuteSql(const std::string& sql) {
+  MMDB_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseStatement(sql, catalog()));
+  SqlResult result;
+  switch (stmt.kind) {
+    case ParsedStatement::Kind::kCreateTable: {
+      MMDB_RETURN_IF_ERROR(CreateTable(stmt.table_name, stmt.schema));
+      return result;
+    }
+    case ParsedStatement::Kind::kInsert: {
+      MMDB_ASSIGN_OR_RETURN(const Relation* table, GetTable(stmt.table_name));
+      const Schema& schema = table->schema();
+      for (Row& row : stmt.rows) {
+        // Numeric coercion: integer literals into DOUBLE columns.
+        if (static_cast<int>(row.size()) == schema.num_columns()) {
+          for (int c = 0; c < schema.num_columns(); ++c) {
+            if (schema.column(c).type == ValueType::kDouble &&
+                std::holds_alternative<int64_t>(row[size_t(c)])) {
+              row[size_t(c)] =
+                  Value{double(std::get<int64_t>(row[size_t(c)]))};
+            }
+          }
+        }
+        MMDB_RETURN_IF_ERROR(Insert(stmt.table_name, std::move(row)));
+        ++result.rows_affected;
+      }
+      return result;
+    }
+    case ParsedStatement::Kind::kExplain: {
+      MMDB_ASSIGN_OR_RETURN(result.plan_text, Explain(stmt.query));
+      return result;
+    }
+    case ParsedStatement::Kind::kSelect: {
+      MMDB_ASSIGN_OR_RETURN(QueryResult qr, Execute(stmt.query));
+      result.plan_text = std::move(qr.plan_text);
+      if (stmt.aggregate.has_value()) {
+        MMDB_ASSIGN_OR_RETURN(
+            result.relation,
+            HashAggregate(qr.relation, *stmt.aggregate, &exec_ctx_));
+      } else if (stmt.distinct) {
+        std::vector<int> all(size_t(qr.relation.schema().num_columns()));
+        for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+        MMDB_ASSIGN_OR_RETURN(result.relation,
+                              ProjectDistinct(qr.relation, all, &exec_ctx_));
+      } else {
+        result.relation = std::move(qr.relation);
+      }
+      return result;
+    }
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+Status Database::EnableTransactions(const TxnPlaneOptions& options) {
+  if (txn_enabled_) return Status::FailedPrecondition("already enabled");
+  txn_options_ = options;
+  stable_ = std::make_unique<StableMemory>(options.stable_memory_bytes);
+
+  using WalKind = TxnPlaneOptions::WalKind;
+  switch (options.wal_kind) {
+    case WalKind::kSingleNoGroupCommit:
+    case WalKind::kSingle: {
+      log_devices_.push_back(std::make_unique<LogDevice>(
+          options_.page_size, options.log_write_latency));
+      GroupCommitLogOptions gc;
+      gc.group_commit = options.wal_kind == WalKind::kSingle;
+      wal_ = std::make_unique<GroupCommitLog>(
+          std::vector<LogDevice*>{log_devices_[0].get()}, gc);
+      break;
+    }
+    case WalKind::kPartitioned: {
+      GroupCommitLogOptions gc;
+      gc.group_commit = true;
+      wal_ = std::make_unique<PartitionedLogManager>(
+          options.log_partitions, options_.page_size,
+          options.log_write_latency, gc);
+      break;
+    }
+    case WalKind::kStable: {
+      log_devices_.push_back(std::make_unique<LogDevice>(
+          options_.page_size, options.log_write_latency));
+      StableLogOptions so;
+      so.compress = options.compress_stable_log;
+      wal_ = std::make_unique<StableLogBuffer>(stable_.get(),
+                                               log_devices_[0].get(), so);
+      break;
+    }
+  }
+  lock_manager_ = std::make_unique<LockManager>();
+  store_ = std::make_unique<RecoverableStore>(
+      &disk_, options.num_records, options.record_size, options_.page_size);
+  fut_ = std::make_unique<FirstUpdateTable>(stable_.get(),
+                                            store_->num_pages());
+  if (options.enable_versioning) {
+    versions_ = std::make_unique<VersionManager>();
+  }
+  txn_manager_ = std::make_unique<TransactionManager>(
+      store_.get(), lock_manager_.get(), wal_.get(), fut_.get(),
+      /*first_txn_id=*/1, versions_.get());
+  checkpointer_ = std::make_unique<Checkpointer>(
+      store_.get(), fut_.get(), wal_.get(), options.checkpointer_options);
+
+  wal_->Start();
+  if (options.start_checkpointer) checkpointer_->Start();
+  txn_enabled_ = true;
+  return Status::OK();
+}
+
+StatusOr<int64_t> Database::CheckpointNow() {
+  if (!txn_enabled_) return Status::FailedPrecondition("transactions off");
+  return checkpointer_->CheckpointOnce();
+}
+
+Status Database::Crash() {
+  if (!txn_enabled_) return Status::FailedPrecondition("transactions off");
+  checkpointer_->Stop();
+  wal_->CrashStop();  // flusher threads die; buffered bytes are LOST
+  store_->SimulateCrash();
+  return Status::OK();
+}
+
+StatusOr<RecoveryStats> Database::Recover(RecoveryOptions options) {
+  if (!txn_enabled_) return Status::FailedPrecondition("transactions off");
+  MMDB_ASSIGN_OR_RETURN(RecoveryStats stats,
+                        RecoverStore(store_.get(), wal_.get(), fut_.get(),
+                                     options));
+  // Fresh lock table, version chains, and manager state; restart the
+  // background threads. New transaction ids start above everything in the
+  // log; version chains are volatile and restart empty.
+  lock_manager_ = std::make_unique<LockManager>();
+  if (txn_options_.enable_versioning) {
+    versions_ = std::make_unique<VersionManager>();
+  }
+  txn_manager_ = std::make_unique<TransactionManager>(
+      store_.get(), lock_manager_.get(), wal_.get(), fut_.get(),
+      stats.max_txn_id + 1, versions_.get());
+  wal_->Start();
+  if (txn_options_.start_checkpointer) checkpointer_->Start();
+  return stats;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,209 @@
+#ifndef MMDB_DB_DATABASE_H_
+#define MMDB_DB_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "cost/access_cost.h"
+#include "exec/aggregate.h"
+#include "exec/exec_context.h"
+#include "index/avl_tree.h"
+#include "index/btree.h"
+#include "index/hash_index.h"
+#include "optimizer/executor.h"
+#include "optimizer/optimizer.h"
+#include "sim/stable_memory.h"
+#include "txn/banking.h"
+#include "txn/checkpoint.h"
+#include "txn/partitioned_log.h"
+#include "txn/recovery.h"
+#include "txn/stable_log.h"
+#include "txn/transaction_manager.h"
+#include "txn/version_store.h"
+
+namespace mmdb {
+
+/// The public facade of mmdb: a main-memory relational database with
+///  * tables + AVL / B+-tree / hash secondary indexes (§2),
+///  * a cost-based query planner and the §3 join/aggregate executors (§4),
+///  * and an optional transactional plane with group-commit logging,
+///    fuzzy checkpointing and crash recovery (§5).
+///
+/// Single-threaded on the query plane; the transactional plane is fully
+/// thread-safe (that is where the paper's concurrency lives).
+///
+/// Database implements IndexProvider: the planner's IndexScan nodes are
+/// served by the facade's own AVL / B+-tree / hash indexes.
+class Database : public IndexProvider {
+ public:
+  struct Options {
+    int64_t page_size = 4096;
+    /// |M| granted to query operators (pages).
+    int64_t memory_pages = 4096;
+    CostParams cost_params;
+    /// Planner knobs (W, hash-only reduction).
+    double w_cpu = 1.0;
+    bool planner_hash_only = false;
+    /// Buffer pool for the paged (B+-tree) indexes.
+    int64_t buffer_pool_pages = 4096;
+    ReplacementPolicy buffer_policy = ReplacementPolicy::kRandom;
+  };
+
+  enum class IndexType { kAvl, kBTree, kHash, kAuto };
+
+  Database() : Database(Options()) {}
+  explicit Database(Options options);
+
+  // ---- DDL / data ----------------------------------------------------
+  Status CreateTable(const std::string& name, Schema schema);
+  Status Insert(const std::string& name, Row row);
+  Status BulkLoad(const std::string& name, Relation relation);
+  StatusOr<const Relation*> GetTable(const std::string& name) const;
+
+  // ---- Indexes (§2) ----------------------------------------------------
+  /// Builds an index on `table.column`. kAuto applies the §2 cost model:
+  /// AVL when the memory fraction exceeds the break-even H, else B+-tree.
+  Status CreateIndex(const std::string& table, const std::string& column,
+                     IndexType type);
+
+  /// Which index type CreateIndex(kAuto) would pick right now.
+  StatusOr<IndexType> PickIndexType(const std::string& table,
+                                    const std::string& column) const;
+
+  /// Point lookup through the index: returns some row with column == key.
+  StatusOr<Row> IndexLookup(const std::string& table,
+                            const std::string& column, const Value& key);
+
+  /// Ordered scan of up to `limit` rows with column >= low (AVL/B+ only).
+  Status IndexRangeScan(const std::string& table, const std::string& column,
+                        const Value& low, int64_t limit,
+                        const std::function<bool(const Row&)>& fn);
+
+  /// IndexProvider: all rows satisfying an equality / prefix restriction,
+  /// served from the column's index (used by IndexScan plan nodes).
+  StatusOr<Relation> IndexLookupAll(const std::string& table,
+                                    const Predicate& pred) override;
+
+  // ---- Queries (§3, §4) ------------------------------------------------
+  /// Optimizes and executes a declarative query.
+  StatusOr<QueryResult> Execute(const Query& query);
+
+  /// Runs a query, then hash-aggregates its result (§3.9).
+  StatusOr<Relation> ExecuteAggregate(const Query& query,
+                                      const AggregateSpec& agg);
+
+  /// The plan that Execute would run, without running it.
+  StatusOr<std::string> Explain(const Query& query);
+
+  // ---- SQL front end (db/query_parser.h) --------------------------------
+  struct SqlResult {
+    Relation relation;        ///< SELECT output (empty for DDL/DML)
+    std::string plan_text;    ///< EXPLAIN / SELECT plan
+    int64_t rows_affected = 0;  ///< INSERT row count
+  };
+
+  /// Parses and executes one statement: CREATE TABLE / INSERT / SELECT /
+  /// EXPLAIN SELECT. See ParseStatement for the dialect.
+  StatusOr<SqlResult> ExecuteSql(const std::string& sql);
+
+  // ---- Transactional plane (§5) -----------------------------------------
+  struct TxnPlaneOptions {
+    enum class WalKind {
+      kSingleNoGroupCommit,  ///< one log I/O per commit (~100 tps baseline)
+      kSingle,               ///< group commit (~1000 tps)
+      kPartitioned,          ///< k log devices + dependency lattice
+      kStable,               ///< stable-memory buffer + compression
+    };
+    WalKind wal_kind = WalKind::kSingle;
+    int log_partitions = 4;
+    int64_t num_records = 10'000;
+    int32_t record_size = 72;
+    std::chrono::microseconds log_write_latency{10'000};  // the 10 ms page
+    int64_t stable_memory_bytes = 16 << 20;
+    bool compress_stable_log = true;
+    bool start_checkpointer = false;
+    /// §6 / version_store.h: maintain version chains so read-only snapshot
+    /// transactions run without locks.
+    bool enable_versioning = false;
+    CheckpointerOptions checkpointer_options;
+  };
+
+  /// Builds the recovery stack (store, locks, WAL, checkpointer) and
+  /// starts its threads.
+  Status EnableTransactions(const TxnPlaneOptions& options);
+
+  TransactionManager* txn_manager() { return txn_manager_.get(); }
+  /// Non-null iff TxnPlaneOptions::enable_versioning was set.
+  VersionManager* version_manager() { return versions_.get(); }
+  RecoverableStore* recoverable_store() { return store_.get(); }
+  Checkpointer* checkpointer() { return checkpointer_.get(); }
+  Wal* wal() { return wal_.get(); }
+  FirstUpdateTable* first_update_table() { return fut_.get(); }
+  StableMemory* stable_memory() { return stable_.get(); }
+
+  /// Forces one full checkpoint sweep.
+  StatusOr<int64_t> CheckpointNow();
+
+  /// Power failure: wipes the store's volatile memory (and stops the
+  /// background threads, whose in-flight state is lost with it).
+  Status Crash();
+
+  /// Restart recovery; restarts the background threads afterwards.
+  StatusOr<RecoveryStats> Recover(RecoveryOptions options = {});
+
+  // ---- Introspection -----------------------------------------------------
+  ExecContext* exec_context() { return &exec_ctx_; }
+  CostClock* clock() { return &clock_; }
+  SimulatedDisk* disk() { return &disk_; }
+  BufferPool* buffer_pool() { return &pool_; }
+  const Catalog& catalog();
+
+ private:
+  struct IndexHolder {
+    IndexType type;
+    std::unique_ptr<AvlTree> avl;
+    std::unique_ptr<PageFile> btree_file;
+    std::unique_ptr<BPlusTree> btree;
+    std::unique_ptr<HashIndex> hash;
+    int column = -1;
+    int32_t key_width = 8;
+  };
+  struct TableHolder {
+    Relation relation;
+    std::map<std::string, IndexHolder> indexes;
+  };
+
+  Status BuildIndex(TableHolder* table, const std::string& table_name,
+                    const std::string& column, IndexType type);
+  StatusOr<Row> RowByOrdinal(const TableHolder& table, int64_t ordinal) const;
+  void InvalidateCatalog() { catalog_dirty_ = true; }
+  AccessModelParams ModelFor(const TableHolder& table, int column) const;
+
+  Options options_;
+  CostClock clock_;
+  SimulatedDisk disk_;
+  BufferPool pool_;
+  ExecContext exec_ctx_;
+
+  std::map<std::string, TableHolder> tables_;
+  Catalog catalog_;
+  bool catalog_dirty_ = true;
+
+  // §5 plane.
+  TxnPlaneOptions txn_options_;
+  bool txn_enabled_ = false;
+  std::unique_ptr<StableMemory> stable_;
+  std::vector<std::unique_ptr<LogDevice>> log_devices_;
+  std::unique_ptr<Wal> wal_;
+  std::unique_ptr<LockManager> lock_manager_;
+  std::unique_ptr<RecoverableStore> store_;
+  std::unique_ptr<FirstUpdateTable> fut_;
+  std::unique_ptr<VersionManager> versions_;
+  std::unique_ptr<TransactionManager> txn_manager_;
+  std::unique_ptr<Checkpointer> checkpointer_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_DB_DATABASE_H_

@@ -1,0 +1,55 @@
+#ifndef MMDB_DB_QUERY_PARSER_H_
+#define MMDB_DB_QUERY_PARSER_H_
+
+#include <optional>
+#include <string>
+
+#include "exec/aggregate.h"
+#include "optimizer/catalog.h"
+#include "optimizer/plan.h"
+
+namespace mmdb {
+
+/// A parsed SQL statement, normalized into the engine's native structures.
+/// The dialect covers exactly the fragment the paper evaluates:
+///
+///   CREATE TABLE t (col INT64 | DOUBLE | CHAR(n), ...)
+///   INSERT INTO t VALUES (lit, ...)[, (lit, ...) ...]
+///   SELECT [DISTINCT] cols | * | aggregates
+///     FROM t1 [, t2 ...]
+///     [WHERE a.x = b.y AND c op literal AND name LIKE 'j%' ...]
+///     [GROUP BY cols]
+///   EXPLAIN SELECT ...
+///
+/// Restrictions (by design — see README "Status"): conjunctive predicates
+/// only, equi-joins only, LIKE with a trailing '%' only (the paper's "J*"
+/// prefix query), aggregates are COUNT/SUM/AVG/MIN/MAX.
+struct ParsedStatement {
+  enum class Kind { kSelect, kCreateTable, kInsert, kExplain };
+  Kind kind = Kind::kSelect;
+
+  // kSelect / kExplain
+  Query query;
+  bool distinct = false;
+  /// Present when the select list contains aggregates; group_by/column
+  /// indexes refer to the columns of `query.select_columns`.
+  std::optional<AggregateSpec> aggregate;
+
+  // kCreateTable
+  std::string table_name;
+  Schema schema;
+
+  // kInsert
+  std::vector<Row> rows;
+};
+
+/// Parses one statement. Column references are resolved against `catalog`
+/// (unqualified names must be unambiguous across the FROM tables); CREATE
+/// TABLE and INSERT do not consult it beyond existence checks the caller
+/// performs on execution.
+StatusOr<ParsedStatement> ParseStatement(const std::string& sql,
+                                         const Catalog& catalog);
+
+}  // namespace mmdb
+
+#endif  // MMDB_DB_QUERY_PARSER_H_

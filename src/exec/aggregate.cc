@@ -1,0 +1,251 @@
+#include "exec/aggregate.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "exec/partitioner.h"
+#include "storage/heap_file.h"
+
+namespace mmdb {
+
+namespace {
+
+/// Running state of one aggregate over one group.
+struct AggState {
+  int64_t count = 0;
+  double sum = 0;
+  Value min_v;
+  Value max_v;
+  bool seen = false;
+
+  void Update(const Value& v) {
+    ++count;
+    if (std::holds_alternative<int64_t>(v)) {
+      sum += double(std::get<int64_t>(v));
+    } else if (std::holds_alternative<double>(v)) {
+      sum += std::get<double>(v);
+    }
+    if (!seen) {
+      min_v = v;
+      max_v = v;
+      seen = true;
+    } else {
+      if (CompareValues(v, min_v) < 0) min_v = v;
+      if (CompareValues(v, max_v) > 0) max_v = v;
+    }
+  }
+};
+
+struct GroupState {
+  Row key;
+  std::vector<AggState> aggs;
+};
+
+uint64_t HashGroupKey(const Row& row, const std::vector<int>& cols) {
+  uint64_t h = 0x9E3779B97F4A7C15ull;
+  for (int c : cols) {
+    h = HashCombine(h, HashValue(row[static_cast<size_t>(c)]));
+  }
+  return h;
+}
+
+bool GroupKeyEquals(const Row& row, const std::vector<int>& cols,
+                    const Row& key) {
+  for (size_t i = 0; i < cols.size(); ++i) {
+    if (!ValuesEqual(row[static_cast<size_t>(cols[i])], key[i])) return false;
+  }
+  return true;
+}
+
+Schema OutputSchema(const Schema& in, const AggregateSpec& spec) {
+  std::vector<Column> cols;
+  for (int c : spec.group_by) {
+    cols.push_back(in.column(c));
+  }
+  for (const auto& agg : spec.aggregates) {
+    std::string name = agg.name;
+    if (name.empty()) {
+      name = "agg" + std::to_string(cols.size());
+    }
+    switch (agg.fn) {
+      case AggFn::kCount:
+        cols.push_back(Column::Int64(name));
+        break;
+      case AggFn::kSum:
+      case AggFn::kAvg:
+        cols.push_back(Column::Double(name));
+        break;
+      case AggFn::kMin:
+      case AggFn::kMax: {
+        Column c = in.column(agg.column);
+        c.name = name;
+        cols.push_back(c);
+        break;
+      }
+    }
+  }
+  return Schema(std::move(cols));
+}
+
+void EmitGroup(const GroupState& g, const AggregateSpec& spec,
+               Relation* out) {
+  Row row = g.key;
+  for (size_t i = 0; i < spec.aggregates.size(); ++i) {
+    const AggState& st = g.aggs[i];
+    switch (spec.aggregates[i].fn) {
+      case AggFn::kCount:
+        row.emplace_back(st.count);
+        break;
+      case AggFn::kSum:
+        row.emplace_back(st.sum);
+        break;
+      case AggFn::kAvg:
+        row.emplace_back(st.count == 0 ? 0.0 : st.sum / double(st.count));
+        break;
+      case AggFn::kMin:
+        row.push_back(st.min_v);
+        break;
+      case AggFn::kMax:
+        row.push_back(st.max_v);
+        break;
+    }
+  }
+  out->Add(std::move(row));
+}
+
+/// One-pass hash aggregation of `rows` into `out`.
+void AggregateInMemory(const std::vector<Row>& rows,
+                       const AggregateSpec& spec, ExecContext* ctx,
+                       Relation* out, int64_t* num_groups) {
+  std::unordered_map<uint64_t, std::vector<GroupState>> table;
+  for (const Row& row : rows) {
+    ctx->clock->Hash();
+    const uint64_t h = HashGroupKey(row, spec.group_by);
+    std::vector<GroupState>& bucket = table[h];
+    GroupState* group = nullptr;
+    for (GroupState& g : bucket) {
+      ctx->clock->Comp();
+      if (GroupKeyEquals(row, spec.group_by, g.key)) {
+        group = &g;
+        break;
+      }
+    }
+    if (group == nullptr) {
+      ctx->clock->Move();
+      GroupState g;
+      g.key.reserve(spec.group_by.size());
+      for (int c : spec.group_by) {
+        g.key.push_back(row[static_cast<size_t>(c)]);
+      }
+      g.aggs.resize(spec.aggregates.size());
+      bucket.push_back(std::move(g));
+      group = &bucket.back();
+    }
+    for (size_t i = 0; i < spec.aggregates.size(); ++i) {
+      const auto& agg = spec.aggregates[i];
+      const Value& v = agg.fn == AggFn::kCount
+                           ? row[0]
+                           : row[static_cast<size_t>(agg.column)];
+      group->aggs[i].Update(v);
+    }
+  }
+  for (auto& [h, bucket] : table) {
+    for (const GroupState& g : bucket) {
+      EmitGroup(g, spec, out);
+      ++*num_groups;
+    }
+  }
+}
+
+Status AggregateRec(std::vector<Row> rows, const Schema& in_schema,
+                    const AggregateSpec& spec, ExecContext* ctx, int depth,
+                    Relation* out, AggStats* stats) {
+  const int64_t capacity =
+      std::max<int64_t>(1, ctx->TuplesInPages(in_schema, ctx->memory_pages));
+  if (static_cast<int64_t>(rows.size()) <= capacity || depth >= 4) {
+    int64_t groups = 0;
+    AggregateInMemory(rows, spec, ctx, out, &groups);
+    if (stats != nullptr) stats->groups += groups;
+    return Status::OK();
+  }
+  // Partition on the grouping hash; groups cannot straddle partitions.
+  const int64_t b = std::max<int64_t>(
+      2, std::min<int64_t>(
+             ctx->memory_pages,
+             (static_cast<int64_t>(rows.size()) + capacity - 1) / capacity));
+  if (stats != nullptr && depth == 0) stats->partitions = b;
+  PartitionWriterSet writers(ctx, in_schema, b,
+                             b <= 1 ? IoKind::kSequential : IoKind::kRandom,
+                             "agg_part");
+  HashPartitioner partitioner(b, static_cast<uint32_t>(depth + 17));
+  for (const Row& row : rows) {
+    ctx->clock->Hash();
+    // Partition on the combined group key hash.
+    const uint64_t h = HashGroupKey(row, spec.group_by);
+    const int64_t p =
+        static_cast<int64_t>(Mix64(h ^ (0xABCDull * (depth + 1))) %
+                             static_cast<uint64_t>(b));
+    MMDB_RETURN_IF_ERROR(writers.Append(p, row));
+  }
+  rows.clear();
+  rows.shrink_to_fit();
+  MMDB_RETURN_IF_ERROR(writers.FinishAll());
+  for (const auto& pf : writers.Release()) {
+    if (pf.records == 0) {
+      ctx->disk->DeleteFile(pf.file);
+      continue;
+    }
+    MMDB_ASSIGN_OR_RETURN(std::vector<Row> part,
+                          ReadAndDeletePartition(ctx, in_schema, pf));
+    MMDB_RETURN_IF_ERROR(
+        AggregateRec(std::move(part), in_schema, spec, ctx, depth + 1, out,
+                     stats));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<Relation> HashAggregate(const Relation& input,
+                                 const AggregateSpec& spec, ExecContext* ctx,
+                                 AggStats* stats) {
+  for (int c : spec.group_by) {
+    if (c < 0 || c >= input.schema().num_columns()) {
+      return Status::InvalidArgument("bad group-by column");
+    }
+  }
+  for (const auto& a : spec.aggregates) {
+    if (a.fn != AggFn::kCount &&
+        (a.column < 0 || a.column >= input.schema().num_columns())) {
+      return Status::InvalidArgument("bad aggregate column");
+    }
+    if (a.fn == AggFn::kSum || a.fn == AggFn::kAvg) {
+      ValueType t = input.schema().column(a.column).type;
+      if (t == ValueType::kString) {
+        return Status::InvalidArgument("SUM/AVG on string column");
+      }
+    }
+  }
+  Relation out(OutputSchema(input.schema(), spec));
+  AggStats local;
+  AggStats* st = stats != nullptr ? stats : &local;
+  *st = AggStats{};
+  const int64_t capacity = std::max<int64_t>(
+      1, ctx->TuplesInPages(input.schema(), ctx->memory_pages));
+  st->one_pass = input.num_tuples() <= capacity;
+  MMDB_RETURN_IF_ERROR(
+      AggregateRec(input.rows(), input.schema(), spec, ctx, 0, &out, st));
+  return out;
+}
+
+StatusOr<Relation> ProjectDistinct(const Relation& input,
+                                   const std::vector<int>& columns,
+                                   ExecContext* ctx, AggStats* stats) {
+  AggregateSpec spec;
+  spec.group_by = columns;
+  return HashAggregate(input, spec, ctx, stats);
+}
+
+}  // namespace mmdb

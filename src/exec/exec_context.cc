@@ -1,0 +1,14 @@
+#include "exec/exec_context.h"
+
+#include "common/check.h"
+#include "storage/page.h"
+
+namespace mmdb {
+
+int64_t ExecContext::TuplesInPages(const Schema& schema, int64_t pages) const {
+  const int32_t tpp = Page::Capacity(page_size(), schema.record_size());
+  MMDB_CHECK(tpp > 0);
+  return static_cast<int64_t>(double(pages) * double(tpp) / fudge);
+}
+
+}  // namespace mmdb

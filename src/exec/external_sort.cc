@@ -1,0 +1,276 @@
+#include "exec/external_sort.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "storage/heap_file.h"
+
+namespace mmdb {
+
+namespace {
+
+/// One sorted run: either spilled to a disk file or held in memory (the
+/// single-run case of a fully memory-resident sort).
+struct SortRun {
+  SimulatedDisk::FileId file = SimulatedDisk::kInvalidFile;
+  int64_t records = 0;
+  int64_t pages = 0;
+  std::vector<Row> rows;  // used iff file == kInvalidFile
+};
+
+struct HeapItem {
+  int64_t run_id;
+  Row row;
+};
+
+class MemoryStream : public SortedStream {
+ public:
+  explicit MemoryStream(std::vector<Row> rows) : rows_(std::move(rows)) {}
+  StatusOr<bool> Next(Row* out) override {
+    if (pos_ >= rows_.size()) return false;
+    *out = std::move(rows_[pos_++]);
+    return true;
+  }
+
+ private:
+  std::vector<Row> rows_;
+  size_t pos_ = 0;
+};
+
+/// K-way merge over disk runs; deletes the run files when destroyed.
+class MergeStream : public SortedStream {
+ public:
+  MergeStream(ExecContext* ctx, const Schema& schema, int key_column,
+              std::vector<SortRun> runs)
+      : ctx_(ctx),
+        schema_(schema),
+        key_column_(key_column),
+        runs_(std::move(runs)),
+        heap_(
+            [this](const HeapItem& a, const HeapItem& b) {
+              return CompareRowsOn(a.row, b.row, key_column_) < 0;
+            },
+            ctx->clock) {
+    record_buf_.resize(static_cast<size_t>(schema_.record_size()));
+    for (size_t i = 0; i < runs_.size(); ++i) {
+      if (runs_[i].file != SimulatedDisk::kInvalidFile) {
+        // Merge reads hop between runs: random I/O (§3.4 cost formula).
+        readers_.push_back(std::make_unique<PagedRecordReader>(
+            ctx_->disk, runs_[i].file, schema_.record_size(),
+            IoKind::kRandom));
+      } else {
+        readers_.push_back(nullptr);
+      }
+      mem_pos_.push_back(0);
+      Row row;
+      if (Advance(i, &row)) {
+        heap_.Push(HeapItem{static_cast<int64_t>(i), std::move(row)});
+      }
+    }
+  }
+
+  ~MergeStream() override {
+    for (const SortRun& run : runs_) {
+      if (run.file != SimulatedDisk::kInvalidFile) {
+        ctx_->disk->DeleteFile(run.file);
+      }
+    }
+  }
+
+  StatusOr<bool> Next(Row* out) override {
+    if (heap_.empty()) return false;
+    HeapItem item = heap_.Pop();
+    *out = std::move(item.row);
+    Row next;
+    if (Advance(static_cast<size_t>(item.run_id), &next)) {
+      heap_.Push(HeapItem{item.run_id, std::move(next)});
+    }
+    return true;
+  }
+
+ private:
+  bool Advance(size_t run_idx, Row* out) {
+    SortRun& run = runs_[run_idx];
+    if (run.file != SimulatedDisk::kInvalidFile) {
+      if (!readers_[run_idx]->Next(record_buf_.data())) return false;
+      *out = DeserializeRow(schema_, record_buf_.data());
+      return true;
+    }
+    if (mem_pos_[run_idx] >= run.rows.size()) return false;
+    *out = std::move(run.rows[mem_pos_[run_idx]++]);
+    return true;
+  }
+
+  ExecContext* ctx_;
+  Schema schema_;
+  int key_column_;
+  std::vector<SortRun> runs_;
+  std::vector<std::unique_ptr<PagedRecordReader>> readers_;
+  std::vector<size_t> mem_pos_;
+  std::vector<char> record_buf_;
+  CountingHeap<HeapItem, std::function<bool(const HeapItem&, const HeapItem&)>>
+      heap_;
+};
+
+/// Replacement selection (§3.4 step 1): one pass over the input through a
+/// priority queue of {M} tuples produces runs averaging 2|M| pages.
+StatusOr<std::vector<SortRun>> FormRuns(const Relation& input, int key_column,
+                                        ExecContext* ctx, bool* in_memory) {
+  const Schema& schema = input.schema();
+  const int64_t capacity =
+      std::max<int64_t>(2, ctx->TuplesInPages(schema, ctx->memory_pages));
+
+  CountingHeap<HeapItem, std::function<bool(const HeapItem&, const HeapItem&)>>
+      heap(
+          [key_column](const HeapItem& a, const HeapItem& b) {
+            if (a.run_id != b.run_id) return a.run_id < b.run_id;
+            return CompareRowsOn(a.row, b.row, key_column) < 0;
+          },
+          ctx->clock);
+
+  // Entirely in memory: one run, no spill, no I/O.
+  if (input.num_tuples() <= capacity) {
+    *in_memory = true;
+    for (const Row& row : input.rows()) heap.Push(HeapItem{0, row});
+    SortRun run;
+    run.records = input.num_tuples();
+    run.rows.reserve(static_cast<size_t>(input.num_tuples()));
+    while (!heap.empty()) run.rows.push_back(heap.Pop().row);
+    std::vector<SortRun> runs;
+    runs.push_back(std::move(run));
+    return runs;
+  }
+
+  *in_memory = false;
+  std::vector<SortRun> runs;
+  std::vector<char> record_buf(static_cast<size_t>(schema.record_size()));
+
+  int64_t pos = 0;
+  const auto& rows = input.rows();
+  while (pos < capacity && pos < input.num_tuples()) {
+    heap.Push(HeapItem{0, rows[static_cast<size_t>(pos)]});
+    ++pos;
+  }
+
+  int64_t current_run = 0;
+  std::unique_ptr<PagedRecordWriter> writer;
+  auto open_writer = [&]() {
+    writer = std::make_unique<PagedRecordWriter>(
+        ctx->disk, schema.record_size(), IoKind::kSequential,
+        "sort_run_" + std::to_string(runs.size()));
+  };
+  auto close_writer = [&]() -> Status {
+    MMDB_RETURN_IF_ERROR(writer->Finish());
+    SortRun run;
+    run.records = writer->records_written();
+    run.pages = writer->pages_written();
+    run.file = writer->ReleaseFile();
+    runs.push_back(std::move(run));
+    writer.reset();
+    return Status::OK();
+  };
+  open_writer();
+
+  Row last_emitted;
+  bool have_last = false;
+  while (!heap.empty()) {
+    HeapItem item = heap.Pop();
+    if (item.run_id != current_run) {
+      MMDB_RETURN_IF_ERROR(close_writer());
+      open_writer();
+      current_run = item.run_id;
+      have_last = false;
+    }
+    // Move the tuple into the run's output buffer.
+    ctx->clock->Move();
+    MMDB_RETURN_IF_ERROR(
+        SerializeRow(schema, item.row, record_buf.data()));
+    MMDB_RETURN_IF_ERROR(writer->Append(record_buf.data()));
+    last_emitted = std::move(item.row);
+    have_last = true;
+
+    if (pos < input.num_tuples()) {
+      const Row& next = rows[static_cast<size_t>(pos)];
+      ++pos;
+      // A new tuple smaller than the last output cannot join this run.
+      int64_t run_id = current_run;
+      if (have_last && CompareRowsOn(next, last_emitted, key_column) < 0) {
+        run_id = current_run + 1;
+      }
+      if (ctx->clock != nullptr) ctx->clock->Comp();  // the fence test
+      heap.Push(HeapItem{run_id, next});
+    }
+  }
+  MMDB_RETURN_IF_ERROR(close_writer());
+  return runs;
+}
+
+/// Merges groups of at most `fan_in` runs into longer runs (only needed
+/// when the paper's sqrt assumption is violated).
+StatusOr<std::vector<SortRun>> MergeLevel(std::vector<SortRun> runs,
+                                          int64_t fan_in, const Schema& schema,
+                                          int key_column, ExecContext* ctx) {
+  std::vector<SortRun> out;
+  std::vector<char> record_buf(static_cast<size_t>(schema.record_size()));
+  for (size_t start = 0; start < runs.size();
+       start += static_cast<size_t>(fan_in)) {
+    size_t end = std::min(runs.size(), start + static_cast<size_t>(fan_in));
+    std::vector<SortRun> group(std::make_move_iterator(runs.begin() + start),
+                               std::make_move_iterator(runs.begin() + end));
+    MergeStream merge(ctx, schema, key_column, std::move(group));
+    PagedRecordWriter writer(ctx->disk, schema.record_size(),
+                             IoKind::kSequential, "sort_merge_level");
+    Row row;
+    while (true) {
+      MMDB_ASSIGN_OR_RETURN(bool more, merge.Next(&row));
+      if (!more) break;
+      ctx->clock->Move();
+      MMDB_RETURN_IF_ERROR(SerializeRow(schema, row, record_buf.data()));
+      MMDB_RETURN_IF_ERROR(writer.Append(record_buf.data()));
+    }
+    MMDB_RETURN_IF_ERROR(writer.Finish());
+    SortRun merged;
+    merged.records = writer.records_written();
+    merged.pages = writer.pages_written();
+    merged.file = writer.ReleaseFile();
+    out.push_back(std::move(merged));
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<SortedStream>> SortRelation(const Relation& input,
+                                                     int key_column,
+                                                     ExecContext* ctx,
+                                                     SortStats* stats) {
+  MMDB_CHECK(key_column >= 0 &&
+             key_column < input.schema().num_columns());
+  bool in_memory = false;
+  MMDB_ASSIGN_OR_RETURN(std::vector<SortRun> runs,
+                        FormRuns(input, key_column, ctx, &in_memory));
+  if (stats != nullptr) {
+    stats->runs = static_cast<int64_t>(runs.size());
+    stats->in_memory = in_memory;
+    stats->merge_levels = 0;
+    int64_t total_pages = 0;
+    for (const SortRun& r : runs) total_pages += r.pages;
+    stats->avg_run_pages =
+        runs.empty() ? 0 : double(total_pages) / double(runs.size());
+  }
+  if (in_memory) {
+    return std::unique_ptr<SortedStream>(
+        new MemoryStream(std::move(runs.front().rows)));
+  }
+  // Cascade intermediate merges while more runs exist than merge buffers.
+  while (static_cast<int64_t>(runs.size()) > ctx->memory_pages) {
+    MMDB_ASSIGN_OR_RETURN(
+        runs, MergeLevel(std::move(runs), ctx->memory_pages, input.schema(),
+                         key_column, ctx));
+    if (stats != nullptr) ++stats->merge_levels;
+  }
+  return std::unique_ptr<SortedStream>(
+      new MergeStream(ctx, input.schema(), key_column, std::move(runs)));
+}
+
+}  // namespace mmdb

@@ -1,0 +1,75 @@
+#include "exec/join.h"
+
+#include "common/check.h"
+
+namespace mmdb {
+
+std::string_view JoinAlgorithmName(JoinAlgorithm a) {
+  switch (a) {
+    case JoinAlgorithm::kNestedLoop:
+      return "nested-loop";
+    case JoinAlgorithm::kSortMerge:
+      return "sort-merge";
+    case JoinAlgorithm::kSimpleHash:
+      return "simple-hash";
+    case JoinAlgorithm::kGraceHash:
+      return "grace-hash";
+    case JoinAlgorithm::kHybridHash:
+      return "hybrid-hash";
+  }
+  return "unknown";
+}
+
+namespace exec_internal {
+
+void JoinHashTable::Insert(Row row) {
+  const uint64_t h = HashValue(row[static_cast<size_t>(key_column_)]);
+  buckets_[h].push_back(std::move(row));
+  ++size_;
+}
+
+void EmitJoined(const Row& r_row, const Row& s_row, Relation* out) {
+  out->Add(ConcatRows(r_row, s_row));
+}
+
+}  // namespace exec_internal
+
+StatusOr<Relation> NestedLoopJoin(const Relation& r, const Relation& s,
+                                  const JoinSpec& spec, ExecContext* ctx) {
+  Relation out(Schema::Concat(r.schema(), s.schema()));
+  for (const Row& rr : r.rows()) {
+    const Value& rkey = rr[static_cast<size_t>(spec.left_column)];
+    for (const Row& sr : s.rows()) {
+      if (ctx != nullptr && ctx->clock != nullptr) ctx->clock->Comp();
+      if (ValuesEqual(rkey, sr[static_cast<size_t>(spec.right_column)])) {
+        exec_internal::EmitJoined(rr, sr, &out);
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<Relation> ExecuteJoin(JoinAlgorithm algorithm, const Relation& r,
+                               const Relation& s, const JoinSpec& spec,
+                               ExecContext* ctx, JoinRunStats* stats) {
+  switch (algorithm) {
+    case JoinAlgorithm::kNestedLoop: {
+      StatusOr<Relation> out = NestedLoopJoin(r, s, spec, ctx);
+      if (out.ok() && stats != nullptr) {
+        stats->output_tuples = out->num_tuples();
+      }
+      return out;
+    }
+    case JoinAlgorithm::kSortMerge:
+      return SortMergeJoin(r, s, spec, ctx, stats);
+    case JoinAlgorithm::kSimpleHash:
+      return SimpleHashJoin(r, s, spec, ctx, stats);
+    case JoinAlgorithm::kGraceHash:
+      return GraceHashJoin(r, s, spec, ctx, stats);
+    case JoinAlgorithm::kHybridHash:
+      return HybridHashJoin(r, s, spec, ctx, stats);
+  }
+  return Status::InvalidArgument("unknown join algorithm");
+}
+
+}  // namespace mmdb

@@ -1,0 +1,123 @@
+#ifndef MMDB_EXEC_JOIN_H_
+#define MMDB_EXEC_JOIN_H_
+
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "storage/relation.h"
+
+namespace mmdb {
+
+/// The §3 contenders (plus the nested-loop oracle used by tests).
+enum class JoinAlgorithm {
+  kNestedLoop,
+  kSortMerge,
+  kSimpleHash,
+  kGraceHash,
+  kHybridHash,
+};
+
+std::string_view JoinAlgorithmName(JoinAlgorithm a);
+
+/// Equi-join condition: r.left_column == s.right_column. R is the smaller
+/// (build) relation by the paper's convention |R| <= |S|.
+struct JoinSpec {
+  int left_column = 0;
+  int right_column = 0;
+};
+
+/// Per-run diagnostics.
+struct JoinRunStats {
+  int64_t output_tuples = 0;
+  int64_t passes = 0;            ///< simple hash
+  int64_t partitions = 0;        ///< GRACE / hybrid spilled partitions
+  double q = 1.0;                ///< hybrid resident fraction
+  int recursion_depth = 0;       ///< hybrid overflow recursions
+};
+
+/// O(||R||·||S||) nested-loop join — the correctness oracle for the four
+/// real algorithms. Charges one comparison per pair considered.
+StatusOr<Relation> NestedLoopJoin(const Relation& r, const Relation& s,
+                                  const JoinSpec& spec, ExecContext* ctx);
+
+/// §3.4 sort-merge join.
+StatusOr<Relation> SortMergeJoin(const Relation& r, const Relation& s,
+                                 const JoinSpec& spec, ExecContext* ctx,
+                                 JoinRunStats* stats = nullptr);
+
+/// §3.5 simple-hash join (multipass, passed-over files).
+StatusOr<Relation> SimpleHashJoin(const Relation& r, const Relation& s,
+                                  const JoinSpec& spec, ExecContext* ctx,
+                                  JoinRunStats* stats = nullptr);
+
+/// §3.6 GRACE hash join (full partitioning, then per-partition hash join).
+StatusOr<Relation> GraceHashJoin(const Relation& r, const Relation& s,
+                                 const JoinSpec& spec, ExecContext* ctx,
+                                 JoinRunStats* stats = nullptr);
+
+/// §3.7 hybrid hash join (partition 0 resident; recursive overflow
+/// handling per §3.3).
+StatusOr<Relation> HybridHashJoin(const Relation& r, const Relation& s,
+                                  const JoinSpec& spec, ExecContext* ctx,
+                                  JoinRunStats* stats = nullptr);
+
+/// Dispatch by algorithm tag (used by the optimizer's plan executor).
+StatusOr<Relation> ExecuteJoin(JoinAlgorithm algorithm, const Relation& r,
+                               const Relation& s, const JoinSpec& spec,
+                               ExecContext* ctx,
+                               JoinRunStats* stats = nullptr);
+
+namespace exec_internal {
+
+/// Chained in-memory hash table keyed on one column. Charging convention:
+/// the *caller* charges Hash/Move on insert (the partitioning hash and the
+/// table hash are the same conceptual hash in the paper's formulas); Probe
+/// charges the actual key comparisons performed (~F per probe on average,
+/// matching the ||S||·F·comp term).
+class JoinHashTable {
+ public:
+  JoinHashTable(int key_column, CostClock* clock)
+      : key_column_(key_column), clock_(clock) {}
+
+  /// Stores a row; charges nothing (see class comment).
+  void Insert(Row row);
+
+  /// Calls `fn` for every stored row whose key equals `key`. The caller
+  /// must already have charged the probe's Hash (usually shared with
+  /// partitioning).
+  template <typename Fn>
+  void Probe(const Value& key, Fn&& fn) const {
+    const uint64_t h = HashValue(key);
+    auto it = buckets_.find(h);
+    if (it == buckets_.end()) {
+      if (clock_ != nullptr) clock_->Comp();  // the miss still compares
+      return;
+    }
+    for (const Row& row : it->second) {
+      if (clock_ != nullptr) clock_->Comp();
+      if (ValuesEqual(row[static_cast<size_t>(key_column_)], key)) {
+        fn(row);
+      }
+    }
+  }
+
+  int64_t size() const { return size_; }
+
+ private:
+  int key_column_;
+  CostClock* clock_;
+  std::unordered_map<uint64_t, std::vector<Row>> buckets_;
+  int64_t size_ = 0;
+};
+
+/// Emits the joined tuple r ++ s into `out`.
+void EmitJoined(const Row& r_row, const Row& s_row, Relation* out);
+
+}  // namespace exec_internal
+
+}  // namespace mmdb
+
+#endif  // MMDB_EXEC_JOIN_H_

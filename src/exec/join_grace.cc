@@ -1,0 +1,122 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "exec/join.h"
+#include "exec/partitioner.h"
+#include "storage/heap_file.h"
+
+namespace mmdb {
+
+using exec_internal::JoinHashTable;
+
+/// §3.6 GRACE hash join. Phase 1 partitions both relations completely into
+/// B compatible subsets (one output-buffer page each, random flushes);
+/// phase 2 joins each (R_i, S_i) pair with an in-memory hash table,
+/// reading the partitions back sequentially. Following the paper's own
+/// substitution, phase 2 hashes instead of using [KITS83]'s hardware
+/// sorter.
+StatusOr<Relation> GraceHashJoin(const Relation& r, const Relation& s,
+                                 const JoinSpec& spec, ExecContext* ctx,
+                                 JoinRunStats* stats) {
+  const Schema& rs = r.schema();
+  const Schema& ss = s.schema();
+  Relation out(Schema::Concat(rs, ss));
+
+  const int64_t r_pages = r.NumPages(ctx->page_size());
+  const double rf = double(r_pages) * ctx->fudge;
+
+  // Degenerate case: R's hash table fits outright; behave exactly like the
+  // in-memory simple hash (the paper's curves coincide at ratio >= 1).
+  if (double(ctx->memory_pages) >= rf) {
+    JoinHashTable table(spec.left_column, ctx->clock);
+    for (const Row& row : r.rows()) {
+      ctx->clock->Hash();
+      ctx->clock->Move();
+      table.Insert(row);
+    }
+    for (const Row& row : s.rows()) {
+      ctx->clock->Hash();
+      table.Probe(row[static_cast<size_t>(spec.right_column)],
+                  [&](const Row& r_row) {
+                    exec_internal::EmitJoined(r_row, row, &out);
+                  });
+    }
+    if (stats != nullptr) {
+      stats->output_tuples = out.num_tuples();
+      stats->partitions = 1;
+    }
+    return out;
+  }
+
+  // Phase 1: the paper partitions into |M| sets — one buffer page per set.
+  // We use the smallest count that still leaves 2x headroom for each
+  // partition's hash table (4 * |R|F/|M|, capped at |M|): with thousands of
+  // near-empty partitions the partial trailing pages would inflate measured
+  // I/O well above the paper's model at bench scale.
+  const int64_t needed = static_cast<int64_t>(
+      std::ceil(rf / double(ctx->memory_pages)));
+  const int64_t num_partitions = std::max<int64_t>(
+      2, std::min(std::min<int64_t>(ctx->memory_pages, 4096), 4 * needed));
+  HashPartitioner partitioner(num_partitions);
+
+  PartitionWriterSet r_writers(ctx, rs, num_partitions, IoKind::kRandom,
+                               "grace_r");
+  for (const Row& row : r.rows()) {
+    ctx->clock->Hash();
+    const Value& key = row[static_cast<size_t>(spec.left_column)];
+    MMDB_RETURN_IF_ERROR(r_writers.Append(partitioner.PartitionOf(key), row));
+  }
+  MMDB_RETURN_IF_ERROR(r_writers.FinishAll());
+
+  PartitionWriterSet s_writers(ctx, ss, num_partitions, IoKind::kRandom,
+                               "grace_s");
+  for (const Row& row : s.rows()) {
+    ctx->clock->Hash();
+    const Value& key = row[static_cast<size_t>(spec.right_column)];
+    MMDB_RETURN_IF_ERROR(s_writers.Append(partitioner.PartitionOf(key), row));
+  }
+  MMDB_RETURN_IF_ERROR(s_writers.FinishAll());
+
+  auto r_parts = r_writers.Release();
+  auto s_parts = s_writers.Release();
+
+  // Phase 2: per-partition build and probe.
+  std::vector<char> buf(static_cast<size_t>(ss.record_size()));
+  for (int64_t i = 0; i < num_partitions; ++i) {
+    const auto& rp = r_parts[static_cast<size_t>(i)];
+    const auto& sp = s_parts[static_cast<size_t>(i)];
+    if (rp.records == 0 || sp.records == 0) {
+      ctx->disk->DeleteFile(rp.file);
+      ctx->disk->DeleteFile(sp.file);
+      continue;
+    }
+    MMDB_ASSIGN_OR_RETURN(std::vector<Row> r_rows,
+                          ReadAndDeletePartition(ctx, rs, rp));
+    JoinHashTable table(spec.left_column, ctx->clock);
+    for (Row& row : r_rows) {
+      ctx->clock->Hash();
+      ctx->clock->Move();
+      table.Insert(std::move(row));
+    }
+    PagedRecordReader s_reader(ctx->disk, sp.file, ss.record_size(),
+                               IoKind::kSequential);
+    while (s_reader.Next(buf.data())) {
+      Row row = DeserializeRow(ss, buf.data());
+      ctx->clock->Hash();
+      table.Probe(row[static_cast<size_t>(spec.right_column)],
+                  [&](const Row& r_row) {
+                    exec_internal::EmitJoined(r_row, row, &out);
+                  });
+    }
+    ctx->disk->DeleteFile(sp.file);
+  }
+
+  if (stats != nullptr) {
+    stats->output_tuples = out.num_tuples();
+    stats->partitions = num_partitions;
+  }
+  return out;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,207 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "cost/join_cost.h"
+#include "exec/join.h"
+#include "exec/partitioner.h"
+#include "storage/heap_file.h"
+
+namespace mmdb {
+
+namespace {
+
+using exec_internal::JoinHashTable;
+
+StatusOr<Relation> HybridHashJoinImpl(const Relation& r, const Relation& s,
+                                      const JoinSpec& spec, ExecContext* ctx,
+                                      JoinRunStats* stats, int depth);
+
+/// Joins a spilled (R_b, S_b) pair. If R_b's hash table fits, builds and
+/// probes directly; otherwise applies the hybrid join recursively (§3.3:
+/// "if we err slightly we can always apply the hybrid hash join
+/// recursively, thereby adding an extra pass for the overflow tuples").
+Status JoinSpilledPair(std::vector<Row> r_rows, std::vector<Row> s_rows,
+                       const Schema& rs, const Schema& ss,
+                       const JoinSpec& spec, ExecContext* ctx,
+                       JoinRunStats* stats, int depth, Relation* out) {
+  const int64_t capacity =
+      std::max<int64_t>(1, ctx->TuplesInPages(rs, ctx->memory_pages));
+  if (static_cast<int64_t>(r_rows.size()) <= capacity ||
+      depth >= ctx->max_recursion_depth) {
+    JoinHashTable table(spec.left_column, ctx->clock);
+    for (Row& row : r_rows) {
+      ctx->clock->Hash();
+      ctx->clock->Move();
+      table.Insert(std::move(row));
+    }
+    for (const Row& row : s_rows) {
+      ctx->clock->Hash();
+      table.Probe(row[static_cast<size_t>(spec.right_column)],
+                  [&](const Row& r_row) {
+                    exec_internal::EmitJoined(r_row, row, out);
+                  });
+    }
+    return Status::OK();
+  }
+  // Recursive application with a fresh hash function (level = depth + 1).
+  Relation r_rel(rs, std::move(r_rows));
+  Relation s_rel(ss, std::move(s_rows));
+  JoinRunStats child_stats;
+  MMDB_ASSIGN_OR_RETURN(
+      Relation child,
+      HybridHashJoinImpl(r_rel, s_rel, spec, ctx, &child_stats, depth + 1));
+  if (stats != nullptr) {
+    stats->recursion_depth =
+        std::max(stats->recursion_depth, child_stats.recursion_depth);
+  }
+  for (Row& row : child.mutable_rows()) {
+    out->Add(std::move(row));
+  }
+  return Status::OK();
+}
+
+StatusOr<Relation> HybridHashJoinImpl(const Relation& r, const Relation& s,
+                                      const JoinSpec& spec, ExecContext* ctx,
+                                      JoinRunStats* stats, int depth) {
+  const Schema& rs = r.schema();
+  const Schema& ss = s.schema();
+  Relation out(Schema::Concat(rs, ss));
+  if (stats != nullptr) stats->recursion_depth = depth;
+
+  const int64_t r_pages = std::max<int64_t>(1, r.NumPages(ctx->page_size()));
+  HybridSplit split =
+      SolveHybridSplit(r_pages, ctx->memory_pages, ctx->fudge);
+  if (split.q < 1.0) {
+    // The analytic q fills memory EXACTLY, so a positive fluctuation of the
+    // hash split (~sqrt(n) tuples, §3.3's central-limit argument) would
+    // overflow R_0 and force the expensive save-S_0 fallback. Shave q by
+    // 4 sigma of the binomial split so overflow is a true skew signal, not
+    // noise.
+    const double expected =
+        split.q * double(std::max<int64_t>(1, r.num_tuples()));
+    split.q = std::max(0.0, split.q * (1.0 - 4.0 / std::sqrt(expected + 1.0)));
+  }
+  const int64_t b = split.q >= 1.0 ? 0 : split.num_partitions;
+  if (stats != nullptr) {
+    stats->q = split.q;
+    stats->partitions = b;
+  }
+
+  // Phase 1 over R: partition 0 builds in memory, 1..B spill.
+  // With a single output buffer the writes are sequential (§3.8 footnote).
+  const IoKind spill_kind = b <= 1 ? IoKind::kSequential : IoKind::kRandom;
+  HashPartitioner partitioner = HashPartitioner::Hybrid(
+      split.q, b, static_cast<uint32_t>(depth));
+
+  JoinHashTable resident(spec.left_column, ctx->clock);
+  const int64_t resident_capacity = std::max<int64_t>(
+      1, ctx->TuplesInPages(rs, std::max<int64_t>(1, ctx->memory_pages - b)));
+  std::unique_ptr<PartitionWriterSet> r_spill;
+  std::unique_ptr<PartitionWriterSet> r_overflow;
+  if (b > 0) {
+    r_spill = std::make_unique<PartitionWriterSet>(ctx, rs, b, spill_kind,
+                                                   "hybrid_r");
+  }
+
+  for (const Row& row : r.rows()) {
+    ctx->clock->Hash();
+    const Value& key = row[static_cast<size_t>(spec.left_column)];
+    const int64_t p = partitioner.PartitionOf(key);
+    if (p == 0) {
+      if (resident.size() < resident_capacity) {
+        ctx->clock->Move();
+        resident.Insert(row);
+      } else {
+        // R_0 overflow: siphon the excess to its own file; matching S_0
+        // tuples are saved below and the pair joins recursively.
+        if (r_overflow == nullptr) {
+          r_overflow = std::make_unique<PartitionWriterSet>(
+              ctx, rs, 1, spill_kind, "hybrid_r_ovf");
+        }
+        MMDB_RETURN_IF_ERROR(r_overflow->Append(0, row));
+      }
+    } else {
+      MMDB_RETURN_IF_ERROR(r_spill->Append(p - 1, row));
+    }
+  }
+  if (r_spill != nullptr) MMDB_RETURN_IF_ERROR(r_spill->FinishAll());
+  if (r_overflow != nullptr) MMDB_RETURN_IF_ERROR(r_overflow->FinishAll());
+
+  // Phase 1 over S: bucket 0 probes immediately; the rest spills.
+  std::unique_ptr<PartitionWriterSet> s_spill;
+  std::unique_ptr<PartitionWriterSet> s0_saved;
+  if (b > 0) {
+    s_spill = std::make_unique<PartitionWriterSet>(ctx, ss, b, spill_kind,
+                                                   "hybrid_s");
+  }
+  if (r_overflow != nullptr) {
+    s0_saved = std::make_unique<PartitionWriterSet>(ctx, ss, 1, spill_kind,
+                                                    "hybrid_s0_saved");
+  }
+  for (const Row& row : s.rows()) {
+    ctx->clock->Hash();
+    const Value& key = row[static_cast<size_t>(spec.right_column)];
+    const int64_t p = partitioner.PartitionOf(key);
+    if (p == 0) {
+      resident.Probe(key, [&](const Row& r_row) {
+        exec_internal::EmitJoined(r_row, row, &out);
+      });
+      if (s0_saved != nullptr) {
+        MMDB_RETURN_IF_ERROR(s0_saved->Append(0, row));
+      }
+    } else {
+      MMDB_RETURN_IF_ERROR(s_spill->Append(p - 1, row));
+    }
+  }
+  if (s_spill != nullptr) MMDB_RETURN_IF_ERROR(s_spill->FinishAll());
+  if (s0_saved != nullptr) MMDB_RETURN_IF_ERROR(s0_saved->FinishAll());
+
+  // Phase 2: join each spilled pair.
+  if (b > 0) {
+    auto r_parts = r_spill->Release();
+    auto s_parts = s_spill->Release();
+    for (int64_t i = 0; i < b; ++i) {
+      const auto& rp = r_parts[static_cast<size_t>(i)];
+      const auto& sp = s_parts[static_cast<size_t>(i)];
+      if (rp.records == 0 || sp.records == 0) {
+        ctx->disk->DeleteFile(rp.file);
+        ctx->disk->DeleteFile(sp.file);
+        continue;
+      }
+      MMDB_ASSIGN_OR_RETURN(std::vector<Row> r_rows,
+                            ReadAndDeletePartition(ctx, rs, rp));
+      MMDB_ASSIGN_OR_RETURN(std::vector<Row> s_rows,
+                            ReadAndDeletePartition(ctx, ss, sp));
+      MMDB_RETURN_IF_ERROR(JoinSpilledPair(std::move(r_rows),
+                                           std::move(s_rows), rs, ss, spec,
+                                           ctx, stats, depth, &out));
+    }
+  }
+
+  // Overflow of the resident partition, if any.
+  if (r_overflow != nullptr) {
+    auto ovf = r_overflow->Release();
+    auto saved = s0_saved->Release();
+    MMDB_ASSIGN_OR_RETURN(std::vector<Row> r_rows,
+                          ReadAndDeletePartition(ctx, rs, ovf[0]));
+    MMDB_ASSIGN_OR_RETURN(std::vector<Row> s_rows,
+                          ReadAndDeletePartition(ctx, ss, saved[0]));
+    MMDB_RETURN_IF_ERROR(JoinSpilledPair(std::move(r_rows), std::move(s_rows),
+                                         rs, ss, spec, ctx, stats, depth,
+                                         &out));
+  }
+
+  if (stats != nullptr) stats->output_tuples = out.num_tuples();
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Relation> HybridHashJoin(const Relation& r, const Relation& s,
+                                  const JoinSpec& spec, ExecContext* ctx,
+                                  JoinRunStats* stats) {
+  return HybridHashJoinImpl(r, s, spec, ctx, stats, 0);
+}
+
+}  // namespace mmdb

@@ -1,0 +1,70 @@
+#include "common/check.h"
+#include "exec/external_sort.h"
+#include "exec/join.h"
+
+namespace mmdb {
+
+/// §3.4: sort both relations (replacement-selection runs + one n-way
+/// merge), then merge-join the two sorted streams, emitting the cross
+/// product of each matching key group. Unlike the paper's cost formula —
+/// which assumes an R tuple joins with at most a page of S tuples — the
+/// implementation handles arbitrarily large key groups by materializing
+/// the S-side group.
+StatusOr<Relation> SortMergeJoin(const Relation& r, const Relation& s,
+                                 const JoinSpec& spec, ExecContext* ctx,
+                                 JoinRunStats* stats) {
+  SortStats r_sort, s_sort;
+  MMDB_ASSIGN_OR_RETURN(auto r_stream,
+                        SortRelation(r, spec.left_column, ctx, &r_sort));
+  MMDB_ASSIGN_OR_RETURN(auto s_stream,
+                        SortRelation(s, spec.right_column, ctx, &s_sort));
+
+  Relation out(Schema::Concat(r.schema(), s.schema()));
+
+  Row r_row, s_row;
+  MMDB_ASSIGN_OR_RETURN(bool r_ok, r_stream->Next(&r_row));
+  MMDB_ASSIGN_OR_RETURN(bool s_ok, s_stream->Next(&s_row));
+
+  auto r_key = [&]() -> const Value& {
+    return r_row[static_cast<size_t>(spec.left_column)];
+  };
+  auto s_key = [&]() -> const Value& {
+    return s_row[static_cast<size_t>(spec.right_column)];
+  };
+
+  while (r_ok && s_ok) {
+    ctx->clock->Comp();
+    const int cmp = CompareValues(r_key(), s_key());
+    if (cmp < 0) {
+      MMDB_ASSIGN_OR_RETURN(r_ok, r_stream->Next(&r_row));
+    } else if (cmp > 0) {
+      MMDB_ASSIGN_OR_RETURN(s_ok, s_stream->Next(&s_row));
+    } else {
+      // Key group: collect all equal S tuples, then stream the R side.
+      const Value key = r_key();
+      std::vector<Row> s_group;
+      while (s_ok) {
+        ctx->clock->Comp();
+        if (CompareValues(s_key(), key) != 0) break;
+        s_group.push_back(std::move(s_row));
+        MMDB_ASSIGN_OR_RETURN(s_ok, s_stream->Next(&s_row));
+      }
+      while (r_ok) {
+        ctx->clock->Comp();
+        if (CompareValues(r_key(), key) != 0) break;
+        for (const Row& sg : s_group) {
+          exec_internal::EmitJoined(r_row, sg, &out);
+        }
+        MMDB_ASSIGN_OR_RETURN(r_ok, r_stream->Next(&r_row));
+      }
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->output_tuples = out.num_tuples();
+    stats->passes = r_sort.merge_levels + s_sort.merge_levels + 2;
+  }
+  return out;
+}
+
+}  // namespace mmdb

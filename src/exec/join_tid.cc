@@ -1,0 +1,82 @@
+#include "exec/join_tid.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hash.h"
+
+namespace mmdb {
+
+StatusOr<Relation> TidHashJoin(HeapFile* r_heap, const Schema& r_schema,
+                               int r_key_column, const Relation& s,
+                               int s_key_column, BufferPool* pool,
+                               ExecContext* ctx, TidJoinStats* stats) {
+  Relation out(Schema::Concat(r_schema, s.schema()));
+
+  // Build: one sequential scan of R; the table holds only (key, TID).
+  struct Entry {
+    Value key;
+    RecordId rid;
+  };
+  std::unordered_map<uint64_t, std::vector<Entry>> table;
+  MMDB_RETURN_IF_ERROR(r_heap->Scan([&](RecordId rid, const char* rec) {
+    Row row = DeserializeRow(r_schema, rec);
+    Value key = row[static_cast<size_t>(r_key_column)];
+    ctx->clock->Hash();
+    ctx->clock->SmallMove();  // a TID-key pair, not a tuple
+    const uint64_t h = HashValue(key);
+    table[h].push_back(Entry{std::move(key), rid});
+  }));
+
+  // Probe S; every match fetches the original R tuple by TID.
+  TidJoinStats local;
+  TidJoinStats* st = stats != nullptr ? stats : &local;
+  *st = TidJoinStats{};
+  std::vector<char> rec(static_cast<size_t>(r_schema.record_size()));
+  for (const Row& s_row : s.rows()) {
+    const Value& key = s_row[static_cast<size_t>(s_key_column)];
+    ctx->clock->Hash();
+    auto it = table.find(HashValue(key));
+    if (it == table.end()) {
+      ctx->clock->Comp();
+      continue;
+    }
+    for (const Entry& entry : it->second) {
+      ctx->clock->Comp();
+      if (!ValuesEqual(entry.key, key)) continue;
+      const int64_t faults_before = pool->stats().faults;
+      MMDB_RETURN_IF_ERROR(r_heap->Get(entry.rid, rec.data()));
+      st->fetch_faults += pool->stats().faults - faults_before;
+      ++st->tuple_fetches;
+      Row r_row = DeserializeRow(r_schema, rec.data());
+      out.Add(ConcatRows(r_row, s_row));
+    }
+  }
+  st->output_tuples = out.num_tuples();
+  return out;
+}
+
+StatusOr<Relation> WholeTupleHashJoin(HeapFile* r_heap,
+                                      const Schema& r_schema,
+                                      int r_key_column, const Relation& s,
+                                      int s_key_column, ExecContext* ctx,
+                                      JoinRunStats* stats) {
+  Relation out(Schema::Concat(r_schema, s.schema()));
+  exec_internal::JoinHashTable table(r_key_column, ctx->clock);
+  MMDB_RETURN_IF_ERROR(r_heap->Scan([&](RecordId, const char* rec) {
+    ctx->clock->Hash();
+    ctx->clock->Move();  // a whole tuple into the table
+    table.Insert(DeserializeRow(r_schema, rec));
+  }));
+  for (const Row& s_row : s.rows()) {
+    ctx->clock->Hash();
+    table.Probe(s_row[static_cast<size_t>(s_key_column)],
+                [&](const Row& r_row) {
+                  exec_internal::EmitJoined(r_row, s_row, &out);
+                });
+  }
+  if (stats != nullptr) stats->output_tuples = out.num_tuples();
+  return out;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,51 @@
+#ifndef MMDB_EXEC_JOIN_TID_H_
+#define MMDB_EXEC_JOIN_TID_H_
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "exec/join.h"
+#include "storage/buffer_pool.h"
+#include "storage/heap_file.h"
+#include "storage/relation.h"
+
+namespace mmdb {
+
+/// §3.2's implementation alternative: "the implementor must make a
+/// decision as to whether the sort structure or hash table will contain
+/// entire tuples or only Tuple IDs (TIDs) and perhaps keys."
+///
+/// TidHashJoin builds the hash table from TID-KEY PAIRS instead of whole R
+/// tuples: table moves are ~4x cheaper and the table is far smaller, "but
+/// every time a pair of joined tuples is output, the original tuples must
+/// be retrieved" — a random page access through the buffer pool per match
+/// (unless the page happens to be resident). The paper's verdict, which
+/// bench_tid_join reproduces: TIDs lose once the join produces many
+/// tuples, because IOrand dwarfs the saved moves.
+///
+/// The build relation R lives in `r_heap` (disk-resident, `r_schema`
+/// describing its records); S streams from memory as usual. `pool` serves
+/// the output-time fetches and is the |M| of this plan.
+struct TidJoinStats {
+  int64_t output_tuples = 0;
+  int64_t tuple_fetches = 0;   ///< Get() calls for matched R tuples
+  int64_t fetch_faults = 0;    ///< of which missed the buffer pool
+};
+
+StatusOr<Relation> TidHashJoin(HeapFile* r_heap, const Schema& r_schema,
+                               int r_key_column, const Relation& s,
+                               int s_key_column, BufferPool* pool,
+                               ExecContext* ctx,
+                               TidJoinStats* stats = nullptr);
+
+/// The whole-tuple counterpart over the same disk-resident R (reads R into
+/// the table once, then never touches the heap again) — the baseline
+/// bench_tid_join compares against.
+StatusOr<Relation> WholeTupleHashJoin(HeapFile* r_heap,
+                                      const Schema& r_schema,
+                                      int r_key_column, const Relation& s,
+                                      int s_key_column, ExecContext* ctx,
+                                      JoinRunStats* stats = nullptr);
+
+}  // namespace mmdb
+
+#endif  // MMDB_EXEC_JOIN_TID_H_

@@ -1,0 +1,50 @@
+#include "exec/operator.h"
+
+namespace mmdb {
+
+StatusOr<bool> MemScan::Next(Row* out) {
+  if (pos_ >= relation_->num_tuples()) return false;
+  *out = relation_->rows()[static_cast<size_t>(pos_++)];
+  return true;
+}
+
+StatusOr<bool> Filter::Next(Row* out) {
+  while (true) {
+    MMDB_ASSIGN_OR_RETURN(bool more, child_->Next(out));
+    if (!more) return false;
+    if (clock_ != nullptr) clock_->Comp();
+    if (pred_(*out)) return true;
+  }
+}
+
+Project::Project(std::unique_ptr<Operator> child, std::vector<int> columns)
+    : child_(std::move(child)),
+      columns_(std::move(columns)),
+      schema_(child_->output_schema().Select(columns_)) {}
+
+StatusOr<bool> Project::Next(Row* out) {
+  Row in;
+  MMDB_ASSIGN_OR_RETURN(bool more, child_->Next(&in));
+  if (!more) return false;
+  out->clear();
+  out->reserve(columns_.size());
+  for (int c : columns_) {
+    out->push_back(std::move(in[static_cast<size_t>(c)]));
+  }
+  return true;
+}
+
+StatusOr<Relation> Materialize(Operator* op) {
+  MMDB_RETURN_IF_ERROR(op->Open());
+  Relation out(op->output_schema());
+  Row row;
+  while (true) {
+    MMDB_ASSIGN_OR_RETURN(bool more, op->Next(&row));
+    if (!more) break;
+    out.Add(row);
+  }
+  op->Close();
+  return out;
+}
+
+}  // namespace mmdb

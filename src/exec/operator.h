@@ -1,0 +1,96 @@
+#ifndef MMDB_EXEC_OPERATOR_H_
+#define MMDB_EXEC_OPERATOR_H_
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "storage/relation.h"
+#include "storage/row.h"
+
+namespace mmdb {
+
+/// Volcano-style pull iterator. The pipelined operators (scan, filter,
+/// project) stream rows; blocking operators (join, sort, aggregate)
+/// materialize via the Relation-level entry points and are wrapped with
+/// MemScan by the plan executor.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+
+  virtual Status Open() = 0;
+  /// Produces the next row into `*out`; returns false at end of stream.
+  virtual StatusOr<bool> Next(Row* out) = 0;
+  virtual void Close() = 0;
+
+  virtual const Schema& output_schema() const = 0;
+};
+
+/// Scans a memory-resident relation (borrowed; caller keeps it alive).
+class MemScan : public Operator {
+ public:
+  explicit MemScan(const Relation* relation) : relation_(relation) {}
+
+  Status Open() override {
+    pos_ = 0;
+    return Status::OK();
+  }
+  StatusOr<bool> Next(Row* out) override;
+  void Close() override {}
+  const Schema& output_schema() const override {
+    return relation_->schema();
+  }
+
+ private:
+  const Relation* relation_;
+  int64_t pos_ = 0;
+};
+
+/// Filters rows by an arbitrary predicate. When a clock is supplied, each
+/// evaluation charges one comparison (the paper's selection cost unit).
+class Filter : public Operator {
+ public:
+  using Predicate = std::function<bool(const Row&)>;
+
+  Filter(std::unique_ptr<Operator> child, Predicate pred,
+         CostClock* clock = nullptr)
+      : child_(std::move(child)), pred_(std::move(pred)), clock_(clock) {}
+
+  Status Open() override { return child_->Open(); }
+  StatusOr<bool> Next(Row* out) override;
+  void Close() override { child_->Close(); }
+  const Schema& output_schema() const override {
+    return child_->output_schema();
+  }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  Predicate pred_;
+  CostClock* clock_;
+};
+
+/// Projects to a subset of columns (no duplicate elimination — see
+/// ProjectDistinct in exec/aggregate.h for the hash-based DISTINCT of §3.9).
+class Project : public Operator {
+ public:
+  Project(std::unique_ptr<Operator> child, std::vector<int> columns);
+
+  Status Open() override { return child_->Open(); }
+  StatusOr<bool> Next(Row* out) override;
+  void Close() override { child_->Close(); }
+  const Schema& output_schema() const override { return schema_; }
+
+ private:
+  std::unique_ptr<Operator> child_;
+  std::vector<int> columns_;
+  Schema schema_;
+};
+
+/// Drains `op` into a materialized Relation (Open/Next*/Close).
+StatusOr<Relation> Materialize(Operator* op);
+
+}  // namespace mmdb
+
+#endif  // MMDB_EXEC_OPERATOR_H_

@@ -1,0 +1,404 @@
+#include "exec/setops.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "exec/partitioner.h"
+
+namespace mmdb {
+
+namespace {
+
+constexpr int kMaxDepth = 4;
+
+uint64_t HashWholeRow(const Row& row) {
+  uint64_t h = 0x5E7C0DEull;
+  for (const Value& v : row) h = HashCombine(h, HashValue(v));
+  return h;
+}
+
+uint64_t HashColumns(const Row& row, const std::vector<int>& cols) {
+  uint64_t h = 0xD15EC7ull;
+  for (int c : cols) h = HashCombine(h, HashValue(row[size_t(c)]));
+  return h;
+}
+
+bool RowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!ValuesEqual(a[i], b[i])) return false;
+  }
+  return true;
+}
+
+/// A hash multiset of whole rows with per-probe comparison charging.
+class RowSet {
+ public:
+  explicit RowSet(CostClock* clock) : clock_(clock) {}
+
+  /// Inserts if not already present; returns true when newly inserted.
+  bool InsertDistinct(const Row& row) {
+    clock_->Hash();
+    auto& bucket = buckets_[HashWholeRow(row)];
+    for (const Row& r : bucket) {
+      clock_->Comp();
+      if (RowsEqual(r, row)) return false;
+    }
+    clock_->Move();
+    bucket.push_back(row);
+    ++size_;
+    return true;
+  }
+
+  bool Contains(const Row& row) {
+    clock_->Hash();
+    auto it = buckets_.find(HashWholeRow(row));
+    if (it == buckets_.end()) {
+      clock_->Comp();
+      return false;
+    }
+    for (const Row& r : it->second) {
+      clock_->Comp();
+      if (RowsEqual(r, row)) return true;
+    }
+    return false;
+  }
+
+  int64_t size() const { return size_; }
+
+ private:
+  CostClock* clock_;
+  std::unordered_map<uint64_t, std::vector<Row>> buckets_;
+  int64_t size_ = 0;
+};
+
+/// Partitions `rows` into `b` spill files by whole-row hash; compatible
+/// partitioning makes each sub-problem independent.
+StatusOr<std::vector<PartitionWriterSet::PartitionFile>> SpillByRowHash(
+    const std::vector<Row>& rows, const Schema& schema, int64_t b,
+    uint32_t level, ExecContext* ctx, const char* name) {
+  PartitionWriterSet writers(ctx, schema, b,
+                             b <= 1 ? IoKind::kSequential : IoKind::kRandom,
+                             name);
+  for (const Row& row : rows) {
+    ctx->clock->Hash();
+    const uint64_t h =
+        Mix64(HashWholeRow(row) ^ (0x9E37ull * (level + 1)));
+    MMDB_RETURN_IF_ERROR(
+        writers.Append(static_cast<int64_t>(h % uint64_t(b)), row));
+  }
+  MMDB_RETURN_IF_ERROR(writers.FinishAll());
+  return writers.Release();
+}
+
+Status SetOpRec(SetOp op, std::vector<Row> a, std::vector<Row> b,
+                const Schema& schema, ExecContext* ctx, int depth,
+                Relation* out) {
+  const int64_t capacity =
+      std::max<int64_t>(1, ctx->TuplesInPages(schema, ctx->memory_pages));
+  const int64_t total = int64_t(a.size()) + int64_t(b.size());
+  if (total <= capacity || depth >= kMaxDepth) {
+    RowSet a_set(ctx->clock);
+    switch (op) {
+      case SetOp::kUnion: {
+        for (const Row& row : a) {
+          if (a_set.InsertDistinct(row)) out->Add(row);
+        }
+        for (const Row& row : b) {
+          if (a_set.InsertDistinct(row)) out->Add(row);
+        }
+        return Status::OK();
+      }
+      case SetOp::kIntersect: {
+        for (const Row& row : a) a_set.InsertDistinct(row);
+        RowSet emitted(ctx->clock);
+        for (const Row& row : b) {
+          if (a_set.Contains(row) && emitted.InsertDistinct(row)) {
+            out->Add(row);
+          }
+        }
+        return Status::OK();
+      }
+      case SetOp::kDifference: {
+        RowSet b_set(ctx->clock);
+        for (const Row& row : b) b_set.InsertDistinct(row);
+        for (const Row& row : a) {
+          if (!b_set.Contains(row) && a_set.InsertDistinct(row)) {
+            out->Add(row);
+          }
+        }
+        return Status::OK();
+      }
+    }
+    return Status::Internal("unknown set op");
+  }
+  // Spill both sides with the same partitioning; recurse per partition.
+  const int64_t parts = std::max<int64_t>(
+      2, std::min<int64_t>(ctx->memory_pages, (total + capacity - 1) / capacity));
+  MMDB_ASSIGN_OR_RETURN(
+      auto a_files, SpillByRowHash(a, schema, parts, uint32_t(depth), ctx,
+                                   "setop_a"));
+  a.clear();
+  a.shrink_to_fit();
+  MMDB_ASSIGN_OR_RETURN(
+      auto b_files, SpillByRowHash(b, schema, parts, uint32_t(depth), ctx,
+                                   "setop_b"));
+  b.clear();
+  b.shrink_to_fit();
+  for (int64_t i = 0; i < parts; ++i) {
+    MMDB_ASSIGN_OR_RETURN(std::vector<Row> pa,
+                          ReadAndDeletePartition(ctx, schema, a_files[size_t(i)]));
+    MMDB_ASSIGN_OR_RETURN(std::vector<Row> pb,
+                          ReadAndDeletePartition(ctx, schema, b_files[size_t(i)]));
+    MMDB_RETURN_IF_ERROR(SetOpRec(op, std::move(pa), std::move(pb), schema,
+                                  ctx, depth + 1, out));
+  }
+  return Status::OK();
+}
+
+Status SemiAntiRec(bool anti, std::vector<Row> r, std::vector<Row> s,
+                   const Schema& rs, const Schema& ss, const JoinSpec& spec,
+                   ExecContext* ctx, int depth, Relation* out) {
+  const int64_t capacity =
+      std::max<int64_t>(1, ctx->TuplesInPages(ss, ctx->memory_pages));
+  if (static_cast<int64_t>(s.size()) <= capacity || depth >= kMaxDepth) {
+    // Build a key set from S (the divisor of the membership test).
+    std::unordered_set<uint64_t> hashes;
+    std::unordered_map<uint64_t, std::vector<Value>> keys;
+    for (const Row& row : s) {
+      ctx->clock->Hash();
+      ctx->clock->SmallMove();  // keys only
+      const Value& key = row[size_t(spec.right_column)];
+      keys[HashValue(key)].push_back(key);
+    }
+    for (const Row& row : r) {
+      ctx->clock->Hash();
+      const Value& key = row[size_t(spec.left_column)];
+      bool found = false;
+      auto it = keys.find(HashValue(key));
+      if (it != keys.end()) {
+        for (const Value& k : it->second) {
+          ctx->clock->Comp();
+          if (ValuesEqual(k, key)) {
+            found = true;
+            break;
+          }
+        }
+      } else {
+        ctx->clock->Comp();
+      }
+      if (found != anti) out->Add(row);
+    }
+    return Status::OK();
+  }
+  // Partition BOTH relations on the join key (compatible partitioning).
+  const int64_t parts = std::max<int64_t>(
+      2, std::min<int64_t>(ctx->memory_pages,
+                           (int64_t(s.size()) + capacity - 1) / capacity));
+  HashPartitioner partitioner(parts, uint32_t(depth + 101));
+  auto spill = [&](const std::vector<Row>& rows, const Schema& schema,
+                   int key_col, const char* name)
+      -> StatusOr<std::vector<PartitionWriterSet::PartitionFile>> {
+    PartitionWriterSet writers(ctx, schema, parts, IoKind::kRandom, name);
+    for (const Row& row : rows) {
+      ctx->clock->Hash();
+      MMDB_RETURN_IF_ERROR(writers.Append(
+          partitioner.PartitionOf(row[size_t(key_col)]), row));
+    }
+    MMDB_RETURN_IF_ERROR(writers.FinishAll());
+    return writers.Release();
+  };
+  MMDB_ASSIGN_OR_RETURN(auto r_files,
+                        spill(r, rs, spec.left_column, "semi_r"));
+  r.clear();
+  r.shrink_to_fit();
+  MMDB_ASSIGN_OR_RETURN(auto s_files,
+                        spill(s, ss, spec.right_column, "semi_s"));
+  s.clear();
+  s.shrink_to_fit();
+  for (int64_t i = 0; i < parts; ++i) {
+    MMDB_ASSIGN_OR_RETURN(std::vector<Row> pr,
+                          ReadAndDeletePartition(ctx, rs, r_files[size_t(i)]));
+    MMDB_ASSIGN_OR_RETURN(std::vector<Row> ps,
+                          ReadAndDeletePartition(ctx, ss, s_files[size_t(i)]));
+    MMDB_RETURN_IF_ERROR(SemiAntiRec(anti, std::move(pr), std::move(ps), rs,
+                                     ss, spec, ctx, depth + 1, out));
+  }
+  return Status::OK();
+}
+
+Status DivisionRec(std::vector<Row> r, const std::vector<int>& group_cols,
+                   int divisor_col, const std::vector<Value>& divisor,
+                   const std::unordered_set<uint64_t>& divisor_hashes,
+                   const Schema& rs, ExecContext* ctx, int depth,
+                   Relation* out) {
+  const int64_t capacity =
+      std::max<int64_t>(1, ctx->TuplesInPages(rs, ctx->memory_pages));
+  if (static_cast<int64_t>(r.size()) <= capacity || depth >= kMaxDepth) {
+    // Group by the group columns; per group collect which divisor values
+    // appeared; emit groups that covered all of them.
+    struct Group {
+      Row key;
+      std::unordered_set<uint64_t> seen;
+    };
+    std::unordered_map<uint64_t, std::vector<Group>> groups;
+    for (const Row& row : r) {
+      ctx->clock->Hash();
+      const Value& d = row[size_t(divisor_col)];
+      const uint64_t dh = HashValue(d);
+      if (!divisor_hashes.count(dh)) {
+        ctx->clock->Comp();
+        continue;  // value not in the divisor: irrelevant
+      }
+      const uint64_t gh = HashColumns(row, group_cols);
+      auto& bucket = groups[gh];
+      Group* group = nullptr;
+      for (Group& g : bucket) {
+        ctx->clock->Comp();
+        bool equal = true;
+        for (size_t i = 0; i < group_cols.size(); ++i) {
+          if (!ValuesEqual(row[size_t(group_cols[i])], g.key[i])) {
+            equal = false;
+            break;
+          }
+        }
+        if (equal) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        ctx->clock->Move();
+        Group g;
+        for (int c : group_cols) g.key.push_back(row[size_t(c)]);
+        bucket.push_back(std::move(g));
+        group = &bucket.back();
+      }
+      group->seen.insert(dh);
+    }
+    for (auto& [gh, bucket] : groups) {
+      for (Group& g : bucket) {
+        if (g.seen.size() == divisor_hashes.size()) {
+          out->Add(std::move(g.key));
+        }
+      }
+    }
+    return Status::OK();
+  }
+  // Partition the dividend on the GROUP columns: a group never straddles.
+  const int64_t parts = std::max<int64_t>(
+      2, std::min<int64_t>(ctx->memory_pages,
+                           (int64_t(r.size()) + capacity - 1) / capacity));
+  PartitionWriterSet writers(ctx, rs, parts, IoKind::kRandom, "div_r");
+  for (const Row& row : r) {
+    ctx->clock->Hash();
+    const uint64_t h =
+        Mix64(HashColumns(row, group_cols) ^ (0xD17ull * (depth + 1)));
+    MMDB_RETURN_IF_ERROR(
+        writers.Append(static_cast<int64_t>(h % uint64_t(parts)), row));
+  }
+  r.clear();
+  r.shrink_to_fit();
+  MMDB_RETURN_IF_ERROR(writers.FinishAll());
+  for (const auto& pf : writers.Release()) {
+    if (pf.records == 0) {
+      ctx->disk->DeleteFile(pf.file);
+      continue;
+    }
+    MMDB_ASSIGN_OR_RETURN(std::vector<Row> part,
+                          ReadAndDeletePartition(ctx, rs, pf));
+    MMDB_RETURN_IF_ERROR(DivisionRec(std::move(part), group_cols,
+                                     divisor_col, divisor, divisor_hashes,
+                                     rs, ctx, depth + 1, out));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+std::string_view SetOpName(SetOp op) {
+  switch (op) {
+    case SetOp::kUnion:
+      return "UNION";
+    case SetOp::kIntersect:
+      return "INTERSECT";
+    case SetOp::kDifference:
+      return "EXCEPT";
+  }
+  return "?";
+}
+
+StatusOr<Relation> HashSetOp(SetOp op, const Relation& a, const Relation& b,
+                             ExecContext* ctx) {
+  if (!(a.schema() == b.schema())) {
+    return Status::InvalidArgument("set operands must share a schema");
+  }
+  Relation out(a.schema());
+  MMDB_RETURN_IF_ERROR(
+      SetOpRec(op, a.rows(), b.rows(), a.schema(), ctx, 0, &out));
+  return out;
+}
+
+StatusOr<Relation> HashSemiJoin(const Relation& r, const Relation& s,
+                                const JoinSpec& spec, ExecContext* ctx) {
+  Relation out(r.schema());
+  MMDB_RETURN_IF_ERROR(SemiAntiRec(/*anti=*/false, r.rows(), s.rows(),
+                                   r.schema(), s.schema(), spec, ctx, 0,
+                                   &out));
+  return out;
+}
+
+StatusOr<Relation> HashAntiJoin(const Relation& r, const Relation& s,
+                                const JoinSpec& spec, ExecContext* ctx) {
+  Relation out(r.schema());
+  MMDB_RETURN_IF_ERROR(SemiAntiRec(/*anti=*/true, r.rows(), s.rows(),
+                                   r.schema(), s.schema(), spec, ctx, 0,
+                                   &out));
+  return out;
+}
+
+StatusOr<Relation> HashDivision(const Relation& r,
+                                const std::vector<int>& group_columns,
+                                int divisor_column, const Relation& s,
+                                int s_column, ExecContext* ctx) {
+  if (group_columns.empty()) {
+    return Status::InvalidArgument("division needs group columns");
+  }
+  for (int c : group_columns) {
+    if (c < 0 || c >= r.schema().num_columns()) {
+      return Status::InvalidArgument("bad group column");
+    }
+  }
+  if (divisor_column < 0 || divisor_column >= r.schema().num_columns() ||
+      s_column < 0 || s_column >= s.schema().num_columns()) {
+    return Status::InvalidArgument("bad divisor column");
+  }
+  // Distinct divisor values (must fit in memory; they are the "required
+  // set" and are usually tiny).
+  std::vector<Value> divisor;
+  std::unordered_set<uint64_t> divisor_hashes;
+  for (const Row& row : s.rows()) {
+    ctx->clock->Hash();
+    const Value& v = row[size_t(s_column)];
+    if (divisor_hashes.insert(HashValue(v)).second) {
+      ctx->clock->SmallMove();
+      divisor.push_back(v);
+    }
+  }
+  const int64_t divisor_capacity =
+      ctx->TuplesInPages(s.schema(), ctx->memory_pages);
+  if (static_cast<int64_t>(divisor.size()) > divisor_capacity) {
+    return Status::ResourceExhausted(
+        "divisor value set exceeds the memory grant");
+  }
+  Relation out(r.schema().Select(group_columns));
+  if (divisor.empty()) return out;  // x ÷ {} is empty under SQL convention
+  MMDB_RETURN_IF_ERROR(DivisionRec(r.rows(), group_columns, divisor_column,
+                                   divisor, divisor_hashes, r.schema(), ctx,
+                                   0, &out));
+  return out;
+}
+
+}  // namespace mmdb

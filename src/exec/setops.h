@@ -1,0 +1,51 @@
+#ifndef MMDB_EXEC_SETOPS_H_
+#define MMDB_EXEC_SETOPS_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "exec/join.h"
+#include "storage/relation.h"
+
+namespace mmdb {
+
+/// §3.9 observes that the hash techniques of §3 carry over to the other
+/// relational operators ("aggregate functions, cross product, and
+/// division"). This module supplies those operators: set union /
+/// intersection / difference, semi- and anti-join, and relational division
+/// — all hash-based, all spilling through the §3.3 partitioning machinery
+/// when the inputs exceed |M| (a partition compatible with h splits every
+/// one of these problems into independent sub-problems).
+
+enum class SetOp { kUnion, kIntersect, kDifference };
+
+std::string_view SetOpName(SetOp op);
+
+/// Set-semantics UNION / INTERSECT / EXCEPT of two relations with
+/// identical schemas (duplicates eliminated, as in SQL's set operators).
+StatusOr<Relation> HashSetOp(SetOp op, const Relation& a, const Relation& b,
+                             ExecContext* ctx);
+
+/// Rows of `r` with at least one join partner in `s` (each emitted once).
+StatusOr<Relation> HashSemiJoin(const Relation& r, const Relation& s,
+                                const JoinSpec& spec, ExecContext* ctx);
+
+/// Rows of `r` with NO join partner in `s`.
+StatusOr<Relation> HashAntiJoin(const Relation& r, const Relation& s,
+                                const JoinSpec& spec, ExecContext* ctx);
+
+/// Relational division: r(group_columns ++ divisor_column) ÷ s.
+/// Emits each distinct value combination of r's `group_columns` that
+/// appears with EVERY value of s's `divisor_column`
+/// (e.g. "students who passed every required course"). The divisor's
+/// distinct values must fit in memory; the dividend is hash-partitioned on
+/// the group columns when it does not fit.
+StatusOr<Relation> HashDivision(const Relation& r,
+                                const std::vector<int>& group_columns,
+                                int divisor_column, const Relation& s,
+                                int s_column, ExecContext* ctx);
+
+}  // namespace mmdb
+
+#endif  // MMDB_EXEC_SETOPS_H_

@@ -1,0 +1,87 @@
+#include "optimizer/catalog.h"
+
+#include <unordered_set>
+
+#include "common/hash.h"
+
+namespace mmdb {
+
+Status Catalog::RegisterTable(const std::string& name,
+                              const Relation* relation) {
+  if (tables_.count(name)) {
+    return Status::AlreadyExists("table " + name);
+  }
+  TableEntry entry;
+  entry.name = name;
+  entry.relation = relation;
+  entry.stats.num_tuples = relation->num_tuples();
+  entry.stats.num_pages = relation->NumPages(page_size_);
+
+  const Schema& schema = relation->schema();
+  entry.stats.columns.resize(static_cast<size_t>(schema.num_columns()));
+  for (int c = 0; c < schema.num_columns(); ++c) {
+    ColumnStats& cs = entry.stats.columns[static_cast<size_t>(c)];
+    std::unordered_set<uint64_t> distinct;
+    for (const Row& row : relation->rows()) {
+      const Value& v = row[static_cast<size_t>(c)];
+      distinct.insert(HashValue(v));
+      if (!cs.has_min_max) {
+        cs.min_value = v;
+        cs.max_value = v;
+        cs.has_min_max = true;
+      } else {
+        if (CompareValues(v, cs.min_value) < 0) cs.min_value = v;
+        if (CompareValues(v, cs.max_value) > 0) cs.max_value = v;
+      }
+    }
+    cs.num_distinct = static_cast<int64_t>(distinct.size());
+  }
+  tables_[name] = std::move(entry);
+  return Status::OK();
+}
+
+StatusOr<const TableEntry*> Catalog::Lookup(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) return Status::NotFound("table " + name);
+  return &it->second;
+}
+
+Status Catalog::RegisterIndex(const std::string& table,
+                              const std::string& column, IndexKind kind) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return Status::NotFound("table " + table);
+  MMDB_RETURN_IF_ERROR(
+      it->second.relation->schema().ColumnIndex(column).status());
+  for (const IndexInfo& info : it->second.indexes) {
+    if (info.column == column) {
+      return Status::AlreadyExists("index on " + table + "." + column);
+    }
+  }
+  it->second.indexes.push_back(IndexInfo{column, kind});
+  return Status::OK();
+}
+
+const IndexInfo* Catalog::FindIndex(const std::string& table,
+                                    const std::string& column) const {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return nullptr;
+  for (const IndexInfo& info : it->second.indexes) {
+    if (info.column == column) return &info;
+  }
+  return nullptr;
+}
+
+StatusOr<int> Catalog::ResolveColumn(const std::string& table,
+                                     const std::string& column) const {
+  MMDB_ASSIGN_OR_RETURN(const TableEntry* entry, Lookup(table));
+  return entry->relation->schema().ColumnIndex(column);
+}
+
+std::vector<std::string> Catalog::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, entry] : tables_) names.push_back(name);
+  return names;
+}
+
+}  // namespace mmdb

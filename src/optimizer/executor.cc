@@ -1,0 +1,135 @@
+#include "optimizer/executor.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "optimizer/optimizer.h"
+
+namespace mmdb {
+
+namespace {
+
+StatusOr<int> FindColumn(const std::vector<ColumnRef>& columns,
+                         const ColumnRef& ref) {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == ref) return static_cast<int>(i);
+  }
+  return Status::NotFound("column " + ref.ToString() + " not in plan output");
+}
+
+StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
+                              ExecContext* ctx, IndexProvider* indexes) {
+  switch (plan.kind) {
+    case PlanNode::Kind::kScan: {
+      MMDB_ASSIGN_OR_RETURN(const TableEntry* entry,
+                            catalog.Lookup(plan.table));
+      return *entry->relation;  // copy; tables stay resident
+    }
+    case PlanNode::Kind::kIndexScan: {
+      MMDB_CHECK(!plan.predicates.empty());
+      if (indexes != nullptr) {
+        return indexes->IndexLookupAll(plan.table, plan.predicates[0]);
+      }
+      // No provider (plan executed standalone): degrade to scan + filter.
+      MMDB_ASSIGN_OR_RETURN(const TableEntry* entry,
+                            catalog.Lookup(plan.table));
+      MMDB_ASSIGN_OR_RETURN(
+          int idx, entry->relation->schema().ColumnIndex(
+                       plan.predicates[0].column));
+      Relation out(entry->relation->schema());
+      for (const Row& row : entry->relation->rows()) {
+        ctx->clock->Comp();
+        if (EvalPredicate(plan.predicates[0], row, idx)) out.Add(row);
+      }
+      return out;
+    }
+    case PlanNode::Kind::kFilter: {
+      MMDB_ASSIGN_OR_RETURN(
+          Relation in, ExecuteRec(*plan.child_left, catalog, ctx, indexes));
+      // Resolve each predicate once.
+      std::vector<int> col_indexes;
+      col_indexes.reserve(plan.predicates.size());
+      for (const Predicate& p : plan.predicates) {
+        MMDB_ASSIGN_OR_RETURN(
+            int idx, FindColumn(plan.child_left->output_columns,
+                                ColumnRef{p.table, p.column}));
+        col_indexes.push_back(idx);
+      }
+      Relation out(in.schema());
+      for (Row& row : in.mutable_rows()) {
+        bool keep = true;
+        for (size_t i = 0; i < plan.predicates.size(); ++i) {
+          ctx->clock->Comp();
+          if (!EvalPredicate(plan.predicates[i], row, col_indexes[i])) {
+            keep = false;
+            break;  // most selective first => cheap early exit (§4)
+          }
+        }
+        if (keep) out.Add(std::move(row));
+      }
+      return out;
+    }
+    case PlanNode::Kind::kJoin: {
+      MMDB_ASSIGN_OR_RETURN(
+          Relation left, ExecuteRec(*plan.child_left, catalog, ctx, indexes));
+      MMDB_ASSIGN_OR_RETURN(
+          Relation right,
+          ExecuteRec(*plan.child_right, catalog, ctx, indexes));
+      MMDB_ASSIGN_OR_RETURN(
+          int left_idx,
+          FindColumn(plan.child_left->output_columns, plan.join.left));
+      MMDB_ASSIGN_OR_RETURN(
+          int right_idx,
+          FindColumn(plan.child_right->output_columns, plan.join.right));
+      const Relation& build = plan.build_is_right ? right : left;
+      const Relation& probe = plan.build_is_right ? left : right;
+      JoinSpec spec;
+      spec.left_column = plan.build_is_right ? right_idx : left_idx;
+      spec.right_column = plan.build_is_right ? left_idx : right_idx;
+      return ExecuteJoin(plan.algorithm, build, probe, spec, ctx);
+    }
+    case PlanNode::Kind::kProject: {
+      MMDB_ASSIGN_OR_RETURN(
+          Relation in, ExecuteRec(*plan.child_left, catalog, ctx, indexes));
+      std::vector<int> col_indexes;
+      col_indexes.reserve(plan.projection.size());
+      for (const ColumnRef& ref : plan.projection) {
+        MMDB_ASSIGN_OR_RETURN(
+            int idx, FindColumn(plan.child_left->output_columns, ref));
+        col_indexes.push_back(idx);
+      }
+      Relation out(in.schema().Select(col_indexes));
+      for (const Row& row : in.rows()) {
+        Row projected;
+        projected.reserve(col_indexes.size());
+        for (int idx : col_indexes) {
+          projected.push_back(row[static_cast<size_t>(idx)]);
+        }
+        out.Add(std::move(projected));
+      }
+      return out;
+    }
+  }
+  return Status::Internal("unknown plan node kind");
+}
+
+}  // namespace
+
+StatusOr<Relation> ExecutePlan(const PlanNode& plan, const Catalog& catalog,
+                               ExecContext* ctx, IndexProvider* indexes) {
+  return ExecuteRec(plan, catalog, ctx, indexes);
+}
+
+StatusOr<QueryResult> RunQuery(const Query& query, const Catalog& catalog,
+                               const OptimizerOptions& options,
+                               ExecContext* ctx, IndexProvider* indexes) {
+  Optimizer optimizer(&catalog, options);
+  MMDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
+                        optimizer.Optimize(query));
+  MMDB_ASSIGN_OR_RETURN(Relation rel,
+                        ExecutePlan(*plan, catalog, ctx, indexes));
+  QueryResult result{std::move(rel), plan->ToString()};
+  return result;
+}
+
+}  // namespace mmdb

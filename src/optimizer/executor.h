@@ -1,0 +1,40 @@
+#ifndef MMDB_OPTIMIZER_EXECUTOR_H_
+#define MMDB_OPTIMIZER_EXECUTOR_H_
+
+#include "exec/exec_context.h"
+#include "optimizer/catalog.h"
+#include "optimizer/plan.h"
+
+namespace mmdb {
+
+/// Serves IndexScan plan nodes: returns every row of `table` satisfying
+/// `pred` (an equality or prefix restriction on an indexed column).
+/// Implemented by Database over its AVL / B+-tree / hash indexes; plans
+/// executed without a provider fall back to scan + filter.
+class IndexProvider {
+ public:
+  virtual ~IndexProvider() = default;
+  virtual StatusOr<Relation> IndexLookupAll(const std::string& table,
+                                            const Predicate& pred) = 0;
+};
+
+/// Executes a physical plan produced by Optimizer::Optimize against the
+/// catalog's memory-resident tables, charging all operator work (filter
+/// comparisons, join hashing/moving/probing, spill I/O) to ctx->clock.
+StatusOr<Relation> ExecutePlan(const PlanNode& plan, const Catalog& catalog,
+                               ExecContext* ctx,
+                               IndexProvider* indexes = nullptr);
+
+/// Convenience: optimize + execute in one call.
+struct QueryResult {
+  Relation relation;
+  std::string plan_text;
+};
+StatusOr<QueryResult> RunQuery(const Query& query, const Catalog& catalog,
+                               const struct OptimizerOptions& options,
+                               ExecContext* ctx,
+                               IndexProvider* indexes = nullptr);
+
+}  // namespace mmdb
+
+#endif  // MMDB_OPTIMIZER_EXECUTOR_H_

@@ -1,0 +1,394 @@
+#include "optimizer/optimizer.h"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <map>
+#include <string>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+namespace {
+
+/// Planner-side description of one DP state (a set of joined tables).
+struct SubPlan {
+  std::unique_ptr<PlanNode> node;
+  double est_tuples = 0;
+  double est_pages = 0;
+  double cost_seconds = 0;  // cumulative weighted cost
+};
+
+double WeightedSeconds(const JoinCostBreakdown& c, double w_cpu) {
+  return w_cpu * c.cpu_seconds + c.io_seconds;
+}
+
+}  // namespace
+
+Optimizer::AlgorithmChoice Optimizer::ChooseJoinAlgorithm(
+    double build_pages, double build_tuples, double probe_pages,
+    double probe_tuples) const {
+  JoinWorkload w;
+  w.r_pages = std::max<int64_t>(1, static_cast<int64_t>(build_pages));
+  w.s_pages = std::max<int64_t>(1, static_cast<int64_t>(probe_pages));
+  w.r_tuples = std::max<int64_t>(1, static_cast<int64_t>(build_tuples));
+  w.s_tuples = std::max<int64_t>(1, static_cast<int64_t>(probe_tuples));
+  w.memory_pages = options_.memory_pages;
+
+  const AllJoinCosts costs = ComputeAllJoinCosts(w, options_.cost_params);
+  AlgorithmChoice best{JoinAlgorithm::kHybridHash,
+                       WeightedSeconds(costs.hybrid_hash, options_.w_cpu)};
+  if (options_.hash_only) return best;
+
+  const std::pair<JoinAlgorithm, const JoinCostBreakdown*> candidates[] = {
+      {JoinAlgorithm::kSortMerge, &costs.sort_merge},
+      {JoinAlgorithm::kSimpleHash, &costs.simple_hash},
+      {JoinAlgorithm::kGraceHash, &costs.grace_hash},
+  };
+  for (const auto& [alg, c] : candidates) {
+    const double w_cost = WeightedSeconds(*c, options_.w_cpu);
+    // Strict improvement beyond float noise: exact ties (the in-memory
+    // case, where all three hash algorithms degenerate to the same plan)
+    // keep the hybrid default.
+    if (w_cost < best.weighted_cost_seconds * (1.0 - 1e-9)) {
+      best = AlgorithmChoice{alg, w_cost};
+    }
+  }
+  return best;
+}
+
+StatusOr<std::unique_ptr<PlanNode>> Optimizer::Optimize(
+    const Query& query) const {
+  if (query.tables.empty()) {
+    return Status::InvalidArgument("query has no tables");
+  }
+  if (query.tables.size() > 20) {
+    return Status::InvalidArgument("too many tables for exhaustive DP");
+  }
+
+  const int n = static_cast<int>(query.tables.size());
+  const CostParams& cp = options_.cost_params;
+
+  // ---- Base table sub-plans: Scan (+ Filter with §4 selectivity order).
+  std::vector<SubPlan> base(static_cast<size_t>(n));
+  std::vector<const TableEntry*> entries(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const std::string& name = query.tables[static_cast<size_t>(i)];
+    MMDB_ASSIGN_OR_RETURN(const TableEntry* entry, catalog_->Lookup(name));
+    entries[static_cast<size_t>(i)] = entry;
+
+    auto scan = std::make_unique<PlanNode>();
+    scan->kind = PlanNode::Kind::kScan;
+    scan->table = name;
+    for (const Column& col : entry->relation->schema().columns()) {
+      scan->output_columns.push_back(ColumnRef{name, col.name});
+    }
+    scan->est_tuples = double(entry->stats.num_tuples);
+    scan->est_pages = double(entry->stats.num_pages);
+
+    // Gather this table's restrictions; order most selective first (§4).
+    std::vector<std::pair<double, Predicate>> preds;
+    for (const Predicate& p : query.filters) {
+      if (p.table != name) continue;
+      MMDB_RETURN_IF_ERROR(
+          catalog_->ResolveColumn(p.table, p.column).status());
+      preds.emplace_back(EstimateSelectivity(p, *entry), p);
+    }
+    std::stable_sort(preds.begin(), preds.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+
+    SubPlan& sp = base[static_cast<size_t>(i)];
+    sp.est_tuples = double(entry->stats.num_tuples);
+    if (preds.empty()) {
+      sp.est_pages = double(entry->stats.num_pages);
+      sp.node = std::move(scan);
+      continue;
+    }
+
+    // Access-path choice (§2 meets §4): can the most selective INDEXABLE
+    // restriction be served by an index instead of a full scan?
+    //   servable: equality on any index; prefix on an ordered index.
+    int index_pred = -1;
+    const IndexInfo* index_info = nullptr;
+    for (size_t pi = 0; pi < preds.size(); ++pi) {
+      const Predicate& p = preds[pi].second;
+      const IndexInfo* info = catalog_->FindIndex(name, p.column);
+      if (info == nullptr) continue;
+      const bool servable =
+          p.op == CmpOp::kEq ||
+          (p.op == CmpOp::kPrefix && info->kind != IndexKind::kHash);
+      if (servable) {
+        index_pred = static_cast<int>(pi);
+        index_info = info;
+        break;  // preds are selectivity-sorted: first hit is best
+      }
+    }
+
+    const double n_tuples = double(entry->stats.num_tuples);
+    double sel = 1.0;
+    for (const auto& [s, p] : preds) sel *= s;
+
+    // Full-scan cost: every predicate evaluated on every tuple (early exit
+    // ignored — a conservative upper bound on comparisons).
+    const double scan_cost_s = options_.w_cpu * n_tuples *
+                               double(preds.size()) * cp.comp_us * 1e-6;
+    // Index cost: a log2(n) descent (hash: ~1 probe) plus one comparison
+    // per match for each residual predicate.
+    double index_cost_s = 0;
+    if (index_pred >= 0) {
+      const double matches =
+          std::max(1.0, n_tuples * preds[size_t(index_pred)].first);
+      const double descent =
+          index_info->kind == IndexKind::kHash
+              ? 1.0 + matches
+              : std::log2(std::max(2.0, n_tuples)) + matches;
+      index_cost_s = options_.w_cpu *
+                     (descent + matches * double(preds.size() - 1)) *
+                     cp.comp_us * 1e-6;
+    }
+
+    if (index_pred >= 0 && index_cost_s < scan_cost_s) {
+      auto index_scan = std::make_unique<PlanNode>();
+      index_scan->kind = PlanNode::Kind::kIndexScan;
+      index_scan->table = name;
+      index_scan->index_kind = index_info->kind;
+      index_scan->predicates.push_back(preds[size_t(index_pred)].second);
+      index_scan->output_columns = scan->output_columns;
+      index_scan->est_tuples =
+          std::max(1.0, n_tuples * preds[size_t(index_pred)].first);
+      index_scan->est_pages = std::max(
+          1.0, double(entry->stats.num_pages) *
+                   preds[size_t(index_pred)].first);
+      index_scan->est_cost_seconds = index_cost_s;
+      preds.erase(preds.begin() + index_pred);
+      std::unique_ptr<PlanNode> node = std::move(index_scan);
+      if (!preds.empty()) {
+        auto filter = std::make_unique<PlanNode>();
+        filter->kind = PlanNode::Kind::kFilter;
+        for (auto& [s, p] : preds) filter->predicates.push_back(std::move(p));
+        filter->output_columns = node->output_columns;
+        filter->est_tuples = std::max(1.0, n_tuples * sel);
+        filter->est_pages =
+            std::max(1.0, double(entry->stats.num_pages) * sel);
+        filter->est_cost_seconds = index_cost_s;
+        filter->child_left = std::move(node);
+        node = std::move(filter);
+      }
+      sp.cost_seconds = index_cost_s;
+      sp.est_tuples = std::max(1.0, n_tuples * sel);
+      sp.est_pages = std::max(1.0, double(entry->stats.num_pages) * sel);
+      sp.node = std::move(node);
+      continue;
+    }
+
+    auto filter = std::make_unique<PlanNode>();
+    filter->kind = PlanNode::Kind::kFilter;
+    for (auto& [s, p] : preds) {
+      filter->predicates.push_back(std::move(p));
+    }
+    filter->output_columns = scan->output_columns;
+    filter->child_left = std::move(scan);
+    filter->est_tuples = std::max(1.0, filter->child_left->est_tuples * sel);
+    filter->est_pages = std::max(1.0, filter->child_left->est_pages * sel);
+    filter->est_cost_seconds = scan_cost_s;
+    sp.cost_seconds = scan_cost_s;
+    sp.est_tuples = filter->est_tuples;
+    sp.est_pages = filter->est_pages;
+    sp.node = std::move(filter);
+  }
+
+  if (n == 1 && !query.joins.empty()) {
+    return Status::InvalidArgument("join clause with a single table");
+  }
+
+  // ---- Resolve join clauses to table indexes.
+  auto table_index = [&](const std::string& t) -> int {
+    for (int i = 0; i < n; ++i) {
+      if (query.tables[static_cast<size_t>(i)] == t) return i;
+    }
+    return -1;
+  };
+  struct Edge {
+    int a;
+    int b;
+    JoinClause clause;
+    double distinct_a;
+    double distinct_b;
+  };
+  std::vector<Edge> edges;
+  for (const JoinClause& jc : query.joins) {
+    Edge e;
+    e.a = table_index(jc.left.table);
+    e.b = table_index(jc.right.table);
+    if (e.a < 0 || e.b < 0) {
+      return Status::InvalidArgument("join references unknown table");
+    }
+    MMDB_ASSIGN_OR_RETURN(
+        int ca, catalog_->ResolveColumn(jc.left.table, jc.left.column));
+    MMDB_ASSIGN_OR_RETURN(
+        int cb, catalog_->ResolveColumn(jc.right.table, jc.right.column));
+    e.clause = jc;
+    e.distinct_a = double(std::max<int64_t>(
+        1,
+        entries[static_cast<size_t>(e.a)]->stats.columns[size_t(ca)].num_distinct));
+    e.distinct_b = double(std::max<int64_t>(
+        1,
+        entries[static_cast<size_t>(e.b)]->stats.columns[size_t(cb)].num_distinct));
+    edges.push_back(std::move(e));
+  }
+
+  // ---- DP over connected subsets, left-deep (no interesting orders: §4).
+  std::map<uint32_t, SubPlan> dp;
+  for (int i = 0; i < n; ++i) {
+    dp[1u << i] = std::move(base[static_cast<size_t>(i)]);
+  }
+
+  for (int size = 2; size <= n; ++size) {
+    for (uint32_t mask = 1; mask < (1u << n); ++mask) {
+      if (__builtin_popcount(mask) != size) continue;
+      SubPlan best;
+      bool found = false;
+      // Left-deep: extend a (size-1)-subset with one base table.
+      for (int t = 0; t < n; ++t) {
+        const uint32_t bit = 1u << t;
+        if (!(mask & bit)) continue;
+        const uint32_t rest = mask ^ bit;
+        auto rest_it = dp.find(rest);
+        if (rest_it == dp.end() || rest_it->second.node == nullptr) continue;
+        auto right_it = dp.find(bit);
+        MMDB_CHECK(right_it != dp.end());
+
+        // Find a connecting edge (rest side <-> t).
+        const Edge* edge = nullptr;
+        bool left_is_rest = true;
+        for (const Edge& e : edges) {
+          if ((rest & (1u << e.a)) && e.b == t) {
+            edge = &e;
+            left_is_rest = true;
+            break;
+          }
+          if ((rest & (1u << e.b)) && e.a == t) {
+            edge = &e;
+            left_is_rest = false;
+            break;
+          }
+        }
+        if (edge == nullptr) continue;  // no cartesian products
+
+        const SubPlan& left = rest_it->second;
+        const SubPlan& right = right_it->second;
+
+        // Output estimate: |A||B| / max(d_a, d_b), capped by the product.
+        const double d = std::max(edge->distinct_a, edge->distinct_b);
+        const double out_tuples = std::max(
+            1.0, left.est_tuples * right.est_tuples / std::max(1.0, d));
+
+        // Build = smaller estimated side.
+        const bool right_builds = right.est_pages <= left.est_pages;
+        const double build_pages =
+            right_builds ? right.est_pages : left.est_pages;
+        const double probe_pages =
+            right_builds ? left.est_pages : right.est_pages;
+        const double build_tuples =
+            right_builds ? right.est_tuples : left.est_tuples;
+        const double probe_tuples =
+            right_builds ? left.est_tuples : right.est_tuples;
+        const AlgorithmChoice choice = ChooseJoinAlgorithm(
+            build_pages, build_tuples, probe_pages, probe_tuples);
+
+        const double total =
+            left.cost_seconds + right.cost_seconds +
+            choice.weighted_cost_seconds;
+        if (found && total >= best.cost_seconds) continue;
+
+        auto node = std::make_unique<PlanNode>();
+        node->kind = PlanNode::Kind::kJoin;
+        node->algorithm = choice.algorithm;
+        node->join = left_is_rest ? edge->clause
+                                  : JoinClause{edge->clause.right,
+                                               edge->clause.left};
+        node->build_is_right = right_builds;
+        // Children are cloned by re-optimizing? No — DP stores unique
+        // plans; we must not consume them for a candidate we may discard.
+        // Defer: record the decision and rebuild below.
+        node->est_tuples = out_tuples;
+        node->est_cost_seconds = total;
+
+        best = SubPlan{};
+        best.node = std::move(node);
+        best.est_tuples = out_tuples;
+        // Result width ~ sum of input widths: approximate pages as the sum
+        // scaled by the output/input tuple ratio of the probe side.
+        best.est_pages = std::max(
+            1.0, (left.est_pages / std::max(1.0, left.est_tuples) +
+                  right.est_pages / std::max(1.0, right.est_tuples)) *
+                     out_tuples);
+        best.cost_seconds = total;
+        // Stash which split produced it (encoded in the node for rebuild).
+        best.node->table = std::to_string(rest) + ":" + std::to_string(bit);
+        found = true;
+      }
+      if (found) dp[mask] = std::move(best);
+    }
+  }
+
+  const uint32_t full = (1u << n) - 1;
+  auto it = dp.find(full);
+  if (it == dp.end() || it->second.node == nullptr) {
+    return Status::InvalidArgument(
+        "join graph is disconnected; cartesian products are not planned");
+  }
+
+  // ---- Rebuild the winning tree by walking the recorded splits, moving
+  // the actual sub-plans into place (children could not be attached during
+  // the DP because candidate plans are discarded freely).
+  std::function<std::unique_ptr<PlanNode>(uint32_t)> build =
+      [&](uint32_t mask) -> std::unique_ptr<PlanNode> {
+    SubPlan& sp = dp[mask];
+    MMDB_CHECK(sp.node != nullptr);
+    if (sp.node->kind != PlanNode::Kind::kJoin) {
+      return std::move(sp.node);
+    }
+    // Decode the split.
+    const std::string& enc = sp.node->table;
+    const size_t colon = enc.find(':');
+    const uint32_t rest = static_cast<uint32_t>(std::stoul(enc.substr(0, colon)));
+    const uint32_t bit = static_cast<uint32_t>(std::stoul(enc.substr(colon + 1)));
+    sp.node->table.clear();
+    sp.node->child_left = build(rest);
+    sp.node->child_right = build(bit);
+    // Output columns: build side first (Schema::Concat(R, S) order).
+    const auto& l_cols = sp.node->child_left->output_columns;
+    const auto& r_cols = sp.node->child_right->output_columns;
+    if (sp.node->build_is_right) {
+      sp.node->output_columns = r_cols;
+      sp.node->output_columns.insert(sp.node->output_columns.end(),
+                                     l_cols.begin(), l_cols.end());
+    } else {
+      sp.node->output_columns = l_cols;
+      sp.node->output_columns.insert(sp.node->output_columns.end(),
+                                     r_cols.begin(), r_cols.end());
+    }
+    return std::move(sp.node);
+  };
+
+  std::unique_ptr<PlanNode> root = build(full);
+
+  // ---- Final projection.
+  if (!query.select_columns.empty()) {
+    auto project = std::make_unique<PlanNode>();
+    project->kind = PlanNode::Kind::kProject;
+    project->projection = query.select_columns;
+    project->output_columns = query.select_columns;
+    project->est_tuples = root->est_tuples;
+    project->est_cost_seconds = root->est_cost_seconds;
+    project->child_left = std::move(root);
+    root = std::move(project);
+  }
+  return root;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,88 @@
+#ifndef MMDB_OPTIMIZER_PLAN_H_
+#define MMDB_OPTIMIZER_PLAN_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "exec/join.h"
+#include "optimizer/predicate.h"
+
+namespace mmdb {
+
+/// A (table, column) reference; the currency of query descriptions and
+/// plan-node output descriptions.
+struct ColumnRef {
+  std::string table;
+  std::string column;
+
+  bool operator==(const ColumnRef& o) const {
+    return table == o.table && column == o.column;
+  }
+  std::string ToString() const { return table + "." + column; }
+};
+
+/// One equi-join edge of the query graph.
+struct JoinClause {
+  ColumnRef left;
+  ColumnRef right;
+};
+
+/// The declarative query the optimizer consumes:
+///   SELECT select_columns (all columns when empty)
+///   FROM tables
+///   WHERE filters AND joins
+/// Aggregation over the result is applied separately (HashAggregate) — §4's
+/// point is precisely that hash aggregation composes freely on top because
+/// it is insensitive to input order.
+struct Query {
+  std::vector<std::string> tables;
+  std::vector<JoinClause> joins;
+  std::vector<Predicate> filters;
+  std::vector<ColumnRef> select_columns;
+};
+
+/// Physical plan tree produced by the optimizer.
+struct PlanNode {
+  enum class Kind { kScan, kIndexScan, kFilter, kJoin, kProject };
+
+  Kind kind = Kind::kScan;
+
+  // kScan / kIndexScan
+  std::string table;
+  // kIndexScan: the restriction served by the index (predicates[0]) and
+  // which access method serves it.
+  IndexKind index_kind = IndexKind::kHash;
+
+  // kFilter (applied to child_left), ordered most selective first (§4).
+  // kIndexScan: exactly one served predicate.
+  std::vector<Predicate> predicates;
+
+  // kJoin
+  JoinAlgorithm algorithm = JoinAlgorithm::kHybridHash;
+  JoinClause join;
+  /// True when the optimizer swapped build/probe so the smaller input is
+  /// the build side (the |R| <= |S| convention of §3).
+  bool build_is_right = false;
+
+  // kProject
+  std::vector<ColumnRef> projection;
+
+  std::unique_ptr<PlanNode> child_left;
+  std::unique_ptr<PlanNode> child_right;
+
+  /// Output description: position -> originating column.
+  std::vector<ColumnRef> output_columns;
+
+  // Optimizer estimates.
+  double est_tuples = 0;
+  double est_pages = 0;
+  double est_cost_seconds = 0;  ///< cumulative W*CPU + IO
+
+  /// Multi-line indented rendering for logs and plan tests.
+  std::string ToString(int indent = 0) const;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_OPTIMIZER_PLAN_H_

@@ -1,0 +1,125 @@
+#include "optimizer/predicate.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+std::string_view CmpOpName(CmpOp op) {
+  switch (op) {
+    case CmpOp::kEq:
+      return "=";
+    case CmpOp::kNe:
+      return "!=";
+    case CmpOp::kLt:
+      return "<";
+    case CmpOp::kLe:
+      return "<=";
+    case CmpOp::kGt:
+      return ">";
+    case CmpOp::kGe:
+      return ">=";
+    case CmpOp::kPrefix:
+      return "=~";
+  }
+  return "?";
+}
+
+std::string Predicate::ToString() const {
+  std::string out = table;
+  out += ".";
+  out += column;
+  out += " ";
+  out += CmpOpName(op);
+  out += " ";
+  out += ValueToString(literal);
+  if (op == CmpOp::kPrefix) out += "*";
+  return out;
+}
+
+namespace {
+
+double AsDouble(const Value& v) {
+  if (std::holds_alternative<int64_t>(v)) {
+    return double(std::get<int64_t>(v));
+  }
+  if (std::holds_alternative<double>(v)) return std::get<double>(v);
+  return 0;
+}
+
+}  // namespace
+
+double EstimateSelectivity(const Predicate& pred, const TableEntry& entry) {
+  auto idx = entry.relation->schema().ColumnIndex(pred.column);
+  if (!idx.ok()) return 1.0;
+  const ColumnStats& cs =
+      entry.stats.columns[static_cast<size_t>(idx.value())];
+  const double distinct = std::max<double>(1, double(cs.num_distinct));
+  switch (pred.op) {
+    case CmpOp::kEq:
+      return 1.0 / distinct;
+    case CmpOp::kNe:
+      return 1.0 - 1.0 / distinct;
+    case CmpOp::kLt:
+    case CmpOp::kLe:
+    case CmpOp::kGt:
+    case CmpOp::kGe: {
+      if (!cs.has_min_max || TypeOf(cs.min_value) == ValueType::kString) {
+        return 1.0 / 3.0;  // [SELI79]'s default
+      }
+      const double lo = AsDouble(cs.min_value);
+      const double hi = AsDouble(cs.max_value);
+      const double x = AsDouble(pred.literal);
+      if (hi <= lo) return 0.5;
+      double frac = (x - lo) / (hi - lo);
+      frac = std::clamp(frac, 0.0, 1.0);
+      if (pred.op == CmpOp::kLt || pred.op == CmpOp::kLe) return frac;
+      return 1.0 - frac;
+    }
+    case CmpOp::kPrefix: {
+      // Heuristic: a k-character prefix over ~26 stems; without better
+      // statistics assume 1/26 per leading character, floored at 1/distinct.
+      const std::string& s = std::get<std::string>(pred.literal);
+      double sel = 1.0;
+      for (size_t i = 0; i < std::min<size_t>(s.size(), 2); ++i) sel /= 26.0;
+      return std::max(sel, 1.0 / distinct);
+    }
+  }
+  return 1.0;
+}
+
+bool EvalPredicate(const Predicate& pred, const Row& row, int column_index) {
+  const Value& v = row[static_cast<size_t>(column_index)];
+  if (pred.op == CmpOp::kPrefix) {
+    if (TypeOf(v) != ValueType::kString ||
+        TypeOf(pred.literal) != ValueType::kString) {
+      return false;
+    }
+    const std::string& s = std::get<std::string>(v);
+    const std::string& prefix = std::get<std::string>(pred.literal);
+    return s.size() >= prefix.size() &&
+           s.compare(0, prefix.size(), prefix) == 0;
+  }
+  if (TypeOf(v) != TypeOf(pred.literal)) return false;
+  const int cmp = CompareValues(v, pred.literal);
+  switch (pred.op) {
+    case CmpOp::kEq:
+      return cmp == 0;
+    case CmpOp::kNe:
+      return cmp != 0;
+    case CmpOp::kLt:
+      return cmp < 0;
+    case CmpOp::kLe:
+      return cmp <= 0;
+    case CmpOp::kGt:
+      return cmp > 0;
+    case CmpOp::kGe:
+      return cmp >= 0;
+    case CmpOp::kPrefix:
+      return false;  // handled above
+  }
+  return false;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,40 @@
+#ifndef MMDB_OPTIMIZER_PREDICATE_H_
+#define MMDB_OPTIMIZER_PREDICATE_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "optimizer/catalog.h"
+#include "storage/row.h"
+
+namespace mmdb {
+
+/// Comparison operators for single-table restrictions. kPrefix is the
+/// paper's 'emp.name = "J*"' query: a string prefix match, satisfiable by a
+/// contiguous range scan on an ordered index.
+enum class CmpOp { kEq, kNe, kLt, kLe, kGt, kGe, kPrefix };
+
+std::string_view CmpOpName(CmpOp op);
+
+/// One restriction: table.column <op> literal.
+struct Predicate {
+  std::string table;
+  std::string column;
+  CmpOp op = CmpOp::kEq;
+  Value literal;
+
+  std::string ToString() const;
+};
+
+/// Selinger-style selectivity estimate from catalog statistics:
+/// equality -> 1/distinct; ranges -> covered fraction of [min, max]
+/// (numeric columns only; 1/3 fallback); prefix -> 1/distinct-stem
+/// heuristic (0.05 fallback).
+double EstimateSelectivity(const Predicate& pred, const TableEntry& entry);
+
+/// Evaluates `pred` against the value in `row[column_index]`.
+bool EvalPredicate(const Predicate& pred, const Row& row, int column_index);
+
+}  // namespace mmdb
+
+#endif  // MMDB_OPTIMIZER_PREDICATE_H_

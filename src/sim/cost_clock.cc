@@ -1,0 +1,39 @@
+#include "sim/cost_clock.h"
+
+#include <cstdio>
+
+namespace mmdb {
+
+double CostClock::CpuSeconds() const {
+  const double us = double(counters_.comparisons) * params_.comp_us +
+                    double(counters_.hashes) * params_.hash_us +
+                    double(counters_.moves) * params_.move_us +
+                    double(counters_.small_moves) * params_.move_us * 0.25 +
+                    double(counters_.swaps) * params_.swap_us;
+  return us * 1e-6;
+}
+
+double CostClock::IoSeconds() const {
+  const double us = double(counters_.seq_ios) * params_.io_seq_us +
+                    double(counters_.rand_ios) * params_.io_rand_us;
+  return us * 1e-6;
+}
+
+double CostClock::Seconds() const { return CpuSeconds() + IoSeconds(); }
+
+std::string CostClock::DebugString() const {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "comp=%lld hash=%lld move=%lld swap=%lld ioseq=%lld "
+                "iorand=%lld -> %.3f s (cpu %.3f, io %.3f)",
+                static_cast<long long>(counters_.comparisons),
+                static_cast<long long>(counters_.hashes),
+                static_cast<long long>(counters_.moves),
+                static_cast<long long>(counters_.swaps),
+                static_cast<long long>(counters_.seq_ios),
+                static_cast<long long>(counters_.rand_ios), Seconds(),
+                CpuSeconds(), IoSeconds());
+  return buf;
+}
+
+}  // namespace mmdb

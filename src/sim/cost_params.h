@@ -1,0 +1,40 @@
+#ifndef MMDB_SIM_COST_PARAMS_H_
+#define MMDB_SIM_COST_PARAMS_H_
+
+#include <cstdint>
+
+namespace mmdb {
+
+/// The machine model of the paper (Table 2, "Parameter Settings Used").
+/// Every analytic formula and every executed-algorithm simulation charges
+/// time through these constants. Times are kept in microseconds internally.
+///
+/// Table 2 defaults:
+///   comp  = 3 us     time to compare keys
+///   hash  = 9 us     time to hash a key
+///   move  = 20 us    time to move a tuple
+///   swap  = 60 us    time to swap two tuples
+///   IOseq = 10 ms    sequential I/O operation
+///   IOrand= 25 ms    random I/O operation
+///   F     = 1.2      universal "fudge" factor
+/// plus page geometry: 4096-byte pages, 40 tuples/page for the Figure 1
+/// relations.
+struct CostParams {
+  double comp_us = 3.0;
+  double hash_us = 9.0;
+  double move_us = 20.0;
+  double swap_us = 60.0;
+  double io_seq_us = 10'000.0;
+  double io_rand_us = 25'000.0;
+  double fudge = 1.2;
+
+  int64_t page_size_bytes = 4096;
+  int64_t tuples_per_page = 40;
+
+  /// Table 3 gives the tested ranges; see bench_table3_sensitivity.
+  static CostParams Table2Defaults() { return CostParams{}; }
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_SIM_COST_PARAMS_H_

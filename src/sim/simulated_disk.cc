@@ -1,0 +1,100 @@
+#include "sim/simulated_disk.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+SimulatedDisk::FileId SimulatedDisk::CreateFile(std::string name) {
+  FileId id = next_id_++;
+  files_[id].name = std::move(name);
+  return id;
+}
+
+void SimulatedDisk::DeleteFile(FileId id) { files_.erase(id); }
+
+int64_t SimulatedDisk::NumPages(FileId id) const {
+  auto it = files_.find(id);
+  if (it == files_.end()) return 0;
+  return static_cast<int64_t>(it->second.pages.size());
+}
+
+void SimulatedDisk::Charge(File* f, int64_t page_no, IoKind kind) {
+  if (clock_ != nullptr) {
+    if (kind == IoKind::kSequential) {
+      clock_->IoSeq();
+    } else {
+      clock_->IoRand();
+    }
+  }
+  if (kind == IoKind::kSequential) {
+    ++stats_.seq_ios;
+  } else {
+    ++stats_.rand_ios;
+  }
+  f->last_page_accessed = page_no;
+}
+
+Status SimulatedDisk::WritePage(FileId id, int64_t page_no, const void* data,
+                                IoKind kind) {
+  auto it = files_.find(id);
+  if (it == files_.end()) return Status::NotFound("no such file");
+  if (page_no < 0) return Status::InvalidArgument("negative page number");
+  File& f = it->second;
+  if (page_no >= static_cast<int64_t>(f.pages.size())) {
+    f.pages.resize(static_cast<size_t>(page_no) + 1);
+  }
+  auto& page = f.pages[static_cast<size_t>(page_no)];
+  page.assign(static_cast<const char*>(data),
+              static_cast<const char*>(data) + page_size_);
+  ++stats_.writes;
+  Charge(&f, page_no, kind);
+  return Status::OK();
+}
+
+Status SimulatedDisk::ReadPage(FileId id, int64_t page_no, void* out,
+                               IoKind kind) {
+  auto it = files_.find(id);
+  if (it == files_.end()) return Status::NotFound("no such file");
+  File& f = it->second;
+  if (page_no < 0 || page_no >= static_cast<int64_t>(f.pages.size())) {
+    return Status::OutOfRange("page beyond end of file");
+  }
+  const auto& page = f.pages[static_cast<size_t>(page_no)];
+  if (page.empty()) {
+    std::memset(out, 0, static_cast<size_t>(page_size_));
+  } else {
+    std::memcpy(out, page.data(), static_cast<size_t>(page_size_));
+  }
+  ++stats_.reads;
+  Charge(&f, page_no, kind);
+  return Status::OK();
+}
+
+StatusOr<int64_t> SimulatedDisk::AppendPage(FileId id, const void* data,
+                                            IoKind kind) {
+  auto it = files_.find(id);
+  if (it == files_.end()) return Status::NotFound("no such file");
+  int64_t page_no = static_cast<int64_t>(it->second.pages.size());
+  MMDB_RETURN_IF_ERROR(WritePage(id, page_no, data, kind));
+  return page_no;
+}
+
+StatusOr<int64_t> SimulatedDisk::AllocatePage(FileId id) {
+  auto it = files_.find(id);
+  if (it == files_.end()) return Status::NotFound("no such file");
+  File& f = it->second;
+  f.pages.emplace_back();  // empty vector reads back as zeros
+  return static_cast<int64_t>(f.pages.size()) - 1;
+}
+
+int64_t SimulatedDisk::TotalPages() const {
+  int64_t total = 0;
+  for (const auto& [id, f] : files_) {
+    total += static_cast<int64_t>(f.pages.size());
+  }
+  return total;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,46 @@
+#include "sim/stable_memory.h"
+
+namespace mmdb {
+
+Status StableMemory::Allocate(const std::string& name, int64_t size) {
+  if (size < 0) return Status::InvalidArgument("negative region size");
+  if (regions_.count(name)) return Status::AlreadyExists("region " + name);
+  if (used_ + size > capacity_) {
+    return Status::ResourceExhausted("stable memory full allocating " + name);
+  }
+  regions_[name].assign(static_cast<size_t>(size), 0);
+  used_ += size;
+  return Status::OK();
+}
+
+void StableMemory::Free(const std::string& name) {
+  auto it = regions_.find(name);
+  if (it == regions_.end()) return;
+  used_ -= static_cast<int64_t>(it->second.size());
+  regions_.erase(it);
+}
+
+Status StableMemory::Resize(const std::string& name, int64_t new_size) {
+  auto it = regions_.find(name);
+  if (it == regions_.end()) return Status::NotFound("region " + name);
+  if (new_size < 0) return Status::InvalidArgument("negative region size");
+  int64_t delta = new_size - static_cast<int64_t>(it->second.size());
+  if (used_ + delta > capacity_) {
+    return Status::ResourceExhausted("stable memory full resizing " + name);
+  }
+  it->second.resize(static_cast<size_t>(new_size), 0);
+  used_ += delta;
+  return Status::OK();
+}
+
+std::vector<char>* StableMemory::Region(const std::string& name) {
+  auto it = regions_.find(name);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+const std::vector<char>* StableMemory::Region(const std::string& name) const {
+  auto it = regions_.find(name);
+  return it == regions_.end() ? nullptr : &it->second;
+}
+
+}  // namespace mmdb

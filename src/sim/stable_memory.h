@@ -1,0 +1,67 @@
+#ifndef MMDB_SIM_STABLE_MEMORY_H_
+#define MMDB_SIM_STABLE_MEMORY_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mmdb {
+
+/// Battery-backed ("stable") main memory, per §5.4 of the paper: a small,
+/// expensive region of RAM that survives power failure, used for the
+/// in-memory log tail and the first-update table.
+///
+/// The simulation enforces the survival semantics: volatile state in the
+/// recovery subsystem registers with CrashSite (see txn/recoverable_store.h)
+/// and is wiped by a simulated crash, while StableMemory regions persist.
+/// Capacity is bounded so code must treat stable memory as scarce, exactly
+/// as the paper assumes ("such memory is too expensive to be used for all of
+/// real memory").
+class StableMemory {
+ public:
+  explicit StableMemory(int64_t capacity_bytes)
+      : capacity_(capacity_bytes), used_(0) {}
+
+  StableMemory(const StableMemory&) = delete;
+  StableMemory& operator=(const StableMemory&) = delete;
+
+  int64_t capacity() const { return capacity_; }
+  int64_t used() const { return used_; }
+  int64_t available() const { return capacity_ - used_; }
+
+  /// Allocates a named region of `size` bytes, zero-filled.
+  /// Fails with kResourceExhausted if it does not fit, kAlreadyExists if the
+  /// name is taken.
+  Status Allocate(const std::string& name, int64_t size);
+
+  /// Frees a region. Idempotent (OK if absent).
+  void Free(const std::string& name);
+
+  /// Resizes a region, preserving its prefix. Grows zero-filled.
+  Status Resize(const std::string& name, int64_t new_size);
+
+  /// Raw access to a region's backing bytes; nullptr if absent.
+  /// The pointer is invalidated by Resize/Free of the same region.
+  std::vector<char>* Region(const std::string& name);
+  const std::vector<char>* Region(const std::string& name) const;
+
+  bool Has(const std::string& name) const {
+    return regions_.count(name) != 0;
+  }
+
+  /// A crash does NOT clear stable memory; this exists so tests can assert
+  /// the simulator never calls it by accident.
+  void SurviveCrash() const {}
+
+ private:
+  int64_t capacity_;
+  int64_t used_;
+  std::map<std::string, std::vector<char>> regions_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_SIM_STABLE_MEMORY_H_

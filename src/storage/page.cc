@@ -1,0 +1,4 @@
+#include "storage/page.h"
+
+// Page is header-only; this TU exists so the build exposes a storage object
+// even when only Page is used.

@@ -1,0 +1,3 @@
+#include "storage/page_file.h"
+
+// Header-only; see page_file.h.

@@ -1,0 +1,40 @@
+#include "storage/relation.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+int64_t Relation::NumPages(int64_t page_size) const {
+  const int32_t per_page = TuplesPerPage(page_size);
+  MMDB_CHECK(per_page > 0);
+  return (num_tuples() + per_page - 1) / per_page;
+}
+
+void Relation::SortBy(int column) {
+  std::stable_sort(rows_.begin(), rows_.end(),
+                   [column](const Row& a, const Row& b) {
+                     return CompareRowsOn(a, b, column) < 0;
+                   });
+}
+
+Status Relation::ToHeapFile(HeapFile* heap) const {
+  std::vector<char> buf(static_cast<size_t>(schema_.record_size()));
+  for (const Row& row : rows_) {
+    MMDB_RETURN_IF_ERROR(SerializeRow(schema_, row, buf.data()));
+    MMDB_RETURN_IF_ERROR(heap->Append(buf.data()).status());
+  }
+  return Status::OK();
+}
+
+StatusOr<Relation> Relation::FromHeapFile(const Schema& schema,
+                                          HeapFile* heap) {
+  Relation out(schema);
+  MMDB_RETURN_IF_ERROR(heap->Scan([&](RecordId, const char* rec) {
+    out.Add(DeserializeRow(schema, rec));
+  }));
+  return out;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,58 @@
+#ifndef MMDB_STORAGE_RELATION_H_
+#define MMDB_STORAGE_RELATION_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/heap_file.h"
+#include "storage/page.h"
+#include "storage/row.h"
+#include "storage/schema.h"
+
+namespace mmdb {
+
+/// A materialized, memory-resident relation: a schema plus tuples.
+/// This is the currency of the executor — operators consume and produce
+/// Relations (or stream rows between themselves); HeapFile is its
+/// disk-resident form.
+class Relation {
+ public:
+  Relation() = default;
+  explicit Relation(Schema schema) : schema_(std::move(schema)) {}
+  Relation(Schema schema, std::vector<Row> rows)
+      : schema_(std::move(schema)), rows_(std::move(rows)) {}
+
+  const Schema& schema() const { return schema_; }
+  const std::vector<Row>& rows() const { return rows_; }
+  std::vector<Row>& mutable_rows() { return rows_; }
+
+  int64_t num_tuples() const { return static_cast<int64_t>(rows_.size()); }
+
+  void Add(Row row) { rows_.push_back(std::move(row)); }
+
+  /// The paper's |R|: pages this relation occupies at the given page size
+  /// (fixed-width records, Page-format capacity).
+  int64_t NumPages(int64_t page_size) const;
+
+  /// Tuples that fit per page at this schema's record size.
+  int32_t TuplesPerPage(int64_t page_size) const {
+    return Page::Capacity(page_size, schema_.record_size());
+  }
+
+  /// Stable sort by one column ascending — for test oracles.
+  void SortBy(int column);
+
+  /// Writes all tuples into `heap` (record-serialized).
+  Status ToHeapFile(HeapFile* heap) const;
+
+  /// Reads an entire heap file back into memory.
+  static StatusOr<Relation> FromHeapFile(const Schema& schema, HeapFile* heap);
+
+ private:
+  Schema schema_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_RELATION_H_

@@ -1,0 +1,101 @@
+#include "storage/row.h"
+
+#include <cstring>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+Status SerializeRow(const Schema& schema, const Row& row, char* out) {
+  if (static_cast<int>(row.size()) != schema.num_columns()) {
+    return Status::InvalidArgument("row arity does not match schema");
+  }
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    const Column& col = schema.column(i);
+    const Value& v = row[static_cast<size_t>(i)];
+    if (TypeOf(v) != col.type) {
+      return Status::InvalidArgument("type mismatch in column " + col.name);
+    }
+    char* dst = out + schema.offset(i);
+    switch (col.type) {
+      case ValueType::kInt64: {
+        int64_t x = std::get<int64_t>(v);
+        std::memcpy(dst, &x, sizeof(x));
+        break;
+      }
+      case ValueType::kDouble: {
+        double x = std::get<double>(v);
+        std::memcpy(dst, &x, sizeof(x));
+        break;
+      }
+      case ValueType::kString: {
+        const std::string& s = std::get<std::string>(v);
+        if (static_cast<int32_t>(s.size()) > col.width) {
+          return Status::InvalidArgument("string too wide for column " +
+                                         col.name);
+        }
+        std::memset(dst, 0, static_cast<size_t>(col.width));
+        std::memcpy(dst, s.data(), s.size());
+        break;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+Row DeserializeRow(const Schema& schema, const char* data) {
+  Row row;
+  row.reserve(static_cast<size_t>(schema.num_columns()));
+  for (int i = 0; i < schema.num_columns(); ++i) {
+    const Column& col = schema.column(i);
+    const char* src = data + schema.offset(i);
+    switch (col.type) {
+      case ValueType::kInt64: {
+        int64_t x;
+        std::memcpy(&x, src, sizeof(x));
+        row.emplace_back(x);
+        break;
+      }
+      case ValueType::kDouble: {
+        double x;
+        std::memcpy(&x, src, sizeof(x));
+        row.emplace_back(x);
+        break;
+      }
+      case ValueType::kString: {
+        size_t len = 0;
+        while (len < static_cast<size_t>(col.width) && src[len] != '\0') ++len;
+        row.emplace_back(std::string(src, len));
+        break;
+      }
+    }
+  }
+  return row;
+}
+
+int CompareRowsOn(const Row& a, const Row& b, int column) {
+  MMDB_DCHECK(column >= 0);
+  MMDB_DCHECK(static_cast<size_t>(column) < a.size());
+  MMDB_DCHECK(static_cast<size_t>(column) < b.size());
+  return CompareValues(a[static_cast<size_t>(column)],
+                       b[static_cast<size_t>(column)]);
+}
+
+Row ConcatRows(const Row& left, const Row& right) {
+  Row out;
+  out.reserve(left.size() + right.size());
+  out.insert(out.end(), left.begin(), left.end());
+  out.insert(out.end(), right.begin(), right.end());
+  return out;
+}
+
+std::string RowToString(const Row& row) {
+  std::string out;
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (i) out += "|";
+    out += ValueToString(row[i]);
+  }
+  return out;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,35 @@
+#ifndef MMDB_STORAGE_ROW_H_
+#define MMDB_STORAGE_ROW_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace mmdb {
+
+/// A materialized tuple as passed between executor operators.
+using Row = std::vector<Value>;
+
+/// Serializes `row` into exactly `schema.record_size()` bytes at `out`.
+/// INT64/DOUBLE are stored little-endian; CHAR(n) is zero-padded. Fails if
+/// arity/types mismatch or a string exceeds its column width.
+Status SerializeRow(const Schema& schema, const Row& row, char* out);
+
+/// Parses a record previously produced by SerializeRow.
+Row DeserializeRow(const Schema& schema, const char* data);
+
+/// Lexicographic comparison of two rows on one column. Rows must match the
+/// schema that produced them.
+int CompareRowsOn(const Row& a, const Row& b, int column);
+
+/// Concatenation used by joins: left ++ right.
+Row ConcatRows(const Row& left, const Row& right);
+
+/// Renders "val1|val2|..." for debugging and golden tests.
+std::string RowToString(const Row& row);
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_ROW_H_

@@ -1,0 +1,79 @@
+#include "storage/schema.h"
+
+#include <set>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+Schema::Schema(std::vector<Column> columns) : columns_(std::move(columns)) {
+  offsets_.reserve(columns_.size());
+  int32_t off = 0;
+  for (const Column& c : columns_) {
+    MMDB_CHECK_MSG(c.width > 0, "column width must be positive");
+    offsets_.push_back(off);
+    off += c.width;
+  }
+  record_size_ = off;
+}
+
+StatusOr<int> Schema::ColumnIndex(const std::string& name) const {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i].name == name) return static_cast<int>(i);
+  }
+  return Status::NotFound("no column named " + name);
+}
+
+Schema Schema::Concat(const Schema& left, const Schema& right) {
+  std::set<std::string> left_names;
+  for (const Column& c : left.columns_) left_names.insert(c.name);
+
+  std::vector<Column> cols = left.columns_;
+  for (Column c : right.columns_) {
+    if (left_names.count(c.name)) {
+      c.name = "r_" + c.name;
+    }
+    cols.push_back(std::move(c));
+  }
+  return Schema(std::move(cols));
+}
+
+Schema Schema::Select(const std::vector<int>& column_indexes) const {
+  std::vector<Column> cols;
+  cols.reserve(column_indexes.size());
+  for (int i : column_indexes) {
+    MMDB_CHECK(i >= 0 && i < num_columns());
+    cols.push_back(columns_[static_cast<size_t>(i)]);
+  }
+  return Schema(std::move(cols));
+}
+
+std::string Schema::ToString() const {
+  std::string out;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (i) out += ", ";
+    out += columns_[i].name;
+    out += ":";
+    out += ValueTypeName(columns_[i].type);
+    if (columns_[i].type == ValueType::kString) {
+      out += "(";
+      out += std::to_string(columns_[i].width);
+      out += ")";
+    }
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& other) const {
+  if (columns_.size() != other.columns_.size()) return false;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    const Column& a = columns_[i];
+    const Column& b = other.columns_[i];
+    if (a.name != b.name || a.type != b.type || a.width != b.width) {
+      return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace mmdb

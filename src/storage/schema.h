@@ -1,0 +1,71 @@
+#ifndef MMDB_STORAGE_SCHEMA_H_
+#define MMDB_STORAGE_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "storage/value.h"
+
+namespace mmdb {
+
+/// One column of a fixed-width record.
+struct Column {
+  std::string name;
+  ValueType type = ValueType::kInt64;
+  /// Storage width in bytes. 8 for INT64/DOUBLE; the CHAR(n) width for
+  /// strings (values are zero-padded/truncated to this width on disk).
+  int32_t width = 8;
+
+  static Column Int64(std::string name) {
+    return Column{std::move(name), ValueType::kInt64, 8};
+  }
+  static Column Double(std::string name) {
+    return Column{std::move(name), ValueType::kDouble, 8};
+  }
+  static Column Char(std::string name, int32_t width) {
+    return Column{std::move(name), ValueType::kString, width};
+  }
+};
+
+/// A fixed-width record layout: the paper's "tuple of width L bytes".
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Column> columns);
+
+  int num_columns() const { return static_cast<int>(columns_.size()); }
+  const Column& column(int i) const { return columns_[static_cast<size_t>(i)]; }
+  const std::vector<Column>& columns() const { return columns_; }
+
+  /// Record width L in bytes (sum of column widths).
+  int32_t record_size() const { return record_size_; }
+
+  /// Byte offset of column `i` within a record.
+  int32_t offset(int i) const { return offsets_[static_cast<size_t>(i)]; }
+
+  /// Index of the column called `name`, or kNotFound.
+  StatusOr<int> ColumnIndex(const std::string& name) const;
+
+  /// Schema of the concatenation of two records (used by joins). Column
+  /// names are prefixed "l_"/"r_" on collision.
+  static Schema Concat(const Schema& left, const Schema& right);
+
+  /// Schema restricted to the given column indexes (used by projection).
+  Schema Select(const std::vector<int>& column_indexes) const;
+
+  /// "name:TYPE(width), ..." — for debugging.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const;
+
+ private:
+  std::vector<Column> columns_;
+  std::vector<int32_t> offsets_;
+  int32_t record_size_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_SCHEMA_H_

@@ -1,0 +1,79 @@
+#include "storage/value.h"
+
+#include <cstdio>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+std::string_view ValueTypeName(ValueType t) {
+  switch (t) {
+    case ValueType::kInt64:
+      return "INT64";
+    case ValueType::kDouble:
+      return "DOUBLE";
+    case ValueType::kString:
+      return "STRING";
+  }
+  return "UNKNOWN";
+}
+
+ValueType TypeOf(const Value& v) {
+  return static_cast<ValueType>(v.index());
+}
+
+int CompareValues(const Value& a, const Value& b) {
+  MMDB_DCHECK(a.index() == b.index());
+  switch (TypeOf(a)) {
+    case ValueType::kInt64: {
+      int64_t x = std::get<int64_t>(a), y = std::get<int64_t>(b);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kDouble: {
+      double x = std::get<double>(a), y = std::get<double>(b);
+      return x < y ? -1 : (x > y ? 1 : 0);
+    }
+    case ValueType::kString: {
+      const std::string& x = std::get<std::string>(a);
+      const std::string& y = std::get<std::string>(b);
+      int c = x.compare(y);
+      return c < 0 ? -1 : (c > 0 ? 1 : 0);
+    }
+  }
+  return 0;
+}
+
+uint64_t HashValue(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kInt64:
+      return Mix64(static_cast<uint64_t>(std::get<int64_t>(v)));
+    case ValueType::kDouble: {
+      double d = std::get<double>(v);
+      if (d == 0.0) d = 0.0;  // normalize -0.0
+      uint64_t bits;
+      static_assert(sizeof(bits) == sizeof(d));
+      std::memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits);
+    }
+    case ValueType::kString:
+      return HashString(std::get<std::string>(v));
+  }
+  return 0;
+}
+
+std::string ValueToString(const Value& v) {
+  switch (TypeOf(v)) {
+    case ValueType::kInt64:
+      return std::to_string(std::get<int64_t>(v));
+    case ValueType::kDouble: {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%g", std::get<double>(v));
+      return buf;
+    }
+    case ValueType::kString:
+      return std::get<std::string>(v);
+  }
+  return "";
+}
+
+}  // namespace mmdb

@@ -1,0 +1,47 @@
+#ifndef MMDB_STORAGE_VALUE_H_
+#define MMDB_STORAGE_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+
+#include "common/hash.h"
+
+namespace mmdb {
+
+/// Column types. mmdb stores fixed-width records (the paper's relations are
+/// described purely by tuple width L and key width K), so strings are
+/// fixed-width CHAR(n) fields.
+enum class ValueType : uint8_t {
+  kInt64 = 0,
+  kDouble = 1,
+  kString = 2,
+};
+
+std::string_view ValueTypeName(ValueType t);
+
+/// A single column value. Small enough to pass by value in the executor.
+using Value = std::variant<int64_t, double, std::string>;
+
+/// Runtime type of `v`.
+ValueType TypeOf(const Value& v);
+
+/// Three-way comparison. Values must have the same type (checked).
+/// Returns <0, 0, >0.
+int CompareValues(const Value& a, const Value& b);
+
+/// Equality consistent with CompareValues.
+inline bool ValuesEqual(const Value& a, const Value& b) {
+  return CompareValues(a, b) == 0;
+}
+
+/// Hash consistent with ValuesEqual (same type assumed).
+uint64_t HashValue(const Value& v);
+
+/// Human-readable rendering (integers plain, doubles with %g, strings
+/// verbatim).
+std::string ValueToString(const Value& v);
+
+}  // namespace mmdb
+
+#endif  // MMDB_STORAGE_VALUE_H_

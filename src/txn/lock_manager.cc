@@ -1,0 +1,162 @@
+#include "txn/lock_manager.h"
+
+#include "common/check.h"
+
+namespace mmdb {
+
+bool LockManager::Compatible(const Lock& lock, TxnId txn,
+                             LockMode mode) const {
+  for (const auto& [holder, held_mode] : lock.holders) {
+    if (holder == txn) continue;  // self-compatibility / upgrade handled out
+    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool LockManager::PathExists(TxnId from, TxnId to) const {
+  // DFS in waits_for_. Caller holds mu_.
+  std::vector<TxnId> stack = {from};
+  std::set<TxnId> seen;
+  while (!stack.empty()) {
+    TxnId t = stack.back();
+    stack.pop_back();
+    if (t == to) return true;
+    if (!seen.insert(t).second) continue;
+    auto it = waits_for_.find(t);
+    if (it == waits_for_.end()) continue;
+    for (TxnId next : it->second) stack.push_back(next);
+  }
+  return false;
+}
+
+Status LockManager::Acquire(TxnId txn, LockId lock_id, LockMode mode,
+                            std::vector<TxnId>* deps) {
+  std::unique_lock<std::mutex> lock(mu_);
+  Lock& l = locks_[lock_id];
+  ++stats_.acquisitions;
+
+  // Already held? Possibly upgrade S -> X.
+  auto self = l.holders.find(txn);
+  if (self != l.holders.end()) {
+    if (self->second == LockMode::kExclusive || mode == LockMode::kShared) {
+      return Status::OK();
+    }
+    // Upgrade: fall through to the wait loop (compatibility ignores self).
+  }
+
+  bool waited = false;
+  while (!Compatible(l, txn, mode)) {
+    // Build waits-for edges to the blocking active holders and check for a
+    // cycle that includes us.
+    std::set<TxnId>& blockers = waits_for_[txn];
+    blockers.clear();
+    for (const auto& [holder, held_mode] : l.holders) {
+      if (holder == txn) continue;
+      if (mode == LockMode::kExclusive ||
+          held_mode == LockMode::kExclusive) {
+        blockers.insert(holder);
+      }
+    }
+    for (TxnId blocker : blockers) {
+      if (PathExists(blocker, txn)) {
+        waits_for_.erase(txn);
+        ++stats_.deadlocks;
+        return Status::Deadlock("waits-for cycle on lock " +
+                                std::to_string(lock_id));
+      }
+    }
+    if (!waited) {
+      waited = true;
+      ++stats_.waits;
+      ++l.waiting;
+    }
+    if (cv_.wait_for(lock, wait_timeout_) == std::cv_status::timeout) {
+      --l.waiting;
+      waits_for_.erase(txn);
+      return Status::Deadlock("lock wait timeout on " +
+                              std::to_string(lock_id));
+    }
+  }
+  if (waited) --l.waiting;
+  waits_for_.erase(txn);
+
+  // (If this was an S->X upgrade the early return above already handled the
+  // no-op cases, so `mode` is the final mode either way.)
+  l.holders[txn] = mode;
+  held_[txn].insert(lock_id);
+
+  // Record dependencies on pre-committed former holders (§5.2).
+  if (deps != nullptr) {
+    for (TxnId pc : l.pre_committed) {
+      if (pc != txn) {
+        deps->push_back(pc);
+        ++stats_.dependencies_recorded;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+void LockManager::PreCommit(TxnId txn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = held_.find(txn);
+  if (it == held_.end()) return;
+  for (LockId lid : it->second) {
+    Lock& l = locks_[lid];
+    l.holders.erase(txn);
+    l.pre_committed.insert(txn);
+    pre_committed_[txn].insert(lid);
+  }
+  held_.erase(it);
+  cv_.notify_all();
+}
+
+void LockManager::FinalizeCommit(TxnId txn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = pre_committed_.find(txn);
+  if (it == pre_committed_.end()) return;
+  for (LockId lid : it->second) {
+    auto lit = locks_.find(lid);
+    if (lit == locks_.end()) continue;
+    lit->second.pre_committed.erase(txn);
+    // Drop empty entries to keep the table compact.
+    if (lit->second.holders.empty() && lit->second.pre_committed.empty() &&
+        lit->second.waiting == 0) {
+      locks_.erase(lit);
+    }
+  }
+  pre_committed_.erase(it);
+}
+
+void LockManager::ReleaseAll(TxnId txn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = held_.find(txn);
+  if (it != held_.end()) {
+    for (LockId lid : it->second) {
+      auto lit = locks_.find(lid);
+      if (lit == locks_.end()) continue;
+      lit->second.holders.erase(txn);
+      if (lit->second.holders.empty() && lit->second.pre_committed.empty() &&
+          lit->second.waiting == 0) {
+        locks_.erase(lit);
+      }
+    }
+    held_.erase(it);
+  }
+  waits_for_.erase(txn);
+  cv_.notify_all();
+}
+
+int64_t LockManager::NumLocks() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return static_cast<int64_t>(locks_.size());
+}
+
+LockManager::Stats LockManager::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,93 @@
+#ifndef MMDB_TXN_LOCK_MANAGER_H_
+#define MMDB_TXN_LOCK_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/log_record.h"
+
+namespace mmdb {
+
+/// Lockable object id (a record id in the RecoverableStore).
+using LockId = int64_t;
+
+enum class LockMode { kShared, kExclusive };
+
+/// §5.2's extended lock table: "Associated with each lock are three sets of
+/// transactions: active transactions that currently hold the lock,
+/// transactions that are waiting to be granted the lock, and pre-committed
+/// transactions that have released the lock but have not yet committed."
+///
+/// Pre-committed holders do NOT block new requests — that is the whole
+/// point of pre-commit — but every grant records them in the grantee's
+/// dependency list, which the caller passes to Wal::AppendCommit so the
+/// dependent's commit record cannot reach disk first.
+///
+/// Deadlocks among *active* holders are detected with a waits-for-graph
+/// cycle check at block time; the requester is the victim (kDeadlock).
+class LockManager {
+ public:
+  explicit LockManager(
+      std::chrono::milliseconds wait_timeout = std::chrono::seconds(10))
+      : wait_timeout_(wait_timeout) {}
+
+  /// Acquires (or upgrades to) `mode` on `lock` for `txn`, blocking while
+  /// incompatible active holders exist. On success appends the lock's
+  /// current pre-committed holders to `*deps`.
+  Status Acquire(TxnId txn, LockId lock, LockMode mode,
+                 std::vector<TxnId>* deps);
+
+  /// Moves every lock held by `txn` from the holders set to the
+  /// pre-committed set and wakes waiters ("releases all locks without
+  /// waiting for the commit record to be written").
+  void PreCommit(TxnId txn);
+
+  /// Removes `txn` from all pre-committed sets once its commit record is
+  /// durable (dependents stop recording it).
+  void FinalizeCommit(TxnId txn);
+
+  /// Abort path: releases all of `txn`'s locks immediately (it was never
+  /// pre-committed, so no one depends on it).
+  void ReleaseAll(TxnId txn);
+
+  /// Number of lock table entries (tests).
+  int64_t NumLocks() const;
+
+  struct Stats {
+    int64_t acquisitions = 0;
+    int64_t waits = 0;
+    int64_t deadlocks = 0;
+    int64_t dependencies_recorded = 0;
+  };
+  Stats stats() const;
+
+ private:
+  struct Lock {
+    std::map<TxnId, LockMode> holders;
+    std::set<TxnId> pre_committed;
+    int64_t waiting = 0;
+  };
+
+  bool Compatible(const Lock& lock, TxnId txn, LockMode mode) const;
+  /// True if `from` can reach `to` in the waits-for graph.
+  bool PathExists(TxnId from, TxnId to) const;
+
+  std::chrono::milliseconds wait_timeout_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::map<LockId, Lock> locks_;
+  std::map<TxnId, std::set<LockId>> held_;           // txn -> locks held
+  std::map<TxnId, std::set<LockId>> pre_committed_;  // txn -> locks pre-rel.
+  std::map<TxnId, std::set<TxnId>> waits_for_;       // blocked -> blockers
+  Stats stats_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_LOCK_MANAGER_H_

@@ -1,0 +1,49 @@
+#include "txn/log_device.h"
+
+#include <thread>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+int64_t LogDevice::WritePage(std::string data) {
+  MMDB_CHECK(static_cast<int64_t>(data.size()) <= page_size_);
+  data.resize(static_cast<size_t>(page_size_), '\0');
+  std::unique_lock<std::mutex> lock(mu_);
+  // The arm is busy for the whole transfer; concurrent writers serialize
+  // behind the mutex exactly like requests queueing at one disk.
+  if (write_latency_.count() > 0) {
+    std::this_thread::sleep_for(write_latency_);
+  }
+  pages_.push_back(std::move(data));
+  bytes_written_ += page_size_;
+  return static_cast<int64_t>(pages_.size()) - 1;
+}
+
+StatusOr<std::string> LogDevice::ReadPage(int64_t page_no) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (page_no < 0 || page_no >= static_cast<int64_t>(pages_.size())) {
+    return Status::OutOfRange("log page out of range");
+  }
+  return pages_[static_cast<size_t>(page_no)];
+}
+
+int64_t LogDevice::num_pages() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return static_cast<int64_t>(pages_.size());
+}
+
+int64_t LogDevice::bytes_written() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return bytes_written_;
+}
+
+std::string LogDevice::ReadAll() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::string out;
+  out.reserve(pages_.size() * static_cast<size_t>(page_size_));
+  for (const std::string& p : pages_) out += p;
+  return out;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,58 @@
+#ifndef MMDB_TXN_LOG_DEVICE_H_
+#define MMDB_TXN_LOG_DEVICE_H_
+
+#include <chrono>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mmdb {
+
+/// One log disk: a sequence of fixed-size pages with a single arm, writing
+/// one page per `write_latency` (the paper's 10 ms — "time to write one
+/// 4096 byte page without a disk seek"). The latency is a real sleep so
+/// multi-threaded group-commit benchmarks measure true wall-clock
+/// throughput; tests set it to zero.
+///
+/// Pages survive SimulateCrash (they are "on disk"); only in-flight buffer
+/// contents held elsewhere are lost.
+class LogDevice {
+ public:
+  explicit LogDevice(
+      int64_t page_size = 4096,
+      std::chrono::microseconds write_latency = std::chrono::milliseconds(10))
+      : page_size_(page_size), write_latency_(write_latency) {}
+
+  LogDevice(const LogDevice&) = delete;
+  LogDevice& operator=(const LogDevice&) = delete;
+
+  int64_t page_size() const { return page_size_; }
+  std::chrono::microseconds write_latency() const { return write_latency_; }
+
+  /// Blocking write of one page (data shorter than page_size is padded).
+  /// Serialized: two concurrent writers queue on the single arm.
+  /// Returns the page number.
+  int64_t WritePage(std::string data);
+
+  /// Read-back for recovery.
+  StatusOr<std::string> ReadPage(int64_t page_no) const;
+  int64_t num_pages() const;
+  int64_t bytes_written() const;
+
+  /// Concatenated content of all pages (recovery scan convenience).
+  std::string ReadAll() const;
+
+ private:
+  int64_t page_size_;
+  std::chrono::microseconds write_latency_;
+  mutable std::mutex mu_;
+  std::vector<std::string> pages_;
+  int64_t bytes_written_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_LOG_DEVICE_H_

@@ -1,0 +1,301 @@
+#include "txn/log_manager.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+GroupCommitLog::GroupCommitLog(std::vector<LogDevice*> devices,
+                               GroupCommitLogOptions options)
+    : options_(options) {
+  MMDB_CHECK_MSG(!devices.empty(), "need at least one log device");
+  page_size_ = devices[0]->page_size();
+  for (LogDevice* d : devices) {
+    MMDB_CHECK(d->page_size() == page_size_);
+    auto stripe = std::make_unique<Stripe>();
+    stripe->device = d;
+    stripes_.push_back(std::move(stripe));
+  }
+}
+
+GroupCommitLog::~GroupCommitLog() { Stop(); }
+
+void GroupCommitLog::Start() {
+  stop_.store(false);
+  crash_.store(false);
+  for (auto& stripe : stripes_) {
+    stripe->flusher = std::thread(&GroupCommitLog::FlusherLoop, this,
+                                  stripe.get());
+  }
+}
+
+void GroupCommitLog::Stop() {
+  if (stripes_.empty() || !stripes_[0]->flusher.joinable()) return;
+  stop_.store(true);
+  for (auto& stripe : stripes_) {
+    stripe->cv.notify_all();
+  }
+  for (auto& stripe : stripes_) {
+    if (stripe->flusher.joinable()) stripe->flusher.join();
+  }
+}
+
+void GroupCommitLog::CrashStop() {
+  if (stripes_.empty() || !stripes_[0]->flusher.joinable()) return;
+  crash_.store(true);
+  stop_.store(true);
+  for (auto& stripe : stripes_) {
+    stripe->cv.notify_all();
+  }
+  for (auto& stripe : stripes_) {
+    if (stripe->flusher.joinable()) stripe->flusher.join();
+    // The power failed: buffered-but-unwritten bytes are gone.
+    std::unique_lock<std::mutex> lock(stripe->mu);
+    stripe->buffer.clear();
+    stripe->pending.clear();
+    stripe->commit_waiting = false;
+    stripe->force_upto = kInvalidLsn;
+  }
+}
+
+Lsn GroupCommitLog::Append(LogRecord rec) {
+  return AppendInternal(std::move(rec), false, {});
+}
+
+Lsn GroupCommitLog::AppendCommit(LogRecord rec,
+                                 const std::vector<TxnId>& deps) {
+  return AppendInternal(std::move(rec), true, deps);
+}
+
+Lsn GroupCommitLog::AppendInternal(LogRecord rec, bool is_commit,
+                                   const std::vector<TxnId>& deps) {
+  const int64_t size = rec.SerializedSize();
+  const Lsn lsn = next_lsn_.fetch_add(size);
+  rec.lsn = lsn;
+  logical_bytes_.fetch_add(size);
+
+  Stripe& stripe = *stripes_[static_cast<size_t>(
+      rec.txn_id >= 0 ? rec.txn_id % static_cast<int64_t>(stripes_.size())
+                      : 0)];
+  {
+    std::unique_lock<std::mutex> lock(stripe.mu);
+    rec.AppendTo(&stripe.buffer);
+    PendingRecord pending;
+    pending.lsn = lsn;
+    pending.bytes_left = size;
+    pending.is_commit = is_commit;
+    pending.txn = rec.txn_id;
+    pending.deps = deps;
+    stripe.pending.push_back(std::move(pending));
+    if (is_commit && !stripe.commit_waiting) {
+      stripe.commit_waiting = true;
+      stripe.oldest_commit = std::chrono::steady_clock::now();
+    }
+  }
+  stripe.cv.notify_all();
+  return lsn;
+}
+
+int64_t GroupCommitLog::SafeBytes(Stripe* stripe) {
+  // Caller holds stripe->mu.
+  int64_t safe = 0;
+  std::unique_lock<std::mutex> dlock(durable_mu_);
+  for (const PendingRecord& rec : stripe->pending) {
+    if (rec.is_commit) {
+      for (TxnId dep : rec.deps) {
+        if (!durable_commits_.count(dep)) return safe;
+      }
+    }
+    safe += rec.bytes_left;
+  }
+  return safe;
+}
+
+void GroupCommitLog::AccountFlushed(Stripe* stripe, int64_t n,
+                                    int64_t* commits_in_write) {
+  // Caller holds stripe->mu.
+  std::vector<TxnId> newly_durable;
+  while (n > 0) {
+    MMDB_CHECK(!stripe->pending.empty());
+    PendingRecord& rec = stripe->pending.front();
+    const int64_t take = std::min(n, rec.bytes_left);
+    rec.bytes_left -= take;
+    n -= take;
+    if (rec.bytes_left == 0) {
+      if (rec.is_commit) {
+        newly_durable.push_back(rec.txn);
+        ++*commits_in_write;
+      }
+      stripe->pending.pop_front();
+    }
+  }
+  {
+    std::unique_lock<std::mutex> dlock(durable_mu_);
+    for (TxnId t : newly_durable) durable_commits_.insert(t);
+    commit_count_ += static_cast<int64_t>(newly_durable.size());
+    // Wake WaitCommitDurable AND WaitLsnDurable waiters: durability
+    // advanced even when no commit completed.
+    durable_cv_.notify_all();
+  }
+  if (!newly_durable.empty()) {
+    // Other stripes may have pages blocked on these commits.
+    for (auto& other : stripes_) {
+      if (other.get() != stripe) other->cv.notify_all();
+    }
+  }
+  // Re-examine whether commits are still waiting.
+  bool commit_left = false;
+  for (const PendingRecord& rec : stripe->pending) {
+    if (rec.is_commit) {
+      commit_left = true;
+      break;
+    }
+  }
+  if (!commit_left) {
+    stripe->commit_waiting = false;
+  } else {
+    stripe->oldest_commit = std::chrono::steady_clock::now();
+  }
+}
+
+void GroupCommitLog::FlusherLoop(Stripe* stripe) {
+  std::unique_lock<std::mutex> lock(stripe->mu);
+  while (true) {
+    if (crash_.load()) return;  // power failure: drop everything buffered
+    const bool stopping = stop_.load();
+    int64_t safe = SafeBytes(stripe);
+
+    const bool full_page = safe >= page_size_;
+    bool force_partial = false;
+    // WaitLsnDurable pressure: push out partial pages while records at or
+    // below the fence are still buffered.
+    if (safe > 0 && !stripe->pending.empty() &&
+        stripe->force_upto != kInvalidLsn &&
+        stripe->pending.front().lsn <= stripe->force_upto) {
+      force_partial = true;
+    }
+    if (safe > 0 && stripe->commit_waiting) {
+      if (!options_.group_commit || stopping) {
+        force_partial = true;
+      } else {
+        const auto deadline = stripe->oldest_commit + options_.flush_timeout;
+        if (std::chrono::steady_clock::now() >= deadline) {
+          force_partial = true;
+        }
+      }
+    }
+    if (stopping && safe > 0) force_partial = true;
+
+    if (full_page || force_partial) {
+      int64_t n = std::min(safe, page_size_);
+      if (!options_.group_commit) {
+        // Strict one-log-I/O-per-commit baseline: never let commits that
+        // queued up during the previous write share this page. Cut the
+        // chunk right after the first commit record.
+        int64_t upto = 0;
+        for (const PendingRecord& rec : stripe->pending) {
+          upto += rec.bytes_left;
+          if (upto >= n) break;
+          if (rec.is_commit) {
+            n = upto;
+            break;
+          }
+        }
+      }
+      std::string chunk = stripe->buffer.substr(0, static_cast<size_t>(n));
+      stripe->buffer.erase(0, static_cast<size_t>(n));
+      int64_t commits_in_write = 0;
+      // Device write without the stripe lock: appends continue meanwhile.
+      // Pending accounting happens after the write completes (durability).
+      lock.unlock();
+      stripe->device->WritePage(std::move(chunk));
+      lock.lock();
+      AccountFlushed(stripe, n, &commits_in_write);
+      if (commits_in_write > 0) {
+        std::unique_lock<std::mutex> dlock(durable_mu_);
+        ++writes_with_commits_;
+        commits_grouped_ += commits_in_write;
+      }
+      continue;  // there may be more to flush
+    }
+
+    if (stopping && stripe->pending.empty()) return;
+    if (stopping) {
+      // Remaining bytes are blocked on cross-stripe dependencies; wait for
+      // them to clear rather than spinning.
+      stripe->cv.wait_for(lock, std::chrono::microseconds(200));
+      continue;
+    }
+    stripe->cv.wait_for(lock, options_.group_commit
+                                  ? options_.flush_timeout
+                                  : std::chrono::microseconds(200));
+  }
+}
+
+void GroupCommitLog::WaitCommitDurable(TxnId txn) {
+  // Nudge this txn's stripe so a partial page is not stuck on the timer.
+  Stripe& stripe = *stripes_[static_cast<size_t>(
+      txn % static_cast<int64_t>(stripes_.size()))];
+  stripe.cv.notify_all();
+  std::unique_lock<std::mutex> lock(durable_mu_);
+  durable_cv_.wait(lock, [&] { return durable_commits_.count(txn) != 0; });
+}
+
+bool GroupCommitLog::IsCommitDurable(TxnId txn) const {
+  std::unique_lock<std::mutex> lock(durable_mu_);
+  return durable_commits_.count(txn) != 0;
+}
+
+void GroupCommitLog::WaitLsnDurable(Lsn lsn) {
+  // Raise the flush fence on every stripe still holding records <= lsn.
+  auto anything_pending = [&]() {
+    for (auto& stripe : stripes_) {
+      std::unique_lock<std::mutex> slock(stripe->mu);
+      if (!stripe->pending.empty() && stripe->pending.front().lsn <= lsn) {
+        stripe->force_upto = std::max(stripe->force_upto, lsn);
+        stripe->cv.notify_all();
+        return true;
+      }
+    }
+    return false;
+  };
+  while (anything_pending()) {
+    std::unique_lock<std::mutex> dlock(durable_mu_);
+    durable_cv_.wait_for(dlock, std::chrono::microseconds(200));
+  }
+}
+
+std::vector<LogRecord> GroupCommitLog::ReadAllForRecovery() {
+  // §5.2: "a single log is recreated by merging the log fragments, as in a
+  // sort-merge" — our merge key is the global LSN.
+  std::vector<LogRecord> all;
+  for (auto& stripe : stripes_) {
+    std::string bytes = stripe->device->ReadAll();
+    std::vector<LogRecord> recs =
+        LogRecord::ParseAll(bytes.data(), static_cast<int64_t>(bytes.size()));
+    all.insert(all.end(), std::make_move_iterator(recs.begin()),
+               std::make_move_iterator(recs.end()));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const LogRecord& a, const LogRecord& b) { return a.lsn < b.lsn; });
+  return all;
+}
+
+Wal::Stats GroupCommitLog::stats() const {
+  Stats s;
+  for (const auto& stripe : stripes_) {
+    s.device_writes += stripe->device->num_pages();
+    s.device_bytes += stripe->device->bytes_written();
+  }
+  s.logical_bytes = logical_bytes_.load();
+  std::unique_lock<std::mutex> lock(durable_mu_);
+  s.commits = commit_count_;
+  s.avg_commit_group =
+      writes_with_commits_ == 0
+          ? 0
+          : double(commits_grouped_) / double(writes_with_commits_);
+  return s;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,165 @@
+#ifndef MMDB_TXN_LOG_MANAGER_H_
+#define MMDB_TXN_LOG_MANAGER_H_
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_set>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/log_device.h"
+#include "txn/log_record.h"
+
+namespace mmdb {
+
+/// Write-ahead-log abstraction the TransactionManager talks to. Three
+/// implementations reproduce §5's ladder:
+///   * GroupCommitLog, 1 device, group_commit=false — one log I/O per
+///     commit, the ~100 tps baseline;
+///   * GroupCommitLog, 1 device, group_commit=true — commit groups share a
+///     page write, ~1000 tps;
+///   * GroupCommitLog, k devices — partitioned log with the commit-group
+///     dependency lattice (§5.2), ~k× further;
+///   * StableLogBuffer (stable_log.h) — commit at memory speed, compressed
+///     new-value-only disk log (§5.4).
+class Wal {
+ public:
+  struct Stats {
+    int64_t device_writes = 0;
+    int64_t device_bytes = 0;
+    int64_t logical_bytes = 0;  ///< uncompressed log bytes generated
+    int64_t commits = 0;
+    double avg_commit_group = 0;  ///< commits per device write (when >0)
+  };
+
+  virtual ~Wal() = default;
+
+  virtual void Start() {}
+  virtual void Stop() {}
+
+  /// Power-failure stop: kill the background threads and DROP any volatile
+  /// buffered bytes (a clean Stop flushes them instead). Media that are
+  /// already durable (stable memory) lose nothing.
+  virtual void CrashStop() { Stop(); }
+
+  /// Appends a non-commit record; returns its assigned LSN.
+  virtual Lsn Append(LogRecord rec) = 0;
+
+  /// Appends a commit record carrying the transaction's dependency list
+  /// (the pre-committed transactions whose locks it inherited); returns
+  /// its LSN. The transaction is *pre-committed* from this moment.
+  virtual Lsn AppendCommit(LogRecord rec, const std::vector<TxnId>& deps) = 0;
+
+  /// Blocks until `txn`'s commit record is durable ("the user is not
+  /// notified that the transaction has committed until this event").
+  virtual void WaitCommitDurable(TxnId txn) = 0;
+
+  /// Blocks until every record with LSN <= `lsn` is durable — the WAL rule
+  /// the checkpointer needs before persisting a page (forces partial-page
+  /// flushes if necessary). Default: no-op for already-durable media.
+  virtual void WaitLsnDurable(Lsn lsn) { (void)lsn; }
+
+  /// Releases any per-transaction buffered state after abort.
+  virtual void DiscardTxn(TxnId /*txn*/) {}
+
+  /// Post-crash: every durable record, merged across fragments in LSN
+  /// order (the paper's sort-merge of log fragments).
+  virtual std::vector<LogRecord> ReadAllForRecovery() = 0;
+
+  virtual Stats stats() const = 0;
+};
+
+struct GroupCommitLogOptions {
+  /// false: flush the log page immediately on every commit (baseline).
+  bool group_commit = true;
+  /// Max time a pre-committed transaction waits for its page to fill
+  /// before a partial page is forced out.
+  std::chrono::microseconds flush_timeout{2000};
+};
+
+/// §5.2's log manager over one or more log devices. Records append to a
+/// per-stripe buffer; a flusher thread per stripe writes full pages (or
+/// timed-out partial pages). Commit records become durable when their
+/// bytes reach the device; with several stripes, a page holding a commit
+/// whose dependencies are not yet durable is held back (the topological
+/// commit-group ordering), flushing the safe prefix instead.
+class GroupCommitLog : public Wal {
+ public:
+  GroupCommitLog(std::vector<LogDevice*> devices,
+                 GroupCommitLogOptions options);
+  ~GroupCommitLog() override;
+
+  void Start() override;
+  void Stop() override;
+  void CrashStop() override;
+
+  Lsn Append(LogRecord rec) override;
+  Lsn AppendCommit(LogRecord rec, const std::vector<TxnId>& deps) override;
+  void WaitCommitDurable(TxnId txn) override;
+  void WaitLsnDurable(Lsn lsn) override;
+
+  /// Non-blocking durability probe (tests assert the dependency-lattice
+  /// invariant with it).
+  bool IsCommitDurable(TxnId txn) const;
+  std::vector<LogRecord> ReadAllForRecovery() override;
+  Stats stats() const override;
+
+  int num_stripes() const { return static_cast<int>(stripes_.size()); }
+
+ private:
+  struct PendingRecord {
+    Lsn lsn = kInvalidLsn;
+    int64_t bytes_left;
+    bool is_commit = false;
+    TxnId txn = kInvalidTxn;
+    std::vector<TxnId> deps;
+  };
+
+  struct Stripe {
+    LogDevice* device = nullptr;
+    std::mutex mu;
+    std::condition_variable cv;
+    std::string buffer;
+    std::deque<PendingRecord> pending;
+    bool commit_waiting = false;
+    std::chrono::steady_clock::time_point oldest_commit;
+    /// Flush (partial pages allowed) until all records with lsn <= this
+    /// are durable — set by WaitLsnDurable.
+    Lsn force_upto = kInvalidLsn;
+    std::thread flusher;
+  };
+
+  Lsn AppendInternal(LogRecord rec, bool is_commit,
+                     const std::vector<TxnId>& deps);
+  void FlusherLoop(Stripe* stripe);
+  /// Bytes at the front of `stripe->buffer` whose commits have all their
+  /// dependencies durable (whole records only).
+  int64_t SafeBytes(Stripe* stripe);
+  /// Pops `n` bytes of pending records, marking completed commits durable.
+  void AccountFlushed(Stripe* stripe, int64_t n, int64_t* commits_in_write);
+
+  std::vector<std::unique_ptr<Stripe>> stripes_;
+  GroupCommitLogOptions options_;
+  int64_t page_size_;
+
+  std::atomic<Lsn> next_lsn_{0};
+  std::atomic<bool> stop_{false};
+  std::atomic<bool> crash_{false};
+  std::atomic<int64_t> logical_bytes_{0};
+
+  mutable std::mutex durable_mu_;
+  std::condition_variable durable_cv_;
+  std::unordered_set<TxnId> durable_commits_;
+  int64_t commit_count_ = 0;
+  int64_t writes_with_commits_ = 0;
+  int64_t commits_grouped_ = 0;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_LOG_MANAGER_H_

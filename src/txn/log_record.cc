@@ -1,0 +1,116 @@
+#include "txn/log_record.h"
+
+#include <cstring>
+
+namespace mmdb {
+
+namespace {
+
+constexpr uint32_t kMagic = 0x4C52444Du;  // "MDRL"
+
+template <typename T>
+void AppendPod(std::string* out, T v) {
+  out->append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+template <typename T>
+bool ReadPod(const char* data, int64_t size, int64_t* pos, T* out) {
+  if (*pos + static_cast<int64_t>(sizeof(T)) > size) return false;
+  std::memcpy(out, data + *pos, sizeof(T));
+  *pos += static_cast<int64_t>(sizeof(T));
+  return true;
+}
+
+}  // namespace
+
+std::string_view LogRecordTypeName(LogRecordType t) {
+  switch (t) {
+    case LogRecordType::kBegin:
+      return "BEGIN";
+    case LogRecordType::kUpdate:
+      return "UPDATE";
+    case LogRecordType::kCommit:
+      return "COMMIT";
+    case LogRecordType::kAbort:
+      return "ABORT";
+    case LogRecordType::kCheckpoint:
+      return "CHECKPOINT";
+  }
+  return "UNKNOWN";
+}
+
+int64_t LogRecord::SerializedSize() const {
+  // magic(4) type(1) txn(8) lsn(8) record_id(8) old_len(4) new_len(4)
+  return 4 + 1 + 8 + 8 + 8 + 4 + 4 +
+         static_cast<int64_t>(old_value.size()) +
+         static_cast<int64_t>(new_value.size());
+}
+
+void LogRecord::AppendTo(std::string* out) const {
+  AppendPod(out, kMagic);
+  AppendPod(out, static_cast<uint8_t>(type));
+  AppendPod(out, txn_id);
+  AppendPod(out, lsn);
+  AppendPod(out, record_id);
+  AppendPod(out, static_cast<uint32_t>(old_value.size()));
+  AppendPod(out, static_cast<uint32_t>(new_value.size()));
+  out->append(old_value);
+  out->append(new_value);
+}
+
+StatusOr<LogRecord> LogRecord::Parse(const char* data, int64_t size,
+                                     int64_t* consumed) {
+  int64_t pos = 0;
+  uint32_t magic;
+  if (!ReadPod(data, size, &pos, &magic)) {
+    return Status::OutOfRange("truncated record");
+  }
+  if (magic != kMagic) return Status::InvalidArgument("bad log magic");
+  LogRecord rec;
+  uint8_t type;
+  uint32_t old_len, new_len;
+  if (!ReadPod(data, size, &pos, &type) ||
+      !ReadPod(data, size, &pos, &rec.txn_id) ||
+      !ReadPod(data, size, &pos, &rec.lsn) ||
+      !ReadPod(data, size, &pos, &rec.record_id) ||
+      !ReadPod(data, size, &pos, &old_len) ||
+      !ReadPod(data, size, &pos, &new_len)) {
+    return Status::OutOfRange("truncated record header");
+  }
+  if (pos + old_len + new_len > size) {
+    return Status::OutOfRange("truncated record payload");
+  }
+  rec.type = static_cast<LogRecordType>(type);
+  rec.old_value.assign(data + pos, old_len);
+  pos += old_len;
+  rec.new_value.assign(data + pos, new_len);
+  pos += new_len;
+  *consumed = pos;
+  return rec;
+}
+
+std::vector<LogRecord> LogRecord::ParseAll(const char* data, int64_t size) {
+  std::vector<LogRecord> out;
+  int64_t pos = 0;
+  while (pos < size) {
+    // Skip zero padding between page boundaries.
+    if (data[pos] == '\0') {
+      ++pos;
+      continue;
+    }
+    int64_t consumed = 0;
+    StatusOr<LogRecord> rec = Parse(data + pos, size - pos, &consumed);
+    if (!rec.ok()) break;  // torn tail
+    out.push_back(std::move(rec).value());
+    pos += consumed;
+  }
+  return out;
+}
+
+LogRecord LogRecord::CompressForDisk() const {
+  LogRecord out = *this;
+  out.old_value.clear();
+  return out;
+}
+
+}  // namespace mmdb

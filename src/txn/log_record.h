@@ -1,0 +1,66 @@
+#ifndef MMDB_TXN_LOG_RECORD_H_
+#define MMDB_TXN_LOG_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mmdb {
+
+/// Log sequence number: a byte offset into the (logical) log stream.
+using Lsn = int64_t;
+using TxnId = int64_t;
+
+constexpr Lsn kInvalidLsn = -1;
+constexpr TxnId kInvalidTxn = -1;
+
+/// §5.4: "The log entries for a particular transaction are of the form
+/// Begin Transaction ... End Transaction", with old/new values per update.
+enum class LogRecordType : uint8_t {
+  kBegin = 1,
+  kUpdate = 2,
+  kCommit = 3,
+  kAbort = 4,
+  kCheckpoint = 5,
+};
+
+std::string_view LogRecordTypeName(LogRecordType t);
+
+/// One physical log record. The paper's "typical" transaction writes ~400
+/// bytes of log: 40 bytes of begin/commit framing plus 360 bytes of
+/// old/new values — the banking workload is calibrated to match.
+struct LogRecord {
+  LogRecordType type = LogRecordType::kBegin;
+  TxnId txn_id = kInvalidTxn;
+  Lsn lsn = kInvalidLsn;  ///< assigned by the log manager at append
+
+  // kUpdate only.
+  int64_t record_id = -1;    ///< updated record in the RecoverableStore
+  std::string old_value;     ///< undo image
+  std::string new_value;     ///< redo image
+
+  /// Serialized size in bytes (what the throughput arithmetic counts).
+  int64_t SerializedSize() const;
+
+  /// Appends the wire form to `out`.
+  void AppendTo(std::string* out) const;
+
+  /// Parses one record from `data` (at least `size` bytes); advances
+  /// `*consumed`. Returns OutOfRange when `data` holds only a partial
+  /// record (a torn tail after a crash — simply ignored by recovery).
+  static StatusOr<LogRecord> Parse(const char* data, int64_t size,
+                                   int64_t* consumed);
+
+  /// Parses a concatenation of records, tolerating a torn tail.
+  static std::vector<LogRecord> ParseAll(const char* data, int64_t size);
+
+  /// Strips the undo image (§5.4 log compression: "only new values are
+  /// written to the disk based log ... approximately half of the size").
+  LogRecord CompressForDisk() const;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_LOG_RECORD_H_

@@ -1,0 +1,19 @@
+#include "txn/partitioned_log.h"
+
+#include "common/check.h"
+
+namespace mmdb {
+
+PartitionedLogManager::PartitionedLogManager(
+    int num_partitions, int64_t page_size,
+    std::chrono::microseconds write_latency, GroupCommitLogOptions options) {
+  MMDB_CHECK(num_partitions >= 1);
+  std::vector<LogDevice*> raw;
+  for (int i = 0; i < num_partitions; ++i) {
+    devices_.push_back(std::make_unique<LogDevice>(page_size, write_latency));
+    raw.push_back(devices_.back().get());
+  }
+  log_ = std::make_unique<GroupCommitLog>(std::move(raw), options);
+}
+
+}  // namespace mmdb

@@ -1,0 +1,197 @@
+#include "txn/recoverable_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/check.h"
+#include "txn/log_manager.h"
+
+namespace mmdb {
+
+FirstUpdateTable::FirstUpdateTable(StableMemory* stable, int64_t num_pages,
+                                   const std::string& region_name)
+    : stable_(stable), region_(region_name), num_pages_(num_pages) {
+  if (!stable_->Has(region_)) {
+    Status s = stable_->Allocate(
+        region_, num_pages * static_cast<int64_t>(sizeof(Lsn)));
+    MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
+    Lsn* slots = Slots();
+    for (int64_t i = 0; i < num_pages; ++i) slots[i] = kInvalidLsn;
+  }
+}
+
+Lsn* FirstUpdateTable::Slots() {
+  return reinterpret_cast<Lsn*>(stable_->Region(region_)->data());
+}
+const Lsn* FirstUpdateTable::Slots() const {
+  return reinterpret_cast<const Lsn*>(stable_->Region(region_)->data());
+}
+
+void FirstUpdateTable::RecordUpdate(int64_t page, Lsn lsn) {
+  MMDB_DCHECK(page >= 0 && page < num_pages_);
+  std::unique_lock<std::mutex> lock(mu_);
+  Lsn* slot = Slots() + page;
+  if (*slot == kInvalidLsn) *slot = lsn;
+}
+
+void FirstUpdateTable::ResetPage(int64_t page) {
+  MMDB_DCHECK(page >= 0 && page < num_pages_);
+  std::unique_lock<std::mutex> lock(mu_);
+  Slots()[page] = kInvalidLsn;
+}
+
+Lsn FirstUpdateTable::Get(int64_t page) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return Slots()[page];
+}
+
+Lsn FirstUpdateTable::MinLsn() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const Lsn* slots = Slots();
+  Lsn min_lsn = kInvalidLsn;
+  for (int64_t i = 0; i < num_pages_; ++i) {
+    if (slots[i] != kInvalidLsn &&
+        (min_lsn == kInvalidLsn || slots[i] < min_lsn)) {
+      min_lsn = slots[i];
+    }
+  }
+  return min_lsn;
+}
+
+RecoverableStore::RecoverableStore(SimulatedDisk* disk, int64_t num_records,
+                                   int32_t record_size, int64_t page_size)
+    : disk_(disk),
+      num_records_(num_records),
+      record_size_(record_size),
+      page_size_(page_size),
+      records_per_page_(static_cast<int32_t>(page_size / record_size)),
+      snapshot_(disk, "store_snapshot") {
+  MMDB_CHECK(records_per_page_ > 0);
+  num_pages_ = (num_records + records_per_page_ - 1) / records_per_page_;
+  memory_.assign(static_cast<size_t>(num_pages_ * page_size_), 0);
+  last_update_lsn_.assign(static_cast<size_t>(num_pages_), kInvalidLsn);
+  // Seed the snapshot with the initial (all-zero) image so recovery always
+  // has a base state.
+  std::vector<char> zero(static_cast<size_t>(page_size_), 0);
+  for (int64_t p = 0; p < num_pages_; ++p) {
+    Status s = snapshot_.Write(p, zero.data(), IoKind::kSequential);
+    MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+}
+
+char* RecoverableStore::RecordPtr(int64_t record_id) {
+  const int64_t page = PageOf(record_id);
+  const int64_t slot = record_id % records_per_page_;
+  return memory_.data() + page * page_size_ + slot * record_size_;
+}
+const char* RecoverableStore::RecordPtr(int64_t record_id) const {
+  return const_cast<RecoverableStore*>(this)->RecordPtr(record_id);
+}
+
+Status RecoverableStore::ReadRecord(int64_t record_id,
+                                    std::string* out) const {
+  if (record_id < 0 || record_id >= num_records_) {
+    return Status::OutOfRange("record id");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!loaded_) return Status::FailedPrecondition("store is crashed");
+  out->assign(RecordPtr(record_id), static_cast<size_t>(record_size_));
+  return Status::OK();
+}
+
+Status RecoverableStore::WriteRecord(int64_t record_id, std::string_view value,
+                                     Lsn lsn, FirstUpdateTable* fut) {
+  if (record_id < 0 || record_id >= num_records_) {
+    return Status::OutOfRange("record id");
+  }
+  if (static_cast<int32_t>(value.size()) > record_size_) {
+    return Status::InvalidArgument("value wider than record");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!loaded_) return Status::FailedPrecondition("store is crashed");
+  char* dst = RecordPtr(record_id);
+  std::memset(dst, 0, static_cast<size_t>(record_size_));
+  std::memcpy(dst, value.data(), value.size());
+  const int64_t page = PageOf(record_id);
+  dirty_pages_.insert(page);
+  if (lsn != kInvalidLsn) {
+    last_update_lsn_[static_cast<size_t>(page)] =
+        std::max(last_update_lsn_[static_cast<size_t>(page)], lsn);
+  }
+  ++stats_.updates;
+  lock.unlock();
+  if (fut != nullptr && lsn != kInvalidLsn) fut->RecordUpdate(page, lsn);
+  return Status::OK();
+}
+
+std::vector<int64_t> RecoverableStore::DirtyPages() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return std::vector<int64_t>(dirty_pages_.begin(), dirty_pages_.end());
+}
+
+int64_t RecoverableStore::NumDirtyPages() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return static_cast<int64_t>(dirty_pages_.size());
+}
+
+Status RecoverableStore::CheckpointPage(int64_t page, FirstUpdateTable* fut,
+                                        Wal* wal) {
+  if (page < 0 || page >= num_pages_) return Status::OutOfRange("page");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!loaded_) return Status::FailedPrecondition("store is crashed");
+  // WAL rule: every log record describing this page's contents must be
+  // durable before the page itself may overwrite the snapshot. Loop until
+  // the fence is stable: an update racing in while we wait raises it.
+  if (wal != nullptr) {
+    while (true) {
+      const Lsn fence = last_update_lsn_[static_cast<size_t>(page)];
+      if (fence == kInvalidLsn) break;
+      lock.unlock();
+      wal->WaitLsnDurable(fence);
+      lock.lock();
+      if (!loaded_) return Status::FailedPrecondition("store is crashed");
+      if (last_update_lsn_[static_cast<size_t>(page)] == fence) break;
+    }
+  }
+  // Reset the first-update entry BEFORE taking the copy: an update racing
+  // in after the copy then re-dirties the page and re-enters the table, so
+  // its redo is never lost. (An update between reset and copy is captured
+  // by both the snapshot and the table — redundant redo, which is benign.)
+  if (fut != nullptr) fut->ResetPage(page);
+  // Copy-then-write keeps the lock only for the memcpy (fuzzy checkpoint:
+  // concurrent updates to *other* pages proceed; an update to this page
+  // after the copy re-dirties it).
+  std::vector<char> copy(memory_.data() + page * page_size_,
+                         memory_.data() + (page + 1) * page_size_);
+  dirty_pages_.erase(page);
+  ++stats_.pages_checkpointed;
+  lock.unlock();
+  return snapshot_.Write(page, copy.data(), IoKind::kSequential);
+}
+
+void RecoverableStore::SimulateCrash() {
+  std::unique_lock<std::mutex> lock(mu_);
+  // Power failure: the memory image is garbage now.
+  std::fill(memory_.begin(), memory_.end(), char(0xDB));
+  dirty_pages_.clear();
+  loaded_ = false;
+}
+
+Status RecoverableStore::LoadSnapshot() {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (int64_t p = 0; p < num_pages_; ++p) {
+    MMDB_RETURN_IF_ERROR(snapshot_.Read(p, memory_.data() + p * page_size_,
+                                        IoKind::kSequential));
+    ++stats_.snapshot_pages_read;
+  }
+  dirty_pages_.clear();
+  loaded_ = true;
+  return Status::OK();
+}
+
+RecoverableStore::Stats RecoverableStore::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,129 @@
+#ifndef MMDB_TXN_RECOVERABLE_STORE_H_
+#define MMDB_TXN_RECOVERABLE_STORE_H_
+
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "sim/simulated_disk.h"
+#include "sim/stable_memory.h"
+#include "storage/page_file.h"
+#include "txn/log_record.h"
+
+namespace mmdb {
+
+/// §5.5's stable table: for every page, the LSN of the first update since
+/// the page was last checkpointed ("A table can be placed in stable memory
+/// to record which pages have been updated since their last checkpoint,
+/// and the log record id of the first operation that updated the page").
+/// MinLsn() is the point in the log from which recovery must commence.
+class FirstUpdateTable {
+ public:
+  FirstUpdateTable(StableMemory* stable, int64_t num_pages,
+                   const std::string& region_name = "first_update_table");
+
+  /// Records `lsn` as the page's first update if it is currently clean.
+  void RecordUpdate(int64_t page, Lsn lsn);
+
+  /// Checkpoint of `page` completed: reset its update status.
+  void ResetPage(int64_t page);
+
+  /// First-update LSN of `page`, or kInvalidLsn when clean.
+  Lsn Get(int64_t page) const;
+
+  /// "The oldest entry in the table determines the point in the log from
+  /// which recovery should commence." kInvalidLsn when everything clean.
+  Lsn MinLsn() const;
+
+  int64_t num_pages() const { return num_pages_; }
+
+ private:
+  Lsn* Slots();
+  const Lsn* Slots() const;
+
+  StableMemory* stable_;
+  std::string region_;
+  int64_t num_pages_;
+  mutable std::mutex mu_;
+};
+
+/// The §5 database: a fixed array of fixed-size records kept ENTIRELY in
+/// (volatile) main memory, with a page-structured snapshot on disk.
+/// Transactions mutate the memory image through the TransactionManager;
+/// the Checkpointer sweeps dirty pages to the snapshot; SimulateCrash wipes
+/// the memory image, after which RecoverStore rebuilds it from snapshot +
+/// log.
+class RecoverableStore {
+ public:
+  RecoverableStore(SimulatedDisk* disk, int64_t num_records,
+                   int32_t record_size, int64_t page_size = 4096);
+
+  int64_t num_records() const { return num_records_; }
+  int32_t record_size() const { return record_size_; }
+  int64_t num_pages() const { return num_pages_; }
+  int32_t records_per_page() const { return records_per_page_; }
+  int64_t PageOf(int64_t record_id) const {
+    return record_id / records_per_page_;
+  }
+
+  bool loaded() const { return loaded_; }
+
+  /// Copies the record into `out`. FailedPrecondition when crashed.
+  Status ReadRecord(int64_t record_id, std::string* out) const;
+
+  /// Overwrites the record, marking its page dirty and recording the LSN in
+  /// the first-update table (if provided).
+  Status WriteRecord(int64_t record_id, std::string_view value, Lsn lsn,
+                     FirstUpdateTable* fut);
+
+  /// Pages currently dirty (updated since their last checkpoint).
+  std::vector<int64_t> DirtyPages() const;
+  int64_t NumDirtyPages() const;
+
+  /// Writes one page of the memory image to the disk snapshot (sequential
+  /// I/O — "the disk arms are kept as busy as possible"), clears its dirty
+  /// bit, and resets its first-update entry. When `wal` is given, the WAL
+  /// rule is enforced first: all log records up to the page's last update
+  /// LSN must be durable before the page may reach disk.
+  Status CheckpointPage(int64_t page, FirstUpdateTable* fut,
+                        class Wal* wal = nullptr);
+
+  /// Wipes volatile memory, as a power failure would. The snapshot (disk)
+  /// and anything in StableMemory survive.
+  void SimulateCrash();
+
+  /// Reloads the entire memory image from the disk snapshot.
+  Status LoadSnapshot();
+
+  struct Stats {
+    int64_t updates = 0;
+    int64_t pages_checkpointed = 0;
+    int64_t snapshot_pages_read = 0;
+  };
+  Stats stats() const;
+
+ private:
+  char* RecordPtr(int64_t record_id);
+  const char* RecordPtr(int64_t record_id) const;
+
+  SimulatedDisk* disk_;
+  int64_t num_records_;
+  int32_t record_size_;
+  int64_t page_size_;
+  int32_t records_per_page_;
+  int64_t num_pages_;
+
+  mutable std::mutex mu_;
+  std::vector<char> memory_;
+  std::set<int64_t> dirty_pages_;
+  std::vector<Lsn> last_update_lsn_;  ///< per page, for the WAL rule
+  bool loaded_ = true;
+  PageFile snapshot_;
+  Stats stats_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_RECOVERABLE_STORE_H_

@@ -1,0 +1,126 @@
+#include "txn/recovery.h"
+
+#include <algorithm>
+#include <chrono>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
+                                     FirstUpdateTable* fut,
+                                     RecoveryOptions options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  RecoveryStats stats;
+
+  // 1. Snapshot reload.
+  const int64_t pages_before = store->stats().snapshot_pages_read;
+  MMDB_RETURN_IF_ERROR(store->LoadSnapshot());
+  stats.snapshot_pages_read = store->stats().snapshot_pages_read - pages_before;
+
+  // 2. Merge fragments, classify transactions.
+  std::vector<LogRecord> log = wal->ReadAllForRecovery();
+  stats.log_records_total = static_cast<int64_t>(log.size());
+
+  std::unordered_set<TxnId> winners;
+  std::unordered_set<TxnId> seen;
+  for (const LogRecord& rec : log) {
+    seen.insert(rec.txn_id);
+    stats.max_txn_id = std::max(stats.max_txn_id, rec.txn_id);
+    if (rec.type == LogRecordType::kCommit ||
+        rec.type == LogRecordType::kAbort) {
+      winners.insert(rec.txn_id);
+    }
+  }
+  stats.winners = static_cast<int64_t>(winners.size());
+  stats.losers = static_cast<int64_t>(seen.size()) - stats.winners;
+
+  // 3. Redo winners from the first-update boundary.
+  Lsn start = 0;
+  if (options.use_first_update_table && fut != nullptr) {
+    const Lsn min_lsn = fut->MinLsn();
+    start = min_lsn == kInvalidLsn
+                ? std::numeric_limits<Lsn>::max()  // everything checkpointed
+                : min_lsn;
+  }
+  stats.start_lsn = start;
+
+  // 3b/4. Per-record resolution. With value (physical) logging the final
+  // state of a record is fully determined by its update timeline:
+  //   * the NEW value of its latest winner update, unless
+  //   * a loser updated it after that winner — then the OLD value of the
+  //     EARLIEST such loser update (the committed image the loser
+  //     overwrote; locks guarantee no winner interleaved).
+  // This rule is idempotent across crash epochs: a loser from a previous
+  // epoch (which the log never seals) is automatically superseded by any
+  // later winner on the same record instead of being re-undone over it.
+  struct RecordState {
+    const LogRecord* winner = nullptr;        // latest winner update
+    const LogRecord* loser_after = nullptr;   // earliest loser after it
+  };
+  std::unordered_map<int64_t, RecordState> final_state;
+
+  int64_t scanned_bytes = 0;
+  for (const LogRecord& rec : log) {
+    if (rec.lsn >= start) {
+      ++stats.log_records_scanned;
+      scanned_bytes += rec.SerializedSize();
+    }
+    if (rec.type != LogRecordType::kUpdate) continue;
+    RecordState& state = final_state[rec.record_id];
+    if (winners.count(rec.txn_id)) {
+      state.winner = &rec;       // later winner supersedes
+      state.loser_after = nullptr;
+    } else if (state.loser_after == nullptr) {
+      if (rec.old_value.empty() && !rec.new_value.empty()) {
+        // A compressed record can only belong to a committed txn;
+        // in-flight stable areas always retain their undo images.
+        return Status::Internal("loser update lacks undo image");
+      }
+      state.loser_after = &rec;  // first in-flight overwrite after winner
+    }
+  }
+  for (const auto& [record_id, state] : final_state) {
+    if (state.loser_after != nullptr) {
+      MMDB_RETURN_IF_ERROR(store->WriteRecord(
+          record_id, state.loser_after->old_value, kInvalidLsn, nullptr));
+      ++stats.undo_applied;
+    } else if (state.winner != nullptr) {
+      if (options.use_first_update_table && fut != nullptr) {
+        // Page-precise skip: updates older than the page's first-update
+        // entry are guaranteed to be in the snapshot already.
+        const Lsn page_first = fut->Get(store->PageOf(record_id));
+        if (page_first == kInvalidLsn || state.winner->lsn < page_first) {
+          continue;
+        }
+      }
+      MMDB_RETURN_IF_ERROR(store->WriteRecord(
+          record_id, state.winner->new_value, kInvalidLsn, nullptr));
+      ++stats.redo_applied;
+    }
+  }
+
+  // End-of-recovery checkpoint: persist the recovered image so a second
+  // crash before the next sweep cannot lose redone work, then clear any
+  // remaining (now meaningless) first-update entries.
+  for (int64_t page : store->DirtyPages()) {
+    MMDB_RETURN_IF_ERROR(store->CheckpointPage(page, fut, nullptr));
+  }
+  if (fut != nullptr) {
+    for (int64_t p = 0; p < fut->num_pages(); ++p) fut->ResetPage(p);
+  }
+
+  const auto t1 = std::chrono::steady_clock::now();
+  stats.wall_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  // Price the log scan as sequential 4K-page reads at the paper's 10 ms.
+  stats.simulated_log_read_seconds =
+      double((scanned_bytes + 4095) / 4096) * 0.010;
+  return stats;
+}
+
+}  // namespace mmdb

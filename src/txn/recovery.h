@@ -1,0 +1,50 @@
+#ifndef MMDB_TXN_RECOVERY_H_
+#define MMDB_TXN_RECOVERY_H_
+
+#include "common/status.h"
+#include "txn/log_manager.h"
+#include "txn/recoverable_store.h"
+
+namespace mmdb {
+
+struct RecoveryOptions {
+  /// Use the stable first-update table to skip the log prefix whose
+  /// effects are guaranteed to be in the snapshot (§5.5). When false, the
+  /// entire log is replayed ("recovery times would become intolerably
+  /// long" — measured by bench_checkpoint_recovery).
+  bool use_first_update_table = true;
+};
+
+struct RecoveryStats {
+  int64_t log_records_total = 0;
+  int64_t log_records_scanned = 0;  ///< records at/after the start point
+  int64_t redo_applied = 0;
+  int64_t undo_applied = 0;
+  int64_t winners = 0;  ///< committed or cleanly aborted transactions
+  int64_t losers = 0;   ///< in-flight at crash
+  Lsn start_lsn = 0;
+  TxnId max_txn_id = 0;  ///< restart transaction ids above this
+  int64_t snapshot_pages_read = 0;
+  double wall_seconds = 0;
+  /// Simulated log-read time: scanned bytes / page size * page read time.
+  double simulated_log_read_seconds = 0;
+};
+
+/// Restart recovery for the §5 store:
+///   1. reload the disk snapshot ("first reloading the snapshot on disk");
+///   2. merge the log fragments and classify transactions — those with a
+///      COMMIT or ABORT record are winners (aborts logged compensation
+///      updates, so replaying them is correct); the rest were in flight;
+///   3. REDO winners' updates in LSN order, starting from the first-update
+///      table's oldest entry (page-precise: an update older than its
+///      page's entry is already in the snapshot);
+///   4. UNDO in-flight transactions' updates in reverse LSN order from
+///      their old values (their locks were held at crash, so no committed
+///      work is clobbered).
+StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
+                                     FirstUpdateTable* fut,
+                                     RecoveryOptions options = {});
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_RECOVERY_H_

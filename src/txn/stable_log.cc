@@ -1,0 +1,192 @@
+#include "txn/stable_log.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+namespace {
+constexpr char kQueueRegion[] = "stable_log_queue";
+}  // namespace
+
+std::string StableLogBuffer::TxnRegionName(TxnId txn) {
+  return "txnlog_" + std::to_string(txn);
+}
+
+StableLogBuffer::StableLogBuffer(StableMemory* stable, LogDevice* device,
+                                 StableLogOptions options)
+    : stable_(stable), device_(device), options_(options) {
+  if (!stable_->Has(kQueueRegion)) {
+    Status s = stable_->Allocate(kQueueRegion, 0);
+    MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
+  }
+}
+
+StableLogBuffer::~StableLogBuffer() { Stop(); }
+
+void StableLogBuffer::Start() {
+  stop_ = false;
+  drainer_ = std::thread(&StableLogBuffer::DrainerLoop, this);
+}
+
+void StableLogBuffer::Stop() {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (!drainer_.joinable()) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  drainer_.join();
+}
+
+Lsn StableLogBuffer::Append(LogRecord rec) {
+  const int64_t size = rec.SerializedSize();
+  const Lsn lsn = next_lsn_.fetch_add(size);
+  rec.lsn = lsn;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  logical_bytes_ += size;
+  const std::string region = TxnRegionName(rec.txn_id);
+  if (!stable_->Has(region)) {
+    Status s = stable_->Allocate(region, 0);
+    MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
+    active_txns_.insert(rec.txn_id);
+  }
+  std::string bytes;
+  rec.AppendTo(&bytes);
+  std::vector<char>* area = stable_->Region(region);
+  const size_t old_size = area->size();
+  Status s = stable_->Resize(region, static_cast<int64_t>(old_size + bytes.size()));
+  MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
+  area = stable_->Region(region);
+  std::copy(bytes.begin(), bytes.end(), area->begin() + static_cast<long>(old_size));
+  return lsn;
+}
+
+Lsn StableLogBuffer::AppendCommit(LogRecord rec,
+                                  const std::vector<TxnId>& deps) {
+  // Dependencies need no lattice here: everything in stable memory is
+  // already durable, so pre-commit and commit coincide.
+  (void)deps;
+  const TxnId txn = rec.txn_id;
+  const Lsn lsn = Append(std::move(rec));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  // Backpressure: wait for the drainer when the stable queue is full.
+  cv_.wait(lock, [&] {
+    const std::vector<char>* queue = stable_->Region(kQueueRegion);
+    return static_cast<int64_t>(queue->size()) < options_.max_queue_bytes ||
+           stop_;
+  });
+  // The transaction is now committed (stable). Move its records — undo
+  // images stripped when compressing — into the stable output queue.
+  const std::string region = TxnRegionName(txn);
+  std::vector<char>* area = stable_->Region(region);
+  MMDB_CHECK(area != nullptr);
+  std::vector<LogRecord> recs =
+      LogRecord::ParseAll(area->data(), static_cast<int64_t>(area->size()));
+  std::string queued;
+  for (LogRecord& r : recs) {
+    if (options_.compress) {
+      r.CompressForDisk().AppendTo(&queued);
+    } else {
+      r.AppendTo(&queued);
+    }
+  }
+  std::vector<char>* queue = stable_->Region(kQueueRegion);
+  const size_t old_size = queue->size();
+  Status s = stable_->Resize(kQueueRegion,
+                             static_cast<int64_t>(old_size + queued.size()));
+  MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
+  queue = stable_->Region(kQueueRegion);
+  std::copy(queued.begin(), queued.end(),
+            queue->begin() + static_cast<long>(old_size));
+  queued_bytes_compressed_ += static_cast<int64_t>(queued.size());
+  ++commits_;
+  stable_->Free(region);
+  active_txns_.erase(txn);
+  lock.unlock();
+  cv_.notify_all();
+  return lsn;
+}
+
+void StableLogBuffer::DiscardTxn(TxnId txn) {
+  std::unique_lock<std::mutex> lock(mu_);
+  stable_->Free(TxnRegionName(txn));
+  active_txns_.erase(txn);
+}
+
+void StableLogBuffer::DrainerLoop() {
+  const int64_t page_size = device_->page_size();
+  std::unique_lock<std::mutex> lock(mu_);
+  while (true) {
+    std::vector<char>* queue = stable_->Region(kQueueRegion);
+    const int64_t available = static_cast<int64_t>(queue->size());
+    if (available >= page_size || (stop_ && available > 0)) {
+      const int64_t n = std::min(available, page_size);
+      std::string chunk(queue->begin(), queue->begin() + static_cast<long>(n));
+      queue->erase(queue->begin(), queue->begin() + static_cast<long>(n));
+      // Keep StableMemory's accounting in sync with the shrink.
+      Status s = stable_->Resize(kQueueRegion,
+                                 static_cast<int64_t>(queue->size()));
+      MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
+      lock.unlock();
+      device_->WritePage(std::move(chunk));
+      lock.lock();
+      cv_.notify_all();  // wake committers blocked on backpressure
+      continue;
+    }
+    if (stop_) return;
+    cv_.wait_for(lock, std::chrono::milliseconds(1));
+  }
+}
+
+std::vector<LogRecord> StableLogBuffer::ReadAllForRecovery() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<LogRecord> all;
+  // Disk portion followed by the stable output queue: they are ONE
+  // contiguous byte stream (the drainer peels page-sized prefixes off the
+  // queue), so a record straddling the boundary parses correctly only when
+  // the two are concatenated.
+  {
+    std::string bytes = device_->ReadAll();
+    const std::vector<char>* queue = stable_->Region(kQueueRegion);
+    bytes.append(queue->data(), queue->size());
+    std::vector<LogRecord> recs =
+        LogRecord::ParseAll(bytes.data(), static_cast<int64_t>(bytes.size()));
+    all.insert(all.end(), std::make_move_iterator(recs.begin()),
+               std::make_move_iterator(recs.end()));
+  }
+  // Per-transaction areas of in-flight (loser) transactions: undo images.
+  for (TxnId txn : active_txns_) {
+    std::vector<char>* area = stable_->Region(TxnRegionName(txn));
+    if (area == nullptr) continue;
+    std::vector<LogRecord> recs =
+        LogRecord::ParseAll(area->data(), static_cast<int64_t>(area->size()));
+    all.insert(all.end(), std::make_move_iterator(recs.begin()),
+               std::make_move_iterator(recs.end()));
+  }
+  std::sort(all.begin(), all.end(),
+            [](const LogRecord& a, const LogRecord& b) { return a.lsn < b.lsn; });
+  return all;
+}
+
+Wal::Stats StableLogBuffer::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  Stats s;
+  s.device_writes = device_->num_pages();
+  s.device_bytes = device_->bytes_written();
+  s.logical_bytes = logical_bytes_;
+  s.commits = commits_;
+  s.avg_commit_group = 0;
+  return s;
+}
+
+int64_t StableLogBuffer::queued_bytes() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  const std::vector<char>* queue = stable_->Region(kQueueRegion);
+  return queue == nullptr ? 0 : static_cast<int64_t>(queue->size());
+}
+
+}  // namespace mmdb

@@ -1,0 +1,178 @@
+#include "txn/transaction_manager.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/check.h"
+#include "txn/version_store.h"
+
+namespace mmdb {
+
+TransactionManager::TransactionManager(RecoverableStore* store,
+                                       LockManager* locks, Wal* wal,
+                                       FirstUpdateTable* fut,
+                                       TxnId first_txn_id,
+                                       VersionManager* versions)
+    : store_(store),
+      locks_(locks),
+      wal_(wal),
+      fut_(fut),
+      versions_(versions) {
+  next_txn_.store(first_txn_id);
+}
+
+TxnId TransactionManager::Begin() {
+  const TxnId txn = next_txn_.fetch_add(1);
+  LogRecord rec;
+  rec.type = LogRecordType::kBegin;
+  rec.txn_id = txn;
+  wal_->Append(std::move(rec));
+  std::unique_lock<std::mutex> lock(mu_);
+  active_[txn] = TxnState{};
+  ++stats_.begun;
+  return txn;
+}
+
+StatusOr<std::string> TransactionManager::Read(TxnId txn, int64_t record_id) {
+  std::vector<TxnId> deps;
+  MMDB_RETURN_IF_ERROR(
+      locks_->Acquire(txn, record_id, LockMode::kShared, &deps));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = active_.find(txn);
+    if (it == active_.end()) {
+      return Status::FailedPrecondition("transaction not active");
+    }
+    // Reading a pre-committed writer's data makes us its dependent (§5.2).
+    it->second.deps.insert(it->second.deps.end(), deps.begin(), deps.end());
+  }
+  std::string value;
+  MMDB_RETURN_IF_ERROR(store_->ReadRecord(record_id, &value));
+  return value;
+}
+
+Status TransactionManager::Update(TxnId txn, int64_t record_id,
+                                  std::string_view new_value) {
+  std::vector<TxnId> deps;
+  MMDB_RETURN_IF_ERROR(
+      locks_->Acquire(txn, record_id, LockMode::kExclusive, &deps));
+
+  std::string old_value;
+  MMDB_RETURN_IF_ERROR(store_->ReadRecord(record_id, &old_value));
+  if (versions_ != nullptr) {
+    // Base capture must precede the in-place write so snapshot readers can
+    // never observe our uncommitted value (see VersionManager::Read).
+    versions_->CaptureBase(record_id, old_value);
+  }
+
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn_id = txn;
+  rec.record_id = record_id;
+  rec.old_value = old_value;
+  rec.new_value.assign(new_value.data(), new_value.size());
+  const Lsn lsn = wal_->Append(rec);
+
+  MMDB_RETURN_IF_ERROR(store_->WriteRecord(record_id, new_value, lsn, fut_));
+
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  it->second.deps.insert(it->second.deps.end(), deps.begin(), deps.end());
+  it->second.undo.push_back(
+      UndoEntry{record_id, std::move(old_value), std::string(new_value)});
+  return Status::OK();
+}
+
+Status TransactionManager::Commit(TxnId txn) {
+  std::vector<TxnId> deps;
+  std::vector<UndoEntry> undo;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = active_.find(txn);
+    if (it == active_.end()) {
+      return Status::FailedPrecondition("transaction not active");
+    }
+    deps = std::move(it->second.deps);
+    undo = std::move(it->second.undo);
+    active_.erase(it);
+  }
+  std::sort(deps.begin(), deps.end());
+  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+
+  LogRecord rec;
+  rec.type = LogRecordType::kCommit;
+  rec.txn_id = txn;
+  // 1. Pre-commit: the commit record enters the log buffer.
+  wal_->AppendCommit(std::move(rec), deps);
+  // 1b. Publish versions before releasing locks, so the commit sequence
+  // respects serialization order (a dependent writer cannot even acquire
+  // our locks, let alone publish, before this point).
+  if (versions_ != nullptr && !undo.empty()) {
+    std::map<int64_t, std::string> final_values;
+    for (const UndoEntry& u : undo) {
+      final_values[u.record_id] = u.new_value;  // last write wins
+    }
+    std::vector<std::pair<int64_t, std::string>> published(
+        final_values.begin(), final_values.end());
+    versions_->PublishCommit(published);
+  }
+  // 2. Locks release immediately — dependents may proceed.
+  locks_->PreCommit(txn);
+  // 3. Durability ("the user is not notified until...").
+  wal_->WaitCommitDurable(txn);
+  // 4. Finalize.
+  locks_->FinalizeCommit(txn);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.committed;
+  }
+  return Status::OK();
+}
+
+Status TransactionManager::Abort(TxnId txn) {
+  TxnState state;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = active_.find(txn);
+    if (it == active_.end()) {
+      return Status::FailedPrecondition("transaction not active");
+    }
+    state = std::move(it->second);
+    active_.erase(it);
+  }
+  // Compensation updates, newest first: restore old values in memory and
+  // in the log, so recovery can simply replay aborted transactions.
+  for (auto it = state.undo.rbegin(); it != state.undo.rend(); ++it) {
+    LogRecord rec;
+    rec.type = LogRecordType::kUpdate;
+    rec.txn_id = txn;
+    rec.record_id = it->record_id;
+    rec.old_value = it->new_value;  // compensation: swap directions
+    rec.new_value = it->old_value;
+    const Lsn lsn = wal_->Append(rec);
+    MMDB_RETURN_IF_ERROR(
+        store_->WriteRecord(it->record_id, it->old_value, lsn, fut_));
+  }
+  LogRecord abort_rec;
+  abort_rec.type = LogRecordType::kAbort;
+  abort_rec.txn_id = txn;
+  // AppendCommit gives the abort record commit-like sealing semantics
+  // (the stable log moves the txn's records to its output queue).
+  wal_->AppendCommit(std::move(abort_rec), {});
+  locks_->ReleaseAll(txn);
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++stats_.aborted;
+  }
+  return Status::OK();
+}
+
+TransactionManager::Stats TransactionManager::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace mmdb

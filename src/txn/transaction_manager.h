@@ -1,0 +1,96 @@
+#ifndef MMDB_TXN_TRANSACTION_MANAGER_H_
+#define MMDB_TXN_TRANSACTION_MANAGER_H_
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "txn/lock_manager.h"
+#include "txn/log_manager.h"
+#include "txn/recoverable_store.h"
+
+namespace mmdb {
+
+/// Ties §5 together: strict two-phase locking against the LockManager,
+/// old/new-value logging through the Wal, in-place updates to the
+/// memory-resident RecoverableStore, and the pre-commit protocol:
+///
+///   Commit(T):
+///     1. append T's commit record (with its dependency list) to the log
+///        buffer — T is now PRE-COMMITTED;
+///     2. release T's locks (others may read its dirty data, becoming
+///        dependents);
+///     3. wait until the commit record is durable;
+///     4. finalize: drop T from the lock table's pre-committed sets and
+///        notify the "user".
+///
+/// Aborts write compensation updates (old values restored) followed by an
+/// abort record, so recovery can treat aborted transactions as replayable
+/// winners and reserve undo processing for transactions in flight at the
+/// crash.
+class TransactionManager {
+ public:
+  /// `first_txn_id` must exceed every transaction id in the existing log
+  /// (post-recovery restarts pass RecoveryStats::max_txn_id + 1 so new
+  /// transactions cannot be confused with pre-crash ones). When `versions`
+  /// is supplied, updates feed its version chains so lock-free snapshot
+  /// readers can run alongside (§6 / version_store.h).
+  TransactionManager(RecoverableStore* store, LockManager* locks, Wal* wal,
+                     FirstUpdateTable* fut, TxnId first_txn_id = 1,
+                     class VersionManager* versions = nullptr);
+
+  /// Starts a transaction (writes its begin record).
+  TxnId Begin();
+
+  /// S-locks and reads a record.
+  StatusOr<std::string> Read(TxnId txn, int64_t record_id);
+
+  /// X-locks a record, logs old/new values, applies the update in memory.
+  Status Update(TxnId txn, int64_t record_id, std::string_view new_value);
+
+  /// Pre-commit + group-commit wait, per the class comment.
+  Status Commit(TxnId txn);
+
+  /// Undoes in memory (logging compensations), releases locks.
+  Status Abort(TxnId txn);
+
+  struct Stats {
+    int64_t begun = 0;
+    int64_t committed = 0;
+    int64_t aborted = 0;
+  };
+  Stats stats() const;
+
+  RecoverableStore* store() const { return store_; }
+  Wal* wal() const { return wal_; }
+
+ private:
+  struct UndoEntry {
+    int64_t record_id;
+    std::string old_value;
+    std::string new_value;
+  };
+  struct TxnState {
+    std::vector<TxnId> deps;
+    std::vector<UndoEntry> undo;
+  };
+
+  RecoverableStore* store_;
+  LockManager* locks_;
+  Wal* wal_;
+  FirstUpdateTable* fut_;
+  class VersionManager* versions_;
+
+  std::atomic<TxnId> next_txn_{1};
+  mutable std::mutex mu_;
+  std::map<TxnId, TxnState> active_;
+  Stats stats_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_TXN_TRANSACTION_MANAGER_H_

@@ -1,0 +1,122 @@
+#include "txn/version_store.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+void VersionManager::CaptureBase(int64_t record_id,
+                                 std::string_view committed_value) {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::vector<Version>& chain = chains_[record_id];
+  if (!chain.empty()) return;  // base (or newer commits) already captured
+  chain.push_back(Version{0, std::string(committed_value)});
+  ++stats_.versions_stored;
+}
+
+uint64_t VersionManager::PublishCommit(
+    const std::vector<std::pair<int64_t, std::string>>& new_values) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t seq = ++commit_seq_;
+  for (const auto& [record_id, value] : new_values) {
+    std::vector<Version>& chain = chains_[record_id];
+    // The writer held the X lock, so it serialized after every published
+    // version of this record.
+    MMDB_DCHECK(chain.empty() || chain.back().seq < seq);
+    chain.push_back(Version{seq, value});
+    ++stats_.versions_stored;
+  }
+  return seq;
+}
+
+uint64_t VersionManager::BeginSnapshot() {
+  std::unique_lock<std::mutex> lock(mu_);
+  active_snapshots_.insert(commit_seq_);
+  return commit_seq_;
+}
+
+void VersionManager::EndSnapshot(uint64_t snapshot_seq) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = active_snapshots_.find(snapshot_seq);
+  if (it != active_snapshots_.end()) active_snapshots_.erase(it);
+}
+
+StatusOr<std::string> VersionManager::Read(uint64_t snapshot_seq,
+                                           int64_t record_id,
+                                           const RecoverableStore* store) {
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = chains_.find(record_id);
+    if (it != chains_.end()) {
+      const std::vector<Version>& chain = it->second;
+      // Newest version with seq <= snapshot (base seq 0 always qualifies).
+      for (auto v = chain.rbegin(); v != chain.rend(); ++v) {
+        if (v->seq <= snapshot_seq) {
+          ++stats_.chain_reads;
+          return v->value;
+        }
+      }
+      return Status::Internal("version chain without a base version");
+    }
+  }
+  // No chain: the record has (so far) never been updated. Read the store
+  // directly, then re-check: a first updater captures the base BEFORE
+  // modifying memory, so if the chain is still absent afterwards the value
+  // we read was the untouched committed one.
+  std::string value;
+  MMDB_RETURN_IF_ERROR(store->ReadRecord(record_id, &value));
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    auto it = chains_.find(record_id);
+    if (it != chains_.end()) {
+      for (auto v = it->second.rbegin(); v != it->second.rend(); ++v) {
+        if (v->seq <= snapshot_seq) {
+          ++stats_.chain_reads;
+          return v->value;
+        }
+      }
+      return Status::Internal("version chain without a base version");
+    }
+    ++stats_.direct_reads;
+  }
+  return value;
+}
+
+int64_t VersionManager::Gc() {
+  std::unique_lock<std::mutex> lock(mu_);
+  const uint64_t horizon =
+      active_snapshots_.empty() ? commit_seq_ : *active_snapshots_.begin();
+  int64_t removed = 0;
+  for (auto& [record_id, chain] : chains_) {
+    // Keep the newest version with seq <= horizon and everything after it.
+    size_t keep_from = 0;
+    for (size_t i = 0; i < chain.size(); ++i) {
+      if (chain[i].seq <= horizon) keep_from = i;
+    }
+    if (keep_from > 0) {
+      chain.erase(chain.begin(),
+                  chain.begin() + static_cast<long>(keep_from));
+      removed += static_cast<int64_t>(keep_from);
+    }
+  }
+  stats_.versions_gced += removed;
+  return removed;
+}
+
+VersionManager::Stats VersionManager::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+uint64_t VersionManager::current_seq() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return commit_seq_;
+}
+
+int64_t VersionManager::num_chains() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return static_cast<int64_t>(chains_.size());
+}
+
+}  // namespace mmdb

@@ -1,0 +1,143 @@
+#include "cost/access_cost.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmdb {
+namespace {
+
+AccessModelParams Defaults() {
+  AccessModelParams p;
+  p.num_tuples = 1'000'000;
+  p.key_width = 8;
+  p.tuple_width = 100;
+  p.page_size = 4096;
+  return p;
+}
+
+TEST(AccessCostTest, AvlComparisonsAreLog2NPlusQuarter) {
+  AvlAccessCost c = ComputeAvlCost(Defaults(), 0);
+  EXPECT_NEAR(c.comparisons, std::log2(1e6) + 0.25, 1e-9);
+}
+
+TEST(AccessCostTest, AvlFullyResidentHasNoFaults) {
+  AccessModelParams p = Defaults();
+  AvlAccessCost zero_mem = ComputeAvlCost(p, 0);
+  AvlAccessCost full = ComputeAvlCost(p, int64_t(zero_mem.pages));
+  EXPECT_DOUBLE_EQ(full.faults, 0);
+  EXPECT_DOUBLE_EQ(full.cost, p.y * full.comparisons);
+}
+
+TEST(AccessCostTest, BTreeGeometry) {
+  AccessModelParams p = Defaults();
+  BTreeAccessCost c = ComputeBTreeCost(p, 0);
+  // fanout = 0.69 * 4096 / 12 ~ 235; leaves = 1e6/28.3 ~ 35k; height 2.
+  EXPECT_NEAR(c.fanout, 0.69 * 4096 / 12, 1);
+  EXPECT_NEAR(c.leaves, 1e6 / (0.69 * 4096 / 100), 100);
+  EXPECT_DOUBLE_EQ(c.height, 2);
+  // S' slightly above the leaf count.
+  EXPECT_GT(c.pages, c.leaves);
+  EXPECT_LT(c.pages, c.leaves * 1.01);
+  // Zero memory: height+1 faults.
+  EXPECT_DOUBLE_EQ(c.faults, 3);
+}
+
+TEST(AccessCostTest, BTreeDominatesAtLowMemory) {
+  AccessModelParams p = Defaults();
+  // At 10% residency the B+-tree must win by a wide margin for any
+  // realistic Z.
+  for (double z : {10.0, 20.0, 30.0}) {
+    p.z = z;
+    EXPECT_LT(RandomAccessCostDiff(p, 0.1), 0) << z;
+  }
+}
+
+TEST(AccessCostTest, AvlWinsWhenFullyResidentWithCheaperComparisons) {
+  AccessModelParams p = Defaults();
+  p.y = 0.8;
+  EXPECT_GT(RandomAccessCostDiff(p, 1.0), 0);
+}
+
+TEST(AccessCostTest, BreakEvenHInPapersEightyToNinetyPercentBand) {
+  // The headline conclusion: B+-trees remain preferred "unless more than
+  // 80%-90% of the database can be kept in main memory".
+  AccessModelParams p = Defaults();
+  for (double z : {10.0, 20.0, 30.0}) {
+    for (double y : {0.5, 0.8}) {
+      p.z = z;
+      p.y = y;
+      const double h = BreakEvenH(p);
+      EXPECT_GE(h, 0.75) << "z=" << z << " y=" << y;
+      EXPECT_LE(h, 1.0) << "z=" << z << " y=" << y;
+    }
+  }
+}
+
+TEST(AccessCostTest, BreakEvenHGrowsWithZ) {
+  // Heavier I/O weighting favours the shallower B+-tree: the AVL needs
+  // even more memory to compete.
+  AccessModelParams p = Defaults();
+  p.z = 10;
+  const double h10 = BreakEvenH(p);
+  p.z = 30;
+  const double h30 = BreakEvenH(p);
+  EXPECT_LT(h10, h30);
+}
+
+TEST(AccessCostTest, BreakEvenYConsistentWithCostDiff) {
+  AccessModelParams p = Defaults();
+  for (double h : {0.85, 0.9, 0.95}) {
+    const double y_star = BreakEvenY(p, h);
+    AccessModelParams q = p;
+    q.y = y_star;
+    EXPECT_NEAR(RandomAccessCostDiff(q, h), 0, 1e-6) << h;
+    // Slightly cheaper comparisons -> AVL preferred; pricier -> B+.
+    q.y = y_star - 0.05;
+    EXPECT_GT(RandomAccessCostDiff(q, h), 0);
+    q.y = y_star + 0.05;
+    EXPECT_LT(RandomAccessCostDiff(q, h), 0);
+  }
+}
+
+TEST(AccessCostTest, Table1ShapeBreakEvenYRisesWithH) {
+  AccessModelParams p = Defaults();
+  p.z = 20;
+  double prev = -100;
+  for (double h : {0.8, 0.9, 0.95, 0.99}) {
+    const double y = BreakEvenY(p, h);
+    EXPECT_GT(y, prev) << h;
+    prev = y;
+  }
+  // At H=0.8 with Z=20 the AVL cannot win even with free comparisons.
+  EXPECT_LT(BreakEvenY(p, 0.8), 0);
+}
+
+TEST(AccessCostTest, SequentialCaseNeedsSimilarlyHighResidency) {
+  // §2 case 2: "It appears that reasonable values for H' are similar to
+  // reasonable values for H".
+  AccessModelParams p = Defaults();
+  const int64_t n = 1000;
+  // At low residency the B+-tree's packed leaves crush the AVL.
+  SequentialCost low = ComputeSequentialCost(p, 0.3, n);
+  EXPECT_LT(low.btree_cost, low.avl_cost);
+  // Fully resident with cheaper comparisons the AVL finally wins.
+  p.y = 0.8;
+  SequentialCost high = ComputeSequentialCost(p, 1.0, n);
+  EXPECT_LT(high.avl_cost, high.btree_cost);
+  // Break-even Y behaves like Table 1's companion column.
+  EXPECT_LT(BreakEvenYSequential(p, 0.5, n),
+            BreakEvenYSequential(p, 0.99, n));
+}
+
+TEST(AccessCostTest, CostScalesLinearlyWithZAtFixedFaults) {
+  AccessModelParams p = Defaults();
+  p.z = 10;
+  BTreeAccessCost a = ComputeBTreeCost(p, 0);
+  p.z = 20;
+  BTreeAccessCost b = ComputeBTreeCost(p, 0);
+  EXPECT_NEAR(b.cost - b.comparisons, 2 * (a.cost - a.comparisons), 1e-9);
+}
+
+}  // namespace
+}  // namespace mmdb

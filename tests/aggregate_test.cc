@@ -1,0 +1,213 @@
+#include "exec/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "storage/datagen.h"
+
+namespace mmdb {
+namespace {
+
+Relation SalesRelation(int64_t n, int64_t groups, uint64_t seed) {
+  Schema schema({Column::Int64("dept"), Column::Int64("qty"),
+                 Column::Double("price")});
+  Relation rel(schema);
+  Random rng(seed);
+  for (int64_t i = 0; i < n; ++i) {
+    rel.Add({static_cast<int64_t>(rng.Uniform(uint64_t(groups))),
+             static_cast<int64_t>(rng.Uniform(100)),
+             double(rng.Uniform(1000)) / 10.0});
+  }
+  return rel;
+}
+
+/// Reference aggregation with std::map.
+struct RefAgg {
+  int64_t count = 0;
+  double sum_qty = 0;
+  int64_t min_qty = 1 << 30;
+  int64_t max_qty = -1;
+  double sum_price = 0;
+};
+std::map<int64_t, RefAgg> Reference(const Relation& rel) {
+  std::map<int64_t, RefAgg> ref;
+  for (const Row& row : rel.rows()) {
+    RefAgg& a = ref[std::get<int64_t>(row[0])];
+    const int64_t qty = std::get<int64_t>(row[1]);
+    ++a.count;
+    a.sum_qty += double(qty);
+    a.min_qty = std::min(a.min_qty, qty);
+    a.max_qty = std::max(a.max_qty, qty);
+    a.sum_price += std::get<double>(row[2]);
+  }
+  return ref;
+}
+
+AggregateSpec FullSpec() {
+  AggregateSpec spec;
+  spec.group_by = {0};
+  spec.aggregates.push_back({AggFn::kCount, 0, "n"});
+  spec.aggregates.push_back({AggFn::kSum, 1, "sum_qty"});
+  spec.aggregates.push_back({AggFn::kMin, 1, "min_qty"});
+  spec.aggregates.push_back({AggFn::kMax, 1, "max_qty"});
+  spec.aggregates.push_back({AggFn::kAvg, 2, "avg_price"});
+  return spec;
+}
+
+void CheckAgainstReference(const Relation& input, const Relation& out) {
+  const auto ref = Reference(input);
+  ASSERT_EQ(out.num_tuples(), static_cast<int64_t>(ref.size()));
+  for (const Row& row : out.rows()) {
+    const auto it = ref.find(std::get<int64_t>(row[0]));
+    ASSERT_NE(it, ref.end());
+    const RefAgg& a = it->second;
+    EXPECT_EQ(std::get<int64_t>(row[1]), a.count);
+    EXPECT_NEAR(std::get<double>(row[2]), a.sum_qty, 1e-6);
+    EXPECT_EQ(std::get<int64_t>(row[3]), a.min_qty);
+    EXPECT_EQ(std::get<int64_t>(row[4]), a.max_qty);
+    EXPECT_NEAR(std::get<double>(row[5]), a.sum_price / double(a.count),
+                1e-6);
+  }
+}
+
+TEST(HashAggregateTest, OnePassMatchesReference) {
+  Relation input = SalesRelation(5000, 20, 1);
+  ExecEnv env(1 << 16);
+  AggStats stats;
+  auto out = HashAggregate(input, FullSpec(), &env.ctx, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_TRUE(stats.one_pass);
+  EXPECT_EQ(stats.groups, 20);
+  CheckAgainstReference(input, *out);
+}
+
+TEST(HashAggregateTest, PartitionedMatchesReference) {
+  Relation input = SalesRelation(20'000, 500, 2);
+  ExecEnv env(4);  // forces partitioning
+  AggStats stats;
+  auto out = HashAggregate(input, FullSpec(), &env.ctx, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_FALSE(stats.one_pass);
+  EXPECT_GT(stats.partitions, 1);
+  EXPECT_EQ(stats.groups, 500);
+  CheckAgainstReference(input, *out);
+  EXPECT_EQ(env.disk.TotalPages(), 0);
+  EXPECT_GT(env.clock.counters().rand_ios + env.clock.counters().seq_ios, 0);
+}
+
+TEST(HashAggregateTest, OnePassAndPartitionedAgreeExactly) {
+  Relation input = SalesRelation(8000, 64, 3);
+  ExecEnv big(1 << 16), small(2);
+  auto a = HashAggregate(input, FullSpec(), &big.ctx);
+  auto b = HashAggregate(input, FullSpec(), &small.ctx);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  std::multiset<std::string> ca, cb;
+  for (const Row& row : a->rows()) ca.insert(RowToString(row));
+  for (const Row& row : b->rows()) cb.insert(RowToString(row));
+  EXPECT_EQ(ca, cb);
+}
+
+TEST(HashAggregateTest, GroupByMultipleColumns) {
+  Schema schema({Column::Int64("a"), Column::Int64("b"), Column::Int64("v")});
+  Relation rel(schema);
+  for (int64_t a = 0; a < 3; ++a) {
+    for (int64_t b = 0; b < 4; ++b) {
+      for (int64_t i = 0; i < 5; ++i) rel.Add({a, b, i});
+    }
+  }
+  AggregateSpec spec;
+  spec.group_by = {0, 1};
+  spec.aggregates.push_back({AggFn::kCount, 0, "n"});
+  ExecEnv env(64);
+  auto out = HashAggregate(rel, spec, &env.ctx);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_tuples(), 12);
+  for (const Row& row : out->rows()) {
+    EXPECT_EQ(std::get<int64_t>(row[2]), 5);
+  }
+}
+
+TEST(HashAggregateTest, GlobalAggregateWithoutGroupBy) {
+  Relation input = SalesRelation(1000, 10, 4);
+  AggregateSpec spec;
+  spec.aggregates.push_back({AggFn::kCount, 0, "n"});
+  spec.aggregates.push_back({AggFn::kSum, 1, "total"});
+  ExecEnv env(64);
+  auto out = HashAggregate(input, spec, &env.ctx);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_tuples(), 1);
+  EXPECT_EQ(std::get<int64_t>(out->rows()[0][0]), 1000);
+}
+
+TEST(HashAggregateTest, RejectsBadSpecs) {
+  Relation input = SalesRelation(10, 2, 5);
+  ExecEnv env(64);
+  AggregateSpec bad_col;
+  bad_col.group_by = {9};
+  EXPECT_EQ(HashAggregate(input, bad_col, &env.ctx).status().code(),
+            StatusCode::kInvalidArgument);
+  AggregateSpec bad_sum;
+  bad_sum.aggregates.push_back({AggFn::kSum, 0, "s"});
+  Schema s({Column::Char("name", 8)});
+  Relation strings(s);
+  strings.Add({std::string("x")});
+  EXPECT_EQ(HashAggregate(strings, bad_sum, &env.ctx).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(HashAggregateTest, EmptyInputYieldsNoGroups) {
+  Relation input(Schema({Column::Int64("k"), Column::Int64("v"),
+                         Column::Double("d")}));
+  ExecEnv env(64);
+  auto out = HashAggregate(input, FullSpec(), &env.ctx);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_tuples(), 0);
+}
+
+TEST(ProjectDistinctTest, EliminatesDuplicates) {
+  Schema schema({Column::Int64("a"), Column::Int64("b")});
+  Relation rel(schema);
+  for (int64_t i = 0; i < 1000; ++i) rel.Add({i % 10, i % 3});
+  ExecEnv env(64);
+  AggStats stats;
+  auto out = ProjectDistinct(rel, {0, 1}, &env.ctx, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_tuples(), 30);
+  // Projecting a single column narrows further.
+  auto single = ProjectDistinct(rel, {1}, &env.ctx);
+  ASSERT_TRUE(single.ok());
+  EXPECT_EQ(single->num_tuples(), 3);
+}
+
+TEST(ProjectDistinctTest, SpillingDistinctMatchesInMemory) {
+  GenOptions opts;
+  opts.num_tuples = 20'000;
+  opts.tuple_width = 64;
+  opts.distribution = KeyDistribution::kUniform;
+  opts.key_range = 750;
+  Relation rel = MakeKeyedRelation(opts);
+  ExecEnv big(1 << 16), small(2);
+  auto a = ProjectDistinct(rel, {0}, &big.ctx);
+  auto b = ProjectDistinct(rel, {0}, &small.ctx);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_tuples(), b->num_tuples());
+}
+
+TEST(HashAggregateTest, PaperClaimOnePassWhenResultFits) {
+  // §3.9: "If there is enough memory to hold the result relation, then the
+  // fastest algorithm will be a one pass hashing algorithm" — our
+  // implementation goes one-pass whenever the INPUT fits, which implies
+  // the result fits; the partitioned path must cost strictly more.
+  Relation input = SalesRelation(4000, 8, 6);
+  ExecEnv one_pass(1 << 16);
+  ExecEnv partitioned(2);
+  ASSERT_TRUE(HashAggregate(input, FullSpec(), &one_pass.ctx).ok());
+  ASSERT_TRUE(HashAggregate(input, FullSpec(), &partitioned.ctx).ok());
+  EXPECT_LT(one_pass.clock.Seconds(), partitioned.clock.Seconds());
+}
+
+}  // namespace
+}  // namespace mmdb

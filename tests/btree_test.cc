@@ -1,0 +1,406 @@
+#include "index/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <map>
+#include <set>
+
+#include "common/random.h"
+
+namespace mmdb {
+namespace {
+
+/// Small pages stress splits; payload carries the key for verification.
+class BTreeTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kPageSize = 256;
+
+  BTreeTest()
+      : disk_(kPageSize),
+        pool_(&disk_, 64),
+        file_(&disk_, "btree"),
+        tree_(&pool_, &file_, BTreeOptions{8, 8}) {}
+
+  void Key(int64_t v, char* out) { BPlusTree::EncodeInt64Key(v, out, 8); }
+
+  Status Insert(int64_t k, int64_t payload) {
+    char key[8], val[8];
+    Key(k, key);
+    std::memcpy(val, &payload, sizeof(payload));
+    return tree_.Insert(key, val);
+  }
+
+  StatusOr<int64_t> Find(int64_t k) {
+    char key[8], val[8];
+    Key(k, key);
+    MMDB_RETURN_IF_ERROR(tree_.Find(key, val));
+    int64_t payload;
+    std::memcpy(&payload, val, sizeof(payload));
+    return payload;
+  }
+
+  SimulatedDisk disk_;
+  BufferPool pool_;
+  PageFile file_;
+  BPlusTree tree_;
+};
+
+TEST_F(BTreeTest, InsertFindSmall) {
+  ASSERT_TRUE(Insert(5, 50).ok());
+  ASSERT_TRUE(Insert(1, 10).ok());
+  ASSERT_TRUE(Insert(9, 90).ok());
+  EXPECT_EQ(*Find(5), 50);
+  EXPECT_EQ(*Find(1), 10);
+  EXPECT_EQ(*Find(9), 90);
+  EXPECT_EQ(Find(2).status().code(), StatusCode::kNotFound);
+  ASSERT_TRUE(tree_.ValidateInvariants().ok());
+}
+
+TEST_F(BTreeTest, GrowsThroughManySplits) {
+  constexpr int64_t kN = 5000;
+  Random rng(8);
+  std::vector<int64_t> keys(kN);
+  for (int64_t i = 0; i < kN; ++i) keys[size_t(i)] = i;
+  rng.Shuffle(&keys);
+  for (int64_t k : keys) ASSERT_TRUE(Insert(k, k * 2).ok());
+  ASSERT_TRUE(tree_.ValidateInvariants().ok());
+  EXPECT_EQ(tree_.size(), kN);
+  EXPECT_GT(tree_.height(), 2);
+  for (int64_t i = 0; i < kN; i += 97) {
+    EXPECT_EQ(*Find(i), i * 2) << i;
+  }
+}
+
+TEST_F(BTreeTest, SequentialInsertAlsoValid) {
+  for (int64_t i = 0; i < 2000; ++i) ASSERT_TRUE(Insert(i, i).ok());
+  ASSERT_TRUE(tree_.ValidateInvariants().ok());
+  EXPECT_EQ(*Find(1999), 1999);
+}
+
+TEST_F(BTreeTest, ScanFromWalksLeafChainInOrder) {
+  Random rng(3);
+  std::vector<int64_t> keys(1000);
+  for (int64_t i = 0; i < 1000; ++i) keys[size_t(i)] = i * 3;
+  rng.Shuffle(&keys);
+  for (int64_t k : keys) ASSERT_TRUE(Insert(k, k).ok());
+
+  char low[8];
+  Key(500, low);
+  std::vector<int64_t> seen;
+  ASSERT_TRUE(tree_
+                  .ScanFrom(
+                      low,
+                      [&](const char* key, const char*) {
+                        // Decode big-endian.
+                        int64_t v = 0;
+                        for (int i = 0; i < 8; ++i) {
+                          v = (v << 8) |
+                              static_cast<unsigned char>(key[i]);
+                        }
+                        seen.push_back(v);
+                        return true;
+                      },
+                      10)
+                  .ok());
+  ASSERT_EQ(seen.size(), 10u);
+  EXPECT_EQ(seen.front(), 501 / 3 * 3 == 501 ? 501 : ((500 + 2) / 3) * 3);
+  for (size_t i = 1; i < seen.size(); ++i) {
+    EXPECT_EQ(seen[i], seen[i - 1] + 3);
+  }
+}
+
+TEST_F(BTreeTest, DuplicatesAreAllScannable) {
+  for (int i = 0; i < 40; ++i) ASSERT_TRUE(Insert(7, 100 + i).ok());
+  ASSERT_TRUE(Insert(6, 1).ok());
+  ASSERT_TRUE(Insert(8, 2).ok());
+  ASSERT_TRUE(tree_.ValidateInvariants().ok());
+  char low[8];
+  Key(7, low);
+  int count = 0;
+  ASSERT_TRUE(tree_
+                  .ScanFrom(low,
+                            [&](const char* key, const char*) {
+                              char seven[8];
+                              BPlusTree::EncodeInt64Key(7, seven, 8);
+                              if (std::memcmp(key, seven, 8) != 0) {
+                                return false;
+                              }
+                              ++count;
+                              return true;
+                            })
+                  .ok());
+  EXPECT_EQ(count, 40);
+}
+
+TEST_F(BTreeTest, DeleteRemovesAcrossLeaves) {
+  for (int64_t i = 0; i < 500; ++i) ASSERT_TRUE(Insert(i, i).ok());
+  for (int64_t i = 0; i < 500; i += 3) {
+    ASSERT_TRUE(tree_.Delete([&] {
+      static char key[8];
+      BPlusTree::EncodeInt64Key(i, key, 8);
+      return key;
+    }()).ok())
+        << i;
+  }
+  ASSERT_TRUE(tree_.ValidateInvariants().ok());
+  for (int64_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(Find(i).ok(), i % 3 != 0) << i;
+  }
+  char key[8];
+  Key(0, key);
+  EXPECT_EQ(tree_.Delete(key).code(), StatusCode::kNotFound);
+}
+
+TEST_F(BTreeTest, DeleteOneDuplicateLeavesOthers) {
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(Insert(5, i).ok());
+  char key[8];
+  Key(5, key);
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(tree_.Delete(key).ok()) << i;
+    EXPECT_EQ(tree_.size(), 9 - i);
+  }
+  EXPECT_EQ(tree_.Delete(key).code(), StatusCode::kNotFound);
+}
+
+TEST_F(BTreeTest, GeometryMatchesPaperModel) {
+  // Internal fanout ~ P/(K+4); leaf capacity ~ (P-8)/(K+V).
+  EXPECT_EQ(tree_.internal_fanout(), (kPageSize - 8 + 8) / (8 + 4));
+  EXPECT_EQ(tree_.leaf_capacity(), (kPageSize - 8) / 16);
+}
+
+TEST_F(BTreeTest, RandomInsertOccupancyNearYao69Percent) {
+  // [YAO78]: B-tree nodes are ~69% full under random insertion.
+  Random rng(17);
+  std::vector<int64_t> keys(20000);
+  for (int64_t i = 0; i < 20000; ++i) keys[size_t(i)] = i;
+  rng.Shuffle(&keys);
+  for (int64_t k : keys) ASSERT_TRUE(Insert(k, k).ok());
+  auto fill = tree_.AvgLeafFill();
+  ASSERT_TRUE(fill.ok());
+  EXPECT_NEAR(*fill, 0.69, 0.06);
+}
+
+TEST(BTreeKeyTest, Int64EncodingPreservesOrder) {
+  char a[8], b[8];
+  const int64_t values[] = {0, 1, 255, 256, 65535, 1 << 30,
+                            (int64_t{1} << 40) + 3};
+  for (size_t i = 0; i + 1 < std::size(values); ++i) {
+    BPlusTree::EncodeInt64Key(values[i], a, 8);
+    BPlusTree::EncodeInt64Key(values[i + 1], b, 8);
+    EXPECT_LT(std::memcmp(a, b, 8), 0) << values[i];
+  }
+}
+
+TEST(BTreeKeyTest, NarrowKeysWork) {
+  char a[4], b[4];
+  BPlusTree::EncodeInt64Key(1000, a, 4);
+  BPlusTree::EncodeInt64Key(1001, b, 4);
+  EXPECT_LT(std::memcmp(a, b, 4), 0);
+}
+
+TEST(BTreeKeyTest, StringKeysPadAndTruncate) {
+  char a[8], b[8];
+  BPlusTree::EncodeStringKey("abc", a, 8);
+  BPlusTree::EncodeStringKey("abd", b, 8);
+  EXPECT_LT(std::memcmp(a, b, 8), 0);
+  BPlusTree::EncodeStringKey("same_prefix_x", a, 8);
+  BPlusTree::EncodeStringKey("same_prefix_y", b, 8);
+  EXPECT_EQ(std::memcmp(a, b, 8), 0);  // truncated to the same 8 bytes
+}
+
+struct BTreeParam {
+  int32_t key_width;
+  int32_t payload_width;
+  int64_t n;
+};
+
+class BTreeGeometryTest : public ::testing::TestWithParam<BTreeParam> {};
+
+TEST_P(BTreeGeometryTest, RoundTripAcrossGeometries) {
+  const BTreeParam p = GetParam();
+  SimulatedDisk disk(512);
+  BufferPool pool(&disk, 64);
+  PageFile file(&disk, "b");
+  BPlusTree tree(&pool, &file, BTreeOptions{p.key_width, p.payload_width});
+  Random rng(p.n);
+  std::vector<int64_t> keys(static_cast<size_t>(p.n));
+  for (int64_t i = 0; i < p.n; ++i) keys[size_t(i)] = i;
+  rng.Shuffle(&keys);
+
+  std::vector<char> key(static_cast<size_t>(p.key_width));
+  std::vector<char> payload(static_cast<size_t>(p.payload_width), 'p');
+  for (int64_t k : keys) {
+    BPlusTree::EncodeInt64Key(k, key.data(), p.key_width);
+    ASSERT_TRUE(tree
+                    .Insert(key.data(),
+                            p.payload_width ? payload.data() : nullptr)
+                    .ok());
+  }
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+  for (int64_t k = 0; k < p.n; k += 13) {
+    BPlusTree::EncodeInt64Key(k, key.data(), p.key_width);
+    EXPECT_TRUE(tree.Find(key.data(), nullptr).ok()) << k;
+  }
+  BPlusTree::EncodeInt64Key(p.n + 5, key.data(), p.key_width);
+  EXPECT_FALSE(tree.Find(key.data(), nullptr).ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Geometries, BTreeGeometryTest,
+    ::testing::Values(BTreeParam{4, 0, 500}, BTreeParam{8, 8, 2000},
+                      BTreeParam{16, 32, 1000}, BTreeParam{8, 100, 800},
+                      BTreeParam{32, 8, 1500}));
+
+
+struct BulkLoadParam {
+  int64_t n;
+  double fill;
+};
+
+class BTreeBulkLoadTest : public ::testing::TestWithParam<BulkLoadParam> {};
+
+TEST_P(BTreeBulkLoadTest, SortedBuildIsValidAndPacked) {
+  const BulkLoadParam p = GetParam();
+  SimulatedDisk disk(512);
+  BufferPool pool(&disk, 256);
+  PageFile file(&disk, "bulk");
+  BPlusTree tree(&pool, &file, BTreeOptions{8, 8});
+  int64_t i = 0;
+  ASSERT_TRUE(tree
+                  .BulkLoad(
+                      [&](char* key, char* payload) {
+                        if (i >= p.n) return false;
+                        BPlusTree::EncodeInt64Key(i * 2, key, 8);
+                        std::memcpy(payload, &i, sizeof(i));
+                        ++i;
+                        return true;
+                      },
+                      p.fill)
+                  .ok());
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+  EXPECT_EQ(tree.size(), p.n);
+  // Fill factor honored on leaves (the last leaf may be partial, so only
+  // check when many leaves exist).
+  if (p.n >= 1000) {
+    auto fill = tree.AvgLeafFill();
+    ASSERT_TRUE(fill.ok());
+    EXPECT_NEAR(*fill, p.fill, 0.08);
+  }
+  // Lookups for present and absent keys.
+  char key[8], payload[8];
+  for (int64_t k = 0; k < p.n; k += std::max<int64_t>(1, p.n / 97)) {
+    BPlusTree::EncodeInt64Key(k * 2, key, 8);
+    ASSERT_TRUE(tree.Find(key, payload).ok()) << k;
+    int64_t got;
+    std::memcpy(&got, payload, sizeof(got));
+    EXPECT_EQ(got, k);
+    BPlusTree::EncodeInt64Key(k * 2 + 1, key, 8);
+    EXPECT_FALSE(tree.Find(key, payload).ok());
+  }
+  // The leaf chain scans everything in order.
+  BPlusTree::EncodeInt64Key(0, key, 8);
+  int64_t count = 0;
+  ASSERT_TRUE(tree.ScanFrom(key,
+                            [&](const char*, const char*) {
+                              ++count;
+                              return true;
+                            })
+                  .ok());
+  EXPECT_EQ(count, p.n);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BTreeBulkLoadTest,
+    ::testing::Values(BulkLoadParam{1, 1.0}, BulkLoadParam{31, 1.0},
+                      BulkLoadParam{5000, 1.0}, BulkLoadParam{5000, 0.7},
+                      BulkLoadParam{20000, 0.9}),
+    [](const auto& info) {
+      return "N" + std::to_string(info.param.n) + "_F" +
+             std::to_string(int(info.param.fill * 100));
+    });
+
+TEST(BTreeBulkLoadTest, InsertsAfterBulkLoadStillWork) {
+  SimulatedDisk disk(512);
+  BufferPool pool(&disk, 256);
+  PageFile file(&disk, "bulk");
+  BPlusTree tree(&pool, &file, BTreeOptions{8, 8});
+  int64_t i = 0;
+  ASSERT_TRUE(tree
+                  .BulkLoad([&](char* key, char* payload) {
+                    if (i >= 2000) return false;
+                    BPlusTree::EncodeInt64Key(i * 2, key, 8);
+                    std::memcpy(payload, &i, sizeof(i));
+                    ++i;
+                    return true;
+                  })
+                  .ok());
+  // Packed leaves split immediately on insert; the tree must stay valid.
+  char key[8], payload[8] = {};
+  for (int64_t k = 1; k < 4000; k += 2) {
+    BPlusTree::EncodeInt64Key(k, key, 8);
+    ASSERT_TRUE(tree.Insert(key, payload).ok()) << k;
+  }
+  ASSERT_TRUE(tree.ValidateInvariants().ok());
+  EXPECT_EQ(tree.size(), 4000);
+}
+
+TEST(BTreeBulkLoadTest, RejectsUnsortedAndNonEmpty) {
+  SimulatedDisk disk(512);
+  BufferPool pool(&disk, 64);
+  PageFile file(&disk, "bulk");
+  BPlusTree tree(&pool, &file, BTreeOptions{8, 0});
+  int step = 0;
+  EXPECT_EQ(tree
+                .BulkLoad([&](char* key, char*) {
+                  // 5, 3: out of order.
+                  BPlusTree::EncodeInt64Key(step == 0 ? 5 : 3, key, 8);
+                  return step++ < 2;
+                })
+                .code(),
+            StatusCode::kInvalidArgument);
+  PageFile file2(&disk, "bulk2");
+  BPlusTree tree2(&pool, &file2, BTreeOptions{8, 0});
+  char key[8];
+  BPlusTree::EncodeInt64Key(1, key, 8);
+  ASSERT_TRUE(tree2.Insert(key, nullptr).ok());
+  EXPECT_EQ(tree2.BulkLoad([](char*, char*) { return false; }).code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(tree2.BulkLoad([](char*, char*) { return false; }, 1.5).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(BTreeBulkLoadTest, PackedBuildUsesFewerPagesThanRandomInserts) {
+  // [YAO78] from the other side: random insertion converges to ~69% leaf
+  // occupancy, so a packed bulk load needs ~0.69x the pages.
+  constexpr int64_t kN = 20000;
+  SimulatedDisk disk(512);
+  BufferPool pool(&disk, 1 << 12);
+  PageFile packed_file(&disk, "packed");
+  BPlusTree packed(&pool, &packed_file, BTreeOptions{8, 8});
+  int64_t i = 0;
+  ASSERT_TRUE(packed
+                  .BulkLoad([&](char* key, char* payload) {
+                    if (i >= kN) return false;
+                    BPlusTree::EncodeInt64Key(i, key, 8);
+                    std::memcpy(payload, &i, sizeof(i));
+                    ++i;
+                    return true;
+                  })
+                  .ok());
+  PageFile random_file(&disk, "random");
+  BPlusTree randomly(&pool, &random_file, BTreeOptions{8, 8});
+  Random rng(5);
+  std::vector<int64_t> keys(kN);
+  for (int64_t k = 0; k < kN; ++k) keys[size_t(k)] = k;
+  rng.Shuffle(&keys);
+  char key[8], payload[8] = {};
+  for (int64_t k : keys) {
+    BPlusTree::EncodeInt64Key(k, key, 8);
+    ASSERT_TRUE(randomly.Insert(key, payload).ok());
+  }
+  EXPECT_LT(double(packed.num_pages()), 0.78 * double(randomly.num_pages()));
+}
+
+}  // namespace
+}  // namespace mmdb

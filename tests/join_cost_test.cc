@@ -1,0 +1,159 @@
+#include "cost/join_cost.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace mmdb {
+namespace {
+
+JoinWorkload Table2Workload(double memory_ratio) {
+  JoinWorkload w;  // defaults are Table 2: 10k pages, 400k tuples each
+  w.memory_pages = static_cast<int64_t>(memory_ratio * 10'000 * 1.2);
+  return w;
+}
+
+CostParams Params() { return CostParams::Table2Defaults(); }
+
+TEST(JoinCostTest, AllHashAlgorithmsCoincideAtRatioOne) {
+  // Figure 1: "above a ratio of 1.0 all algorithms have the same execution
+  // time as at 1.0" — and the three hash algorithms all degenerate to the
+  // in-memory simple hash there.
+  const AllJoinCosts c = ComputeAllJoinCosts(Table2Workload(1.0), Params());
+  EXPECT_NEAR(c.simple_hash.total_seconds, c.grace_hash.total_seconds, 0.01);
+  EXPECT_NEAR(c.simple_hash.total_seconds, c.hybrid_hash.total_seconds, 0.01);
+  // ||R||(hash+move) + ||S||(hash + F comp) = 16.64 s at Table 2 values.
+  EXPECT_NEAR(c.hybrid_hash.total_seconds, 16.64, 0.05);
+}
+
+TEST(JoinCostTest, SortMergeImprovesToNineHundredAboveOne) {
+  const AllJoinCosts at_one = ComputeAllJoinCosts(Table2Workload(1.0), Params());
+  const AllJoinCosts above = ComputeAllJoinCosts(Table2Workload(1.5), Params());
+  EXPECT_GT(at_one.sort_merge.total_seconds, 1500);
+  EXPECT_NEAR(above.sort_merge.total_seconds, 940, 100);  // "approximately 900"
+}
+
+TEST(JoinCostTest, HybridBestOverTheWholeFigureOneRange) {
+  for (double ratio = 0.045; ratio <= 1.0; ratio += 0.05) {
+    const AllJoinCosts c =
+        ComputeAllJoinCosts(Table2Workload(ratio), Params());
+    EXPECT_LE(c.hybrid_hash.total_seconds,
+              c.grace_hash.total_seconds + 1e-9)
+        << ratio;
+    EXPECT_LE(c.hybrid_hash.total_seconds,
+              c.sort_merge.total_seconds + 1e-9)
+        << ratio;
+  }
+}
+
+TEST(JoinCostTest, SimpleHashExplodesAtSmallMemory) {
+  const AllJoinCosts c = ComputeAllJoinCosts(Table2Workload(0.045), Params());
+  EXPECT_GT(c.simple_hash.total_seconds, 2 * c.sort_merge.total_seconds);
+  EXPECT_GT(c.simple_hash.passes, 20);
+}
+
+TEST(JoinCostTest, SimpleHashBeatsHybridJustBelowHalf) {
+  // §3.8: "This is what causes our graphs to indicate that simple hash
+  // will outperform hybrid hash in a small region" — just below the 0.5
+  // discontinuity, hybrid pays IOrand while simple pays IOseq.
+  const AllJoinCosts c = ComputeAllJoinCosts(Table2Workload(0.45), Params());
+  EXPECT_LT(c.simple_hash.total_seconds, c.hybrid_hash.total_seconds);
+}
+
+TEST(JoinCostTest, HybridDiscontinuityAtHalf) {
+  // Crossing 0.5 from below switches the partition writes from IOrand to
+  // IOseq: the curve must drop abruptly.
+  const AllJoinCosts below = ComputeAllJoinCosts(Table2Workload(0.49), Params());
+  const AllJoinCosts above = ComputeAllJoinCosts(Table2Workload(0.52), Params());
+  EXPECT_GT(below.hybrid_hash.total_seconds -
+                above.hybrid_hash.total_seconds,
+            100);
+  EXPECT_GT(below.hybrid_hash.partitions, 1);
+  EXPECT_EQ(above.hybrid_hash.partitions, 1);
+}
+
+TEST(JoinCostTest, GraceIsFlatBelowOne) {
+  // GRACE always partitions everything: its cost is memory-independent
+  // until R fits outright.
+  const AllJoinCosts a = ComputeAllJoinCosts(Table2Workload(0.1), Params());
+  const AllJoinCosts b = ComputeAllJoinCosts(Table2Workload(0.9), Params());
+  EXPECT_NEAR(a.grace_hash.total_seconds, b.grace_hash.total_seconds, 1e-9);
+}
+
+TEST(JoinCostTest, SortMergeRoughlyFlatBelowOne) {
+  const AllJoinCosts a = ComputeAllJoinCosts(Table2Workload(0.045), Params());
+  const AllJoinCosts b = ComputeAllJoinCosts(Table2Workload(0.9), Params());
+  EXPECT_NEAR(a.sort_merge.total_seconds, b.sort_merge.total_seconds,
+              a.sort_merge.total_seconds * 0.1);
+}
+
+TEST(JoinCostTest, HybridConvergesToGraceAtTinyMemory) {
+  const AllJoinCosts c = ComputeAllJoinCosts(Table2Workload(0.045), Params());
+  EXPECT_NEAR(c.hybrid_hash.total_seconds, c.grace_hash.total_seconds,
+              c.grace_hash.total_seconds * 0.1);
+}
+
+TEST(JoinCostTest, SimpleHashPassesFormula) {
+  EXPECT_EQ(SimpleHashPasses(10'000, 12'000, 1.2), 1);
+  EXPECT_EQ(SimpleHashPasses(10'000, 6'000, 1.2), 2);
+  EXPECT_EQ(SimpleHashPasses(10'000, 540, 1.2), 23);
+}
+
+TEST(JoinCostTest, HybridSplitSolvesFixpoint) {
+  // q|R|F + B = |M| with each spilled partition fitting in memory.
+  const HybridSplit s = SolveHybridSplit(10'000, 6'600, 1.2);
+  EXPECT_NEAR(s.q, (6600.0 - double(s.num_partitions)) / 12000.0, 1e-9);
+  EXPECT_EQ(s.num_partitions, 1);
+  const HybridSplit tiny = SolveHybridSplit(10'000, 1'000, 1.2);
+  EXPECT_GT(tiny.num_partitions, 1);
+  // Spilled partitions must individually fit: (1-q)|R|F / B <= |M|.
+  EXPECT_LE((1.0 - tiny.q) * 12000.0 / double(tiny.num_partitions), 1000.0 + 1);
+  const HybridSplit all = SolveHybridSplit(10'000, 12'000, 1.2);
+  EXPECT_DOUBLE_EQ(all.q, 1.0);
+  EXPECT_EQ(all.num_partitions, 0);
+}
+
+TEST(JoinCostTest, TwoPassAssumption) {
+  JoinWorkload w = Table2Workload(1.0);
+  EXPECT_TRUE(TwoPassAssumptionHolds(w, Params()));  // sqrt(12000) ~ 110
+  w.memory_pages = 100;
+  EXPECT_FALSE(TwoPassAssumptionHolds(w, Params()));
+}
+
+TEST(JoinCostTest, Table3ShapeInvariance) {
+  // Table 3: the qualitative conclusions hold across the tested parameter
+  // ranges. Check the corners of the grid: at |M| >= sqrt(|S|F), hybrid is
+  // never beaten by sort-merge or GRACE.
+  for (double comp : {1.0, 10.0}) {
+    for (double hash : {2.0, 50.0}) {
+      for (double move : {10.0, 50.0}) {
+        for (double io_seq : {5000.0, 10000.0}) {
+          for (double fudge : {1.0, 1.4}) {
+            CostParams p;
+            p.comp_us = comp;
+            p.hash_us = hash;
+            p.move_us = move;
+            p.swap_us = 60;
+            p.io_seq_us = io_seq;
+            p.io_rand_us = 25000;
+            p.fudge = fudge;
+            for (double ratio : {0.1, 0.5, 0.9}) {
+              JoinWorkload w;
+              w.memory_pages =
+                  static_cast<int64_t>(ratio * 10'000 * fudge);
+              if (!TwoPassAssumptionHolds(w, p)) continue;
+              const AllJoinCosts c = ComputeAllJoinCosts(w, p);
+              EXPECT_LE(c.hybrid_hash.total_seconds,
+                        c.sort_merge.total_seconds + 1e-9);
+              EXPECT_LE(c.hybrid_hash.total_seconds,
+                        c.grace_hash.total_seconds + 1e-9);
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace mmdb

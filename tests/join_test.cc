@@ -1,0 +1,243 @@
+#include "exec/join.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "storage/datagen.h"
+
+namespace mmdb {
+namespace {
+
+const JoinAlgorithm kRealAlgorithms[] = {
+    JoinAlgorithm::kSortMerge, JoinAlgorithm::kSimpleHash,
+    JoinAlgorithm::kGraceHash, JoinAlgorithm::kHybridHash};
+
+/// Canonical multiset of output rows so order differences don't matter.
+std::multiset<std::string> Canonical(const Relation& rel) {
+  std::multiset<std::string> out;
+  for (const Row& row : rel.rows()) out.insert(RowToString(row));
+  return out;
+}
+
+struct JoinCase {
+  int64_t r_tuples;
+  int64_t s_tuples;
+  KeyDistribution s_dist;
+  int64_t s_key_range;
+  double memory_ratio;  // of |R|*F
+  const char* name;
+};
+
+class JoinOracleTest : public ::testing::TestWithParam<JoinCase> {};
+
+TEST_P(JoinOracleTest, AllAlgorithmsMatchNestedLoop) {
+  const JoinCase c = GetParam();
+  GenOptions r_opts;
+  r_opts.num_tuples = c.r_tuples;
+  r_opts.tuple_width = 64;
+  r_opts.seed = 101;
+  GenOptions s_opts;
+  s_opts.num_tuples = c.s_tuples;
+  s_opts.tuple_width = 48;
+  s_opts.distribution = c.s_dist;
+  s_opts.key_range = c.s_key_range;
+  s_opts.seed = 202;
+  const Relation r = MakeKeyedRelation(r_opts);
+  const Relation s = MakeKeyedRelation(s_opts);
+  const JoinSpec spec{0, 0};
+
+  ExecEnv oracle_env(1 << 20);
+  auto oracle = NestedLoopJoin(r, s, spec, &oracle_env.ctx);
+  ASSERT_TRUE(oracle.ok());
+  const auto expected = Canonical(*oracle);
+
+  const int64_t memory = std::max<int64_t>(
+      2, static_cast<int64_t>(c.memory_ratio * double(r.NumPages(4096)) * 1.2));
+  for (JoinAlgorithm alg : kRealAlgorithms) {
+    ExecEnv env(memory);
+    JoinRunStats stats;
+    auto out = ExecuteJoin(alg, r, s, spec, &env.ctx, &stats);
+    ASSERT_TRUE(out.ok()) << JoinAlgorithmName(alg);
+    EXPECT_EQ(Canonical(*out), expected) << JoinAlgorithmName(alg);
+    EXPECT_EQ(stats.output_tuples, oracle->num_tuples());
+    EXPECT_EQ(out->schema().num_columns(),
+              r.schema().num_columns() + s.schema().num_columns());
+    // Spill space fully reclaimed.
+    EXPECT_EQ(env.disk.TotalPages(), 0) << JoinAlgorithmName(alg);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, JoinOracleTest,
+    ::testing::Values(
+        JoinCase{500, 500, KeyDistribution::kUniform, 500, 2.0, "inmem"},
+        JoinCase{500, 500, KeyDistribution::kUniform, 500, 0.5, "half"},
+        JoinCase{800, 1600, KeyDistribution::kUniform, 800, 0.2, "tiny"},
+        JoinCase{300, 900, KeyDistribution::kZipf, 300, 0.3, "zipf_skew"},
+        JoinCase{400, 400, KeyDistribution::kUniform, 4000, 0.4,
+                 "sparse_matches"},
+        JoinCase{64, 2000, KeyDistribution::kUniform, 64, 0.25,
+                 "small_build_fanout"}),
+    [](const auto& info) { return info.param.name; });
+
+TEST(JoinTest, EmptyInputsProduceEmptyOutput) {
+  Schema schema({Column::Int64("key"), Column::Int64("payload")});
+  Relation empty(schema);
+  GenOptions opts;
+  opts.num_tuples = 100;
+  opts.tuple_width = 16;
+  Relation full = MakeKeyedRelation(opts);
+  for (JoinAlgorithm alg : kRealAlgorithms) {
+    ExecEnv env(4);
+    auto a = ExecuteJoin(alg, empty, full, JoinSpec{0, 0}, &env.ctx);
+    ASSERT_TRUE(a.ok()) << JoinAlgorithmName(alg);
+    EXPECT_EQ(a->num_tuples(), 0);
+    auto b = ExecuteJoin(alg, full, empty, JoinSpec{0, 0}, &env.ctx);
+    ASSERT_TRUE(b.ok()) << JoinAlgorithmName(alg);
+    EXPECT_EQ(b->num_tuples(), 0);
+  }
+}
+
+TEST(JoinTest, DisjointKeysProduceEmptyOutput) {
+  Schema schema({Column::Int64("key"), Column::Int64("payload")});
+  Relation r(schema), s(schema);
+  for (int64_t i = 0; i < 200; ++i) {
+    r.Add({i, i});
+    s.Add({i + 10'000, i});
+  }
+  for (JoinAlgorithm alg : kRealAlgorithms) {
+    ExecEnv env(2);
+    auto out = ExecuteJoin(alg, r, s, JoinSpec{0, 0}, &env.ctx);
+    ASSERT_TRUE(out.ok()) << JoinAlgorithmName(alg);
+    EXPECT_EQ(out->num_tuples(), 0) << JoinAlgorithmName(alg);
+  }
+}
+
+TEST(JoinTest, ManyToManyCrossGroups) {
+  // 10 copies of each key on both sides: every key contributes 100 output
+  // tuples — exercises group handling in sort-merge and duplicate chains
+  // in the hash tables.
+  Schema schema({Column::Int64("key"), Column::Int64("tag")});
+  Relation r(schema), s(schema);
+  for (int64_t k = 0; k < 20; ++k) {
+    for (int64_t i = 0; i < 10; ++i) {
+      r.Add({k, i});
+      s.Add({k, 100 + i});
+    }
+  }
+  ExecEnv oracle_env(1 << 20);
+  auto oracle = NestedLoopJoin(r, s, JoinSpec{0, 0}, &oracle_env.ctx);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(oracle->num_tuples(), 20 * 10 * 10);
+  for (JoinAlgorithm alg : kRealAlgorithms) {
+    ExecEnv env(2);
+    auto out = ExecuteJoin(alg, r, s, JoinSpec{0, 0}, &env.ctx);
+    ASSERT_TRUE(out.ok()) << JoinAlgorithmName(alg);
+    EXPECT_EQ(Canonical(*out), Canonical(*oracle)) << JoinAlgorithmName(alg);
+  }
+}
+
+TEST(JoinTest, StringJoinKeys) {
+  Schema rs({Column::Char("name", 12), Column::Int64("x")});
+  Schema ss({Column::Char("name", 12), Column::Int64("y")});
+  Relation r(rs), s(ss);
+  const char* names[] = {"ada", "grace", "edsger", "barbara", "tony"};
+  for (int64_t i = 0; i < 5; ++i) {
+    r.Add({std::string(names[i]), i});
+  }
+  for (int64_t i = 0; i < 40; ++i) {
+    s.Add({std::string(names[i % 5]), i});
+  }
+  ExecEnv oracle_env(1 << 20);
+  auto oracle = NestedLoopJoin(r, s, JoinSpec{0, 0}, &oracle_env.ctx);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(oracle->num_tuples(), 40);
+  for (JoinAlgorithm alg : kRealAlgorithms) {
+    ExecEnv env(2);
+    auto out = ExecuteJoin(alg, r, s, JoinSpec{0, 0}, &env.ctx);
+    ASSERT_TRUE(out.ok()) << JoinAlgorithmName(alg);
+    EXPECT_EQ(Canonical(*out), Canonical(*oracle)) << JoinAlgorithmName(alg);
+  }
+}
+
+TEST(JoinTest, JoinOnNonFirstColumns) {
+  Schema rs({Column::Char("pad", 4), Column::Int64("k")});
+  Schema ss({Column::Int64("v"), Column::Int64("fk"), Column::Char("pad", 4)});
+  Relation r(rs), s(ss);
+  for (int64_t i = 0; i < 50; ++i) {
+    r.Add({std::string("r"), i});
+    s.Add({i * 10, i % 25, std::string("s")});
+  }
+  const JoinSpec spec{1, 1};
+  ExecEnv oracle_env(1 << 20);
+  auto oracle = NestedLoopJoin(r, s, spec, &oracle_env.ctx);
+  ASSERT_TRUE(oracle.ok());
+  EXPECT_EQ(oracle->num_tuples(), 50);  // keys 0..24 match twice... 25*2
+  for (JoinAlgorithm alg : kRealAlgorithms) {
+    ExecEnv env(2);
+    auto out = ExecuteJoin(alg, r, s, spec, &env.ctx);
+    ASSERT_TRUE(out.ok()) << JoinAlgorithmName(alg);
+    EXPECT_EQ(Canonical(*out), Canonical(*oracle)) << JoinAlgorithmName(alg);
+  }
+}
+
+TEST(JoinTest, HybridRecursionHandlesSkew) {
+  // A single hot key makes one spilled partition overflow memory: the
+  // recursive fallback (§3.3) must still produce the exact result.
+  Schema schema({Column::Int64("key"), Column::Int64("tag"),
+                 Column::Char("pad", 48)});
+  Relation r(schema), s(schema);
+  for (int64_t i = 0; i < 3000; ++i) {
+    r.Add({i % 7 == 0 ? int64_t{7} : i, i, std::string()});
+    s.Add({i % 11 == 0 ? int64_t{7} : i, i, std::string()});
+  }
+  ExecEnv oracle_env(1 << 20);
+  auto oracle = NestedLoopJoin(r, s, JoinSpec{0, 0}, &oracle_env.ctx);
+  ASSERT_TRUE(oracle.ok());
+  ExecEnv env(3);  // far too small: guarantees overflow
+  JoinRunStats stats;
+  auto out = HybridHashJoin(r, s, JoinSpec{0, 0}, &env.ctx, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Canonical(*out), Canonical(*oracle));
+}
+
+TEST(JoinTest, SimpleHashEarlyExitWhenNothingPassedOver) {
+  // If the first pass consumes everything (table fits), later passes are
+  // skipped even when the pass estimate was pessimistic.
+  GenOptions opts;
+  opts.num_tuples = 100;
+  opts.tuple_width = 16;
+  Relation r = MakeKeyedRelation(opts);
+  opts.seed = 2;
+  Relation s = MakeKeyedRelation(opts);
+  ExecEnv env(1 << 16);
+  JoinRunStats stats;
+  auto out = SimpleHashJoin(r, s, JoinSpec{0, 0}, &env.ctx, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(stats.passes, 1);
+  EXPECT_EQ(env.clock.counters().seq_ios, 0);
+}
+
+TEST(JoinTest, CostChargesScaleWithPasses) {
+  // More memory => fewer simple-hash passes => strictly less simulated
+  // time: a coarse monotonicity property of the executed algorithm.
+  GenOptions opts;
+  opts.num_tuples = 4000;
+  opts.tuple_width = 100;
+  Relation r = MakeKeyedRelation(opts);
+  opts.seed = 5;
+  Relation s = MakeKeyedRelation(opts);
+  double prev = 1e100;
+  for (int64_t memory : {12, 30, 80, 200}) {
+    ExecEnv env(memory);
+    auto out = SimpleHashJoin(r, s, JoinSpec{0, 0}, &env.ctx);
+    ASSERT_TRUE(out.ok());
+    EXPECT_LT(env.clock.Seconds(), prev);
+    prev = env.clock.Seconds();
+  }
+}
+
+}  // namespace
+}  // namespace mmdb

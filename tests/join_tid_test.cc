@@ -1,0 +1,161 @@
+#include "exec/join_tid.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "storage/datagen.h"
+
+namespace mmdb {
+namespace {
+
+std::multiset<std::string> Canonical(const Relation& rel) {
+  std::multiset<std::string> out;
+  for (const Row& row : rel.rows()) out.insert(RowToString(row));
+  return out;
+}
+
+/// Builds a disk-resident copy of `rel` plus the buffer pool serving it.
+struct DiskRelation {
+  DiskRelation(const Relation& rel, ExecContext* ctx, int64_t pool_pages)
+      : pool(ctx->disk, pool_pages, ReplacementPolicy::kRandom, 3),
+        file(ctx->disk, "r_heap"),
+        heap(&pool, &file, rel.schema().record_size()) {
+    MMDB_CHECK(rel.ToHeapFile(&heap).ok());
+    MMDB_CHECK(pool.FlushAll().ok());
+  }
+  BufferPool pool;
+  PageFile file;
+  HeapFile heap;
+};
+
+TEST(TidJoinTest, MatchesWholeTupleJoinExactly) {
+  GenOptions r_opts;
+  r_opts.num_tuples = 1000;
+  r_opts.tuple_width = 100;
+  r_opts.seed = 1;
+  GenOptions s_opts = r_opts;
+  s_opts.distribution = KeyDistribution::kUniform;
+  s_opts.key_range = 1000;
+  s_opts.num_tuples = 3000;
+  s_opts.seed = 2;
+  const Relation r = MakeKeyedRelation(r_opts);
+  const Relation s = MakeKeyedRelation(s_opts);
+
+  ExecEnv env(64);
+  DiskRelation dr(r, &env.ctx, 8);
+  TidJoinStats tid_stats;
+  auto tid = TidHashJoin(&dr.heap, r.schema(), 0, s, 0, &dr.pool, &env.ctx,
+                         &tid_stats);
+  ASSERT_TRUE(tid.ok());
+
+  ExecEnv env2(64);
+  DiskRelation dr2(r, &env2.ctx, 8);
+  JoinRunStats whole_stats;
+  auto whole = WholeTupleHashJoin(&dr2.heap, r.schema(), 0, s, 0, &env2.ctx,
+                                  &whole_stats);
+  ASSERT_TRUE(whole.ok());
+
+  EXPECT_EQ(Canonical(*tid), Canonical(*whole));
+  EXPECT_EQ(tid_stats.output_tuples, whole_stats.output_tuples);
+  EXPECT_EQ(tid_stats.tuple_fetches, tid_stats.output_tuples);
+  EXPECT_GT(tid_stats.fetch_faults, 0);  // tiny pool: fetches fault
+}
+
+TEST(TidJoinTest, SmallMovesChargedOnBuild) {
+  GenOptions opts;
+  opts.num_tuples = 500;
+  opts.tuple_width = 100;
+  const Relation r = MakeKeyedRelation(opts);
+  Relation s(r.schema());  // empty probe: isolate the build phase
+
+  ExecEnv env(64);
+  DiskRelation dr(r, &env.ctx, 64);
+  env.clock.Reset();
+  ASSERT_TRUE(
+      TidHashJoin(&dr.heap, r.schema(), 0, s, 0, &dr.pool, &env.ctx).ok());
+  EXPECT_EQ(env.clock.counters().small_moves, 500);
+  EXPECT_EQ(env.clock.counters().moves, 0);
+  // Priced at a quarter of a tuple move.
+  CostClock full;
+  full.Move(500);
+  CostClock quarter;
+  quarter.SmallMove(500);
+  EXPECT_DOUBLE_EQ(quarter.CpuSeconds(), full.CpuSeconds() / 4);
+}
+
+TEST(TidJoinTest, LowSelectivityFavorsTids) {
+  // Few matches: TID join fetches almost nothing and wins on cheap moves.
+  GenOptions r_opts;
+  r_opts.num_tuples = 4000;
+  r_opts.tuple_width = 100;
+  const Relation r = MakeKeyedRelation(r_opts);
+  GenOptions s_opts = r_opts;
+  s_opts.num_tuples = 4000;
+  s_opts.distribution = KeyDistribution::kUniform;
+  s_opts.key_range = 4'000'000;  // ~0.1% of probes match
+  s_opts.seed = 5;
+  const Relation s = MakeKeyedRelation(s_opts);
+
+  ExecEnv tid_env(64);
+  DiskRelation dr(r, &tid_env.ctx, 16);
+  tid_env.clock.Reset();
+  TidJoinStats st;
+  ASSERT_TRUE(TidHashJoin(&dr.heap, r.schema(), 0, s, 0, &dr.pool,
+                          &tid_env.ctx, &st)
+                  .ok());
+  const double tid_cpu = tid_env.clock.CpuSeconds();
+
+  ExecEnv whole_env(64);
+  DiskRelation dr2(r, &whole_env.ctx, 16);
+  whole_env.clock.Reset();
+  ASSERT_TRUE(
+      WholeTupleHashJoin(&dr2.heap, r.schema(), 0, s, 0, &whole_env.ctx)
+          .ok());
+  const double whole_cpu = whole_env.clock.CpuSeconds();
+
+  EXPECT_LT(st.tuple_fetches, 50);
+  EXPECT_LT(tid_cpu, whole_cpu);  // the §3.2 "significant space savings"
+}
+
+TEST(TidJoinTest, HighOutputMakesTidsLose) {
+  // Every probe matches: the per-output random fetches dominate. §3.2:
+  // "the cost of the random accesses to retrieve the tuples can exceed
+  // the savings of using TIDs if the join produces a large number of
+  // tuples."
+  GenOptions r_opts;
+  r_opts.num_tuples = 4000;
+  r_opts.tuple_width = 100;
+  const Relation r = MakeKeyedRelation(r_opts);
+  GenOptions s_opts = r_opts;
+  s_opts.num_tuples = 8000;
+  s_opts.distribution = KeyDistribution::kUniform;
+  s_opts.key_range = 4000;
+  s_opts.seed = 6;
+  const Relation s = MakeKeyedRelation(s_opts);
+
+  // Pool far smaller than R: output fetches fault heavily.
+  ExecEnv tid_env(64);
+  DiskRelation dr(r, &tid_env.ctx, 8);
+  tid_env.clock.Reset();
+  TidJoinStats st;
+  ASSERT_TRUE(TidHashJoin(&dr.heap, r.schema(), 0, s, 0, &dr.pool,
+                          &tid_env.ctx, &st)
+                  .ok());
+  const double tid_total = tid_env.clock.Seconds();
+
+  ExecEnv whole_env(64);
+  DiskRelation dr2(r, &whole_env.ctx, 8);
+  whole_env.clock.Reset();
+  ASSERT_TRUE(
+      WholeTupleHashJoin(&dr2.heap, r.schema(), 0, s, 0, &whole_env.ctx)
+          .ok());
+  const double whole_total = whole_env.clock.Seconds();
+
+  EXPECT_EQ(st.tuple_fetches, 8000);
+  EXPECT_GT(st.fetch_faults, 1000);
+  EXPECT_GT(tid_total, 2 * whole_total);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,167 @@
+#include "txn/lock_manager.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+namespace mmdb {
+namespace {
+
+using std::chrono::milliseconds;
+
+TEST(LockManagerTest, SharedLocksCoexist) {
+  LockManager lm;
+  std::vector<TxnId> deps;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kShared, &deps).ok());
+  EXPECT_TRUE(lm.Acquire(2, 10, LockMode::kShared, &deps).ok());
+  EXPECT_TRUE(deps.empty());
+}
+
+TEST(LockManagerTest, ExclusiveBlocksUntilRelease) {
+  LockManager lm;
+  std::vector<TxnId> deps;
+  ASSERT_TRUE(lm.Acquire(1, 10, LockMode::kExclusive, &deps).ok());
+  std::atomic<bool> granted{false};
+  std::thread waiter([&]() {
+    std::vector<TxnId> d;
+    ASSERT_TRUE(lm.Acquire(2, 10, LockMode::kExclusive, &d).ok());
+    granted.store(true);
+  });
+  std::this_thread::sleep_for(milliseconds(30));
+  EXPECT_FALSE(granted.load());
+  lm.ReleaseAll(1);
+  waiter.join();
+  EXPECT_TRUE(granted.load());
+}
+
+TEST(LockManagerTest, ReacquireAndUpgrade) {
+  LockManager lm;
+  std::vector<TxnId> deps;
+  ASSERT_TRUE(lm.Acquire(1, 5, LockMode::kShared, &deps).ok());
+  ASSERT_TRUE(lm.Acquire(1, 5, LockMode::kShared, &deps).ok());
+  ASSERT_TRUE(lm.Acquire(1, 5, LockMode::kExclusive, &deps).ok());  // upgrade
+  // X re-request is a no-op.
+  ASSERT_TRUE(lm.Acquire(1, 5, LockMode::kExclusive, &deps).ok());
+  // Another txn must now block: verify via timeout-free deadlock path.
+  LockManager strict(milliseconds(50));
+  std::vector<TxnId> d2;
+  ASSERT_TRUE(strict.Acquire(1, 5, LockMode::kExclusive, &d2).ok());
+  EXPECT_EQ(strict.Acquire(2, 5, LockMode::kExclusive, &d2).code(),
+            StatusCode::kDeadlock);  // times out
+}
+
+TEST(LockManagerTest, PreCommitReleasesButRecordsDependency) {
+  // §5.2's core protocol: after PreCommit, others acquire immediately but
+  // become dependents.
+  LockManager lm;
+  std::vector<TxnId> deps;
+  ASSERT_TRUE(lm.Acquire(1, 7, LockMode::kExclusive, &deps).ok());
+  lm.PreCommit(1);
+  std::vector<TxnId> deps2;
+  ASSERT_TRUE(lm.Acquire(2, 7, LockMode::kExclusive, &deps2).ok());
+  ASSERT_EQ(deps2.size(), 1u);
+  EXPECT_EQ(deps2[0], 1);
+  // After FinalizeCommit, new acquirers no longer depend on txn 1.
+  lm.PreCommit(2);
+  lm.FinalizeCommit(1);
+  std::vector<TxnId> deps3;
+  ASSERT_TRUE(lm.Acquire(3, 7, LockMode::kShared, &deps3).ok());
+  ASSERT_EQ(deps3.size(), 1u);
+  EXPECT_EQ(deps3[0], 2);  // only the still-pre-committed txn 2
+}
+
+TEST(LockManagerTest, ChainedDependencies) {
+  LockManager lm;
+  std::vector<TxnId> deps;
+  ASSERT_TRUE(lm.Acquire(1, 3, LockMode::kExclusive, &deps).ok());
+  lm.PreCommit(1);
+  std::vector<TxnId> d2;
+  ASSERT_TRUE(lm.Acquire(2, 3, LockMode::kExclusive, &d2).ok());
+  EXPECT_EQ(d2, std::vector<TxnId>{1});
+  lm.PreCommit(2);
+  std::vector<TxnId> d3;
+  ASSERT_TRUE(lm.Acquire(3, 3, LockMode::kExclusive, &d3).ok());
+  // Txn 3 depends on both pre-committed predecessors.
+  EXPECT_EQ(d3.size(), 2u);
+}
+
+TEST(LockManagerTest, DeadlockDetected) {
+  LockManager lm(milliseconds(5000));
+  std::vector<TxnId> deps;
+  ASSERT_TRUE(lm.Acquire(1, 100, LockMode::kExclusive, &deps).ok());
+  ASSERT_TRUE(lm.Acquire(2, 200, LockMode::kExclusive, &deps).ok());
+  std::atomic<int> deadlocks{0};
+  std::thread t1([&]() {
+    std::vector<TxnId> d;
+    Status s = lm.Acquire(1, 200, LockMode::kExclusive, &d);
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kDeadlock);
+      ++deadlocks;
+      lm.ReleaseAll(1);
+    }
+  });
+  std::this_thread::sleep_for(milliseconds(30));
+  std::thread t2([&]() {
+    std::vector<TxnId> d;
+    Status s = lm.Acquire(2, 100, LockMode::kExclusive, &d);
+    if (!s.ok()) {
+      EXPECT_EQ(s.code(), StatusCode::kDeadlock);
+      ++deadlocks;
+      lm.ReleaseAll(2);
+    }
+  });
+  t1.join();
+  t2.join();
+  EXPECT_GE(deadlocks.load(), 1);
+  EXPECT_GE(lm.stats().deadlocks, 1);
+}
+
+TEST(LockManagerTest, ReleaseAllFreesEverything) {
+  LockManager lm;
+  std::vector<TxnId> deps;
+  for (LockId l = 0; l < 5; ++l) {
+    ASSERT_TRUE(lm.Acquire(1, l, LockMode::kExclusive, &deps).ok());
+  }
+  EXPECT_EQ(lm.NumLocks(), 5);
+  lm.ReleaseAll(1);
+  EXPECT_EQ(lm.NumLocks(), 0);
+  // All immediately grantable to someone else.
+  for (LockId l = 0; l < 5; ++l) {
+    EXPECT_TRUE(lm.Acquire(2, l, LockMode::kExclusive, &deps).ok());
+  }
+}
+
+TEST(LockManagerTest, LockTableEntriesCompactedAfterFinalize) {
+  LockManager lm;
+  std::vector<TxnId> deps;
+  ASSERT_TRUE(lm.Acquire(1, 9, LockMode::kExclusive, &deps).ok());
+  lm.PreCommit(1);
+  EXPECT_EQ(lm.NumLocks(), 1);  // pre-committed entry keeps it alive
+  lm.FinalizeCommit(1);
+  EXPECT_EQ(lm.NumLocks(), 0);
+}
+
+TEST(LockManagerTest, ManyThreadsSerializeOnOneLock) {
+  LockManager lm;
+  int counter = 0;  // protected purely by the X lock
+  constexpr int kThreads = 8;
+  constexpr int kIncrements = 200;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kIncrements; ++i) {
+        std::vector<TxnId> d;
+        const TxnId txn = t * 100000 + i + 1;
+        ASSERT_TRUE(lm.Acquire(txn, 1, LockMode::kExclusive, &d).ok());
+        ++counter;
+        lm.ReleaseAll(txn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(counter, kThreads * kIncrements);
+}
+
+}  // namespace
+}  // namespace mmdb

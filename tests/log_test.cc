@@ -1,0 +1,306 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "txn/log_device.h"
+#include "txn/log_manager.h"
+#include "txn/log_record.h"
+
+namespace mmdb {
+namespace {
+
+using std::chrono::microseconds;
+
+LogRecord Update(TxnId txn, int64_t record_id, std::string old_v,
+                 std::string new_v) {
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn_id = txn;
+  rec.record_id = record_id;
+  rec.old_value = std::move(old_v);
+  rec.new_value = std::move(new_v);
+  return rec;
+}
+
+TEST(LogRecordTest, SerializeParseRoundTrip) {
+  LogRecord rec = Update(7, 42, "old!", "newer!");
+  rec.lsn = 1234;
+  std::string bytes;
+  rec.AppendTo(&bytes);
+  EXPECT_EQ(static_cast<int64_t>(bytes.size()), rec.SerializedSize());
+  int64_t consumed = 0;
+  auto back = LogRecord::Parse(bytes.data(),
+                               static_cast<int64_t>(bytes.size()), &consumed);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(consumed, rec.SerializedSize());
+  EXPECT_EQ(back->type, LogRecordType::kUpdate);
+  EXPECT_EQ(back->txn_id, 7);
+  EXPECT_EQ(back->lsn, 1234);
+  EXPECT_EQ(back->record_id, 42);
+  EXPECT_EQ(back->old_value, "old!");
+  EXPECT_EQ(back->new_value, "newer!");
+}
+
+TEST(LogRecordTest, ParseAllToleratesPaddingAndTornTail) {
+  std::string bytes;
+  Update(1, 1, "a", "b").AppendTo(&bytes);
+  bytes.append(10, '\0');  // inter-page padding
+  Update(2, 2, "c", "d").AppendTo(&bytes);
+  std::string torn;
+  Update(3, 3, "e", "f").AppendTo(&torn);
+  bytes.append(torn, 0, torn.size() - 3);  // lose the tail
+  auto recs = LogRecord::ParseAll(bytes.data(),
+                                  static_cast<int64_t>(bytes.size()));
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].txn_id, 1);
+  EXPECT_EQ(recs[1].txn_id, 2);
+}
+
+TEST(LogRecordTest, CompressionDropsUndoOnly) {
+  LogRecord rec = Update(1, 5, std::string(180, 'o'), std::string(180, 'n'));
+  LogRecord compressed = rec.CompressForDisk();
+  EXPECT_TRUE(compressed.old_value.empty());
+  EXPECT_EQ(compressed.new_value, rec.new_value);
+  // §5.4: "approximately half of the size of the log stores the old
+  // values" — compression halves the update record's payload.
+  EXPECT_LT(compressed.SerializedSize(), rec.SerializedSize() * 0.6);
+}
+
+TEST(LogDeviceTest, WritesArePaddedAndReadable) {
+  LogDevice device(128, microseconds(0));
+  EXPECT_EQ(device.WritePage("hello"), 0);
+  EXPECT_EQ(device.WritePage(std::string(128, 'x')), 1);
+  auto page = device.ReadPage(0);
+  ASSERT_TRUE(page.ok());
+  EXPECT_EQ(page->size(), 128u);
+  EXPECT_EQ(page->substr(0, 5), "hello");
+  EXPECT_EQ(device.num_pages(), 2);
+  EXPECT_EQ(device.bytes_written(), 256);
+  EXPECT_FALSE(device.ReadPage(5).ok());
+}
+
+class GroupCommitLogTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kPageSize = 512;
+
+  void Build(int stripes, bool group_commit) {
+    for (int i = 0; i < stripes; ++i) {
+      devices_.push_back(
+          std::make_unique<LogDevice>(kPageSize, microseconds(0)));
+      raw_.push_back(devices_.back().get());
+    }
+    GroupCommitLogOptions opts;
+    opts.group_commit = group_commit;
+    opts.flush_timeout = microseconds(500);
+    log_ = std::make_unique<GroupCommitLog>(raw_, opts);
+    log_->Start();
+  }
+
+  std::vector<std::unique_ptr<LogDevice>> devices_;
+  std::vector<LogDevice*> raw_;
+  std::unique_ptr<GroupCommitLog> log_;
+};
+
+TEST_F(GroupCommitLogTest, CommitBecomesDurable) {
+  Build(1, true);
+  log_->Append(Update(1, 0, "a", "b"));
+  LogRecord commit;
+  commit.type = LogRecordType::kCommit;
+  commit.txn_id = 1;
+  log_->AppendCommit(commit, {});
+  log_->WaitCommitDurable(1);
+  EXPECT_GE(devices_[0]->num_pages(), 1);
+  log_->Stop();
+  auto recs = log_->ReadAllForRecovery();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].type, LogRecordType::kUpdate);
+  EXPECT_EQ(recs[1].type, LogRecordType::kCommit);
+}
+
+TEST_F(GroupCommitLogTest, GroupCommitSharesPageWrites) {
+  Build(1, true);
+  constexpr int kTxns = 40;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kTxns; ++t) {
+    threads.emplace_back([&, t]() {
+      const TxnId txn = t + 1;
+      log_->Append(Update(txn, t, std::string(60, 'o'), std::string(60, 'n')));
+      LogRecord commit;
+      commit.type = LogRecordType::kCommit;
+      commit.txn_id = txn;
+      log_->AppendCommit(commit, {});
+      log_->WaitCommitDurable(txn);
+    });
+  }
+  for (auto& t : threads) t.join();
+  log_->Stop();
+  const Wal::Stats stats = log_->stats();
+  EXPECT_EQ(stats.commits, kTxns);
+  // Without group commit this would take >= kTxns page writes.
+  EXPECT_LT(stats.device_writes, kTxns);
+  EXPECT_GT(stats.avg_commit_group, 1.0);
+}
+
+TEST_F(GroupCommitLogTest, NoGroupCommitWritesPagePerCommit) {
+  Build(1, false);
+  for (int t = 0; t < 10; ++t) {
+    const TxnId txn = t + 1;
+    log_->Append(Update(txn, t, "o", "n"));
+    LogRecord commit;
+    commit.type = LogRecordType::kCommit;
+    commit.txn_id = txn;
+    log_->AppendCommit(commit, {});
+    log_->WaitCommitDurable(txn);
+  }
+  log_->Stop();
+  EXPECT_GE(log_->stats().device_writes, 10);
+}
+
+TEST_F(GroupCommitLogTest, LsnsAreMonotoneAndRecoveryMergesSorted) {
+  Build(4, true);
+  constexpr int kTxns = 60;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kTxns; ++t) {
+    threads.emplace_back([&, t]() {
+      const TxnId txn = t + 1;
+      log_->Append(Update(txn, t, "old", "new"));
+      LogRecord commit;
+      commit.type = LogRecordType::kCommit;
+      commit.txn_id = txn;
+      log_->AppendCommit(commit, {});
+      log_->WaitCommitDurable(txn);
+    });
+  }
+  for (auto& t : threads) t.join();
+  log_->Stop();
+  auto recs = log_->ReadAllForRecovery();
+  ASSERT_EQ(recs.size(), 2u * kTxns);
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LT(recs[i - 1].lsn, recs[i].lsn);
+  }
+}
+
+TEST_F(GroupCommitLogTest, DependencyOrderingAcrossStripes) {
+  // T1 on stripe 1 pre-commits; T2 on stripe 2 depends on it. T2's commit
+  // page must not hit disk before T1's. We check durable order via the
+  // devices' contents after both complete.
+  Build(2, true);
+  log_->Append(Update(1, 0, "a", "b"));
+  LogRecord c1;
+  c1.type = LogRecordType::kCommit;
+  c1.txn_id = 1;
+  log_->AppendCommit(c1, {});
+  // T2 (stripe 0: txn 2 % 2 == 0) depends on T1.
+  log_->Append(Update(2, 1, "c", "d"));
+  LogRecord c2;
+  c2.type = LogRecordType::kCommit;
+  c2.txn_id = 2;
+  log_->AppendCommit(c2, {1});
+  log_->WaitCommitDurable(2);
+  // If T2 is durable, its dependency must be durable too.
+  log_->WaitCommitDurable(1);  // must not hang
+  log_->Stop();
+  auto recs = log_->ReadAllForRecovery();
+  EXPECT_EQ(recs.size(), 4u);
+}
+
+TEST_F(GroupCommitLogTest, WaitLsnDurableForcesPartialFlush) {
+  Build(1, true);
+  // A lone non-commit record would sit in the buffer forever without the
+  // WAL fence.
+  const Lsn lsn = log_->Append(Update(9, 3, "x", "y"));
+  log_->WaitLsnDurable(lsn);
+  EXPECT_GE(devices_[0]->num_pages(), 1);
+  auto recs = log_->ReadAllForRecovery();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].txn_id, 9);
+  log_->Stop();
+}
+
+TEST_F(GroupCommitLogTest, CrashStopDropsBufferedBytes) {
+  Build(1, true);
+  // Commit T1 durably; then buffer an update without commit and crash.
+  log_->Append(Update(1, 0, "a", "b"));
+  LogRecord c1;
+  c1.type = LogRecordType::kCommit;
+  c1.txn_id = 1;
+  log_->AppendCommit(c1, {});
+  log_->WaitCommitDurable(1);
+  log_->Append(Update(2, 1, "c", "d"));  // never flushed
+  log_->CrashStop();
+  auto recs = log_->ReadAllForRecovery();
+  // T1's records durable; T2's buffered update is gone.
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].txn_id, 1);
+  EXPECT_EQ(recs[1].txn_id, 1);
+}
+
+TEST_F(GroupCommitLogTest, StopFlushesCleanly) {
+  Build(1, true);
+  log_->Append(Update(5, 0, "a", "b"));
+  log_->Stop();  // clean shutdown flushes
+  auto recs = log_->ReadAllForRecovery();
+  ASSERT_EQ(recs.size(), 1u);
+}
+
+
+TEST(GroupCommitLogStressTest, DependencyOrderInvariantUnderLoad) {
+  // Property (§5.2's lattice): whenever a dependent transaction's commit
+  // is durable, every one of its dependencies is already durable. Chains
+  // of dependent transactions hop across 4 stripes concurrently, and each
+  // thread probes the invariant the moment its commit lands.
+  std::vector<std::unique_ptr<LogDevice>> devices;
+  std::vector<LogDevice*> raw;
+  for (int i = 0; i < 4; ++i) {
+    devices.push_back(std::make_unique<LogDevice>(512, microseconds(0)));
+    raw.push_back(devices.back().get());
+  }
+  GroupCommitLogOptions opts;
+  opts.flush_timeout = microseconds(300);
+  GroupCommitLog log(raw, opts);
+  log.Start();
+
+  constexpr int kChains = 16;
+  constexpr int kChainLen = 25;
+  std::atomic<int> violations{0};
+  std::vector<std::thread> threads;
+  for (int chain = 0; chain < kChains; ++chain) {
+    threads.emplace_back([&, chain]() {
+      TxnId prev = kInvalidTxn;
+      for (int i = 0; i < kChainLen; ++i) {
+        // txn ids stride by 7 so consecutive chain links land on
+        // different stripes (7 % 4 != 0).
+        const TxnId txn = chain * 1000 + i * 7 + 1;
+        log.Append(Update(txn, chain, "o", "n"));
+        LogRecord commit;
+        commit.type = LogRecordType::kCommit;
+        commit.txn_id = txn;
+        std::vector<TxnId> deps;
+        if (prev != kInvalidTxn) deps.push_back(prev);
+        log.AppendCommit(std::move(commit), deps);
+        log.WaitCommitDurable(txn);
+        // THE invariant: our dependency must already be durable.
+        if (prev != kInvalidTxn && !log.IsCommitDurable(prev)) {
+          ++violations;
+        }
+        prev = txn;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  log.Stop();
+  EXPECT_EQ(violations.load(), 0);
+  // And every commit made it to some device, mergeable in LSN order.
+  int commits = 0;
+  Lsn prev_lsn = -1;
+  for (const LogRecord& rec : log.ReadAllForRecovery()) {
+    EXPECT_GT(rec.lsn, prev_lsn);
+    prev_lsn = rec.lsn;
+    if (rec.type == LogRecordType::kCommit) ++commits;
+  }
+  EXPECT_EQ(commits, kChains * kChainLen);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,95 @@
+#include "exec/operator.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/datagen.h"
+
+namespace mmdb {
+namespace {
+
+Relation SmallRelation() {
+  Schema schema({Column::Int64("k"), Column::Char("s", 8),
+                 Column::Double("d")});
+  Relation rel(schema);
+  for (int64_t i = 0; i < 10; ++i) {
+    rel.Add({i, std::string(i % 2 ? "odd" : "even"), double(i) / 2});
+  }
+  return rel;
+}
+
+TEST(MemScanTest, StreamsEveryRow) {
+  Relation rel = SmallRelation();
+  MemScan scan(&rel);
+  auto out = Materialize(&scan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_tuples(), 10);
+  EXPECT_EQ(out->rows()[3], rel.rows()[3]);
+}
+
+TEST(MemScanTest, ReopenRestarts) {
+  Relation rel = SmallRelation();
+  MemScan scan(&rel);
+  ASSERT_TRUE(Materialize(&scan).ok());
+  auto again = Materialize(&scan);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->num_tuples(), 10);
+}
+
+TEST(FilterTest, KeepsMatchesAndChargesClock) {
+  Relation rel = SmallRelation();
+  CostClock clock;
+  Filter filter(std::make_unique<MemScan>(&rel),
+                [](const Row& row) { return std::get<int64_t>(row[0]) >= 5; },
+                &clock);
+  auto out = Materialize(&filter);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_tuples(), 5);
+  EXPECT_EQ(clock.counters().comparisons, 10);
+}
+
+TEST(FilterTest, ComposesWithFilter) {
+  Relation rel = SmallRelation();
+  auto inner = std::make_unique<Filter>(
+      std::make_unique<MemScan>(&rel),
+      [](const Row& row) { return std::get<int64_t>(row[0]) >= 4; });
+  Filter outer(std::move(inner), [](const Row& row) {
+    return std::get<std::string>(row[1]) == "even";
+  });
+  auto out = Materialize(&outer);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_tuples(), 3);  // 4, 6, 8
+}
+
+TEST(ProjectTest, ReordersAndDropsColumns) {
+  Relation rel = SmallRelation();
+  Project project(std::make_unique<MemScan>(&rel), {2, 0});
+  EXPECT_EQ(project.output_schema().num_columns(), 2);
+  EXPECT_EQ(project.output_schema().column(0).name, "d");
+  auto out = Materialize(&project);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(std::get<double>(out->rows()[4][0]), 2.0);
+  EXPECT_EQ(std::get<int64_t>(out->rows()[4][1]), 4);
+}
+
+TEST(ProjectTest, OverFilterPipeline) {
+  Relation rel = SmallRelation();
+  auto filter = std::make_unique<Filter>(
+      std::make_unique<MemScan>(&rel),
+      [](const Row& row) { return std::get<int64_t>(row[0]) < 3; });
+  Project project(std::move(filter), {1});
+  auto out = Materialize(&project);
+  ASSERT_TRUE(out.ok());
+  ASSERT_EQ(out->num_tuples(), 3);
+  EXPECT_EQ(std::get<std::string>(out->rows()[1][0]), "odd");
+}
+
+TEST(MaterializeTest, EmptyStream) {
+  Relation rel(Schema({Column::Int64("k")}));
+  MemScan scan(&rel);
+  auto out = Materialize(&scan);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(out->num_tuples(), 0);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,156 @@
+#include "db/query_parser.h"
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+
+namespace mmdb {
+namespace {
+
+/// Database-level SQL tests: parse + execute end to end.
+class SqlTest : public ::testing::Test {
+ protected:
+  SqlTest() {
+    Exec("CREATE TABLE emp (emp_id INT64, name CHAR(20), dept INT64, "
+         "salary DOUBLE)");
+    Exec("CREATE TABLE dept (dept_id INT64, dname CHAR(12))");
+    for (int64_t d = 0; d < 3; ++d) {
+      Exec("INSERT INTO dept VALUES (" + std::to_string(d) + ", 'dept" +
+           std::to_string(d) + "')");
+    }
+    for (int64_t i = 0; i < 60; ++i) {
+      Exec("INSERT INTO emp VALUES (" + std::to_string(i) + ", 'emp" +
+           std::to_string(i) + "', " + std::to_string(i % 3) + ", " +
+           std::to_string(1000 + i * 10) + ")");
+    }
+  }
+
+  Database::SqlResult Exec(const std::string& sql) {
+    auto result = db_.ExecuteSql(sql);
+    MMDB_CHECK_MSG(result.ok(), (sql + ": " + result.status().ToString()).c_str());
+    return std::move(*result);
+  }
+
+  Database db_;
+};
+
+TEST_F(SqlTest, CreateAndInsertCounts) {
+  auto r = Exec("INSERT INTO dept VALUES (7, 'extra'), (8, 'more')");
+  EXPECT_EQ(r.rows_affected, 2);
+  auto all = Exec("SELECT * FROM dept");
+  EXPECT_EQ(all.relation.num_tuples(), 5);
+}
+
+TEST_F(SqlTest, SelectStarAndProjection) {
+  auto star = Exec("SELECT * FROM emp");
+  EXPECT_EQ(star.relation.num_tuples(), 60);
+  EXPECT_EQ(star.relation.schema().num_columns(), 4);
+  auto proj = Exec("SELECT name, salary FROM emp");
+  EXPECT_EQ(proj.relation.schema().num_columns(), 2);
+  EXPECT_EQ(proj.relation.schema().column(0).name, "name");
+}
+
+TEST_F(SqlTest, WhereComparisons) {
+  EXPECT_EQ(Exec("SELECT emp_id FROM emp WHERE salary > 1500")
+                .relation.num_tuples(),
+            9);  // 1510..1590
+  // salary >= 1500 selects ids 50..59; of those, dept == 0 means id % 3 == 0:
+  // ids 51, 54, 57.
+  EXPECT_EQ(Exec("SELECT emp_id FROM emp WHERE salary >= 1500 AND dept = 0")
+                .relation.num_tuples(),
+            3);
+  EXPECT_EQ(Exec("SELECT emp_id FROM emp WHERE emp_id != 0")
+                .relation.num_tuples(),
+            59);
+}
+
+TEST_F(SqlTest, LikePrefix) {
+  Exec("INSERT INTO emp VALUES (100, 'jones_a', 0, 2000.0), "
+       "(101, 'jones_b', 1, 2100.0)");
+  auto r = Exec("SELECT name FROM emp WHERE name LIKE 'jones%'");
+  EXPECT_EQ(r.relation.num_tuples(), 2);
+}
+
+TEST_F(SqlTest, JoinViaWhere) {
+  auto r = Exec(
+      "SELECT emp.name, dept.dname FROM emp, dept "
+      "WHERE emp.dept = dept.dept_id AND salary < 1050");
+  EXPECT_EQ(r.relation.num_tuples(), 5);  // ids 0..4
+  EXPECT_EQ(r.relation.schema().num_columns(), 2);
+}
+
+TEST_F(SqlTest, UnqualifiedColumnsResolveAcrossTables) {
+  auto r = Exec(
+      "SELECT name, dname FROM emp, dept WHERE dept = dept_id");
+  EXPECT_EQ(r.relation.num_tuples(), 60);
+}
+
+TEST_F(SqlTest, GroupByAggregates) {
+  auto r = Exec(
+      "SELECT dept, COUNT(*), AVG(salary), MIN(salary), MAX(salary) "
+      "FROM emp GROUP BY dept");
+  ASSERT_EQ(r.relation.num_tuples(), 3);
+  for (const Row& row : r.relation.rows()) {
+    EXPECT_EQ(std::get<int64_t>(row[1]), 20);  // 60 emps / 3 depts
+    EXPECT_GT(std::get<double>(row[2]), 1000);
+  }
+}
+
+TEST_F(SqlTest, GlobalAggregateWithoutGroupBy) {
+  auto r = Exec("SELECT COUNT(*), SUM(salary) FROM emp");
+  ASSERT_EQ(r.relation.num_tuples(), 1);
+  EXPECT_EQ(std::get<int64_t>(r.relation.rows()[0][0]), 60);
+}
+
+TEST_F(SqlTest, AggregateWithAlias) {
+  auto r = Exec("SELECT dept, AVG(salary) AS pay FROM emp GROUP BY dept");
+  auto idx = r.relation.schema().ColumnIndex("pay");
+  EXPECT_TRUE(idx.ok());
+}
+
+TEST_F(SqlTest, SelectDistinct) {
+  auto r = Exec("SELECT DISTINCT dept FROM emp");
+  EXPECT_EQ(r.relation.num_tuples(), 3);
+}
+
+TEST_F(SqlTest, ExplainReturnsPlanOnly) {
+  auto r = Exec(
+      "EXPLAIN SELECT name FROM emp, dept WHERE emp.dept = dept.dept_id");
+  EXPECT_EQ(r.relation.num_tuples(), 0);
+  EXPECT_NE(r.plan_text.find("Join[hybrid-hash]"), std::string::npos);
+}
+
+TEST_F(SqlTest, IntLiteralCoercesToDoubleColumn) {
+  auto r = Exec("INSERT INTO emp VALUES (200, 'x', 0, 5000)");
+  EXPECT_EQ(r.rows_affected, 1);
+}
+
+TEST_F(SqlTest, ErrorsAreDiagnosed) {
+  EXPECT_FALSE(db_.ExecuteSql("SELEC name FROM emp").ok());
+  EXPECT_FALSE(db_.ExecuteSql("SELECT name FROM nope").ok());
+  EXPECT_FALSE(db_.ExecuteSql("SELECT bogus FROM emp").ok());
+  EXPECT_FALSE(db_.ExecuteSql("SELECT name FROM emp WHERE name LIKE '%x'")
+                   .ok());  // only prefix patterns
+  EXPECT_FALSE(db_.ExecuteSql("SELECT name FROM emp GROUP BY dept").ok());
+  EXPECT_FALSE(
+      db_.ExecuteSql("SELECT dept, salary, COUNT(*) FROM emp GROUP BY dept")
+          .ok());  // salary not grouped
+  EXPECT_FALSE(db_.ExecuteSql("SELECT SUM(*) FROM emp").ok());
+  EXPECT_FALSE(db_.ExecuteSql("CREATE TABLE t (x BLOB)").ok());
+  EXPECT_FALSE(db_.ExecuteSql("SELECT name FROM emp extra_garbage").ok());
+}
+
+TEST_F(SqlTest, KeywordsAreCaseInsensitive) {
+  auto r = Exec("select Name from EMP where SALARY >= 1590.0");
+  EXPECT_EQ(r.relation.num_tuples(), 1);
+}
+
+TEST_F(SqlTest, StarAggregateOverJoin) {
+  auto r = Exec(
+      "SELECT dname, COUNT(*) FROM emp, dept "
+      "WHERE emp.dept = dept.dept_id GROUP BY dname");
+  EXPECT_EQ(r.relation.num_tuples(), 3);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,120 @@
+#include "common/random.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+#include <numeric>
+
+#include "common/hash.h"
+
+namespace mmdb {
+namespace {
+
+TEST(RandomTest, DeterministicForSeed) {
+  Random a(123), b(123), c(124);
+  bool all_equal = true;
+  bool any_differs_from_c = false;
+  for (int i = 0; i < 100; ++i) {
+    uint64_t va = a.NextUint64();
+    uint64_t vb = b.NextUint64();
+    if (va != vb) all_equal = false;
+    if (va != c.NextUint64()) any_differs_from_c = true;
+  }
+  EXPECT_TRUE(all_equal);
+  EXPECT_TRUE(any_differs_from_c);
+}
+
+TEST(RandomTest, UniformStaysInRange) {
+  Random rng(1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.Uniform(7), 7u);
+  }
+}
+
+TEST(RandomTest, UniformIsRoughlyUniform) {
+  Random rng(5);
+  constexpr int kBuckets = 10;
+  constexpr int kSamples = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kSamples; ++i) {
+    ++counts[rng.Uniform(kBuckets)];
+  }
+  for (int c : counts) {
+    EXPECT_NEAR(c, kSamples / kBuckets, kSamples / kBuckets * 0.1);
+  }
+}
+
+TEST(RandomTest, UniformIntCoversBothEndpoints) {
+  Random rng(2);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 1000; ++i) {
+    int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= v == -3;
+    saw_hi |= v == 3;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RandomTest, NextDoubleInUnitInterval) {
+  Random rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);
+}
+
+TEST(RandomTest, ShufflePreservesElements) {
+  Random rng(4);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  std::vector<int> original = v;
+  rng.Shuffle(&v);
+  EXPECT_NE(v, original);  // astronomically unlikely to be identity
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, original);
+}
+
+TEST(ZipfTest, ThetaZeroIsUniformish) {
+  ZipfGenerator zipf(100, 0.0, 9);
+  std::map<uint64_t, int> counts;
+  for (int i = 0; i < 50000; ++i) ++counts[zipf.Next()];
+  // Every value in range, none wildly over-represented.
+  for (const auto& [v, c] : counts) {
+    EXPECT_LT(v, 100u);
+    EXPECT_LT(c, 50000 / 100 * 2);
+  }
+}
+
+TEST(ZipfTest, HighThetaSkewsToSmallValues) {
+  ZipfGenerator zipf(1000, 0.9, 10);
+  int head = 0;
+  constexpr int kSamples = 20000;
+  for (int i = 0; i < kSamples; ++i) {
+    if (zipf.Next() < 10) ++head;
+  }
+  // Top 1% of the domain draws far more than 1% of the mass.
+  EXPECT_GT(head, kSamples / 10);
+}
+
+TEST(HashTest, Mix64IsBijectiveish) {
+  // Distinct inputs produce distinct outputs for a decent sample.
+  std::set<uint64_t> outputs;
+  for (uint64_t i = 0; i < 10000; ++i) outputs.insert(Mix64(i));
+  EXPECT_EQ(outputs.size(), 10000u);
+}
+
+TEST(HashTest, HashBytesDiffersOnContent) {
+  EXPECT_NE(HashString("hello"), HashString("hellp"));
+  EXPECT_NE(HashString("ab"), HashString("ba"));
+  EXPECT_EQ(HashString("same"), HashString("same"));
+}
+
+}  // namespace
+}  // namespace mmdb

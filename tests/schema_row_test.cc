@@ -1,0 +1,128 @@
+#include <gtest/gtest.h>
+
+#include "storage/row.h"
+#include "storage/schema.h"
+#include "storage/value.h"
+
+namespace mmdb {
+namespace {
+
+Schema TestSchema() {
+  return Schema({Column::Int64("id"), Column::Char("name", 12),
+                 Column::Double("salary")});
+}
+
+TEST(ValueTest, TypeOfMatchesAlternative) {
+  EXPECT_EQ(TypeOf(Value{int64_t{1}}), ValueType::kInt64);
+  EXPECT_EQ(TypeOf(Value{2.5}), ValueType::kDouble);
+  EXPECT_EQ(TypeOf(Value{std::string("x")}), ValueType::kString);
+}
+
+TEST(ValueTest, CompareOrdersWithinType) {
+  EXPECT_LT(CompareValues(Value{int64_t{1}}, Value{int64_t{2}}), 0);
+  EXPECT_GT(CompareValues(Value{int64_t{5}}, Value{int64_t{-5}}), 0);
+  EXPECT_EQ(CompareValues(Value{2.5}, Value{2.5}), 0);
+  EXPECT_LT(CompareValues(Value{std::string("abc")},
+                          Value{std::string("abd")}),
+            0);
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  EXPECT_EQ(HashValue(Value{int64_t{42}}), HashValue(Value{int64_t{42}}));
+  EXPECT_NE(HashValue(Value{int64_t{42}}), HashValue(Value{int64_t{43}}));
+  EXPECT_EQ(HashValue(Value{std::string("k")}),
+            HashValue(Value{std::string("k")}));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(ValueToString(Value{int64_t{-7}}), "-7");
+  EXPECT_EQ(ValueToString(Value{std::string("hi")}), "hi");
+  EXPECT_EQ(ValueToString(Value{1.5}), "1.5");
+}
+
+TEST(SchemaTest, OffsetsAndRecordSize) {
+  Schema s = TestSchema();
+  EXPECT_EQ(s.record_size(), 8 + 12 + 8);
+  EXPECT_EQ(s.offset(0), 0);
+  EXPECT_EQ(s.offset(1), 8);
+  EXPECT_EQ(s.offset(2), 20);
+}
+
+TEST(SchemaTest, ColumnIndexLookup) {
+  Schema s = TestSchema();
+  EXPECT_EQ(*s.ColumnIndex("salary"), 2);
+  EXPECT_EQ(s.ColumnIndex("nope").status().code(), StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ConcatRenamesCollisions) {
+  Schema a({Column::Int64("id"), Column::Int64("x")});
+  Schema b({Column::Int64("id"), Column::Int64("y")});
+  Schema c = Schema::Concat(a, b);
+  ASSERT_EQ(c.num_columns(), 4);
+  EXPECT_EQ(c.column(0).name, "id");
+  EXPECT_EQ(c.column(2).name, "r_id");
+  EXPECT_EQ(c.record_size(), 32);
+}
+
+TEST(SchemaTest, SelectSubset) {
+  Schema s = TestSchema();
+  Schema sel = s.Select({2, 0});
+  ASSERT_EQ(sel.num_columns(), 2);
+  EXPECT_EQ(sel.column(0).name, "salary");
+  EXPECT_EQ(sel.column(1).name, "id");
+}
+
+TEST(RowTest, SerializeDeserializeRoundTrip) {
+  Schema s = TestSchema();
+  Row row = {int64_t{42}, std::string("jones"), 12345.5};
+  std::vector<char> buf(static_cast<size_t>(s.record_size()));
+  ASSERT_TRUE(SerializeRow(s, row, buf.data()).ok());
+  Row back = DeserializeRow(s, buf.data());
+  ASSERT_EQ(back.size(), 3u);
+  EXPECT_EQ(std::get<int64_t>(back[0]), 42);
+  EXPECT_EQ(std::get<std::string>(back[1]), "jones");
+  EXPECT_DOUBLE_EQ(std::get<double>(back[2]), 12345.5);
+}
+
+TEST(RowTest, StringPaddedAndWidthChecked) {
+  Schema s = TestSchema();
+  std::vector<char> buf(static_cast<size_t>(s.record_size()));
+  Row exact = {int64_t{1}, std::string(12, 'a'), 0.0};
+  EXPECT_TRUE(SerializeRow(s, exact, buf.data()).ok());
+  Row too_wide = {int64_t{1}, std::string(13, 'a'), 0.0};
+  EXPECT_EQ(SerializeRow(s, too_wide, buf.data()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RowTest, ArityAndTypeMismatchRejected) {
+  Schema s = TestSchema();
+  std::vector<char> buf(static_cast<size_t>(s.record_size()));
+  EXPECT_EQ(SerializeRow(s, {int64_t{1}}, buf.data()).code(),
+            StatusCode::kInvalidArgument);
+  Row bad_type = {std::string("x"), std::string("y"), 0.0};
+  EXPECT_EQ(SerializeRow(s, bad_type, buf.data()).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RowTest, EmbeddedNulInStringTruncatesAtDeserialize) {
+  // Fixed-width CHAR uses zero padding, so embedded '\0' acts as a
+  // terminator on read-back — documents the CHAR(n) contract.
+  Schema s({Column::Char("c", 8)});
+  std::vector<char> buf(8);
+  ASSERT_TRUE(SerializeRow(s, {std::string("ab")}, buf.data()).ok());
+  Row back = DeserializeRow(s, buf.data());
+  EXPECT_EQ(std::get<std::string>(back[0]), "ab");
+}
+
+TEST(RowTest, ConcatAndCompare) {
+  Row a = {int64_t{1}, int64_t{2}};
+  Row b = {int64_t{3}};
+  Row c = ConcatRows(a, b);
+  ASSERT_EQ(c.size(), 3u);
+  EXPECT_EQ(std::get<int64_t>(c[2]), 3);
+  EXPECT_LT(CompareRowsOn(a, b, 0), 0);
+  EXPECT_EQ(RowToString(c), "1|2|3");
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "sim/cost_clock.h"
+#include "sim/simulated_disk.h"
+#include "sim/stable_memory.h"
+
+namespace mmdb {
+namespace {
+
+TEST(CostClockTest, PricesTable2Defaults) {
+  CostClock clock;
+  clock.Comp(1'000'000);  // 3s
+  clock.Hash(1'000'000);  // 9s
+  clock.Move(1'000'000);  // 20s
+  clock.Swap(1'000'000);  // 60s
+  clock.IoSeq(100);       // 1s
+  clock.IoRand(40);       // 1s
+  EXPECT_DOUBLE_EQ(clock.CpuSeconds(), 92.0);
+  EXPECT_DOUBLE_EQ(clock.IoSeconds(), 2.0);
+  EXPECT_DOUBLE_EQ(clock.Seconds(), 94.0);
+}
+
+TEST(CostClockTest, CustomParams) {
+  CostParams p;
+  p.comp_us = 1;
+  p.io_seq_us = 5000;
+  CostClock clock(p);
+  clock.Comp(1'000'000);
+  clock.IoSeq(200);
+  EXPECT_DOUBLE_EQ(clock.Seconds(), 1.0 + 1.0);
+}
+
+TEST(CostClockTest, ResetClearsCounters) {
+  CostClock clock;
+  clock.Comp(5);
+  clock.Reset();
+  EXPECT_EQ(clock.counters().comparisons, 0);
+  EXPECT_DOUBLE_EQ(clock.Seconds(), 0);
+}
+
+TEST(SimulatedDiskTest, RoundTripsPages) {
+  SimulatedDisk disk(128);
+  auto f = disk.CreateFile("t");
+  std::vector<char> page(128, 'x');
+  ASSERT_TRUE(disk.WritePage(f, 0, page.data(), IoKind::kSequential).ok());
+  std::vector<char> out(128, 0);
+  ASSERT_TRUE(disk.ReadPage(f, 0, out.data(), IoKind::kSequential).ok());
+  EXPECT_EQ(out, page);
+}
+
+TEST(SimulatedDiskTest, ChargesClockByKind) {
+  CostClock clock;
+  SimulatedDisk disk(128, &clock);
+  auto f = disk.CreateFile("t");
+  std::vector<char> page(128, 1);
+  ASSERT_TRUE(disk.WritePage(f, 0, page.data(), IoKind::kSequential).ok());
+  ASSERT_TRUE(disk.ReadPage(f, 0, page.data(), IoKind::kRandom).ok());
+  EXPECT_EQ(clock.counters().seq_ios, 1);
+  EXPECT_EQ(clock.counters().rand_ios, 1);
+}
+
+TEST(SimulatedDiskTest, ReadBeyondEofFails) {
+  SimulatedDisk disk(128);
+  auto f = disk.CreateFile("t");
+  char buf[128];
+  EXPECT_EQ(disk.ReadPage(f, 0, buf, IoKind::kSequential).code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(SimulatedDiskTest, UnknownFileFails) {
+  SimulatedDisk disk(128);
+  char buf[128];
+  EXPECT_EQ(disk.ReadPage(99, 0, buf, IoKind::kSequential).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SimulatedDiskTest, WriteExtendsWithZeroPages) {
+  SimulatedDisk disk(16);
+  auto f = disk.CreateFile("t");
+  char page[16] = {7};
+  ASSERT_TRUE(disk.WritePage(f, 3, page, IoKind::kRandom).ok());
+  EXPECT_EQ(disk.NumPages(f), 4);
+  char out[16];
+  ASSERT_TRUE(disk.ReadPage(f, 1, out, IoKind::kSequential).ok());
+  for (char c : out) EXPECT_EQ(c, 0);
+}
+
+TEST(SimulatedDiskTest, AllocatePageChargesNoIo) {
+  CostClock clock;
+  SimulatedDisk disk(16, &clock);
+  auto f = disk.CreateFile("t");
+  ASSERT_TRUE(disk.AllocatePage(f).ok());
+  EXPECT_EQ(disk.NumPages(f), 1);
+  EXPECT_EQ(clock.counters().seq_ios + clock.counters().rand_ios, 0);
+}
+
+TEST(SimulatedDiskTest, DeleteFreesSpace) {
+  SimulatedDisk disk(16);
+  auto f = disk.CreateFile("t");
+  char page[16] = {};
+  ASSERT_TRUE(disk.WritePage(f, 9, page, IoKind::kSequential).ok());
+  EXPECT_EQ(disk.TotalPages(), 10);
+  disk.DeleteFile(f);
+  EXPECT_EQ(disk.TotalPages(), 0);
+}
+
+TEST(StableMemoryTest, AllocateReadWrite) {
+  StableMemory stable(1024);
+  ASSERT_TRUE(stable.Allocate("a", 100).ok());
+  EXPECT_EQ(stable.used(), 100);
+  auto* region = stable.Region("a");
+  ASSERT_NE(region, nullptr);
+  (*region)[0] = 'z';
+  EXPECT_EQ((*stable.Region("a"))[0], 'z');
+}
+
+TEST(StableMemoryTest, CapacityEnforced) {
+  StableMemory stable(100);
+  ASSERT_TRUE(stable.Allocate("a", 80).ok());
+  EXPECT_EQ(stable.Allocate("b", 30).code(), StatusCode::kResourceExhausted);
+  ASSERT_TRUE(stable.Allocate("b", 20).ok());
+  EXPECT_EQ(stable.available(), 0);
+}
+
+TEST(StableMemoryTest, DuplicateNameRejected) {
+  StableMemory stable(100);
+  ASSERT_TRUE(stable.Allocate("a", 1).ok());
+  EXPECT_EQ(stable.Allocate("a", 1).code(), StatusCode::kAlreadyExists);
+}
+
+TEST(StableMemoryTest, ResizePreservesPrefixAndAccounts) {
+  StableMemory stable(100);
+  ASSERT_TRUE(stable.Allocate("a", 4).ok());
+  auto* r = stable.Region("a");
+  (*r)[0] = 1;
+  (*r)[3] = 4;
+  ASSERT_TRUE(stable.Resize("a", 50).ok());
+  EXPECT_EQ(stable.used(), 50);
+  r = stable.Region("a");
+  EXPECT_EQ((*r)[0], 1);
+  EXPECT_EQ((*r)[3], 4);
+  EXPECT_EQ((*r)[49], 0);
+  ASSERT_TRUE(stable.Resize("a", 2).ok());
+  EXPECT_EQ(stable.used(), 2);
+  EXPECT_EQ(stable.Resize("a", 200).code(), StatusCode::kResourceExhausted);
+}
+
+TEST(StableMemoryTest, FreeIsIdempotent) {
+  StableMemory stable(100);
+  ASSERT_TRUE(stable.Allocate("a", 10).ok());
+  stable.Free("a");
+  EXPECT_EQ(stable.used(), 0);
+  stable.Free("a");  // no-op
+  EXPECT_EQ(stable.used(), 0);
+  EXPECT_EQ(stable.Region("a"), nullptr);
+}
+
+}  // namespace
+}  // namespace mmdb

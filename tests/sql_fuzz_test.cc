@@ -1,0 +1,238 @@
+// Randomized end-to-end check of the whole query stack: random tables,
+// random conjunctive queries, executed three ways —
+//   (1) through the optimizer as a Query struct,
+//   (2) through the SQL parser as a statement string,
+//   (3) by a brute-force cross-product oracle —
+// and all three must agree exactly.
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "db/database.h"
+
+namespace mmdb {
+namespace {
+
+struct FuzzCase {
+  uint64_t seed;
+  int queries;
+};
+
+class SqlFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+std::multiset<std::string> Canonical(const Relation& rel) {
+  std::multiset<std::string> out;
+  for (const Row& row : rel.rows()) out.insert(RowToString(row));
+  return out;
+}
+
+/// Brute-force evaluation of a Query over the database tables.
+std::multiset<std::string> Oracle(const Database& db, const Query& q) {
+  std::vector<const Relation*> tables;
+  for (const std::string& name : q.tables) {
+    tables.push_back(*db.GetTable(name));
+  }
+  // Column resolution: (table ordinal, column index) per ColumnRef.
+  auto resolve = [&](const ColumnRef& ref) -> std::pair<int, int> {
+    for (size_t t = 0; t < q.tables.size(); ++t) {
+      if (q.tables[t] != ref.table) continue;
+      auto idx = tables[t]->schema().ColumnIndex(ref.column);
+      MMDB_CHECK(idx.ok());
+      return {static_cast<int>(t), *idx};
+    }
+    MMDB_CHECK(false);
+    return {-1, -1};
+  };
+
+  std::multiset<std::string> out;
+  // Cross product via odometer (tables are small in this test).
+  std::vector<size_t> cursor(tables.size(), 0);
+  while (true) {
+    bool keep = true;
+    auto value_of = [&](const ColumnRef& ref) -> const Value& {
+      auto [t, c] = resolve(ref);
+      return tables[size_t(t)]->rows()[cursor[size_t(t)]][size_t(c)];
+    };
+    for (const JoinClause& jc : q.joins) {
+      if (!ValuesEqual(value_of(jc.left), value_of(jc.right))) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) {
+      for (const Predicate& p : q.filters) {
+        Row probe = {value_of(ColumnRef{p.table, p.column})};
+        if (!EvalPredicate(p, probe, 0)) {
+          keep = false;
+          break;
+        }
+      }
+    }
+    if (keep) {
+      Row projected;
+      for (const ColumnRef& ref : q.select_columns) {
+        projected.push_back(value_of(ref));
+      }
+      out.insert(RowToString(projected));
+    }
+    // Advance the odometer.
+    size_t t = 0;
+    for (; t < tables.size(); ++t) {
+      if (++cursor[t] < size_t(tables[t]->num_tuples())) break;
+      cursor[t] = 0;
+    }
+    if (t == tables.size()) break;
+  }
+  return out;
+}
+
+std::string LiteralToSql(const Value& v) {
+  if (std::holds_alternative<std::string>(v)) {
+    return "'" + std::get<std::string>(v) + "'";
+  }
+  return ValueToString(v);
+}
+
+/// Renders the Query back to its SQL text.
+std::string ToSql(const Query& q) {
+  std::string sql = "SELECT ";
+  for (size_t i = 0; i < q.select_columns.size(); ++i) {
+    if (i) sql += ", ";
+    sql += q.select_columns[i].ToString();
+  }
+  sql += " FROM ";
+  for (size_t i = 0; i < q.tables.size(); ++i) {
+    if (i) sql += ", ";
+    sql += q.tables[i];
+  }
+  std::vector<std::string> conjuncts;
+  for (const JoinClause& jc : q.joins) {
+    conjuncts.push_back(jc.left.ToString() + " = " + jc.right.ToString());
+  }
+  for (const Predicate& p : q.filters) {
+    if (p.op == CmpOp::kPrefix) {
+      conjuncts.push_back(p.table + "." + p.column + " LIKE '" +
+                          std::get<std::string>(p.literal) + "%'");
+    } else {
+      conjuncts.push_back(p.table + "." + p.column + " " +
+                          std::string(CmpOpName(p.op)) + " " +
+                          LiteralToSql(p.literal));
+    }
+  }
+  for (size_t i = 0; i < conjuncts.size(); ++i) {
+    sql += i == 0 ? " WHERE " : " AND ";
+    sql += conjuncts[i];
+  }
+  return sql;
+}
+
+TEST_P(SqlFuzzTest, EngineParserAndOracleAgree) {
+  const FuzzCase param = GetParam();
+  Random rng(param.seed);
+
+  // --- Random schema + data: three small tables sharing an int domain.
+  Database::Options dbopts;
+  dbopts.memory_pages = 8;  // force spilling joins now and then
+  Database db(dbopts);
+  const char* names[] = {"t0", "t1", "t2"};
+  const char* stems[] = {"ada", "bob", "cyd", "dee", "eve"};
+  std::vector<Schema> schemas;
+  for (int t = 0; t < 3; ++t) {
+    std::vector<Column> cols = {Column::Int64("k")};
+    cols.push_back(Column::Int64("n" + std::to_string(t)));
+    cols.push_back(Column::Double("d" + std::to_string(t)));
+    cols.push_back(Column::Char("s" + std::to_string(t), 8));
+    Schema schema(std::move(cols));
+    ASSERT_TRUE(db.CreateTable(names[t], schema).ok());
+    const int64_t rows = 20 + int64_t(rng.Uniform(60));
+    for (int64_t i = 0; i < rows; ++i) {
+      ASSERT_TRUE(db.Insert(names[t],
+                            {static_cast<int64_t>(rng.Uniform(12)),
+                             static_cast<int64_t>(rng.Uniform(30)),
+                             double(rng.Uniform(100)) / 4.0,
+                             std::string(stems[rng.Uniform(5)])})
+                      .ok());
+    }
+    schemas.push_back(schema);
+  }
+  // Indexes so the planner's IndexScan path is fuzzed too.
+  ASSERT_TRUE(db.CreateIndex("t0", "k", Database::IndexType::kHash).ok());
+  ASSERT_TRUE(db.CreateIndex("t1", "n1", Database::IndexType::kBTree).ok());
+  ASSERT_TRUE(db.CreateIndex("t2", "s2", Database::IndexType::kAvl).ok());
+
+  for (int iteration = 0; iteration < param.queries; ++iteration) {
+    // --- Random query over 1-3 tables.
+    Query q;
+    const int num_tables = 1 + int(rng.Uniform(3));
+    for (int t = 0; t < num_tables; ++t) q.tables.push_back(names[t]);
+    // Chain joins on k so the graph is connected.
+    for (int t = 1; t < num_tables; ++t) {
+      q.joins.push_back(JoinClause{ColumnRef{names[t - 1], "k"},
+                                   ColumnRef{names[t], "k"}});
+    }
+    // 0-2 random filters.
+    const int num_filters = int(rng.Uniform(3));
+    for (int f = 0; f < num_filters; ++f) {
+      const int t = int(rng.Uniform(uint64_t(num_tables)));
+      const int c = int(rng.Uniform(4));
+      const Column& col = schemas[size_t(t)].column(c);
+      Predicate p;
+      p.table = names[t];
+      p.column = col.name;
+      switch (col.type) {
+        case ValueType::kInt64:
+          p.op = static_cast<CmpOp>(rng.Uniform(6));  // kEq..kGe
+          p.literal = Value{static_cast<int64_t>(rng.Uniform(30))};
+          break;
+        case ValueType::kDouble:
+          p.op = rng.Bernoulli(0.5) ? CmpOp::kLt : CmpOp::kGe;
+          p.literal = Value{double(rng.Uniform(100)) / 4.0};
+          break;
+        case ValueType::kString:
+          if (rng.Bernoulli(0.5)) {
+            p.op = CmpOp::kEq;
+            p.literal = Value{std::string(stems[rng.Uniform(5)])};
+          } else {
+            p.op = CmpOp::kPrefix;
+            p.literal = Value{std::string(1, "abcde"[rng.Uniform(5)])};
+          }
+          break;
+      }
+      q.filters.push_back(std::move(p));
+    }
+    // 1-3 random select columns.
+    const int num_select = 1 + int(rng.Uniform(3));
+    for (int sidx = 0; sidx < num_select; ++sidx) {
+      const int t = int(rng.Uniform(uint64_t(num_tables)));
+      const int c = int(rng.Uniform(4));
+      q.select_columns.push_back(
+          ColumnRef{names[t], schemas[size_t(t)].column(c).name});
+    }
+
+    const std::multiset<std::string> expected = Oracle(db, q);
+
+    auto engine = db.Execute(q);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    EXPECT_EQ(Canonical(engine->relation), expected)
+        << "query " << iteration << ":\n" << ToSql(q) << "\nplan:\n"
+        << engine->plan_text;
+
+    auto via_sql = db.ExecuteSql(ToSql(q));
+    ASSERT_TRUE(via_sql.ok()) << ToSql(q) << " -> "
+                              << via_sql.status().ToString();
+    EXPECT_EQ(Canonical(via_sql->relation), expected)
+        << "sql: " << ToSql(q);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SqlFuzzTest,
+                         ::testing::Values(FuzzCase{1, 30}, FuzzCase{2, 30},
+                                           FuzzCase{3, 30}, FuzzCase{4, 30},
+                                           FuzzCase{20260708, 60}),
+                         [](const auto& info) {
+                           return "seed" + std::to_string(info.param.seed);
+                         });
+
+}  // namespace
+}  // namespace mmdb

@@ -1,0 +1,191 @@
+#include "txn/stable_log.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace mmdb {
+namespace {
+
+using std::chrono::microseconds;
+
+LogRecord Update(TxnId txn, int64_t record_id, std::string old_v,
+                 std::string new_v) {
+  LogRecord rec;
+  rec.type = LogRecordType::kUpdate;
+  rec.txn_id = txn;
+  rec.record_id = record_id;
+  rec.old_value = std::move(old_v);
+  rec.new_value = std::move(new_v);
+  return rec;
+}
+
+LogRecord Commit(TxnId txn) {
+  LogRecord rec;
+  rec.type = LogRecordType::kCommit;
+  rec.txn_id = txn;
+  return rec;
+}
+
+class StableLogTest : public ::testing::Test {
+ protected:
+  StableLogTest()
+      : stable_(1 << 20), device_(512, microseconds(0)) {}
+
+  void Build(bool compress) {
+    StableLogOptions opts;
+    opts.compress = compress;
+    log_ = std::make_unique<StableLogBuffer>(&stable_, &device_, opts);
+    log_->Start();
+  }
+
+  StableMemory stable_;
+  LogDevice device_;
+  std::unique_ptr<StableLogBuffer> log_;
+};
+
+TEST_F(StableLogTest, CommitIsImmediatelyDurable) {
+  Build(true);
+  log_->Append(Update(1, 0, "a", "b"));
+  log_->AppendCommit(Commit(1), {});
+  log_->WaitCommitDurable(1);  // returns instantly
+  // Even before any drain, recovery sees the committed records.
+  auto recs = log_->ReadAllForRecovery();
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].type, LogRecordType::kUpdate);
+  EXPECT_TRUE(recs[0].old_value.empty());  // compressed
+  log_->Stop();
+}
+
+TEST_F(StableLogTest, DrainerMovesQueueToDevice) {
+  Build(true);
+  // Enough committed bytes to fill several pages.
+  for (TxnId t = 1; t <= 50; ++t) {
+    log_->Append(Update(t, t, std::string(40, 'o'), std::string(40, 'n')));
+    log_->AppendCommit(Commit(t), {});
+  }
+  log_->Stop();  // drains the tail
+  EXPECT_GT(device_.num_pages(), 0);
+  EXPECT_EQ(log_->queued_bytes(), 0);
+  auto recs = log_->ReadAllForRecovery();
+  EXPECT_EQ(recs.size(), 100u);
+}
+
+TEST_F(StableLogTest, CompressionHalvesDiskBytes) {
+  // §5.4: only new values of committed transactions reach the disk log.
+  int64_t compressed_bytes, raw_bytes;
+  {
+    Build(true);
+    for (TxnId t = 1; t <= 30; ++t) {
+      log_->Append(
+          Update(t, t, std::string(170, 'o'), std::string(170, 'n')));
+      log_->AppendCommit(Commit(t), {});
+    }
+    log_->Stop();
+    compressed_bytes = log_->stats().device_bytes;
+  }
+  StableMemory stable2(1 << 20);
+  LogDevice device2(512, microseconds(0));
+  {
+    StableLogOptions opts;
+    opts.compress = false;
+    StableLogBuffer raw(&stable2, &device2, opts);
+    raw.Start();
+    for (TxnId t = 1; t <= 30; ++t) {
+      raw.Append(Update(t, t, std::string(170, 'o'), std::string(170, 'n')));
+      raw.AppendCommit(Commit(t), {});
+    }
+    raw.Stop();
+    raw_bytes = raw.stats().device_bytes;
+  }
+  EXPECT_LT(double(compressed_bytes), 0.65 * double(raw_bytes));
+}
+
+TEST_F(StableLogTest, ActiveTxnKeepsUndoImagesForRecovery) {
+  Build(true);
+  log_->Append(Update(1, 0, "undo_me", "dirty"));
+  // No commit: txn 1 is in flight. Its records (WITH old values) must be
+  // visible to recovery from the stable per-transaction area.
+  auto recs = log_->ReadAllForRecovery();
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].old_value, "undo_me");
+  log_->Stop();
+}
+
+TEST_F(StableLogTest, DiscardTxnFreesStableArea) {
+  Build(true);
+  const int64_t used_before = stable_.used();
+  log_->Append(Update(5, 0, std::string(100, 'x'), std::string(100, 'y')));
+  EXPECT_GT(stable_.used(), used_before);
+  log_->DiscardTxn(5);
+  EXPECT_EQ(stable_.used(), used_before);
+  EXPECT_TRUE(log_->ReadAllForRecovery().empty());
+  log_->Stop();
+}
+
+TEST_F(StableLogTest, RecoveryMergesDiskQueueAndAreasInLsnOrder) {
+  Build(true);
+  // Commit enough to drain some pages, then leave stragglers everywhere.
+  for (TxnId t = 1; t <= 40; ++t) {
+    log_->Append(Update(t, t, std::string(30, 'o'), std::string(30, 'n')));
+    log_->AppendCommit(Commit(t), {});
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));  // part drains
+  log_->Append(Update(99, 1, "active_old", "active_new"));     // in flight
+  auto recs = log_->ReadAllForRecovery();
+  ASSERT_EQ(recs.size(), 81u);
+  for (size_t i = 1; i < recs.size(); ++i) {
+    EXPECT_LT(recs[i - 1].lsn, recs[i].lsn);
+  }
+  log_->Stop();
+}
+
+TEST_F(StableLogTest, ConcurrentCommitsAreAllPreserved) {
+  Build(true);
+  constexpr int kThreads = 8;
+  constexpr int kTxnsPer = 30;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t]() {
+      for (int i = 0; i < kTxnsPer; ++i) {
+        const TxnId txn = t * 1000 + i + 1;
+        log_->Append(Update(txn, txn, "o", "n"));
+        log_->AppendCommit(Commit(txn), {});
+        log_->WaitCommitDurable(txn);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  log_->Stop();
+  auto recs = log_->ReadAllForRecovery();
+  EXPECT_EQ(recs.size(), 2u * kThreads * kTxnsPer);
+  EXPECT_EQ(log_->stats().commits, kThreads * kTxnsPer);
+}
+
+
+TEST_F(StableLogTest, BackpressureBoundsTheQueue) {
+  // §5.4: "in the steady state, the number of transactions processed per
+  // second is still limited by how fast we can empty buffer pages".
+  // With a slow device and a small queue bound, committers must block
+  // rather than grow the stable queue without limit.
+  StableLogOptions opts;
+  opts.compress = true;
+  opts.max_queue_bytes = 2048;  // 4 device pages
+  LogDevice slow(512, std::chrono::microseconds(300));
+  StableLogBuffer log(&stable_, &slow, opts);
+  log.Start();
+  for (TxnId t = 1; t <= 200; ++t) {
+    log.Append(Update(t, t, std::string(40, 'o'), std::string(40, 'n')));
+    log.AppendCommit(Commit(t), {});
+    // The queue never exceeds the bound by more than one txn's records.
+    EXPECT_LT(log.queued_bytes(), opts.max_queue_bytes + 256)
+        << "txn " << t;
+  }
+  log.Stop();
+  // Nothing was lost to the backpressure.
+  EXPECT_EQ(log.ReadAllForRecovery().size(), 400u);
+  EXPECT_EQ(log.stats().commits, 200);
+}
+
+}  // namespace
+}  // namespace mmdb
