@@ -1,0 +1,181 @@
+// Recovery under injected faults: how much does restart slow down — and how
+// often does it fall into degraded mode (full log scan) — as the device
+// fault rate climbs?
+//
+// Each row runs several sub-seeded epochs of a banking workload with the
+// fault injector active on all three device layers (data disk, log device,
+// stable memory), crashes, and recovers with the SAME injector still live,
+// so recovery itself eats transient errors, bit-flipped log records and
+// checksum-failed snapshot pages. Reported per row (means over sub-seeds):
+//
+//   recovery ms     wall time of RecoverStore
+//   scanned         log records scanned (rises when the first-update table
+//                   is distrusted and the scan restarts from the log head)
+//   redo/undo       records rewritten into the memory image
+//   corrupt         checksum-failed log records skipped
+//   quarantine      snapshot pages zero-filled and rebuilt from the log
+//   retries         transient I/O errors absorbed by bounded retry
+//   degraded        fraction of epochs that fell back to a full log scan
+//
+// The faults-off row is the baseline the <5% acceptance check compares
+// against: CRC maintenance and stats plumbing must be noise, not cost.
+
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "sim/fault_injector.h"
+#include "txn/checkpoint.h"
+#include "txn/recovery.h"
+#include "txn/transaction_manager.h"
+
+namespace mmdb {
+namespace {
+
+using std::chrono::microseconds;
+
+constexpr int64_t kAccounts = 512;
+constexpr int32_t kBalanceSize = 32;
+constexpr int kSubSeeds = 5;
+
+struct FaultConfig {
+  const char* name;
+  double transient_rate;
+  double bit_flip_rate;
+};
+
+struct RowResult {
+  double recovery_ms = 0;
+  double scanned = 0;
+  double redo = 0;
+  double undo = 0;
+  int64_t corrupt = 0;
+  int64_t quarantined = 0;
+  int64_t retries = 0;
+  int degraded_epochs = 0;
+};
+
+std::string Balance(int64_t amount) {
+  std::string v(kBalanceSize, '\0');
+  std::snprintf(v.data(), v.size(), "%lld", static_cast<long long>(amount));
+  return v;
+}
+
+/// One workload epoch + crash + recovery under `fopts`; returns the
+/// RecoveryStats of the restart.
+RecoveryStats RunEpoch(uint64_t seed, const FaultInjectorOptions& fopts,
+                       int transfers) {
+  FaultInjector injector(fopts);
+  SimulatedDisk disk(512);
+  disk.set_fault_injector(&injector);
+  StableMemory stable(1 << 20);
+  stable.set_fault_injector(&injector);
+  LogDevice device(4096, microseconds(0));
+  device.set_fault_injector(&injector);
+
+  RecoverableStore store(&disk, kAccounts, kBalanceSize, 512);
+  FirstUpdateTable fut(&stable, store.num_pages());
+  LockManager locks;
+  GroupCommitLogOptions gopts;
+  gopts.group_commit = false;
+  GroupCommitLog wal({&device}, gopts);
+  wal.Start();
+  TransactionManager tm(&store, &locks, &wal, &fut);
+  Checkpointer checkpointer(&store, &fut, &wal);
+
+  Random rng(seed);
+  // Opening grant as a transaction, so quarantined pages can be rebuilt.
+  {
+    const TxnId txn = tm.Begin();
+    for (int64_t a = 0; a < kAccounts; ++a) {
+      MMDB_CHECK(tm.Update(txn, a, Balance(100)).ok());
+    }
+    MMDB_CHECK(tm.Commit(txn).ok());
+  }
+  std::map<int64_t, int64_t> balances;
+  for (int t = 0; t < transfers; ++t) {
+    const int64_t from = int64_t(rng.Uniform(kAccounts));
+    int64_t to = int64_t(rng.Uniform(kAccounts));
+    if (to == from) to = (to + 1) % kAccounts;
+    const int64_t amount = 1 + int64_t(rng.Uniform(10));
+    balances.try_emplace(from, 100);
+    balances.try_emplace(to, 100);
+    const TxnId txn = tm.Begin();
+    MMDB_CHECK(tm.Update(txn, from, Balance(balances[from] - amount)).ok());
+    MMDB_CHECK(tm.Update(txn, to, Balance(balances[to] + amount)).ok());
+    MMDB_CHECK(tm.Commit(txn).ok());
+    balances[from] -= amount;
+    balances[to] += amount;
+    if (t % 32 == 31) MMDB_CHECK(checkpointer.CheckpointOnce().ok());
+  }
+
+  wal.CrashStop();
+  store.SimulateCrash();
+  auto stats = RecoverStore(&store, &wal, &fut);
+  MMDB_CHECK_MSG(stats.ok(), stats.status().ToString().c_str());
+  wal.Stop();
+  return *stats;
+}
+
+RowResult RunRow(const FaultConfig& config, int transfers) {
+  RowResult row;
+  for (int s = 0; s < kSubSeeds; ++s) {
+    FaultInjectorOptions fopts;
+    fopts.seed = 0xFA17ul * (s + 1);
+    fopts.transient_error_rate = config.transient_rate;
+    fopts.bit_flip_rate = config.bit_flip_rate;
+    const RecoveryStats stats = RunEpoch(1000 + s, fopts, transfers);
+    row.recovery_ms += stats.wall_seconds * 1e3 / kSubSeeds;
+    row.scanned += double(stats.log_records_scanned) / kSubSeeds;
+    row.redo += double(stats.redo_applied) / kSubSeeds;
+    row.undo += double(stats.undo_applied) / kSubSeeds;
+    row.corrupt += stats.corrupt_records_skipped;
+    row.quarantined += stats.snapshot_pages_quarantined;
+    row.retries += stats.retries;
+    if (stats.degraded_mode) ++row.degraded_epochs;
+  }
+  return row;
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main(int argc, char** argv) {
+  using namespace mmdb;
+  const int transfers = argc > 1 ? std::atoi(argv[1]) : 2000;
+  const FaultConfig configs[] = {
+      {"faults off (baseline)", 0.00, 0.0},
+      {"transient 1%", 0.01, 0.0},
+      {"transient 2%", 0.02, 0.0},
+      {"transient 5%", 0.05, 0.0},
+      {"transient 10%", 0.10, 0.0},
+      {"bit flips 0.5%", 0.00, 0.005},
+      {"bit flips 2%", 0.00, 0.02},
+      {"transient 5% + flips 1%", 0.05, 0.01},
+  };
+  std::printf("== recovery under injected faults (%d transfers, %d accounts, "
+              "%d sub-seeds per row) ==\n\n",
+              transfers, int(kAccounts), kSubSeeds);
+  std::printf("%-26s %11s %9s %7s %6s %8s %11s %8s %9s\n", "fault mix",
+              "recovery ms", "scanned", "redo", "undo", "corrupt",
+              "quarantined", "retries", "degraded");
+  for (const FaultConfig& config : configs) {
+    const RowResult row = RunRow(config, transfers);
+    std::printf("%-26s %11.2f %9.0f %7.0f %6.0f %8lld %11lld %8lld %6d/%d\n",
+                config.name, row.recovery_ms, row.scanned, row.redo, row.undo,
+                static_cast<long long>(row.corrupt),
+                static_cast<long long>(row.quarantined),
+                static_cast<long long>(row.retries), row.degraded_epochs,
+                kSubSeeds);
+  }
+  std::printf(
+      "\nreading the table: transient errors only cost retries; bit flips "
+      "corrupt log records (skipped, counted) and snapshot pages "
+      "(quarantined, rebuilt from the log), and any quarantine or "
+      "first-update-table damage forces a degraded full-log scan — more "
+      "records scanned, slower restart, same final state.\n");
+  return 0;
+}

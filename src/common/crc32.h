@@ -1,0 +1,50 @@
+#ifndef MMDB_COMMON_CRC32_H_
+#define MMDB_COMMON_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace mmdb {
+
+namespace crc32_internal {
+
+// CRC-32C (Castagnoli), reflected polynomial. Chosen over the zip CRC-32 for
+// its better error-detection properties on short records; hardware versions
+// exist (SSE4.2) but the portable table keeps the simulator dependency-free.
+constexpr uint32_t kPolynomial = 0x82F63B78u;
+
+struct Table {
+  uint32_t entry[256];
+};
+
+constexpr Table MakeTable() {
+  Table t{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t crc = i;
+    for (int k = 0; k < 8; ++k) {
+      crc = (crc & 1u) ? (kPolynomial ^ (crc >> 1)) : (crc >> 1);
+    }
+    t.entry[i] = crc;
+  }
+  return t;
+}
+
+inline constexpr Table kTable = MakeTable();
+
+}  // namespace crc32_internal
+
+/// CRC-32C of `size` bytes at `data`. Pass a previous result as `seed` to
+/// checksum a logical stream in chunks: Crc32c(b, nb, Crc32c(a, na)).
+/// Known answer (RFC 3720 test vector): Crc32c("123456789", 9) == 0xE3069283.
+inline uint32_t Crc32c(const void* data, size_t size, uint32_t seed = 0) {
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  uint32_t crc = ~seed;
+  for (size_t i = 0; i < size; ++i) {
+    crc = crc32_internal::kTable.entry[(crc ^ p[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+}  // namespace mmdb
+
+#endif  // MMDB_COMMON_CRC32_H_

@@ -26,6 +26,10 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "DEADLOCK";
     case StatusCode::kInternal:
       return "INTERNAL";
+    case StatusCode::kCorruption:
+      return "CORRUPTION";
+    case StatusCode::kRetryExhausted:
+      return "RETRY_EXHAUSTED";
   }
   return "UNKNOWN";
 }

@@ -24,6 +24,8 @@ enum class StatusCode {
   kAborted,
   kDeadlock,
   kInternal,
+  kCorruption,
+  kRetryExhausted,
 };
 
 /// Returns a human-readable name for `code` ("OK", "NOT_FOUND", ...).
@@ -72,6 +74,12 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status RetryExhausted(std::string msg) {
+    return Status(StatusCode::kRetryExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -511,6 +511,10 @@ Status Database::EnableTransactions(const TxnPlaneOptions& options) {
   if (txn_enabled_) return Status::FailedPrecondition("already enabled");
   txn_options_ = options;
   stable_ = std::make_unique<StableMemory>(options.stable_memory_bytes);
+  if (options.fault_injector != nullptr) {
+    disk_.set_fault_injector(options.fault_injector);
+    stable_->set_fault_injector(options.fault_injector);
+  }
 
   using WalKind = TxnPlaneOptions::WalKind;
   switch (options.wal_kind) {
@@ -518,6 +522,7 @@ Status Database::EnableTransactions(const TxnPlaneOptions& options) {
     case WalKind::kSingle: {
       log_devices_.push_back(std::make_unique<LogDevice>(
           options_.page_size, options.log_write_latency));
+      log_devices_[0]->set_fault_injector(options.fault_injector);
       GroupCommitLogOptions gc;
       gc.group_commit = options.wal_kind == WalKind::kSingle;
       wal_ = std::make_unique<GroupCommitLog>(
@@ -527,14 +532,17 @@ Status Database::EnableTransactions(const TxnPlaneOptions& options) {
     case WalKind::kPartitioned: {
       GroupCommitLogOptions gc;
       gc.group_commit = true;
-      wal_ = std::make_unique<PartitionedLogManager>(
+      auto partitioned = std::make_unique<PartitionedLogManager>(
           options.log_partitions, options_.page_size,
           options.log_write_latency, gc);
+      partitioned->set_fault_injector(options.fault_injector);
+      wal_ = std::move(partitioned);
       break;
     }
     case WalKind::kStable: {
       log_devices_.push_back(std::make_unique<LogDevice>(
           options_.page_size, options.log_write_latency));
+      log_devices_[0]->set_fault_injector(options.fault_injector);
       StableLogOptions so;
       so.compress = options.compress_stable_log;
       wal_ = std::make_unique<StableLogBuffer>(stable_.get(),

@@ -13,6 +13,7 @@
 #include "index/hash_index.h"
 #include "optimizer/executor.h"
 #include "optimizer/optimizer.h"
+#include "sim/fault_injector.h"
 #include "sim/stable_memory.h"
 #include "txn/banking.h"
 #include "txn/checkpoint.h"
@@ -127,6 +128,10 @@ class Database : public IndexProvider {
     /// transactions run without locks.
     bool enable_versioning = false;
     CheckpointerOptions checkpointer_options;
+    /// When non-null, every transfer of the data disk, the log devices and
+    /// stable memory consults this injector (not owned; must outlive the
+    /// Database).
+    FaultInjector* fault_injector = nullptr;
   };
 
   /// Builds the recovery stack (store, locks, WAL, checkpointer) and

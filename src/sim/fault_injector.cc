@@ -1,0 +1,154 @@
+#include "sim/fault_injector.h"
+
+namespace mmdb {
+
+void FaultInjector::ScheduleFault(int64_t op, FaultKind kind) {
+  std::unique_lock<std::mutex> lock(mu_);
+  schedule_[op] = kind;
+}
+
+void FaultInjector::MarkPermanentError(FaultDevice device, int64_t entity,
+                                       int64_t page_no) {
+  std::unique_lock<std::mutex> lock(mu_);
+  bad_pages_.insert(PageKey{device, entity, page_no});
+}
+
+bool FaultInjector::crash_requested() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return crash_requested_;
+}
+
+FaultInjector::Stats FaultInjector::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+int64_t FaultInjector::ops() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_.ops;
+}
+
+std::optional<FaultKind> FaultInjector::BeginOp(int64_t* op, bool is_write) {
+  *op = stats_.ops++;
+  if (is_write) {
+    ++stats_.writes;
+  } else {
+    ++stats_.reads;
+  }
+  std::optional<FaultKind> scheduled;
+  auto it = schedule_.find(*op);
+  if (it != schedule_.end()) {
+    scheduled = it->second;
+    schedule_.erase(it);
+  }
+  if (*op == options_.crash_at_op ||
+      (scheduled.has_value() && *scheduled == FaultKind::kCrash)) {
+    crash_requested_ = true;
+    stats_.crash_fired = true;
+    if (scheduled.has_value() && *scheduled == FaultKind::kCrash) {
+      scheduled.reset();
+    }
+    // Signal the crash to the caller via the kCrash kind so writes can be
+    // torn by the dying transfer.
+    return FaultKind::kCrash;
+  }
+  return scheduled;
+}
+
+Status FaultInjector::OnRead(FaultDevice device, int64_t entity,
+                             int64_t page_no) {
+  std::unique_lock<std::mutex> lock(mu_);
+  int64_t op = 0;
+  std::optional<FaultKind> scheduled = BeginOp(&op, /*is_write=*/false);
+  if (scheduled.has_value() && *scheduled == FaultKind::kCrash) {
+    // The crash flag is set; the read itself completes (it was in RAM on
+    // its way out anyway). Torn-write semantics only apply to writes.
+    return Status::OK();
+  }
+  if (scheduled.has_value() && *scheduled == FaultKind::kPermanentPageError) {
+    bad_pages_.insert(PageKey{device, entity, page_no});
+  }
+  if (bad_pages_.count(PageKey{device, entity, page_no}) != 0) {
+    ++stats_.permanent_errors;
+    return Status::IOError("bad sector: page " + std::to_string(page_no) +
+                           " (op " + std::to_string(op) + ")");
+  }
+  bool transient =
+      (scheduled.has_value() && *scheduled == FaultKind::kTransientError) ||
+      (options_.transient_error_rate > 0.0 &&
+       device != FaultDevice::kStableMemory &&
+       rng_.Bernoulli(options_.transient_error_rate));
+  if (transient) {
+    ++stats_.transient_errors;
+    return Status::IOError("transient read error (op " + std::to_string(op) +
+                           ")");
+  }
+  return Status::OK();
+}
+
+Status FaultInjector::OnWrite(FaultDevice device, int64_t entity,
+                              int64_t page_no, char* data, int64_t size,
+                              int64_t* persist_bytes) {
+  std::unique_lock<std::mutex> lock(mu_);
+  *persist_bytes = size;
+  int64_t op = 0;
+  std::optional<FaultKind> scheduled = BeginOp(&op, /*is_write=*/true);
+  const bool crashing =
+      scheduled.has_value() && *scheduled == FaultKind::kCrash;
+  if (crashing) {
+    if (options_.torn_write_on_crash && size > 0 &&
+        device != FaultDevice::kStableMemory) {
+      // Power failed mid-transfer: a random prefix (possibly none of it)
+      // reached the platter.
+      *persist_bytes = static_cast<int64_t>(
+          rng_.Uniform(static_cast<uint64_t>(size)));
+      ++stats_.torn_writes;
+    }
+    return Status::OK();
+  }
+  if (scheduled.has_value() && *scheduled == FaultKind::kPermanentPageError) {
+    bad_pages_.insert(PageKey{device, entity, page_no});
+    ++stats_.permanent_errors;
+    return Status::IOError("bad sector: page " + std::to_string(page_no) +
+                           " (op " + std::to_string(op) + ")");
+  }
+  // Stable memory is battery-backed RAM: no transfer to fail or tear, but
+  // it is still silicon — bit flips apply.
+  const bool is_disk = device != FaultDevice::kStableMemory;
+  bool transient =
+      (scheduled.has_value() && *scheduled == FaultKind::kTransientError) ||
+      (is_disk && options_.transient_error_rate > 0.0 &&
+       rng_.Bernoulli(options_.transient_error_rate));
+  if (transient) {
+    ++stats_.transient_errors;
+    return Status::IOError("transient write error (op " + std::to_string(op) +
+                           ")");
+  }
+  bool torn = (scheduled.has_value() && *scheduled == FaultKind::kTornWrite) ||
+              (is_disk && options_.torn_write_rate > 0.0 &&
+               rng_.Bernoulli(options_.torn_write_rate));
+  if (torn && size > 0 && is_disk) {
+    *persist_bytes =
+        static_cast<int64_t>(rng_.Uniform(static_cast<uint64_t>(size)));
+    ++stats_.torn_writes;
+  }
+  bool flip = (scheduled.has_value() && *scheduled == FaultKind::kBitFlip) ||
+              (options_.bit_flip_rate > 0.0 &&
+               rng_.Bernoulli(options_.bit_flip_rate));
+  if (flip && size > 0 && data != nullptr) {
+    int64_t byte =
+        static_cast<int64_t>(rng_.Uniform(static_cast<uint64_t>(size)));
+    int bit = static_cast<int>(rng_.Uniform(8));
+    data[byte] = static_cast<char>(data[byte] ^ (1 << bit));
+    ++stats_.bit_flips;
+  }
+  // A successful (even torn/flipped) write remaps the sector: reads work
+  // again, which is what lets the end-of-recovery checkpoint heal
+  // quarantined snapshot pages.
+  if (*persist_bytes == size) {
+    bad_pages_.erase(PageKey{device, entity, page_no});
+  }
+  return Status::OK();
+}
+
+}  // namespace mmdb

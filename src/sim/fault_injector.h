@@ -1,0 +1,140 @@
+#ifndef MMDB_SIM_FAULT_INJECTOR_H_
+#define MMDB_SIM_FAULT_INJECTOR_H_
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <set>
+#include <tuple>
+
+#include "common/random.h"
+#include "common/status.h"
+
+namespace mmdb {
+
+/// Which device layer a transfer belongs to. Fault kinds differ per layer:
+/// disks suffer transient errors, torn writes, bit flips and bad sectors;
+/// battery-backed stable memory only suffers bit flips (there is no platter
+/// to tear and no transfer to time out).
+enum class FaultDevice { kDataDisk, kLogDevice, kStableMemory };
+
+/// The failure modes the injector can produce (ISSUE 2 tentpole a–e).
+enum class FaultKind : uint8_t {
+  kTransientError = 1,    ///< one transfer fails; a retry succeeds
+  kPermanentPageError,    ///< page unreadable until rewritten (bad sector)
+  kTornWrite,             ///< only a prefix of the write is persisted
+  kBitFlip,               ///< one bit of the payload flips silently
+  kCrash,                 ///< request SimulateCrash at this operation
+};
+
+/// Default bound for retry-with-backoff loops in BufferPool, the log
+/// flushers and the snapshot reader. With a transient-error rate p the
+/// probability of exhausting the bound is p^kDefaultMaxIoAttempts
+/// (~4e-11 at p = 0.05).
+constexpr int kDefaultMaxIoAttempts = 8;
+
+struct FaultInjectorOptions {
+  uint64_t seed = 1;
+
+  /// Probability that a transfer fails with a retryable I/O error.
+  double transient_error_rate = 0.0;
+  /// Probability that a write persists only a random prefix (disk only).
+  double torn_write_rate = 0.0;
+  /// Probability that a write flips one random payload bit.
+  double bit_flip_rate = 0.0;
+
+  /// Fire FaultKind::kCrash at the Nth device operation (-1 = never). Ops
+  /// are numbered from 0 in global transfer order across all devices.
+  int64_t crash_at_op = -1;
+  /// When the crash lands on a write, also tear that write: the power
+  /// failed mid-transfer, so only a prefix reached the platter.
+  bool torn_write_on_crash = true;
+};
+
+/// Deterministic, schedule-driven fault injector consulted by the three
+/// device layers (SimulatedDisk, LogDevice, StableMemory) on every transfer.
+///
+/// Determinism contract: decisions are a pure function of (seed, options,
+/// explicit schedule, transfer sequence). PRNG draws are consumed in
+/// transfer order, one fixed draw order per transfer, and only for fault
+/// kinds whose rate is non-zero — so the same seed + options + operation
+/// sequence replays the exact same faults. Concurrent devices serialize on
+/// an internal mutex; a deterministic *workload* (single logical writer, as
+/// in the crash-schedule fuzz) therefore yields a deterministic fault
+/// history, while multi-threaded benches get rate-accurate but
+/// order-nondeterministic faults.
+///
+/// A crash request only sets a flag: the workload driver polls
+/// crash_requested() and invokes SimulateCrash itself. Failing every
+/// subsequent transfer instead would deadlock commit waiters.
+class FaultInjector {
+ public:
+  struct Stats {
+    int64_t ops = 0;
+    int64_t reads = 0;
+    int64_t writes = 0;
+    int64_t transient_errors = 0;
+    int64_t permanent_errors = 0;
+    int64_t torn_writes = 0;
+    int64_t bit_flips = 0;
+    bool crash_fired = false;
+  };
+
+  explicit FaultInjector(FaultInjectorOptions options = {})
+      : options_(options), rng_(options.seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  /// Schedules `kind` to fire at global operation `op` (in addition to any
+  /// rate-driven faults). kTornWrite / kBitFlip are ignored if op turns out
+  /// to be a read; kPermanentPageError marks the op's page bad.
+  void ScheduleFault(int64_t op, FaultKind kind);
+
+  /// Marks (device, entity, page) as a bad sector: every read fails until a
+  /// write to the same page succeeds (sector remap), mirroring how real
+  /// drives heal on rewrite. `entity` disambiguates files sharing a device
+  /// layer (SimulatedDisk::FileId; -1 where there is no sub-entity).
+  void MarkPermanentError(FaultDevice device, int64_t entity, int64_t page_no);
+
+  /// Consulted by devices before serving a read. Returns non-OK to fail the
+  /// transfer: kIOError for transient faults and bad sectors.
+  Status OnRead(FaultDevice device, int64_t entity, int64_t page_no);
+
+  /// Consulted by devices before persisting a write. May fail the transfer
+  /// (transient error: nothing persisted), flip a bit in `data`, or shrink
+  /// `*persist_bytes` below `size` (torn write: callers persist only that
+  /// prefix). On entry `*persist_bytes == size`.
+  Status OnWrite(FaultDevice device, int64_t entity, int64_t page_no,
+                 char* data, int64_t size, int64_t* persist_bytes);
+
+  /// True once a kCrash fault has fired; the workload driver is expected to
+  /// stop and call SimulateCrash.
+  bool crash_requested() const;
+
+  Stats stats() const;
+  /// Global operation counter (== index the next transfer will get).
+  int64_t ops() const;
+
+  const FaultInjectorOptions& options() const { return options_; }
+
+ private:
+  using PageKey = std::tuple<FaultDevice, int64_t, int64_t>;
+
+  /// Takes the next op index, firing any crash scheduled for it.
+  /// Returns the scheduled fault kind for this op, if any.
+  std::optional<FaultKind> BeginOp(int64_t* op, bool is_write);
+
+  FaultInjectorOptions options_;
+  mutable std::mutex mu_;
+  Random rng_;
+  Stats stats_;
+  bool crash_requested_ = false;
+  std::map<int64_t, FaultKind> schedule_;
+  std::set<PageKey> bad_pages_;
+};
+
+}  // namespace mmdb
+
+#endif  // MMDB_SIM_FAULT_INJECTOR_H_

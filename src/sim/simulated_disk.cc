@@ -42,12 +42,29 @@ Status SimulatedDisk::WritePage(FileId id, int64_t page_no, const void* data,
   if (it == files_.end()) return Status::NotFound("no such file");
   if (page_no < 0) return Status::InvalidArgument("negative page number");
   File& f = it->second;
+  std::vector<char> buf(static_cast<const char*>(data),
+                        static_cast<const char*>(data) + page_size_);
+  int64_t persist = page_size_;
+  if (injector_ != nullptr) {
+    Status s = injector_->OnWrite(FaultDevice::kDataDisk, id, page_no,
+                                  buf.data(), page_size_, &persist);
+    if (!s.ok()) {
+      ++stats_.io_errors;
+      return s;
+    }
+  }
   if (page_no >= static_cast<int64_t>(f.pages.size())) {
     f.pages.resize(static_cast<size_t>(page_no) + 1);
   }
   auto& page = f.pages[static_cast<size_t>(page_no)];
-  page.assign(static_cast<const char*>(data),
-              static_cast<const char*>(data) + page_size_);
+  if (persist < page_size_) {
+    // Torn write: the prefix is new, the suffix keeps the old sector
+    // contents (zeros if the page was never written).
+    if (page.empty()) page.assign(static_cast<size_t>(page_size_), 0);
+    std::memcpy(page.data(), buf.data(), static_cast<size_t>(persist));
+  } else {
+    page = std::move(buf);
+  }
   ++stats_.writes;
   Charge(&f, page_no, kind);
   return Status::OK();
@@ -60,6 +77,13 @@ Status SimulatedDisk::ReadPage(FileId id, int64_t page_no, void* out,
   File& f = it->second;
   if (page_no < 0 || page_no >= static_cast<int64_t>(f.pages.size())) {
     return Status::OutOfRange("page beyond end of file");
+  }
+  if (injector_ != nullptr) {
+    Status s = injector_->OnRead(FaultDevice::kDataDisk, id, page_no);
+    if (!s.ok()) {
+      ++stats_.io_errors;
+      return s;
+    }
   }
   const auto& page = f.pages[static_cast<size_t>(page_no)];
   if (page.empty()) {

@@ -8,6 +8,7 @@
 
 #include "common/status.h"
 #include "sim/cost_clock.h"
+#include "sim/fault_injector.h"
 
 namespace mmdb {
 
@@ -41,6 +42,12 @@ class SimulatedDisk {
   void set_clock(CostClock* clock) { clock_ = clock; }
   CostClock* clock() const { return clock_; }
 
+  /// Attaches a fault injector consulted on every page transfer (nullptr
+  /// detaches). File ids are passed as the injector's entity key, so
+  /// permanent page errors can target one file's pages.
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   /// Creates an empty file and returns its id. `name` is for debugging.
   FileId CreateFile(std::string name);
 
@@ -73,6 +80,7 @@ class SimulatedDisk {
     int64_t writes = 0;
     int64_t seq_ios = 0;
     int64_t rand_ios = 0;
+    int64_t io_errors = 0;  ///< transfers failed by the fault injector
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
@@ -88,6 +96,7 @@ class SimulatedDisk {
 
   int64_t page_size_;
   CostClock* clock_;
+  FaultInjector* injector_ = nullptr;
   FileId next_id_ = 0;
   std::map<FileId, File> files_;
   Stats stats_;

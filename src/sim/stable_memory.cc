@@ -1,5 +1,7 @@
 #include "sim/stable_memory.h"
 
+#include <cstring>
+
 namespace mmdb {
 
 Status StableMemory::Allocate(const std::string& name, int64_t size) {
@@ -30,6 +32,28 @@ Status StableMemory::Resize(const std::string& name, int64_t new_size) {
   }
   it->second.resize(static_cast<size_t>(new_size), 0);
   used_ += delta;
+  return Status::OK();
+}
+
+Status StableMemory::Write(const std::string& name, int64_t offset,
+                           const void* data, int64_t size) {
+  auto it = regions_.find(name);
+  if (it == regions_.end()) return Status::NotFound("region " + name);
+  if (offset < 0 || size < 0 ||
+      offset + size > static_cast<int64_t>(it->second.size())) {
+    return Status::OutOfRange("write beyond region " + name);
+  }
+  if (size == 0) return Status::OK();
+  char* dst = it->second.data() + offset;
+  std::memcpy(dst, data, static_cast<size_t>(size));
+  if (injector_ != nullptr) {
+    int64_t persist = size;
+    // Bit flips mutate the copied bytes in place; stable memory never
+    // reports transfer errors, so the status is always OK.
+    MMDB_RETURN_IF_ERROR(injector_->OnWrite(FaultDevice::kStableMemory,
+                                            /*entity=*/0, offset, dst, size,
+                                            &persist));
+  }
   return Status::OK();
 }
 

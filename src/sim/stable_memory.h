@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "sim/fault_injector.h"
 
 namespace mmdb {
 
@@ -43,6 +44,20 @@ class StableMemory {
   /// Resizes a region, preserving its prefix. Grows zero-filled.
   Status Resize(const std::string& name, int64_t new_size);
 
+  /// Copies `size` bytes into `name` at `offset`, routing the transfer
+  /// through the fault injector. Stable memory is battery-backed RAM, so
+  /// the only fault surface is silent bit flips (no transient errors, no
+  /// torn pages); callers that need integrity checksum their contents.
+  /// Bulk data paths (the stable log buffer) use this; tiny in-place slot
+  /// updates (the first-update table) may keep raw Region() pointers and
+  /// protect themselves with their own checksum instead.
+  Status Write(const std::string& name, int64_t offset, const void* data,
+               int64_t size);
+
+  /// Attaches a fault injector consulted by Write (nullptr detaches).
+  void set_fault_injector(FaultInjector* injector) { injector_ = injector; }
+  FaultInjector* fault_injector() const { return injector_; }
+
   /// Raw access to a region's backing bytes; nullptr if absent.
   /// The pointer is invalidated by Resize/Free of the same region.
   std::vector<char>* Region(const std::string& name);
@@ -59,6 +74,7 @@ class StableMemory {
  private:
   int64_t capacity_;
   int64_t used_;
+  FaultInjector* injector_ = nullptr;
   std::map<std::string, std::vector<char>> regions_;
 };
 

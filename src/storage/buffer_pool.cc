@@ -1,8 +1,36 @@
 #include "storage/buffer_pool.h"
 
+#include <chrono>
+#include <thread>
+
 #include "common/check.h"
+#include "sim/fault_injector.h"
 
 namespace mmdb {
+
+Status BufferPool::ReadPageRetry(SimulatedDisk::FileId file, int64_t page_no,
+                                 void* out, IoKind kind) {
+  Status last;
+  for (int attempt = 0; attempt < kDefaultMaxIoAttempts; ++attempt) {
+    last = disk_->ReadPage(file, page_no, out, kind);
+    if (last.ok() || last.code() != StatusCode::kIOError) return last;
+    ++stats_.io_retries;
+    std::this_thread::sleep_for(std::chrono::microseconds(1 << attempt));
+  }
+  return Status::RetryExhausted("buffer pool read: " + last.ToString());
+}
+
+Status BufferPool::WritePageRetry(SimulatedDisk::FileId file, int64_t page_no,
+                                  const void* data, IoKind kind) {
+  Status last;
+  for (int attempt = 0; attempt < kDefaultMaxIoAttempts; ++attempt) {
+    last = disk_->WritePage(file, page_no, data, kind);
+    if (last.ok() || last.code() != StatusCode::kIOError) return last;
+    ++stats_.io_retries;
+    std::this_thread::sleep_for(std::chrono::microseconds(1 << attempt));
+  }
+  return Status::RetryExhausted("buffer pool write: " + last.ToString());
+}
 
 BufferPool::BufferPool(SimulatedDisk* disk, int64_t num_frames,
                        ReplacementPolicy policy, uint64_t seed)
@@ -121,7 +149,7 @@ Status BufferPool::EvictFrame(int64_t frame) {
   if (f.dirty) {
     // Write-back of a victim goes wherever the arm happens to be: random.
     MMDB_RETURN_IF_ERROR(
-        disk_->WritePage(f.file, f.page_no, f.data.data(), IoKind::kRandom));
+        WritePageRetry(f.file, f.page_no, f.data.data(), IoKind::kRandom));
     ++stats_.writebacks;
   }
   page_table_.erase(PageKey{f.file, f.page_no});
@@ -162,7 +190,13 @@ StatusOr<BufferPool::PageRef> BufferPool::Fetch(SimulatedDisk::FileId file,
   ++stats_.faults;
   MMDB_ASSIGN_OR_RETURN(int64_t frame, AcquireFrame());
   Frame& f = frames_[static_cast<size_t>(frame)];
-  MMDB_RETURN_IF_ERROR(disk_->ReadPage(file, page_no, f.data.data(), kind));
+  Status read = ReadPageRetry(file, page_no, f.data.data(), kind);
+  if (!read.ok()) {
+    // Return the acquired frame instead of leaking it: a failed read must
+    // not shrink the pool.
+    free_frames_.push_back(frame);
+    return read;
+  }
   f.file = file;
   f.page_no = page_no;
   f.valid = true;
@@ -191,8 +225,8 @@ StatusOr<BufferPool::PageRef> BufferPool::New(SimulatedDisk::FileId file) {
 Status BufferPool::FlushAll() {
   for (Frame& f : frames_) {
     if (f.valid && f.dirty) {
-      MMDB_RETURN_IF_ERROR(disk_->WritePage(f.file, f.page_no, f.data.data(),
-                                            IoKind::kSequential));
+      MMDB_RETURN_IF_ERROR(
+          WritePageRetry(f.file, f.page_no, f.data.data(), IoKind::kSequential));
       f.dirty = false;
       ++stats_.writebacks;
     }

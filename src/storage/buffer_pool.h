@@ -96,6 +96,7 @@ class BufferPool {
     int64_t faults = 0;
     int64_t evictions = 0;
     int64_t writebacks = 0;
+    int64_t io_retries = 0;  ///< transient disk errors retried with backoff
   };
   const Stats& stats() const { return stats_; }
   void ResetStats() { stats_ = Stats{}; }
@@ -123,6 +124,14 @@ class BufferPool {
   StatusOr<int64_t> PickVictim();
   Status EvictFrame(int64_t frame);
   void Touch(int64_t frame);
+
+  /// Bounded retry-with-backoff around disk transfers. Transient I/O errors
+  /// (kIOError) are retried up to kDefaultMaxIoAttempts times; exhaustion
+  /// yields kRetryExhausted. Any other failure returns immediately.
+  Status ReadPageRetry(SimulatedDisk::FileId file, int64_t page_no, void* out,
+                       IoKind kind);
+  Status WritePageRetry(SimulatedDisk::FileId file, int64_t page_no,
+                        const void* data, IoKind kind);
 
   SimulatedDisk* disk_;
   int64_t num_frames_;

@@ -209,8 +209,25 @@ void GroupCommitLog::FlusherLoop(Stripe* stripe) {
       // Device write without the stripe lock: appends continue meanwhile.
       // Pending accounting happens after the write completes (durability).
       lock.unlock();
-      stripe->device->WritePage(std::move(chunk));
+      bool written = false;
+      for (int attempt = 0; attempt < kDefaultMaxIoAttempts; ++attempt) {
+        if (stripe->device->WritePage(chunk).ok()) {
+          written = true;
+          break;
+        }
+        io_retries_.fetch_add(1);
+        // Exponential backoff, capped well under the device latency.
+        std::this_thread::sleep_for(std::chrono::microseconds(1 << attempt));
+      }
       lock.lock();
+      if (!written) {
+        // Nothing persisted and nothing lost: put the chunk back at the
+        // front (racing appends landed after it) and try again later.
+        stripe->buffer.insert(0, chunk);
+        write_failures_.fetch_add(1);
+        stripe->cv.wait_for(lock, std::chrono::microseconds(500));
+        continue;
+      }
       AccountFlushed(stripe, n, &commits_in_write);
       if (commits_in_write > 0) {
         std::unique_lock<std::mutex> dlock(durable_mu_);
@@ -266,14 +283,23 @@ void GroupCommitLog::WaitLsnDurable(Lsn lsn) {
   }
 }
 
-std::vector<LogRecord> GroupCommitLog::ReadAllForRecovery() {
+std::vector<LogRecord> GroupCommitLog::ReadAllForRecovery(
+    LogReadStats* stats) {
   // §5.2: "a single log is recreated by merging the log fragments, as in a
   // sort-merge" — our merge key is the global LSN.
   std::vector<LogRecord> all;
   for (auto& stripe : stripes_) {
-    std::string bytes = stripe->device->ReadAll();
-    std::vector<LogRecord> recs =
-        LogRecord::ParseAll(bytes.data(), static_cast<int64_t>(bytes.size()));
+    LogDevice::ReadStats rstats;
+    std::string bytes = stripe->device->ReadAll(&rstats);
+    LogParseStats pstats;
+    std::vector<LogRecord> recs = LogRecord::ParseAll(
+        bytes.data(), static_cast<int64_t>(bytes.size()), &pstats);
+    if (stats != nullptr) {
+      stats->corrupt_records_skipped += pstats.corrupt_skipped;
+      stats->torn_tail_bytes += pstats.torn_tail_bytes;
+      stats->unreadable_pages += rstats.unreadable_pages;
+      stats->retries += rstats.retries;
+    }
     all.insert(all.end(), std::make_move_iterator(recs.begin()),
                std::make_move_iterator(recs.end()));
   }
@@ -289,6 +315,8 @@ Wal::Stats GroupCommitLog::stats() const {
     s.device_bytes += stripe->device->bytes_written();
   }
   s.logical_bytes = logical_bytes_.load();
+  s.io_retries = io_retries_.load();
+  s.write_failures = write_failures_.load();
   std::unique_lock<std::mutex> lock(durable_mu_);
   s.commits = commit_count_;
   s.avg_commit_group =

@@ -35,6 +35,16 @@ class Wal {
     int64_t logical_bytes = 0;  ///< uncompressed log bytes generated
     int64_t commits = 0;
     double avg_commit_group = 0;  ///< commits per device write (when >0)
+    int64_t io_retries = 0;      ///< transient write errors retried
+    int64_t write_failures = 0;  ///< bounded retries exhausted (requeued)
+  };
+
+  /// What the recovery log scan had to tolerate (per ReadAllForRecovery).
+  struct LogReadStats {
+    int64_t corrupt_records_skipped = 0;  ///< checksum-failed, resynced past
+    int64_t torn_tail_bytes = 0;          ///< partial tail discarded
+    int64_t unreadable_pages = 0;         ///< zero-substituted log pages
+    int64_t retries = 0;                  ///< transient read errors retried
   };
 
   virtual ~Wal() = default;
@@ -68,8 +78,11 @@ class Wal {
   virtual void DiscardTxn(TxnId /*txn*/) {}
 
   /// Post-crash: every durable record, merged across fragments in LSN
-  /// order (the paper's sort-merge of log fragments).
-  virtual std::vector<LogRecord> ReadAllForRecovery() = 0;
+  /// order (the paper's sort-merge of log fragments). Corrupt records and
+  /// unreadable pages are skipped and reported through `stats` (when
+  /// non-null) rather than aborting the scan.
+  virtual std::vector<LogRecord> ReadAllForRecovery(
+      LogReadStats* stats = nullptr) = 0;
 
   virtual Stats stats() const = 0;
 };
@@ -106,7 +119,8 @@ class GroupCommitLog : public Wal {
   /// Non-blocking durability probe (tests assert the dependency-lattice
   /// invariant with it).
   bool IsCommitDurable(TxnId txn) const;
-  std::vector<LogRecord> ReadAllForRecovery() override;
+  std::vector<LogRecord> ReadAllForRecovery(
+      LogReadStats* stats = nullptr) override;
   Stats stats() const override;
 
   int num_stripes() const { return static_cast<int>(stripes_.size()); }
@@ -151,6 +165,8 @@ class GroupCommitLog : public Wal {
   std::atomic<bool> stop_{false};
   std::atomic<bool> crash_{false};
   std::atomic<int64_t> logical_bytes_{0};
+  std::atomic<int64_t> io_retries_{0};
+  std::atomic<int64_t> write_failures_{0};
 
   mutable std::mutex durable_mu_;
   std::condition_variable durable_cv_;

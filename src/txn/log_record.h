@@ -28,9 +28,22 @@ enum class LogRecordType : uint8_t {
 
 std::string_view LogRecordTypeName(LogRecordType t);
 
+/// Counters produced by ParseAll: how much of the scanned byte stream was
+/// usable. Recovery surfaces these through RecoveryStats.
+struct LogParseStats {
+  int64_t records = 0;          ///< records parsed successfully
+  int64_t corrupt_skipped = 0;  ///< resync events past checksum/framing damage
+  int64_t torn_tail_bytes = 0;  ///< trailing bytes discarded as a torn tail
+};
+
 /// One physical log record. The paper's "typical" transaction writes ~400
 /// bytes of log: 40 bytes of begin/commit framing plus 360 bytes of
 /// old/new values — the banking workload is calibrated to match.
+///
+/// Wire form: magic(4) crc(4) type(1) txn(8) lsn(8) record_id(8)
+/// old_len(4) new_len(4) old new. The CRC-32C covers every byte after the
+/// crc field, so a bit flip anywhere in the record (header or payload) is
+/// detected at parse time.
 struct LogRecord {
   LogRecordType type = LogRecordType::kBegin;
   TxnId txn_id = kInvalidTxn;
@@ -49,12 +62,19 @@ struct LogRecord {
 
   /// Parses one record from `data` (at least `size` bytes); advances
   /// `*consumed`. Returns OutOfRange when `data` holds only a partial
-  /// record (a torn tail after a crash — simply ignored by recovery).
+  /// record (a torn tail after a crash), kCorruption when the checksum does
+  /// not match (a bit flip), and InvalidArgument on bad framing.
   static StatusOr<LogRecord> Parse(const char* data, int64_t size,
                                    int64_t* consumed);
 
-  /// Parses a concatenation of records, tolerating a torn tail.
-  static std::vector<LogRecord> ParseAll(const char* data, int64_t size);
+  /// Parses a concatenation of records, tolerating a torn tail and
+  /// resynchronizing past corrupt records: on any parse failure the scan
+  /// hunts forward for the next offset that parses as a whole valid record
+  /// (magic AND checksum — framing alone is too easy to fake) and counts
+  /// one corrupt_skipped event. If no later record validates, the remaining
+  /// bytes are a torn tail and the scan stops.
+  static std::vector<LogRecord> ParseAll(const char* data, int64_t size,
+                                         LogParseStats* stats = nullptr);
 
   /// Strips the undo image (§5.4 log compression: "only new values are
   /// written to the disk based log ... approximately half of the size").

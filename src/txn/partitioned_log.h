@@ -21,15 +21,26 @@ class PartitionedLogManager : public Wal {
 
   void Start() override { log_->Start(); }
   void Stop() override { log_->Stop(); }
+  void CrashStop() override { log_->CrashStop(); }
   Lsn Append(LogRecord rec) override { return log_->Append(std::move(rec)); }
   Lsn AppendCommit(LogRecord rec, const std::vector<TxnId>& deps) override {
     return log_->AppendCommit(std::move(rec), deps);
   }
   void WaitCommitDurable(TxnId txn) override { log_->WaitCommitDurable(txn); }
-  std::vector<LogRecord> ReadAllForRecovery() override {
-    return log_->ReadAllForRecovery();
+  void WaitLsnDurable(Lsn lsn) override { log_->WaitLsnDurable(lsn); }
+  std::vector<LogRecord> ReadAllForRecovery(
+      LogReadStats* stats = nullptr) override {
+    return log_->ReadAllForRecovery(stats);
   }
   Stats stats() const override { return log_->stats(); }
+
+  /// Attaches a fault injector to every partition device (entity = the
+  /// partition index).
+  void set_fault_injector(FaultInjector* injector) {
+    for (size_t i = 0; i < devices_.size(); ++i) {
+      devices_[i]->set_fault_injector(injector, static_cast<int64_t>(i));
+    }
+  }
 
   int num_partitions() const { return log_->num_stripes(); }
   const std::vector<std::unique_ptr<LogDevice>>& devices() const {

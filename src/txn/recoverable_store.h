@@ -1,6 +1,7 @@
 #ifndef MMDB_TXN_RECOVERABLE_STORE_H_
 #define MMDB_TXN_RECOVERABLE_STORE_H_
 
+#include <atomic>
 #include <mutex>
 #include <set>
 #include <string>
@@ -19,6 +20,13 @@ namespace mmdb {
 /// to record which pages have been updated since their last checkpoint,
 /// and the log record id of the first operation that updated the page").
 /// MinLsn() is the point in the log from which recovery must commence.
+///
+/// The table guards itself against stable-memory bit flips with an
+/// incremental 64-bit checksum (XOR of a per-slot mix), updated in O(1) per
+/// mutation and stored in the same stable region. Recovery calls Verify()
+/// before trusting the table; on mismatch it falls back to a full log scan
+/// (degraded mode) — a wrong first-update LSN could silently skip redo,
+/// which is far worse than a slow restart.
 class FirstUpdateTable {
  public:
   FirstUpdateTable(StableMemory* stable, int64_t num_pages,
@@ -30,6 +38,10 @@ class FirstUpdateTable {
   /// Checkpoint of `page` completed: reset its update status.
   void ResetPage(int64_t page);
 
+  /// Re-arms `page` after a failed checkpoint write: the entry becomes
+  /// min(current, lsn) so recovery still scans from the pre-reset point.
+  void RestoreUpdate(int64_t page, Lsn lsn);
+
   /// First-update LSN of `page`, or kInvalidLsn when clean.
   Lsn Get(int64_t page) const;
 
@@ -37,11 +49,27 @@ class FirstUpdateTable {
   /// which recovery should commence." kInvalidLsn when everything clean.
   Lsn MinLsn() const;
 
+  /// True when the slots still match the incremental checksum. False means
+  /// the stable region was corrupted and the table must not be trusted.
+  bool Verify() const;
+
+  /// Resets every slot to clean and recomputes the checksum from scratch.
+  /// Recovery calls this after a full-log replay (degraded mode): the
+  /// incremental checksum cannot be repaired by per-slot updates once the
+  /// region was corrupted.
+  void Clear();
+
   int64_t num_pages() const { return num_pages_; }
 
  private:
   Lsn* Slots();
   const Lsn* Slots() const;
+  uint64_t* ChecksumCell();
+  const uint64_t* ChecksumCell() const;
+  /// Contribution of (page, lsn) to the XOR checksum; 0 for clean slots.
+  static uint64_t Token(int64_t page, Lsn lsn);
+  /// Sets the slot and maintains the checksum. Caller holds mu_.
+  void SetSlot(int64_t page, Lsn lsn);
 
   StableMemory* stable_;
   std::string region_;
@@ -55,6 +83,14 @@ class FirstUpdateTable {
 /// the Checkpointer sweeps dirty pages to the snapshot; SimulateCrash wipes
 /// the memory image, after which RecoverStore rebuilds it from snapshot +
 /// log.
+///
+/// Robustness: every snapshot page carries a CRC-32C kept in a separate
+/// checksum file (data pages can be 100% full, so the checksum is
+/// out-of-band), written through an in-memory write-through cache so a
+/// checkpoint costs one extra page write, not a read-modify-write. Snapshot
+/// I/O is retried on transient faults; pages that stay unreadable or fail
+/// their checksum at load are zero-filled and reported so recovery can
+/// rebuild them from the log.
 class RecoverableStore {
  public:
   RecoverableStore(SimulatedDisk* disk, int64_t num_records,
@@ -86,7 +122,10 @@ class RecoverableStore {
   /// I/O — "the disk arms are kept as busy as possible"), clears its dirty
   /// bit, and resets its first-update entry. When `wal` is given, the WAL
   /// rule is enforced first: all log records up to the page's last update
-  /// LSN must be durable before the page may reach disk.
+  /// LSN must be durable before the page may reach disk. Transient write
+  /// faults are retried; if the bound is exhausted the page is re-marked
+  /// dirty, its first-update entry is restored, and kRetryExhausted is
+  /// returned — nothing is lost, the next checkpoint retries.
   Status CheckpointPage(int64_t page, FirstUpdateTable* fut,
                         class Wal* wal = nullptr);
 
@@ -94,13 +133,27 @@ class RecoverableStore {
   /// and anything in StableMemory survive.
   void SimulateCrash();
 
-  /// Reloads the entire memory image from the disk snapshot.
-  Status LoadSnapshot();
+  /// Reloads the entire memory image from the disk snapshot. Pages that
+  /// stay unreadable after bounded retries, or whose checksum does not
+  /// match, are QUARANTINED: zero-filled in memory and appended to
+  /// `quarantined` (when non-null) so recovery can rebuild them from the
+  /// log instead of trusting garbage. Only I/O-level failures beyond the
+  /// retry bound on the checksum file itself abort the load.
+  Status LoadSnapshot(std::vector<int64_t>* quarantined = nullptr);
+
+  /// File ids of the snapshot and its checksum file — lets tests and
+  /// benches aim targeted faults (e.g. MarkPermanentError) at them.
+  SimulatedDisk::FileId snapshot_file_id() const { return snapshot_.id(); }
+  SimulatedDisk::FileId snapshot_crc_file_id() const {
+    return snapshot_crc_.id();
+  }
 
   struct Stats {
     int64_t updates = 0;
     int64_t pages_checkpointed = 0;
     int64_t snapshot_pages_read = 0;
+    int64_t io_retries = 0;         ///< transient snapshot I/O errors retried
+    int64_t pages_quarantined = 0;  ///< zero-filled at load (bad read or CRC)
   };
   Stats stats() const;
 
@@ -108,12 +161,22 @@ class RecoverableStore {
   char* RecordPtr(int64_t record_id);
   const char* RecordPtr(int64_t record_id) const;
 
+  /// Bounded-retry wrappers around snapshot I/O; count into io_retries_.
+  Status ReadPageWithRetry(PageFile* file, int64_t page, void* out);
+  Status WritePageWithRetry(PageFile* file, int64_t page, const void* data);
+
+  /// Writes crc_cache_[...] entries covering data page `page` back to the
+  /// checksum file (whole checksum page, write-through). Caller holds
+  /// crc_mu_.
+  Status FlushCrcEntry(int64_t page);
+
   SimulatedDisk* disk_;
   int64_t num_records_;
   int32_t record_size_;
   int64_t page_size_;
   int32_t records_per_page_;
   int64_t num_pages_;
+  int32_t crc_entries_per_page_;
 
   mutable std::mutex mu_;
   std::vector<char> memory_;
@@ -121,7 +184,14 @@ class RecoverableStore {
   std::vector<Lsn> last_update_lsn_;  ///< per page, for the WAL rule
   bool loaded_ = true;
   PageFile snapshot_;
+  PageFile snapshot_crc_;
+  /// Write-through cache of the checksum file (volatile; rebuilt from disk
+  /// by LoadSnapshot after a crash).
+  std::mutex crc_mu_;
+  std::vector<uint32_t> crc_cache_;
   Stats stats_;
+  std::atomic<int64_t> io_retries_{0};
+  std::atomic<int64_t> pages_quarantined_{0};
 };
 
 }  // namespace mmdb

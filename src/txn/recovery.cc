@@ -16,14 +16,28 @@ StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
   const auto t0 = std::chrono::steady_clock::now();
   RecoveryStats stats;
 
-  // 1. Snapshot reload.
-  const int64_t pages_before = store->stats().snapshot_pages_read;
-  MMDB_RETURN_IF_ERROR(store->LoadSnapshot());
-  stats.snapshot_pages_read = store->stats().snapshot_pages_read - pages_before;
+  // 1. Snapshot reload. Pages that stay unreadable or fail their CRC are
+  // quarantined (zero-filled); their contents are rebuilt from the log
+  // below, so they must not take the first-update fast path.
+  const RecoverableStore::Stats store_before = store->stats();
+  std::vector<int64_t> quarantined_pages;
+  MMDB_RETURN_IF_ERROR(store->LoadSnapshot(&quarantined_pages));
+  stats.snapshot_pages_read =
+      store->stats().snapshot_pages_read - store_before.snapshot_pages_read;
+  stats.snapshot_pages_quarantined =
+      static_cast<int64_t>(quarantined_pages.size());
+  std::unordered_set<int64_t> quarantined(quarantined_pages.begin(),
+                                          quarantined_pages.end());
 
-  // 2. Merge fragments, classify transactions.
-  std::vector<LogRecord> log = wal->ReadAllForRecovery();
+  // 2. Merge fragments, classify transactions. Checksum-failed records are
+  // dropped by the parser (counted, never applied); a torn tail past the
+  // last valid record is expected after a crash mid-flush.
+  Wal::LogReadStats log_read;
+  std::vector<LogRecord> log = wal->ReadAllForRecovery(&log_read);
   stats.log_records_total = static_cast<int64_t>(log.size());
+  stats.corrupt_records_skipped = log_read.corrupt_records_skipped;
+  stats.torn_tail_bytes = log_read.torn_tail_bytes;
+  stats.unreadable_log_pages = log_read.unreadable_pages;
 
   std::unordered_set<TxnId> winners;
   std::unordered_set<TxnId> seen;
@@ -38,13 +52,25 @@ StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
   stats.winners = static_cast<int64_t>(winners.size());
   stats.losers = static_cast<int64_t>(seen.size()) - stats.winners;
 
-  // 3. Redo winners from the first-update boundary.
+  // 3. Redo winners from the first-update boundary — but only if the table
+  // survives its checksum check. A bit-flipped first-update LSN could
+  // silently skip redo, so on mismatch the table is abandoned and the whole
+  // log replayed (degraded mode: slow but safe).
+  const bool fut_trusted =
+      options.use_first_update_table && fut != nullptr && fut->Verify();
+  if (options.use_first_update_table && fut != nullptr && !fut_trusted) {
+    stats.degraded_mode = true;
+  }
+  if (!quarantined.empty()) stats.degraded_mode = true;
   Lsn start = 0;
-  if (options.use_first_update_table && fut != nullptr) {
+  if (fut_trusted) {
     const Lsn min_lsn = fut->MinLsn();
     start = min_lsn == kInvalidLsn
                 ? std::numeric_limits<Lsn>::max()  // everything checkpointed
                 : min_lsn;
+    // Quarantined pages lost their snapshot image: every surviving update
+    // to them must replay, so the scan cannot start past the log head.
+    if (!quarantined.empty()) start = 0;
   }
   stats.start_lsn = start;
 
@@ -89,10 +115,12 @@ StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
           record_id, state.loser_after->old_value, kInvalidLsn, nullptr));
       ++stats.undo_applied;
     } else if (state.winner != nullptr) {
-      if (options.use_first_update_table && fut != nullptr) {
+      const int64_t page = store->PageOf(record_id);
+      if (fut_trusted && !quarantined.count(page)) {
         // Page-precise skip: updates older than the page's first-update
-        // entry are guaranteed to be in the snapshot already.
-        const Lsn page_first = fut->Get(store->PageOf(record_id));
+        // entry are guaranteed to be in the snapshot already. Quarantined
+        // pages were zero-filled, so nothing is "already there" for them.
+        const Lsn page_first = fut->Get(page);
         if (page_first == kInvalidLsn || state.winner->lsn < page_first) {
           continue;
         }
@@ -105,13 +133,27 @@ StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
 
   // End-of-recovery checkpoint: persist the recovered image so a second
   // crash before the next sweep cannot lose redone work, then clear any
-  // remaining (now meaningless) first-update entries.
-  for (int64_t page : store->DirtyPages()) {
+  // remaining (now meaningless) first-update entries. Quarantined pages are
+  // rewritten even when no redo touched them — the successful full write
+  // heals the bad sector (remap) and restores a valid checksum, so the next
+  // load will not re-quarantine them.
+  std::unordered_set<int64_t> to_checkpoint(quarantined.begin(),
+                                            quarantined.end());
+  for (int64_t page : store->DirtyPages()) to_checkpoint.insert(page);
+  for (int64_t page : to_checkpoint) {
     MMDB_RETURN_IF_ERROR(store->CheckpointPage(page, fut, nullptr));
   }
   if (fut != nullptr) {
-    for (int64_t p = 0; p < fut->num_pages(); ++p) fut->ResetPage(p);
+    if (fut_trusted) {
+      for (int64_t p = 0; p < fut->num_pages(); ++p) fut->ResetPage(p);
+    } else {
+      // A corrupted table cannot be repaired incrementally — rebuild it.
+      fut->Clear();
+    }
   }
+
+  stats.retries =
+      log_read.retries + (store->stats().io_retries - store_before.io_retries);
 
   const auto t1 = std::chrono::steady_clock::now();
   stats.wall_seconds =

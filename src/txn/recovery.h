@@ -28,6 +28,17 @@ struct RecoveryStats {
   double wall_seconds = 0;
   /// Simulated log-read time: scanned bytes / page size * page read time.
   double simulated_log_read_seconds = 0;
+
+  // Damage tolerated during restart (all zero on a clean recovery).
+  int64_t corrupt_records_skipped = 0;  ///< checksum-failed log records
+  int64_t torn_tail_bytes = 0;          ///< partial tail after the crash
+  int64_t unreadable_log_pages = 0;     ///< log pages zero-substituted
+  int64_t snapshot_pages_quarantined = 0;  ///< rebuilt from the log
+  int64_t retries = 0;  ///< transient I/O errors retried during restart
+  /// True when the first-update fast path could not be (fully) trusted:
+  /// the table failed its checksum, or quarantined snapshot pages forced
+  /// full-history replay for their records.
+  bool degraded_mode = false;
 };
 
 /// Restart recovery for the §5 store:

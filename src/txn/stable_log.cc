@@ -1,6 +1,7 @@
 #include "txn/stable_log.h"
 
 #include <algorithm>
+#include <cstring>
 
 #include "common/check.h"
 
@@ -59,8 +60,10 @@ Lsn StableLogBuffer::Append(LogRecord rec) {
   const size_t old_size = area->size();
   Status s = stable_->Resize(region, static_cast<int64_t>(old_size + bytes.size()));
   MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
-  area = stable_->Region(region);
-  std::copy(bytes.begin(), bytes.end(), area->begin() + static_cast<long>(old_size));
+  // Routed through Write so the fault injector sees the transfer.
+  s = stable_->Write(region, static_cast<int64_t>(old_size), bytes.data(),
+                     static_cast<int64_t>(bytes.size()));
+  MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
   return lsn;
 }
 
@@ -99,9 +102,9 @@ Lsn StableLogBuffer::AppendCommit(LogRecord rec,
   Status s = stable_->Resize(kQueueRegion,
                              static_cast<int64_t>(old_size + queued.size()));
   MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
-  queue = stable_->Region(kQueueRegion);
-  std::copy(queued.begin(), queued.end(),
-            queue->begin() + static_cast<long>(old_size));
+  s = stable_->Write(kQueueRegion, static_cast<int64_t>(old_size),
+                     queued.data(), static_cast<int64_t>(queued.size()));
+  MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
   queued_bytes_compressed_ += static_cast<int64_t>(queued.size());
   ++commits_;
   stable_->Free(region);
@@ -125,15 +128,39 @@ void StableLogBuffer::DrainerLoop() {
     const int64_t available = static_cast<int64_t>(queue->size());
     if (available >= page_size || (stop_ && available > 0)) {
       const int64_t n = std::min(available, page_size);
+      // Copy the prefix but leave it in the stable queue: the bytes are
+      // removed only after the device acknowledges the write, so a crash
+      // (or a failed transfer) mid-drain loses nothing.
       std::string chunk(queue->begin(), queue->begin() + static_cast<long>(n));
-      queue->erase(queue->begin(), queue->begin() + static_cast<long>(n));
-      // Keep StableMemory's accounting in sync with the shrink.
-      Status s = stable_->Resize(kQueueRegion,
-                                 static_cast<int64_t>(queue->size()));
-      MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
       lock.unlock();
-      device_->WritePage(std::move(chunk));
+      bool written = false;
+      for (int attempt = 0; attempt < kDefaultMaxIoAttempts; ++attempt) {
+        if (device_->WritePage(chunk).ok()) {
+          written = true;
+          break;
+        }
+        std::this_thread::sleep_for(std::chrono::microseconds(1 << attempt));
+        std::unique_lock<std::mutex> stats_lock(mu_);
+        ++io_retries_;
+      }
       lock.lock();
+      if (!written) {
+        ++write_failures_;
+        // The prefix is still queued; try again later. On Stop, leave it
+        // in stable memory — it is durable there and recovery reads it.
+        if (stop_) return;
+        cv_.wait_for(lock, std::chrono::microseconds(500));
+        continue;
+      }
+      // Now pop the drained prefix. Racing commits only appended after it,
+      // so shift the tail down and truncate (Resize keeps StableMemory's
+      // used-byte accounting in sync with the shrink).
+      queue = stable_->Region(kQueueRegion);
+      const int64_t remaining = static_cast<int64_t>(queue->size()) - n;
+      std::memmove(queue->data(), queue->data() + n,
+                   static_cast<size_t>(remaining));
+      Status s = stable_->Resize(kQueueRegion, remaining);
+      MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
       cv_.notify_all();  // wake committers blocked on backpressure
       continue;
     }
@@ -142,19 +169,26 @@ void StableLogBuffer::DrainerLoop() {
   }
 }
 
-std::vector<LogRecord> StableLogBuffer::ReadAllForRecovery() {
+std::vector<LogRecord> StableLogBuffer::ReadAllForRecovery(
+    LogReadStats* stats) {
   std::unique_lock<std::mutex> lock(mu_);
   std::vector<LogRecord> all;
+  LogParseStats pstats;
   // Disk portion followed by the stable output queue: they are ONE
   // contiguous byte stream (the drainer peels page-sized prefixes off the
   // queue), so a record straddling the boundary parses correctly only when
   // the two are concatenated.
   {
-    std::string bytes = device_->ReadAll();
+    LogDevice::ReadStats rstats;
+    std::string bytes = device_->ReadAll(&rstats);
+    if (stats != nullptr) {
+      stats->unreadable_pages += rstats.unreadable_pages;
+      stats->retries += rstats.retries;
+    }
     const std::vector<char>* queue = stable_->Region(kQueueRegion);
     bytes.append(queue->data(), queue->size());
-    std::vector<LogRecord> recs =
-        LogRecord::ParseAll(bytes.data(), static_cast<int64_t>(bytes.size()));
+    std::vector<LogRecord> recs = LogRecord::ParseAll(
+        bytes.data(), static_cast<int64_t>(bytes.size()), &pstats);
     all.insert(all.end(), std::make_move_iterator(recs.begin()),
                std::make_move_iterator(recs.end()));
   }
@@ -162,10 +196,14 @@ std::vector<LogRecord> StableLogBuffer::ReadAllForRecovery() {
   for (TxnId txn : active_txns_) {
     std::vector<char>* area = stable_->Region(TxnRegionName(txn));
     if (area == nullptr) continue;
-    std::vector<LogRecord> recs =
-        LogRecord::ParseAll(area->data(), static_cast<int64_t>(area->size()));
+    std::vector<LogRecord> recs = LogRecord::ParseAll(
+        area->data(), static_cast<int64_t>(area->size()), &pstats);
     all.insert(all.end(), std::make_move_iterator(recs.begin()),
                std::make_move_iterator(recs.end()));
+  }
+  if (stats != nullptr) {
+    stats->corrupt_records_skipped += pstats.corrupt_skipped;
+    stats->torn_tail_bytes += pstats.torn_tail_bytes;
   }
   std::sort(all.begin(), all.end(),
             [](const LogRecord& a, const LogRecord& b) { return a.lsn < b.lsn; });
@@ -180,6 +218,8 @@ Wal::Stats StableLogBuffer::stats() const {
   s.logical_bytes = logical_bytes_;
   s.commits = commits_;
   s.avg_commit_group = 0;
+  s.io_retries = io_retries_;
+  s.write_failures = write_failures_;
   return s;
 }
 

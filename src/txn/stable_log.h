@@ -49,7 +49,8 @@ class StableLogBuffer : public Wal {
   /// Returns immediately: stable memory IS durable.
   void WaitCommitDurable(TxnId /*txn*/) override {}
   void DiscardTxn(TxnId txn) override;
-  std::vector<LogRecord> ReadAllForRecovery() override;
+  std::vector<LogRecord> ReadAllForRecovery(
+      LogReadStats* stats = nullptr) override;
   Stats stats() const override;
 
   /// Bytes currently queued in stable memory awaiting drain.
@@ -74,6 +75,8 @@ class StableLogBuffer : public Wal {
   int64_t logical_bytes_ = 0;
   int64_t queued_bytes_compressed_ = 0;
   int64_t commits_ = 0;
+  int64_t io_retries_ = 0;
+  int64_t write_failures_ = 0;
 };
 
 }  // namespace mmdb

@@ -180,5 +180,56 @@ TEST(BufferPoolModelTest, RandomPolicyMatchesPaperFaultModel) {
   EXPECT_NEAR(fault_rate, model, 0.03);
 }
 
+TEST(BufferPoolFaultTest, TransientReadFaultIsRetriedTransparently) {
+  SimulatedDisk disk(64);
+  FaultInjector injector;
+  disk.set_fault_injector(&injector);
+  BufferPool pool(&disk, 2);
+  auto file = disk.CreateFile("t");
+  char page[64];
+  std::memset(page, 'a', sizeof(page));
+  ASSERT_TRUE(disk.WritePage(file, 0, page, IoKind::kSequential).ok());
+  injector.ScheduleFault(injector.ops(), FaultKind::kTransientError);
+  auto ref = pool.Fetch(file, 0);
+  ASSERT_TRUE(ref.ok());
+  EXPECT_EQ(ref->data()[0], 'a');
+  EXPECT_EQ(pool.stats().io_retries, 1);
+}
+
+TEST(BufferPoolFaultTest, BadSectorExhaustsRetriesWithoutLeakingFrames) {
+  SimulatedDisk disk(64);
+  FaultInjector injector;
+  disk.set_fault_injector(&injector);
+  BufferPool pool(&disk, 1);  // a leaked frame would empty this pool
+  auto file = disk.CreateFile("t");
+  char page[64] = {};
+  ASSERT_TRUE(disk.WritePage(file, 0, page, IoKind::kSequential).ok());
+  ASSERT_TRUE(disk.WritePage(file, 1, page, IoKind::kSequential).ok());
+  injector.MarkPermanentError(FaultDevice::kDataDisk, file, 0);
+  for (int round = 0; round < 3; ++round) {
+    auto bad = pool.Fetch(file, 0);
+    ASSERT_FALSE(bad.ok());
+    EXPECT_EQ(bad.status().code(), StatusCode::kRetryExhausted) << round;
+    // The single frame went back to the free list: a healthy page still
+    // fits in the pool after every failure.
+    auto good = pool.Fetch(file, 1);
+    ASSERT_TRUE(good.ok()) << round;
+  }
+  EXPECT_EQ(pool.stats().io_retries, 3 * kDefaultMaxIoAttempts);
+}
+
+TEST(BufferPoolFaultTest, OutOfRangeIsNotRetried) {
+  SimulatedDisk disk(64);
+  FaultInjector injector;
+  disk.set_fault_injector(&injector);
+  BufferPool pool(&disk, 2);
+  auto file = disk.CreateFile("t");
+  auto r = pool.Fetch(file, 5);
+  ASSERT_FALSE(r.ok());
+  // A structural error is surfaced as-is; backoff would just waste time.
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(pool.stats().io_retries, 0);
+}
+
 }  // namespace
 }  // namespace mmdb

@@ -1,0 +1,234 @@
+#include "sim/fault_injector.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "common/crc32.h"
+#include "sim/simulated_disk.h"
+#include "sim/stable_memory.h"
+
+namespace mmdb {
+namespace {
+
+TEST(Crc32cTest, KnownAnswer) {
+  // The CRC-32C check value from RFC 3720 §B.4 / the original Castagnoli
+  // paper: CRC of the ASCII digits "123456789".
+  EXPECT_EQ(Crc32c("123456789", 9), 0xE3069283u);
+  EXPECT_EQ(Crc32c("", 0), 0u);
+}
+
+TEST(Crc32cTest, DetectsSingleBitFlip) {
+  std::string data(512, 'a');
+  const uint32_t clean = Crc32c(data.data(), data.size());
+  for (size_t byte : {size_t{0}, size_t{100}, data.size() - 1}) {
+    std::string flipped = data;
+    flipped[byte] ^= 0x10;
+    EXPECT_NE(Crc32c(flipped.data(), flipped.size()), clean);
+  }
+}
+
+TEST(FaultInjectorTest, NoFaultsByDefault) {
+  FaultInjector injector;
+  char buf[64] = {};
+  int64_t persist = 64;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(injector.OnRead(FaultDevice::kDataDisk, 0, i).ok());
+    EXPECT_TRUE(injector.OnWrite(FaultDevice::kDataDisk, 0, i, buf, 64,
+                                 &persist)
+                    .ok());
+    EXPECT_EQ(persist, 64);
+  }
+  const FaultInjector::Stats stats = injector.stats();
+  EXPECT_EQ(stats.ops, 200);
+  EXPECT_EQ(stats.reads, 100);
+  EXPECT_EQ(stats.writes, 100);
+  EXPECT_EQ(stats.transient_errors, 0);
+  EXPECT_EQ(stats.torn_writes, 0);
+  EXPECT_EQ(stats.bit_flips, 0);
+  EXPECT_FALSE(stats.crash_fired);
+}
+
+TEST(FaultInjectorTest, SameSeedSameScheduleIsByteIdentical) {
+  // Determinism contract: two injectors driven through the same operation
+  // sequence produce the same per-op outcomes and the same payload bytes.
+  FaultInjectorOptions opts;
+  opts.seed = 99;
+  opts.transient_error_rate = 0.2;
+  opts.torn_write_rate = 0.1;
+  opts.bit_flip_rate = 0.1;
+  FaultInjector a(opts);
+  FaultInjector b(opts);
+  a.ScheduleFault(17, FaultKind::kPermanentPageError);
+  b.ScheduleFault(17, FaultKind::kPermanentPageError);
+  for (int i = 0; i < 400; ++i) {
+    const int64_t page = i % 7;
+    if (i % 3 == 0) {
+      Status ra = a.OnRead(FaultDevice::kDataDisk, 0, page);
+      Status rb = b.OnRead(FaultDevice::kDataDisk, 0, page);
+      EXPECT_EQ(ra.code(), rb.code()) << "op " << i;
+    } else {
+      std::string da(48, static_cast<char>(i));
+      std::string db = da;
+      int64_t pa = 48, pb = 48;
+      Status wa = a.OnWrite(FaultDevice::kDataDisk, 0, page, da.data(), 48,
+                            &pa);
+      Status wb = b.OnWrite(FaultDevice::kDataDisk, 0, page, db.data(), 48,
+                            &pb);
+      EXPECT_EQ(wa.code(), wb.code()) << "op " << i;
+      EXPECT_EQ(pa, pb) << "op " << i;
+      EXPECT_EQ(da, db) << "op " << i;
+    }
+  }
+  const FaultInjector::Stats sa = a.stats();
+  const FaultInjector::Stats sb = b.stats();
+  EXPECT_EQ(sa.transient_errors, sb.transient_errors);
+  EXPECT_EQ(sa.torn_writes, sb.torn_writes);
+  EXPECT_EQ(sa.bit_flips, sb.bit_flips);
+  EXPECT_EQ(sa.permanent_errors, sb.permanent_errors);
+}
+
+TEST(FaultInjectorTest, TransientRateIsApproximatelyHonored) {
+  FaultInjectorOptions opts;
+  opts.seed = 5;
+  opts.transient_error_rate = 0.10;
+  FaultInjector injector(opts);
+  int failures = 0;
+  for (int i = 0; i < 5000; ++i) {
+    if (!injector.OnRead(FaultDevice::kDataDisk, 0, i).ok()) ++failures;
+  }
+  EXPECT_GT(failures, 5000 * 0.06);
+  EXPECT_LT(failures, 5000 * 0.14);
+}
+
+TEST(FaultInjectorTest, ScheduledTransientFiresExactlyOnce) {
+  FaultInjector injector;
+  injector.ScheduleFault(2, FaultKind::kTransientError);
+  EXPECT_TRUE(injector.OnRead(FaultDevice::kDataDisk, 0, 0).ok());   // op 0
+  EXPECT_TRUE(injector.OnRead(FaultDevice::kDataDisk, 0, 0).ok());   // op 1
+  EXPECT_FALSE(injector.OnRead(FaultDevice::kDataDisk, 0, 0).ok());  // op 2
+  EXPECT_TRUE(injector.OnRead(FaultDevice::kDataDisk, 0, 0).ok());   // op 3
+  EXPECT_EQ(injector.stats().transient_errors, 1);
+}
+
+TEST(FaultInjectorTest, PermanentErrorPersistsUntilRewrite) {
+  FaultInjector injector;
+  injector.MarkPermanentError(FaultDevice::kDataDisk, /*entity=*/3,
+                              /*page_no=*/7);
+  // Reads fail repeatedly (a retry loop does NOT fix a bad sector)...
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(injector.OnRead(FaultDevice::kDataDisk, 3, 7).code(),
+              StatusCode::kIOError);
+  }
+  // ...other pages and entities are unaffected...
+  EXPECT_TRUE(injector.OnRead(FaultDevice::kDataDisk, 3, 8).ok());
+  EXPECT_TRUE(injector.OnRead(FaultDevice::kDataDisk, 4, 7).ok());
+  // ...and a successful full write remaps the sector.
+  char buf[16] = {};
+  int64_t persist = 16;
+  EXPECT_TRUE(
+      injector.OnWrite(FaultDevice::kDataDisk, 3, 7, buf, 16, &persist).ok());
+  EXPECT_TRUE(injector.OnRead(FaultDevice::kDataDisk, 3, 7).ok());
+}
+
+TEST(FaultInjectorTest, TornWriteKeepsPrefixOldSuffix) {
+  SimulatedDisk disk(/*page_size_bytes=*/64);
+  FaultInjector injector;
+  disk.set_fault_injector(&injector);
+  SimulatedDisk::FileId f = disk.CreateFile("t");
+  std::string old_page(64, 'o');
+  ASSERT_TRUE(disk.WritePage(f, 0, old_page.data(), IoKind::kRandom).ok());
+  injector.ScheduleFault(injector.ops(), FaultKind::kTornWrite);
+  std::string new_page(64, 'n');
+  ASSERT_TRUE(disk.WritePage(f, 0, new_page.data(), IoKind::kRandom).ok());
+  EXPECT_EQ(injector.stats().torn_writes, 1);
+  std::string got(64, '?');
+  ASSERT_TRUE(disk.ReadPage(f, 0, got.data(), IoKind::kRandom).ok());
+  // Some prefix is new, the rest still holds the old sector contents; the
+  // page is NEVER a mix of garbage.
+  const size_t split = got.find('o');
+  for (size_t i = 0; i < 64; ++i) {
+    EXPECT_EQ(got[i], i < split ? 'n' : 'o') << "byte " << i;
+  }
+}
+
+TEST(FaultInjectorTest, ScheduledBitFlipCorruptsExactlyOneBit) {
+  FaultInjector injector;
+  injector.ScheduleFault(0, FaultKind::kBitFlip);
+  std::string data(32, '\0');
+  int64_t persist = 32;
+  ASSERT_TRUE(injector
+                  .OnWrite(FaultDevice::kDataDisk, 0, 0, data.data(), 32,
+                           &persist)
+                  .ok());
+  EXPECT_EQ(persist, 32);
+  int bits_set = 0;
+  for (char c : data) {
+    for (int b = 0; b < 8; ++b) bits_set += (c >> b) & 1;
+  }
+  EXPECT_EQ(bits_set, 1);
+  EXPECT_EQ(injector.stats().bit_flips, 1);
+}
+
+TEST(FaultInjectorTest, StableMemoryOnlySuffersBitFlips) {
+  FaultInjectorOptions opts;
+  opts.seed = 11;
+  opts.transient_error_rate = 1.0;  // would fail every disk transfer
+  opts.torn_write_rate = 1.0;
+  FaultInjector injector(opts);
+  std::string data(32, 'x');
+  int64_t persist = 32;
+  // Battery-backed RAM: no transfer to time out or tear.
+  EXPECT_TRUE(injector.OnRead(FaultDevice::kStableMemory, 0, 0).ok());
+  EXPECT_TRUE(injector
+                  .OnWrite(FaultDevice::kStableMemory, 0, 0, data.data(), 32,
+                           &persist)
+                  .ok());
+  EXPECT_EQ(persist, 32);
+  EXPECT_EQ(injector.stats().torn_writes, 0);
+}
+
+TEST(FaultInjectorTest, CrashAtOpSetsFlagWithoutFailingTransfers) {
+  FaultInjectorOptions opts;
+  opts.crash_at_op = 2;
+  opts.torn_write_on_crash = true;
+  FaultInjector injector(opts);
+  EXPECT_FALSE(injector.crash_requested());
+  EXPECT_TRUE(injector.OnRead(FaultDevice::kDataDisk, 0, 0).ok());  // op 0
+  EXPECT_TRUE(injector.OnRead(FaultDevice::kDataDisk, 0, 1).ok());  // op 1
+  // Op 2 is the dying write: it is torn, not failed, and the flag raises.
+  std::string data(100, 'd');
+  int64_t persist = 100;
+  EXPECT_TRUE(injector
+                  .OnWrite(FaultDevice::kDataDisk, 0, 0, data.data(), 100,
+                           &persist)
+                  .ok());
+  EXPECT_LT(persist, 100);
+  EXPECT_TRUE(injector.crash_requested());
+  EXPECT_TRUE(injector.stats().crash_fired);
+  // Subsequent transfers still complete: the driver, not the device layer,
+  // is responsible for stopping the world (failing them would deadlock
+  // commit waiters).
+  EXPECT_TRUE(injector.OnRead(FaultDevice::kDataDisk, 0, 0).ok());
+}
+
+TEST(FaultInjectorTest, StableMemoryWriteRouteFlipsBitsInPlace) {
+  StableMemory stable(1 << 16);
+  FaultInjector injector;
+  stable.set_fault_injector(&injector);
+  ASSERT_TRUE(stable.Allocate("region", 64).ok());
+  injector.ScheduleFault(injector.ops(), FaultKind::kBitFlip);
+  std::string data(64, '\0');
+  ASSERT_TRUE(stable.Write("region", 0, data.data(), 64).ok());
+  const std::vector<char>* region = stable.Region("region");
+  ASSERT_NE(region, nullptr);
+  int bits_set = 0;
+  for (char c : *region) {
+    for (int b = 0; b < 8; ++b) bits_set += (c >> b) & 1;
+  }
+  EXPECT_EQ(bits_set, 1);
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -3,6 +3,7 @@
 #include <atomic>
 #include <thread>
 
+#include "sim/fault_injector.h"
 #include "txn/log_device.h"
 #include "txn/log_manager.h"
 #include "txn/log_record.h"
@@ -69,8 +70,12 @@ TEST(LogRecordTest, CompressionDropsUndoOnly) {
 
 TEST(LogDeviceTest, WritesArePaddedAndReadable) {
   LogDevice device(128, microseconds(0));
-  EXPECT_EQ(device.WritePage("hello"), 0);
-  EXPECT_EQ(device.WritePage(std::string(128, 'x')), 1);
+  auto first = device.WritePage("hello");
+  ASSERT_TRUE(first.ok());
+  EXPECT_EQ(*first, 0);
+  auto second = device.WritePage(std::string(128, 'x'));
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*second, 1);
   auto page = device.ReadPage(0);
   ASSERT_TRUE(page.ok());
   EXPECT_EQ(page->size(), 128u);
@@ -78,6 +83,76 @@ TEST(LogDeviceTest, WritesArePaddedAndReadable) {
   EXPECT_EQ(device.num_pages(), 2);
   EXPECT_EQ(device.bytes_written(), 256);
   EXPECT_FALSE(device.ReadPage(5).ok());
+}
+
+TEST(LogDeviceTest, ReadPageBoundsReturnOutOfRange) {
+  LogDevice device(128, microseconds(0));
+  ASSERT_TRUE(device.WritePage("abc").ok());
+  // Negative index, one-past-the-end, and far-past-the-end all report
+  // kOutOfRange — never a crash or a garbage page.
+  EXPECT_EQ(device.ReadPage(-1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(device.ReadPage(1).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(device.ReadPage(1 << 20).status().code(),
+            StatusCode::kOutOfRange);
+}
+
+TEST(LogDeviceTest, OversizedWriteRejected) {
+  LogDevice device(128, microseconds(0));
+  auto r = device.WritePage(std::string(129, 'x'));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(device.num_pages(), 0);
+}
+
+TEST(LogDeviceTest, TransientReadFaultsAreRetriedByReadAll) {
+  LogDevice device(128, microseconds(0));
+  FaultInjector injector({.seed = 7, .transient_error_rate = 0.3});
+  device.set_fault_injector(&injector);
+  std::string payload;
+  Update(1, 0, "old", "new").AppendTo(&payload);
+  ASSERT_TRUE(device.WritePage(payload).ok());
+  LogDevice::ReadStats rstats;
+  std::string bytes = device.ReadAll(&rstats);
+  EXPECT_EQ(bytes.size(), 128u);
+  // With a 30% transient rate, 8 attempts essentially always succeed.
+  EXPECT_EQ(rstats.unreadable_pages, 0);
+  auto recs = LogRecord::ParseAll(bytes.data(),
+                                  static_cast<int64_t>(bytes.size()));
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].new_value, "new");
+}
+
+TEST(LogRecordTest, ParseAllSkipsCorruptRecordAndResyncs) {
+  std::string buf;
+  Update(1, 10, "aa", "bb").AppendTo(&buf);
+  const size_t second_start = buf.size();
+  Update(2, 11, "cc", "dd").AppendTo(&buf);
+  Update(3, 12, "ee", "ff").AppendTo(&buf);
+  // Flip one payload byte of the middle record: its CRC fails, but the
+  // parser must resynchronize and still return records 1 and 3.
+  buf[second_start + 30] ^= 0x01;
+  LogParseStats stats;
+  auto recs = LogRecord::ParseAll(buf.data(), static_cast<int64_t>(buf.size()),
+                                  &stats);
+  ASSERT_EQ(recs.size(), 2u);
+  EXPECT_EQ(recs[0].txn_id, 1);
+  EXPECT_EQ(recs[1].txn_id, 3);
+  EXPECT_EQ(stats.corrupt_skipped, 1);
+  EXPECT_EQ(stats.torn_tail_bytes, 0);
+}
+
+TEST(LogRecordTest, ParseAllCountsTornTail) {
+  std::string buf;
+  Update(1, 10, "aa", "bb").AppendTo(&buf);
+  Update(2, 11, "cc", "dd").AppendTo(&buf);
+  // A crash mid-flush leaves a prefix of the last record.
+  const std::string torn = buf.substr(0, buf.size() - 5);
+  LogParseStats stats;
+  auto recs = LogRecord::ParseAll(torn.data(),
+                                  static_cast<int64_t>(torn.size()), &stats);
+  ASSERT_EQ(recs.size(), 1u);
+  EXPECT_EQ(recs[0].txn_id, 1);
+  EXPECT_EQ(stats.corrupt_skipped, 0);
+  EXPECT_GT(stats.torn_tail_bytes, 0);
 }
 
 class GroupCommitLogTest : public ::testing::Test {

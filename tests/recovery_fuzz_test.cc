@@ -6,11 +6,13 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
 #include <cstring>
 #include <map>
 
 #include "common/check.h"
 #include "common/random.h"
+#include "sim/fault_injector.h"
 #include "txn/checkpoint.h"
 #include "txn/recovery.h"
 #include "txn/transaction_manager.h"
@@ -137,6 +139,205 @@ INSTANTIATE_TEST_SUITE_P(
                       FuzzParam{20260708, 200, 2}),
     [](const auto& info) {
       return "seed" + std::to_string(info.param.seed);
+    });
+
+// ---------------------------------------------------------------------------
+// Crash-schedule fuzz: a seeded fault injector crashes a banking workload at
+// device operation N (with the dying write torn and a 3% transient error
+// rate throughout), for a sweep of N. Invariants after recovery:
+//   * every committed transfer except possibly the LAST acked one survives;
+//   * the last acked transfer is atomic: fully applied or fully absent;
+//   * money is conserved (the transfer total matches one of the two
+//     admissible states);
+//   * the same (seed, crash op) replays to byte-identical RecoveryStats —
+//     the determinism contract of the injector.
+// ---------------------------------------------------------------------------
+
+struct CrashParam {
+  uint64_t seed;
+  int64_t crash_at_op;
+};
+
+class CrashScheduleFuzzTest : public ::testing::TestWithParam<CrashParam> {};
+
+struct CrashRunResult {
+  RecoveryStats stats;
+  std::map<int64_t, std::string> recovered;  // record -> bytes
+  std::map<int64_t, std::string> state;      // after all acked commits
+  std::map<int64_t, std::string> prev_state;  // before the last acked commit
+  int acked_commits = 0;
+};
+
+constexpr int64_t kAccounts = 32;
+constexpr int32_t kBalanceSize = 24;
+constexpr int kTransfers = 60;
+
+std::string Balance(int64_t amount) {
+  std::string v(kBalanceSize, '\0');
+  std::snprintf(v.data(), v.size(), "%lld", static_cast<long long>(amount));
+  return v;
+}
+
+CrashRunResult RunBankingCrashSchedule(uint64_t seed, int64_t crash_at_op) {
+  CrashRunResult result;
+  FaultInjectorOptions fopts;
+  fopts.seed = seed ^ 0x5EED;
+  fopts.transient_error_rate = 0.03;
+  fopts.crash_at_op = crash_at_op;
+  fopts.torn_write_on_crash = true;
+  FaultInjector injector(fopts);
+
+  SimulatedDisk disk(256);
+  disk.set_fault_injector(&injector);
+  StableMemory stable(1 << 20);
+  stable.set_fault_injector(&injector);
+  LogDevice device(4096, microseconds(0));
+  device.set_fault_injector(&injector);
+
+  RecoverableStore store(&disk, kAccounts, kBalanceSize, 256);
+  FirstUpdateTable fut(&stable, store.num_pages());
+  LockManager locks;
+  GroupCommitLogOptions gopts;
+  // One log write per commit and a synchronous driver: the device-operation
+  // sequence is then a pure function of (seed, schedule), which is what
+  // makes crash_at_op — and the whole run — replayable.
+  gopts.group_commit = false;
+  GroupCommitLog wal({&device}, gopts);
+  wal.Start();
+  TransactionManager tm(&store, &locks, &wal, &fut);
+  Checkpointer checkpointer(&store, &fut, &wal);
+
+  // All balances start as the store's initial image: zero-FILLED bytes, not
+  // the text "0" — if the opening grant becomes a loser, undo restores this
+  // exact pre-image. The grant itself is a TRANSACTION — unlogged
+  // initialization could never be rebuilt when a fault quarantines a
+  // snapshot page.
+  for (int64_t a = 0; a < kAccounts; ++a) {
+    result.state[a] = std::string(kBalanceSize, '\0');
+  }
+  result.prev_state = result.state;
+
+  Random rng(seed);
+  auto run_txn = [&](const std::map<int64_t, std::string>& writes) {
+    const TxnId txn = tm.Begin();
+    for (const auto& [record, value] : writes) {
+      MMDB_CHECK(tm.Update(txn, record, value).ok());
+    }
+    MMDB_CHECK(tm.Commit(txn).ok());
+    result.prev_state = result.state;
+    for (const auto& [record, value] : writes) {
+      result.state[record] = value;
+    }
+    ++result.acked_commits;
+  };
+
+  std::map<int64_t, std::string> grant;
+  for (int64_t a = 0; a < kAccounts; ++a) grant[a] = Balance(100);
+  run_txn(grant);
+
+  for (int t = 0; t < kTransfers && !injector.crash_requested(); ++t) {
+    const int64_t from = int64_t(rng.Uniform(kAccounts));
+    int64_t to = int64_t(rng.Uniform(kAccounts));
+    if (to == from) to = (to + 1) % kAccounts;
+    const int64_t amount = 1 + int64_t(rng.Uniform(10));
+    long long bal_from = 0, bal_to = 0;
+    std::sscanf(result.state[from].c_str(), "%lld", &bal_from);
+    std::sscanf(result.state[to].c_str(), "%lld", &bal_to);
+    run_txn({{from, Balance(bal_from - amount)},
+             {to, Balance(bal_to + amount)}});
+    if (t % 7 == 6 && !injector.crash_requested()) {
+      MMDB_CHECK(checkpointer.CheckpointOnce().ok());
+    }
+  }
+
+  // CRASH (either the injector fired mid-workload or the sweep ran dry).
+  wal.CrashStop();
+  store.SimulateCrash();
+  auto stats = RecoverStore(&store, &wal, &fut);
+  MMDB_CHECK_MSG(stats.ok(), stats.status().ToString().c_str());
+  result.stats = *stats;
+  for (int64_t a = 0; a < kAccounts; ++a) {
+    std::string v;
+    MMDB_CHECK(store.ReadRecord(a, &v).ok());
+    result.recovered[a] = v;
+  }
+  wal.Stop();
+  return result;
+}
+
+int64_t TotalOf(const std::map<int64_t, std::string>& state) {
+  int64_t total = 0;
+  for (const auto& [record, value] : state) {
+    long long bal = 0;
+    std::sscanf(value.c_str(), "%lld", &bal);
+    total += bal;
+  }
+  return total;
+}
+
+TEST_P(CrashScheduleFuzzTest, CommittedSurvivesLosersVanishMoneyConserved) {
+  const CrashParam param = GetParam();
+  const CrashRunResult run =
+      RunBankingCrashSchedule(param.seed, param.crash_at_op);
+
+  // The recovered image must equal the post-state of all acked commits, or
+  // — when the dying write tore the final commit off the log — the state
+  // just before it. Anything else is lost committed work, a surviving
+  // loser effect, or a half-applied transfer.
+  const bool matches_state = run.recovered == run.state;
+  const bool matches_prev = run.recovered == run.prev_state;
+  EXPECT_TRUE(matches_state || matches_prev)
+      << "recovered state matches neither admissible state (acked commits: "
+      << run.acked_commits << ", crash op " << param.crash_at_op << ")";
+
+  // Money is conserved in whichever state we landed in.
+  const int64_t total = TotalOf(run.recovered);
+  EXPECT_TRUE(total == TotalOf(run.state) || total == TotalOf(run.prev_state))
+      << "total " << total;
+
+  // Log damage is tolerated, never silently dropped: whatever the torn
+  // write destroyed shows up in the damage counters, not in wrong balances.
+  EXPECT_GE(run.stats.corrupt_records_skipped, 0);
+  EXPECT_GE(run.stats.torn_tail_bytes, 0);
+
+  // Determinism: an identical run replays the identical fault history and
+  // produces byte-identical RecoveryStats (modulo wall-clock timing).
+  const CrashRunResult replay =
+      RunBankingCrashSchedule(param.seed, param.crash_at_op);
+  EXPECT_EQ(replay.recovered, run.recovered);
+  EXPECT_EQ(replay.stats.log_records_total, run.stats.log_records_total);
+  EXPECT_EQ(replay.stats.log_records_scanned, run.stats.log_records_scanned);
+  EXPECT_EQ(replay.stats.redo_applied, run.stats.redo_applied);
+  EXPECT_EQ(replay.stats.undo_applied, run.stats.undo_applied);
+  EXPECT_EQ(replay.stats.winners, run.stats.winners);
+  EXPECT_EQ(replay.stats.losers, run.stats.losers);
+  EXPECT_EQ(replay.stats.start_lsn, run.stats.start_lsn);
+  EXPECT_EQ(replay.stats.max_txn_id, run.stats.max_txn_id);
+  EXPECT_EQ(replay.stats.snapshot_pages_read, run.stats.snapshot_pages_read);
+  EXPECT_EQ(replay.stats.corrupt_records_skipped,
+            run.stats.corrupt_records_skipped);
+  EXPECT_EQ(replay.stats.torn_tail_bytes, run.stats.torn_tail_bytes);
+  EXPECT_EQ(replay.stats.unreadable_log_pages,
+            run.stats.unreadable_log_pages);
+  EXPECT_EQ(replay.stats.snapshot_pages_quarantined,
+            run.stats.snapshot_pages_quarantined);
+  EXPECT_EQ(replay.stats.retries, run.stats.retries);
+  EXPECT_EQ(replay.stats.degraded_mode, run.stats.degraded_mode);
+  EXPECT_EQ(replay.stats.simulated_log_read_seconds,
+            run.stats.simulated_log_read_seconds);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CrashSchedules, CrashScheduleFuzzTest,
+    ::testing::Values(CrashParam{11, 2}, CrashParam{11, 5}, CrashParam{11, 9},
+                      CrashParam{11, 14}, CrashParam{11, 21},
+                      CrashParam{11, 33}, CrashParam{11, 48},
+                      CrashParam{22, 3}, CrashParam{22, 8},
+                      CrashParam{22, 13}, CrashParam{22, 27},
+                      CrashParam{22, 41}, CrashParam{22, 64}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_op" +
+             std::to_string(info.param.crash_at_op);
     });
 
 }  // namespace

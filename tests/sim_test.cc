@@ -67,11 +67,68 @@ TEST(SimulatedDiskTest, ReadBeyondEofFails) {
             StatusCode::kOutOfRange);
 }
 
+TEST(SimulatedDiskTest, ReadPageBoundsAreStatusNotCrash) {
+  SimulatedDisk disk(128);
+  auto f = disk.CreateFile("t");
+  char page[128] = {};
+  ASSERT_TRUE(disk.WritePage(f, 0, page, IoKind::kSequential).ok());
+  // Negative, one-past-the-end, far-past-the-end: kOutOfRange every time,
+  // and the out buffer / stats stay untouched.
+  const int64_t reads_before = disk.stats().reads;
+  EXPECT_EQ(disk.ReadPage(f, -1, page, IoKind::kRandom).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.ReadPage(f, 1, page, IoKind::kRandom).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.ReadPage(f, 1'000'000, page, IoKind::kRandom).code(),
+            StatusCode::kOutOfRange);
+  EXPECT_EQ(disk.stats().reads, reads_before);
+}
+
+TEST(SimulatedDiskTest, NegativeWritePageRejected) {
+  SimulatedDisk disk(128);
+  auto f = disk.CreateFile("t");
+  char page[128] = {};
+  EXPECT_EQ(disk.WritePage(f, -2, page, IoKind::kRandom).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(disk.NumPages(f), 0);
+}
+
 TEST(SimulatedDiskTest, UnknownFileFails) {
   SimulatedDisk disk(128);
   char buf[128];
   EXPECT_EQ(disk.ReadPage(99, 0, buf, IoKind::kSequential).code(),
             StatusCode::kNotFound);
+}
+
+TEST(SimulatedDiskTest, TransientFaultFailsOneTransferAndCounts) {
+  SimulatedDisk disk(64);
+  FaultInjector injector;
+  disk.set_fault_injector(&injector);
+  auto f = disk.CreateFile("t");
+  char page[64] = {};
+  ASSERT_TRUE(disk.WritePage(f, 0, page, IoKind::kSequential).ok());
+  injector.ScheduleFault(injector.ops(), FaultKind::kTransientError);
+  EXPECT_EQ(disk.ReadPage(f, 0, page, IoKind::kRandom).code(),
+            StatusCode::kIOError);
+  EXPECT_EQ(disk.stats().io_errors, 1);
+  // The very next attempt succeeds: transient means transient.
+  EXPECT_TRUE(disk.ReadPage(f, 0, page, IoKind::kRandom).ok());
+}
+
+TEST(SimulatedDiskTest, BadSectorHealsOnRewrite) {
+  SimulatedDisk disk(64);
+  FaultInjector injector;
+  disk.set_fault_injector(&injector);
+  auto f = disk.CreateFile("t");
+  char page[64] = {};
+  ASSERT_TRUE(disk.WritePage(f, 2, page, IoKind::kSequential).ok());
+  injector.MarkPermanentError(FaultDevice::kDataDisk, f, 2);
+  for (int i = 0; i < 3; ++i) {
+    EXPECT_EQ(disk.ReadPage(f, 2, page, IoKind::kRandom).code(),
+              StatusCode::kIOError);
+  }
+  ASSERT_TRUE(disk.WritePage(f, 2, page, IoKind::kRandom).ok());
+  EXPECT_TRUE(disk.ReadPage(f, 2, page, IoKind::kRandom).ok());
 }
 
 TEST(SimulatedDiskTest, WriteExtendsWithZeroPages) {

@@ -32,6 +32,22 @@ TEST(StatusTest, EveryFactoryProducesItsCode) {
   EXPECT_EQ(Status::Aborted("").code(), StatusCode::kAborted);
   EXPECT_EQ(Status::Deadlock("").code(), StatusCode::kDeadlock);
   EXPECT_EQ(Status::Internal("").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::Corruption("").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::RetryExhausted("").code(), StatusCode::kRetryExhausted);
+}
+
+TEST(StatusTest, RobustnessCodesRoundTripThroughToString) {
+  EXPECT_EQ(Status::Corruption("bad crc").ToString(), "CORRUPTION: bad crc");
+  EXPECT_EQ(Status::RetryExhausted("8 attempts").ToString(),
+            "RETRY_EXHAUSTED: 8 attempts");
+}
+
+TEST(StatusTest, RobustnessCodesAreDistinct) {
+  // A corruption must never compare equal to a transient I/O error: the
+  // recovery path treats them very differently (quarantine vs retry).
+  EXPECT_FALSE(Status::Corruption("x") == Status::IOError("x"));
+  EXPECT_FALSE(Status::RetryExhausted("x") == Status::IOError("x"));
+  EXPECT_FALSE(Status::Corruption("x") == Status::RetryExhausted("x"));
 }
 
 TEST(StatusTest, Equality) {
