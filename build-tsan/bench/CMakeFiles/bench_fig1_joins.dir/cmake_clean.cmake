@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_joins.dir/bench_fig1_joins.cc.o"
+  "CMakeFiles/bench_fig1_joins.dir/bench_fig1_joins.cc.o.d"
+  "bench_fig1_joins"
+  "bench_fig1_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

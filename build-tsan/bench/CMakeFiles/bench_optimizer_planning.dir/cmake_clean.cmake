@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_optimizer_planning.dir/bench_optimizer_planning.cc.o"
+  "CMakeFiles/bench_optimizer_planning.dir/bench_optimizer_planning.cc.o.d"
+  "bench_optimizer_planning"
+  "bench_optimizer_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_optimizer_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

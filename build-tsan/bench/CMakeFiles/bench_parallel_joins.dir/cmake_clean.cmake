@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_parallel_joins.dir/bench_parallel_joins.cc.o"
+  "CMakeFiles/bench_parallel_joins.dir/bench_parallel_joins.cc.o.d"
+  "bench_parallel_joins"
+  "bench_parallel_joins.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_parallel_joins.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

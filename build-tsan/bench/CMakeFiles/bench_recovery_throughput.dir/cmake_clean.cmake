@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery_throughput.dir/bench_recovery_throughput.cc.o"
+  "CMakeFiles/bench_recovery_throughput.dir/bench_recovery_throughput.cc.o.d"
+  "bench_recovery_throughput"
+  "bench_recovery_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_access_methods.dir/bench_table1_access_methods.cc.o"
+  "CMakeFiles/bench_table1_access_methods.dir/bench_table1_access_methods.cc.o.d"
+  "bench_table1_access_methods"
+  "bench_table1_access_methods.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_access_methods.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_tid_join.dir/bench_tid_join.cc.o"
+  "CMakeFiles/bench_tid_join.dir/bench_tid_join.cc.o.d"
+  "bench_tid_join"
+  "bench_tid_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_tid_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_versioning.dir/bench_versioning.cc.o"
+  "CMakeFiles/bench_versioning.dir/bench_versioning.cc.o.d"
+  "bench_versioning"
+  "bench_versioning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_versioning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_tps.dir/banking_tps.cpp.o"
+  "CMakeFiles/banking_tps.dir/banking_tps.cpp.o.d"
+  "banking_tps"
+  "banking_tps.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_tps.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/employee_queries.dir/employee_queries.cpp.o"
+  "CMakeFiles/employee_queries.dir/employee_queries.cpp.o.d"
+  "employee_queries"
+  "employee_queries.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/employee_queries.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

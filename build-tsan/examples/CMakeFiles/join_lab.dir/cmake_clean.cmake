@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_lab.dir/join_lab.cpp.o"
+  "CMakeFiles/join_lab.dir/join_lab.cpp.o.d"
+  "join_lab"
+  "join_lab.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_lab.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

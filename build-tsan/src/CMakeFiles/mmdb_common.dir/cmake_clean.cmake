@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_common.dir/common/random.cc.o"
+  "CMakeFiles/mmdb_common.dir/common/random.cc.o.d"
+  "CMakeFiles/mmdb_common.dir/common/status.cc.o"
+  "CMakeFiles/mmdb_common.dir/common/status.cc.o.d"
+  "CMakeFiles/mmdb_common.dir/common/thread_pool.cc.o"
+  "CMakeFiles/mmdb_common.dir/common/thread_pool.cc.o.d"
+  "libmmdb_common.a"
+  "libmmdb_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

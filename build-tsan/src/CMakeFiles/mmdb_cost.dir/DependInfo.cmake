@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cost/access_cost.cc" "src/CMakeFiles/mmdb_cost.dir/cost/access_cost.cc.o" "gcc" "src/CMakeFiles/mmdb_cost.dir/cost/access_cost.cc.o.d"
+  "/root/repo/src/cost/join_cost.cc" "src/CMakeFiles/mmdb_cost.dir/cost/join_cost.cc.o" "gcc" "src/CMakeFiles/mmdb_cost.dir/cost/join_cost.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_cost.dir/cost/access_cost.cc.o"
+  "CMakeFiles/mmdb_cost.dir/cost/access_cost.cc.o.d"
+  "CMakeFiles/mmdb_cost.dir/cost/join_cost.cc.o"
+  "CMakeFiles/mmdb_cost.dir/cost/join_cost.cc.o.d"
+  "libmmdb_cost.a"
+  "libmmdb_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_db.dir/db/database.cc.o"
+  "CMakeFiles/mmdb_db.dir/db/database.cc.o.d"
+  "CMakeFiles/mmdb_db.dir/db/query_parser.cc.o"
+  "CMakeFiles/mmdb_db.dir/db/query_parser.cc.o.d"
+  "libmmdb_db.a"
+  "libmmdb_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,35 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exec/aggregate.cc" "src/CMakeFiles/mmdb_exec.dir/exec/aggregate.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/aggregate.cc.o.d"
+  "/root/repo/src/exec/exec_context.cc" "src/CMakeFiles/mmdb_exec.dir/exec/exec_context.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/exec_context.cc.o.d"
+  "/root/repo/src/exec/external_sort.cc" "src/CMakeFiles/mmdb_exec.dir/exec/external_sort.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/external_sort.cc.o.d"
+  "/root/repo/src/exec/join.cc" "src/CMakeFiles/mmdb_exec.dir/exec/join.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/join.cc.o.d"
+  "/root/repo/src/exec/join_grace.cc" "src/CMakeFiles/mmdb_exec.dir/exec/join_grace.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/join_grace.cc.o.d"
+  "/root/repo/src/exec/join_hybrid.cc" "src/CMakeFiles/mmdb_exec.dir/exec/join_hybrid.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/join_hybrid.cc.o.d"
+  "/root/repo/src/exec/join_simple_hash.cc" "src/CMakeFiles/mmdb_exec.dir/exec/join_simple_hash.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/join_simple_hash.cc.o.d"
+  "/root/repo/src/exec/join_sort_merge.cc" "src/CMakeFiles/mmdb_exec.dir/exec/join_sort_merge.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/join_sort_merge.cc.o.d"
+  "/root/repo/src/exec/join_tid.cc" "src/CMakeFiles/mmdb_exec.dir/exec/join_tid.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/join_tid.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "src/CMakeFiles/mmdb_exec.dir/exec/operator.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/operator.cc.o.d"
+  "/root/repo/src/exec/parallel.cc" "src/CMakeFiles/mmdb_exec.dir/exec/parallel.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/parallel.cc.o.d"
+  "/root/repo/src/exec/partitioner.cc" "src/CMakeFiles/mmdb_exec.dir/exec/partitioner.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/partitioner.cc.o.d"
+  "/root/repo/src/exec/setops.cc" "src/CMakeFiles/mmdb_exec.dir/exec/setops.cc.o" "gcc" "src/CMakeFiles/mmdb_exec.dir/exec/setops.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_cost.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,35 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_exec.dir/exec/aggregate.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/aggregate.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/exec_context.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/exec_context.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/external_sort.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/external_sort.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/join.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/join.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/join_grace.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/join_grace.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/join_hybrid.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/join_hybrid.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/join_simple_hash.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/join_simple_hash.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/join_sort_merge.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/join_sort_merge.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/join_tid.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/join_tid.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/operator.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/operator.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/parallel.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/parallel.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/partitioner.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/partitioner.cc.o.d"
+  "CMakeFiles/mmdb_exec.dir/exec/setops.cc.o"
+  "CMakeFiles/mmdb_exec.dir/exec/setops.cc.o.d"
+  "libmmdb_exec.a"
+  "libmmdb_exec.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_exec.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_index.dir/index/avl_tree.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/avl_tree.cc.o.d"
+  "CMakeFiles/mmdb_index.dir/index/btree.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/btree.cc.o.d"
+  "CMakeFiles/mmdb_index.dir/index/hash_index.cc.o"
+  "CMakeFiles/mmdb_index.dir/index/hash_index.cc.o.d"
+  "libmmdb_index.a"
+  "libmmdb_index.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_index.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

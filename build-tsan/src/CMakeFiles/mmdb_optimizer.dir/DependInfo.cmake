@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/optimizer/catalog.cc" "src/CMakeFiles/mmdb_optimizer.dir/optimizer/catalog.cc.o" "gcc" "src/CMakeFiles/mmdb_optimizer.dir/optimizer/catalog.cc.o.d"
+  "/root/repo/src/optimizer/executor.cc" "src/CMakeFiles/mmdb_optimizer.dir/optimizer/executor.cc.o" "gcc" "src/CMakeFiles/mmdb_optimizer.dir/optimizer/executor.cc.o.d"
+  "/root/repo/src/optimizer/optimizer.cc" "src/CMakeFiles/mmdb_optimizer.dir/optimizer/optimizer.cc.o" "gcc" "src/CMakeFiles/mmdb_optimizer.dir/optimizer/optimizer.cc.o.d"
+  "/root/repo/src/optimizer/plan.cc" "src/CMakeFiles/mmdb_optimizer.dir/optimizer/plan.cc.o" "gcc" "src/CMakeFiles/mmdb_optimizer.dir/optimizer/plan.cc.o.d"
+  "/root/repo/src/optimizer/predicate.cc" "src/CMakeFiles/mmdb_optimizer.dir/optimizer/predicate.cc.o" "gcc" "src/CMakeFiles/mmdb_optimizer.dir/optimizer/predicate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_index.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_cost.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_optimizer.dir/optimizer/catalog.cc.o"
+  "CMakeFiles/mmdb_optimizer.dir/optimizer/catalog.cc.o.d"
+  "CMakeFiles/mmdb_optimizer.dir/optimizer/executor.cc.o"
+  "CMakeFiles/mmdb_optimizer.dir/optimizer/executor.cc.o.d"
+  "CMakeFiles/mmdb_optimizer.dir/optimizer/optimizer.cc.o"
+  "CMakeFiles/mmdb_optimizer.dir/optimizer/optimizer.cc.o.d"
+  "CMakeFiles/mmdb_optimizer.dir/optimizer/plan.cc.o"
+  "CMakeFiles/mmdb_optimizer.dir/optimizer/plan.cc.o.d"
+  "CMakeFiles/mmdb_optimizer.dir/optimizer/predicate.cc.o"
+  "CMakeFiles/mmdb_optimizer.dir/optimizer/predicate.cc.o.d"
+  "libmmdb_optimizer.a"
+  "libmmdb_optimizer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_optimizer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

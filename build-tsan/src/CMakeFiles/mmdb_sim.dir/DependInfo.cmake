@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/cost_clock.cc" "src/CMakeFiles/mmdb_sim.dir/sim/cost_clock.cc.o" "gcc" "src/CMakeFiles/mmdb_sim.dir/sim/cost_clock.cc.o.d"
+  "/root/repo/src/sim/fault_injector.cc" "src/CMakeFiles/mmdb_sim.dir/sim/fault_injector.cc.o" "gcc" "src/CMakeFiles/mmdb_sim.dir/sim/fault_injector.cc.o.d"
+  "/root/repo/src/sim/simulated_disk.cc" "src/CMakeFiles/mmdb_sim.dir/sim/simulated_disk.cc.o" "gcc" "src/CMakeFiles/mmdb_sim.dir/sim/simulated_disk.cc.o.d"
+  "/root/repo/src/sim/stable_memory.cc" "src/CMakeFiles/mmdb_sim.dir/sim/stable_memory.cc.o" "gcc" "src/CMakeFiles/mmdb_sim.dir/sim/stable_memory.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_sim.dir/sim/cost_clock.cc.o"
+  "CMakeFiles/mmdb_sim.dir/sim/cost_clock.cc.o.d"
+  "CMakeFiles/mmdb_sim.dir/sim/fault_injector.cc.o"
+  "CMakeFiles/mmdb_sim.dir/sim/fault_injector.cc.o.d"
+  "CMakeFiles/mmdb_sim.dir/sim/simulated_disk.cc.o"
+  "CMakeFiles/mmdb_sim.dir/sim/simulated_disk.cc.o.d"
+  "CMakeFiles/mmdb_sim.dir/sim/stable_memory.cc.o"
+  "CMakeFiles/mmdb_sim.dir/sim/stable_memory.cc.o.d"
+  "libmmdb_sim.a"
+  "libmmdb_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/mmdb_storage.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/datagen.cc" "src/CMakeFiles/mmdb_storage.dir/storage/datagen.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/datagen.cc.o.d"
+  "/root/repo/src/storage/heap_file.cc" "src/CMakeFiles/mmdb_storage.dir/storage/heap_file.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/heap_file.cc.o.d"
+  "/root/repo/src/storage/page.cc" "src/CMakeFiles/mmdb_storage.dir/storage/page.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/page.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/mmdb_storage.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/page_file.cc.o.d"
+  "/root/repo/src/storage/relation.cc" "src/CMakeFiles/mmdb_storage.dir/storage/relation.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/relation.cc.o.d"
+  "/root/repo/src/storage/row.cc" "src/CMakeFiles/mmdb_storage.dir/storage/row.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/row.cc.o.d"
+  "/root/repo/src/storage/schema.cc" "src/CMakeFiles/mmdb_storage.dir/storage/schema.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/schema.cc.o.d"
+  "/root/repo/src/storage/value.cc" "src/CMakeFiles/mmdb_storage.dir/storage/value.cc.o" "gcc" "src/CMakeFiles/mmdb_storage.dir/storage/value.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_storage.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/datagen.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/datagen.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/heap_file.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/heap_file.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/page.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/page.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/page_file.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/page_file.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/relation.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/relation.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/row.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/row.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/schema.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/schema.cc.o.d"
+  "CMakeFiles/mmdb_storage.dir/storage/value.cc.o"
+  "CMakeFiles/mmdb_storage.dir/storage/value.cc.o.d"
+  "libmmdb_storage.a"
+  "libmmdb_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,33 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/txn/banking.cc" "src/CMakeFiles/mmdb_txn.dir/txn/banking.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/banking.cc.o.d"
+  "/root/repo/src/txn/checkpoint.cc" "src/CMakeFiles/mmdb_txn.dir/txn/checkpoint.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/checkpoint.cc.o.d"
+  "/root/repo/src/txn/lock_manager.cc" "src/CMakeFiles/mmdb_txn.dir/txn/lock_manager.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/lock_manager.cc.o.d"
+  "/root/repo/src/txn/log_device.cc" "src/CMakeFiles/mmdb_txn.dir/txn/log_device.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/log_device.cc.o.d"
+  "/root/repo/src/txn/log_manager.cc" "src/CMakeFiles/mmdb_txn.dir/txn/log_manager.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/log_manager.cc.o.d"
+  "/root/repo/src/txn/log_record.cc" "src/CMakeFiles/mmdb_txn.dir/txn/log_record.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/log_record.cc.o.d"
+  "/root/repo/src/txn/partitioned_log.cc" "src/CMakeFiles/mmdb_txn.dir/txn/partitioned_log.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/partitioned_log.cc.o.d"
+  "/root/repo/src/txn/recoverable_store.cc" "src/CMakeFiles/mmdb_txn.dir/txn/recoverable_store.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/recoverable_store.cc.o.d"
+  "/root/repo/src/txn/recovery.cc" "src/CMakeFiles/mmdb_txn.dir/txn/recovery.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/recovery.cc.o.d"
+  "/root/repo/src/txn/stable_log.cc" "src/CMakeFiles/mmdb_txn.dir/txn/stable_log.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/stable_log.cc.o.d"
+  "/root/repo/src/txn/transaction_manager.cc" "src/CMakeFiles/mmdb_txn.dir/txn/transaction_manager.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/transaction_manager.cc.o.d"
+  "/root/repo/src/txn/version_store.cc" "src/CMakeFiles/mmdb_txn.dir/txn/version_store.cc.o" "gcc" "src/CMakeFiles/mmdb_txn.dir/txn/version_store.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

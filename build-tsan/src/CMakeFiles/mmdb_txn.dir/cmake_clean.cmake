@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mmdb_txn.dir/txn/banking.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/banking.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/checkpoint.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/checkpoint.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/lock_manager.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/lock_manager.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/log_device.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/log_device.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/log_manager.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/log_manager.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/log_record.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/log_record.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/partitioned_log.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/partitioned_log.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/recoverable_store.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/recoverable_store.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/recovery.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/recovery.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/stable_log.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/stable_log.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/transaction_manager.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/transaction_manager.cc.o.d"
+  "CMakeFiles/mmdb_txn.dir/txn/version_store.cc.o"
+  "CMakeFiles/mmdb_txn.dir/txn/version_store.cc.o.d"
+  "libmmdb_txn.a"
+  "libmmdb_txn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mmdb_txn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmmdb_txn.a"
+)

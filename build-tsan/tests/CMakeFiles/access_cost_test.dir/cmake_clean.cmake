@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_cost_test.dir/access_cost_test.cc.o"
+  "CMakeFiles/access_cost_test.dir/access_cost_test.cc.o.d"
+  "access_cost_test"
+  "access_cost_test.pdb"
+  "access_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/banking_test.dir/banking_test.cc.o"
+  "CMakeFiles/banking_test.dir/banking_test.cc.o.d"
+  "banking_test"
+  "banking_test.pdb"
+  "banking_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/banking_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

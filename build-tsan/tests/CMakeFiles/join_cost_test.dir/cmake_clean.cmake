@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_cost_test.dir/join_cost_test.cc.o"
+  "CMakeFiles/join_cost_test.dir/join_cost_test.cc.o.d"
+  "join_cost_test"
+  "join_cost_test.pdb"
+  "join_cost_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

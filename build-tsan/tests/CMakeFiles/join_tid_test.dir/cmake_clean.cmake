@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_tid_test.dir/join_tid_test.cc.o"
+  "CMakeFiles/join_tid_test.dir/join_tid_test.cc.o.d"
+  "join_tid_test"
+  "join_tid_test.pdb"
+  "join_tid_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_tid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/query_parser_test.cc" "tests/CMakeFiles/query_parser_test.dir/query_parser_test.cc.o" "gcc" "tests/CMakeFiles/query_parser_test.dir/query_parser_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_db.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_optimizer.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_exec.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_cost.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_txn.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_index.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_storage.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_sim.dir/DependInfo.cmake"
+  "/root/repo/build-tsan/src/CMakeFiles/mmdb_common.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/schema_row_test.dir/schema_row_test.cc.o"
+  "CMakeFiles/schema_row_test.dir/schema_row_test.cc.o.d"
+  "schema_row_test"
+  "schema_row_test.pdb"
+  "schema_row_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/schema_row_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

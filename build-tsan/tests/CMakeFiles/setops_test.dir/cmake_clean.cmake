@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/setops_test.dir/setops_test.cc.o"
+  "CMakeFiles/setops_test.dir/setops_test.cc.o.d"
+  "setops_test"
+  "setops_test.pdb"
+  "setops_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/setops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

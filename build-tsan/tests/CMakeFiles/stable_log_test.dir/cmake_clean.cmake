@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/stable_log_test.dir/stable_log_test.cc.o"
+  "CMakeFiles/stable_log_test.dir/stable_log_test.cc.o.d"
+  "stable_log_test"
+  "stable_log_test.pdb"
+  "stable_log_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/stable_log_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -5,6 +5,7 @@
 
 #include "common/check.h"
 #include "common/hash.h"
+#include "exec/parallel.h"
 #include "exec/partitioner.h"
 #include "storage/heap_file.h"
 
@@ -36,6 +37,25 @@ struct AggState {
       if (CompareValues(v, max_v) > 0) max_v = v;
     }
   }
+
+  /// Folds another partial state in (the parallel merge step). COUNT, MIN
+  /// and MAX are exactly order-independent; SUM/AVG re-associate the float
+  /// additions, which is exact whenever the summed values are integers
+  /// below 2^53 (DESIGN.md §8).
+  void Merge(const AggState& o) {
+    count += o.count;
+    sum += o.sum;
+    if (o.seen) {
+      if (!seen) {
+        min_v = o.min_v;
+        max_v = o.max_v;
+        seen = true;
+      } else {
+        if (CompareValues(o.min_v, min_v) < 0) min_v = o.min_v;
+        if (CompareValues(o.max_v, max_v) > 0) max_v = o.max_v;
+      }
+    }
+  }
 };
 
 struct GroupState {
@@ -55,6 +75,15 @@ bool GroupKeyEquals(const Row& row, const std::vector<int>& cols,
                     const Row& key) {
   for (size_t i = 0; i < cols.size(); ++i) {
     if (!ValuesEqual(row[static_cast<size_t>(cols[i])], key[i])) return false;
+  }
+  return true;
+}
+
+/// Equality of two already-projected group-key rows (the parallel merge).
+bool KeyRowsEqual(const Row& a, const Row& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!ValuesEqual(a[i], b[i])) return false;
   }
   return true;
 }
@@ -206,6 +235,164 @@ Status AggregateRec(std::vector<Row> rows, const Schema& in_schema,
   return Status::OK();
 }
 
+using GroupTable = std::unordered_map<uint64_t, std::vector<GroupState>>;
+
+/// DOP > 1 one-pass aggregation: each worker folds its morsels into a
+/// private table, then the local tables merge into one global table.
+///
+/// Charging convention (DESIGN.md §8) — chosen so the totals are the SAME
+/// as a serial AggregateInMemory at any DOP and any morsel→worker
+/// assignment (modulo 64-bit group-hash collisions):
+///  * local insert of row: Hash, plus one Comp per local group scanned; a
+///    NEW local group charges no Move (it is only a partial);
+///  * merging one local group: one Comp per global group scanned, plus one
+///    Move if the group is new globally.
+/// With W workers seeing n_w rows and g_w local groups of g total groups,
+/// comps = sum(n_w - g_w) + (sum(g_w) - g) = n - g, moves = g, hashes = n —
+/// exactly the serial tallies, with every g_w cancelled out.
+Status ParallelAggregateFit(const std::vector<Row>& rows,
+                            const AggregateSpec& spec, ExecContext* ctx,
+                            Relation* out, int64_t* num_groups) {
+  const std::vector<IndexRange> morsels =
+      MorselRanges(static_cast<int64_t>(rows.size()));
+  const int workers =
+      std::max(1, PlannedWorkers(ctx, static_cast<int64_t>(morsels.size())));
+  std::vector<GroupTable> locals(static_cast<size_t>(workers));
+  MMDB_RETURN_IF_ERROR(ParallelFor(
+      ctx, static_cast<int64_t>(morsels.size()),
+      [&](ExecContext* wctx, int worker, int64_t m) {
+        GroupTable& table = locals[static_cast<size_t>(worker)];
+        const IndexRange range = morsels[static_cast<size_t>(m)];
+        for (int64_t i = range.begin; i < range.end; ++i) {
+          const Row& row = rows[static_cast<size_t>(i)];
+          wctx->clock->Hash();
+          const uint64_t h = HashGroupKey(row, spec.group_by);
+          std::vector<GroupState>& bucket = table[h];
+          GroupState* group = nullptr;
+          for (GroupState& g : bucket) {
+            wctx->clock->Comp();
+            if (GroupKeyEquals(row, spec.group_by, g.key)) {
+              group = &g;
+              break;
+            }
+          }
+          if (group == nullptr) {
+            GroupState g;
+            g.key.reserve(spec.group_by.size());
+            for (int c : spec.group_by) {
+              g.key.push_back(row[static_cast<size_t>(c)]);
+            }
+            g.aggs.resize(spec.aggregates.size());
+            bucket.push_back(std::move(g));
+            group = &bucket.back();
+          }
+          for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+            const auto& agg = spec.aggregates[a];
+            const Value& v = agg.fn == AggFn::kCount
+                                 ? row[0]
+                                 : row[static_cast<size_t>(agg.column)];
+            group->aggs[a].Update(v);
+          }
+        }
+        return Status::OK();
+      }));
+
+  GroupTable global;
+  for (GroupTable& local : locals) {
+    for (auto& [h, bucket] : local) {
+      for (GroupState& lg : bucket) {
+        std::vector<GroupState>& gbucket = global[h];
+        GroupState* found = nullptr;
+        for (GroupState& g : gbucket) {
+          ctx->clock->Comp();
+          if (KeyRowsEqual(lg.key, g.key)) {
+            found = &g;
+            break;
+          }
+        }
+        if (found == nullptr) {
+          ctx->clock->Move();
+          gbucket.push_back(std::move(lg));
+        } else {
+          for (size_t a = 0; a < found->aggs.size(); ++a) {
+            found->aggs[a].Merge(lg.aggs[a]);
+          }
+        }
+      }
+    }
+  }
+  for (auto& [h, bucket] : global) {
+    for (const GroupState& g : bucket) {
+      EmitGroup(g, spec, out);
+      ++*num_groups;
+    }
+  }
+  return Status::OK();
+}
+
+/// DOP > 1 partitioned aggregation (depth 0 of the serial recursion):
+/// morsel-parallel partitioning hash, one spill task per partition (files
+/// byte-identical to serial), then one task per partition running the
+/// serial AggregateRec at depth 1. Per-partition outputs concatenate in
+/// partition order — the serial emission order.
+Status ParallelAggregatePartition(const std::vector<Row>& rows,
+                                  const Schema& in_schema,
+                                  const AggregateSpec& spec, ExecContext* ctx,
+                                  Relation* out, AggStats* stats) {
+  const int64_t capacity =
+      std::max<int64_t>(1, ctx->TuplesInPages(in_schema, ctx->memory_pages));
+  const int64_t b = std::max<int64_t>(
+      2, std::min<int64_t>(
+             ctx->memory_pages,
+             (static_cast<int64_t>(rows.size()) + capacity - 1) / capacity));
+  if (stats != nullptr) stats->partitions = b;
+  PartitionWriterSet writers(ctx, in_schema, b,
+                             b <= 1 ? IoKind::kSequential : IoKind::kRandom,
+                             "agg_part");
+  std::vector<int32_t> pids;
+  MMDB_RETURN_IF_ERROR(ComputePartitionIds(
+      ctx, rows,
+      [&](const Row& row) {
+        const uint64_t h = HashGroupKey(row, spec.group_by);
+        return static_cast<int64_t>(Mix64(h ^ (0xABCDull * 1)) %
+                                    static_cast<uint64_t>(b));
+      },
+      &pids));
+  const std::vector<std::vector<int64_t>> groups =
+      GroupIndicesByPartition(pids, b);
+  MMDB_RETURN_IF_ERROR(ParallelDistribute(ctx, rows, groups, 0, &writers));
+  MMDB_RETURN_IF_ERROR(writers.FinishAll());
+
+  const auto parts = writers.Release();
+  std::vector<Relation> partial(static_cast<size_t>(b),
+                                Relation(out->schema()));
+  std::vector<int64_t> part_groups(static_cast<size_t>(b), 0);
+  MMDB_RETURN_IF_ERROR(ParallelFor(
+      ctx, b, [&](ExecContext* wctx, int, int64_t i) {
+        const auto& pf = parts[static_cast<size_t>(i)];
+        if (pf.records == 0) {
+          wctx->disk->DeleteFile(pf.file);
+          return Status::OK();
+        }
+        MMDB_ASSIGN_OR_RETURN(std::vector<Row> part,
+                              ReadAndDeletePartition(wctx, in_schema, pf));
+        AggStats local_stats;
+        MMDB_RETURN_IF_ERROR(AggregateRec(std::move(part), in_schema, spec,
+                                          wctx, 1,
+                                          &partial[static_cast<size_t>(i)],
+                                          &local_stats));
+        part_groups[static_cast<size_t>(i)] = local_stats.groups;
+        return Status::OK();
+      }));
+  for (size_t i = 0; i < partial.size(); ++i) {
+    for (Row& row : partial[i].mutable_rows()) {
+      out->Add(std::move(row));
+    }
+    if (stats != nullptr) stats->groups += part_groups[i];
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 StatusOr<Relation> HashAggregate(const Relation& input,
@@ -235,6 +422,18 @@ StatusOr<Relation> HashAggregate(const Relation& input,
   const int64_t capacity = std::max<int64_t>(
       1, ctx->TuplesInPages(input.schema(), ctx->memory_pages));
   st->one_pass = input.num_tuples() <= capacity;
+  if (ctx->dop > 1) {
+    if (st->one_pass) {
+      int64_t groups = 0;
+      MMDB_RETURN_IF_ERROR(
+          ParallelAggregateFit(input.rows(), spec, ctx, &out, &groups));
+      st->groups += groups;
+    } else {
+      MMDB_RETURN_IF_ERROR(ParallelAggregatePartition(
+          input.rows(), input.schema(), spec, ctx, &out, st));
+    }
+    return out;
+  }
   MMDB_RETURN_IF_ERROR(
       AggregateRec(input.rows(), input.schema(), spec, ctx, 0, &out, st));
   return out;

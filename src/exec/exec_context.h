@@ -27,6 +27,12 @@ struct ExecContext {
   /// Cap on recursive overflow resolution in hybrid hash (§3.3: "apply the
   /// hybrid hash join recursively").
   int max_recursion_depth = 4;
+  /// Degree of parallelism for the operators that support it (morsel scans,
+  /// partition-parallel hash joins, parallel aggregation — DESIGN.md §8).
+  /// 1 (the default) runs the original serial code paths unchanged. At any
+  /// DOP the simulated cost totals are identical: parallel workers charge
+  /// private clocks that are merged when each parallel region completes.
+  int dop = 1;
 
   int64_t page_size() const { return disk->page_size(); }
 

@@ -90,14 +90,22 @@ class JoinHashTable {
   /// partitioning).
   template <typename Fn>
   void Probe(const Value& key, Fn&& fn) const {
+    ProbeWith(clock_, key, std::forward<Fn>(fn));
+  }
+
+  /// Probe charging an explicit clock. Once the build is complete the table
+  /// is read-only, so parallel workers probe it concurrently, each charging
+  /// a private clock (merged by the parallel region — DESIGN.md §8).
+  template <typename Fn>
+  void ProbeWith(CostClock* clock, const Value& key, Fn&& fn) const {
     const uint64_t h = HashValue(key);
     auto it = buckets_.find(h);
     if (it == buckets_.end()) {
-      if (clock_ != nullptr) clock_->Comp();  // the miss still compares
+      if (clock != nullptr) clock->Comp();  // the miss still compares
       return;
     }
     for (const Row& row : it->second) {
-      if (clock_ != nullptr) clock_->Comp();
+      if (clock != nullptr) clock->Comp();
       if (ValuesEqual(row[static_cast<size_t>(key_column_)], key)) {
         fn(row);
       }

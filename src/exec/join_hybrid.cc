@@ -4,6 +4,7 @@
 #include "common/check.h"
 #include "cost/join_cost.h"
 #include "exec/join.h"
+#include "exec/parallel.h"
 #include "exec/partitioner.h"
 #include "storage/heap_file.h"
 
@@ -16,6 +17,26 @@ using exec_internal::JoinHashTable;
 StatusOr<Relation> HybridHashJoinImpl(const Relation& r, const Relation& s,
                                       const JoinSpec& spec, ExecContext* ctx,
                                       JoinRunStats* stats, int depth);
+
+/// The (q, B) split used by one hybrid invocation — computed identically by
+/// the serial and the parallel path so their partitioning (and hence their
+/// simulated costs) match bit for bit.
+HybridSplit ComputeShavedSplit(const Relation& r, ExecContext* ctx) {
+  const int64_t r_pages = std::max<int64_t>(1, r.NumPages(ctx->page_size()));
+  HybridSplit split =
+      SolveHybridSplit(r_pages, ctx->memory_pages, ctx->fudge);
+  if (split.q < 1.0) {
+    // The analytic q fills memory EXACTLY, so a positive fluctuation of the
+    // hash split (~sqrt(n) tuples, §3.3's central-limit argument) would
+    // overflow R_0 and force the expensive save-S_0 fallback. Shave q by
+    // 4 sigma of the binomial split so overflow is a true skew signal, not
+    // noise.
+    const double expected =
+        split.q * double(std::max<int64_t>(1, r.num_tuples()));
+    split.q = std::max(0.0, split.q * (1.0 - 4.0 / std::sqrt(expected + 1.0)));
+  }
+  return split;
+}
 
 /// Joins a spilled (R_b, S_b) pair. If R_b's hash table fits, builds and
 /// probes directly; otherwise applies the hybrid join recursively (§3.3:
@@ -69,19 +90,7 @@ StatusOr<Relation> HybridHashJoinImpl(const Relation& r, const Relation& s,
   Relation out(Schema::Concat(rs, ss));
   if (stats != nullptr) stats->recursion_depth = depth;
 
-  const int64_t r_pages = std::max<int64_t>(1, r.NumPages(ctx->page_size()));
-  HybridSplit split =
-      SolveHybridSplit(r_pages, ctx->memory_pages, ctx->fudge);
-  if (split.q < 1.0) {
-    // The analytic q fills memory EXACTLY, so a positive fluctuation of the
-    // hash split (~sqrt(n) tuples, §3.3's central-limit argument) would
-    // overflow R_0 and force the expensive save-S_0 fallback. Shave q by
-    // 4 sigma of the binomial split so overflow is a true skew signal, not
-    // noise.
-    const double expected =
-        split.q * double(std::max<int64_t>(1, r.num_tuples()));
-    split.q = std::max(0.0, split.q * (1.0 - 4.0 / std::sqrt(expected + 1.0)));
-  }
+  HybridSplit split = ComputeShavedSplit(r, ctx);
   const int64_t b = split.q >= 1.0 ? 0 : split.num_partitions;
   if (stats != nullptr) {
     stats->q = split.q;
@@ -196,11 +205,210 @@ StatusOr<Relation> HybridHashJoinImpl(const Relation& r, const Relation& s,
   return out;
 }
 
+/// The DOP > 1 top-level hybrid (recursive overflow handling stays serial
+/// inside each worker: worker contexts have dop = 1). Charge-for-charge it
+/// mirrors HybridHashJoinImpl at depth 0:
+///  * the partitioning hash of every R/S tuple is charged during the
+///    morsel-parallel partition-id scan;
+///  * the resident partition R_0 is built serially in input order, so the
+///    resident/overflow split — and therefore every downstream comparison
+///    count — is identical to the serial run;
+///  * spilled partitions are written by one task each (input order →
+///    byte-identical spill files), and phase 2 runs one task per pair with
+///    results concatenated in partition order.
+StatusOr<Relation> HybridHashJoinParallel(const Relation& r,
+                                          const Relation& s,
+                                          const JoinSpec& spec,
+                                          ExecContext* ctx,
+                                          JoinRunStats* stats) {
+  const Schema& rs = r.schema();
+  const Schema& ss = s.schema();
+  Relation out(Schema::Concat(rs, ss));
+  if (stats != nullptr) stats->recursion_depth = 0;
+
+  HybridSplit split = ComputeShavedSplit(r, ctx);
+  const int64_t b = split.q >= 1.0 ? 0 : split.num_partitions;
+  if (stats != nullptr) {
+    stats->q = split.q;
+    stats->partitions = b;
+  }
+
+  const IoKind spill_kind = b <= 1 ? IoKind::kSequential : IoKind::kRandom;
+  HashPartitioner partitioner = HashPartitioner::Hybrid(split.q, b, 0);
+
+  // Phase 1 over R: parallel partition-id scan (charges the Hash per
+  // tuple), then resident build in input order + one spill task per
+  // partition.
+  std::vector<int32_t> r_pids;
+  MMDB_RETURN_IF_ERROR(ComputePartitionIds(
+      ctx, r.rows(),
+      [&](const Row& row) {
+        return partitioner.PartitionOf(
+            row[static_cast<size_t>(spec.left_column)]);
+      },
+      &r_pids));
+  const std::vector<std::vector<int64_t>> r_groups =
+      GroupIndicesByPartition(r_pids, b + 1);
+
+  JoinHashTable resident(spec.left_column, ctx->clock);
+  const int64_t resident_capacity = std::max<int64_t>(
+      1, ctx->TuplesInPages(rs, std::max<int64_t>(1, ctx->memory_pages - b)));
+  std::unique_ptr<PartitionWriterSet> r_spill;
+  std::unique_ptr<PartitionWriterSet> r_overflow;
+  if (b > 0) {
+    r_spill = std::make_unique<PartitionWriterSet>(ctx, rs, b, spill_kind,
+                                                   "hybrid_r");
+  }
+  for (int64_t idx : r_groups[0]) {
+    const Row& row = r.rows()[static_cast<size_t>(idx)];
+    if (resident.size() < resident_capacity) {
+      ctx->clock->Move();
+      resident.Insert(row);
+    } else {
+      if (r_overflow == nullptr) {
+        r_overflow = std::make_unique<PartitionWriterSet>(
+            ctx, rs, 1, spill_kind, "hybrid_r_ovf");
+      }
+      MMDB_RETURN_IF_ERROR(r_overflow->Append(0, row));
+    }
+  }
+  if (b > 0) {
+    MMDB_RETURN_IF_ERROR(
+        ParallelDistribute(ctx, r.rows(), r_groups, 1, r_spill.get()));
+  }
+  if (r_spill != nullptr) MMDB_RETURN_IF_ERROR(r_spill->FinishAll());
+  if (r_overflow != nullptr) MMDB_RETURN_IF_ERROR(r_overflow->FinishAll());
+
+  // Phase 1 over S: parallel partition-id scan; bucket 0 probes the (now
+  // read-only) resident table morsel-parallel with matches concatenated in
+  // morsel order — the same emission order as the serial S scan.
+  std::vector<int32_t> s_pids;
+  MMDB_RETURN_IF_ERROR(ComputePartitionIds(
+      ctx, s.rows(),
+      [&](const Row& row) {
+        return partitioner.PartitionOf(
+            row[static_cast<size_t>(spec.right_column)]);
+      },
+      &s_pids));
+  const std::vector<std::vector<int64_t>> s_groups =
+      GroupIndicesByPartition(s_pids, b + 1);
+
+  std::unique_ptr<PartitionWriterSet> s_spill;
+  std::unique_ptr<PartitionWriterSet> s0_saved;
+  if (b > 0) {
+    s_spill = std::make_unique<PartitionWriterSet>(ctx, ss, b, spill_kind,
+                                                   "hybrid_s");
+  }
+  if (r_overflow != nullptr) {
+    s0_saved = std::make_unique<PartitionWriterSet>(ctx, ss, 1, spill_kind,
+                                                    "hybrid_s0_saved");
+  }
+  {
+    const std::vector<int64_t>& s0 = s_groups[0];
+    const std::vector<IndexRange> morsels =
+        MorselRanges(static_cast<int64_t>(s0.size()));
+    std::vector<std::vector<Row>> emitted(morsels.size());
+    MMDB_RETURN_IF_ERROR(ParallelFor(
+        ctx, static_cast<int64_t>(morsels.size()),
+        [&](ExecContext* wctx, int, int64_t m) {
+          std::vector<Row>& local = emitted[static_cast<size_t>(m)];
+          const IndexRange range = morsels[static_cast<size_t>(m)];
+          for (int64_t i = range.begin; i < range.end; ++i) {
+            const Row& row =
+                s.rows()[static_cast<size_t>(s0[static_cast<size_t>(i)])];
+            resident.ProbeWith(
+                wctx->clock, row[static_cast<size_t>(spec.right_column)],
+                [&](const Row& r_row) {
+                  local.push_back(ConcatRows(r_row, row));
+                });
+          }
+          return Status::OK();
+        }));
+    for (std::vector<Row>& batch : emitted) {
+      for (Row& row : batch) {
+        out.Add(std::move(row));
+      }
+    }
+    if (s0_saved != nullptr) {
+      for (int64_t idx : s0) {
+        MMDB_RETURN_IF_ERROR(
+            s0_saved->Append(0, s.rows()[static_cast<size_t>(idx)]));
+      }
+    }
+  }
+  if (b > 0) {
+    MMDB_RETURN_IF_ERROR(
+        ParallelDistribute(ctx, s.rows(), s_groups, 1, s_spill.get()));
+  }
+  if (s_spill != nullptr) MMDB_RETURN_IF_ERROR(s_spill->FinishAll());
+  if (s0_saved != nullptr) MMDB_RETURN_IF_ERROR(s0_saved->FinishAll());
+
+  // Phase 2: one task per spilled pair; per-pair outputs concatenated in
+  // partition order (the serial emission order).
+  if (b > 0) {
+    auto r_parts = r_spill->Release();
+    auto s_parts = s_spill->Release();
+    std::vector<Relation> partial(static_cast<size_t>(b));
+    std::vector<int> depths(static_cast<size_t>(b), 0);
+    MMDB_RETURN_IF_ERROR(ParallelFor(
+        ctx, b, [&](ExecContext* wctx, int, int64_t i) {
+          const auto& rp = r_parts[static_cast<size_t>(i)];
+          const auto& sp = s_parts[static_cast<size_t>(i)];
+          if (rp.records == 0 || sp.records == 0) {
+            wctx->disk->DeleteFile(rp.file);
+            wctx->disk->DeleteFile(sp.file);
+            return Status::OK();
+          }
+          MMDB_ASSIGN_OR_RETURN(std::vector<Row> r_rows,
+                                ReadAndDeletePartition(wctx, rs, rp));
+          MMDB_ASSIGN_OR_RETURN(std::vector<Row> s_rows,
+                                ReadAndDeletePartition(wctx, ss, sp));
+          Relation local(out.schema());
+          JoinRunStats local_stats;
+          MMDB_RETURN_IF_ERROR(JoinSpilledPair(
+              std::move(r_rows), std::move(s_rows), rs, ss, spec, wctx,
+              &local_stats, 0, &local));
+          depths[static_cast<size_t>(i)] = local_stats.recursion_depth;
+          partial[static_cast<size_t>(i)] = std::move(local);
+          return Status::OK();
+        }));
+    for (Relation& p : partial) {
+      for (Row& row : p.mutable_rows()) {
+        out.Add(std::move(row));
+      }
+    }
+    if (stats != nullptr) {
+      for (int d : depths) {
+        stats->recursion_depth = std::max(stats->recursion_depth, d);
+      }
+    }
+  }
+
+  // Overflow of the resident partition, if any (serial, like the tail of
+  // the serial implementation).
+  if (r_overflow != nullptr) {
+    auto ovf = r_overflow->Release();
+    auto saved = s0_saved->Release();
+    MMDB_ASSIGN_OR_RETURN(std::vector<Row> r_rows,
+                          ReadAndDeletePartition(ctx, rs, ovf[0]));
+    MMDB_ASSIGN_OR_RETURN(std::vector<Row> s_rows,
+                          ReadAndDeletePartition(ctx, ss, saved[0]));
+    MMDB_RETURN_IF_ERROR(JoinSpilledPair(std::move(r_rows), std::move(s_rows),
+                                         rs, ss, spec, ctx, stats, 0, &out));
+  }
+
+  if (stats != nullptr) stats->output_tuples = out.num_tuples();
+  return out;
+}
+
 }  // namespace
 
 StatusOr<Relation> HybridHashJoin(const Relation& r, const Relation& s,
                                   const JoinSpec& spec, ExecContext* ctx,
                                   JoinRunStats* stats) {
+  if (ctx->dop > 1) {
+    return HybridHashJoinParallel(r, s, spec, ctx, stats);
+  }
   return HybridHashJoinImpl(r, s, spec, ctx, stats, 0);
 }
 

@@ -1,0 +1,151 @@
+#include "exec/parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <future>
+#include <memory>
+
+#include "common/check.h"
+#include "common/thread_pool.h"
+
+namespace mmdb {
+
+std::vector<IndexRange> MorselRanges(int64_t n, int64_t morsel_rows) {
+  MMDB_CHECK(morsel_rows >= 1);
+  std::vector<IndexRange> out;
+  if (n <= 0) return out;
+  out.reserve(static_cast<size_t>((n + morsel_rows - 1) / morsel_rows));
+  for (int64_t begin = 0; begin < n; begin += morsel_rows) {
+    out.push_back({begin, std::min(n, begin + morsel_rows)});
+  }
+  return out;
+}
+
+int PlannedWorkers(const ExecContext* ctx, int64_t num_chunks) {
+  if (num_chunks <= 0) return 0;
+  return static_cast<int>(
+      std::min<int64_t>(std::max(1, ctx->dop), num_chunks));
+}
+
+namespace {
+
+/// One worker's private execution state: a clock of the same machine model
+/// and a context clone pointing at it (dop = 1 — nested operators serial).
+struct WorkerSlot {
+  CostClock clock;
+  ExecContext ctx;
+
+  explicit WorkerSlot(const ExecContext& base)
+      : clock(base.clock->params()), ctx(base) {
+    ctx.clock = &clock;
+    ctx.dop = 1;
+  }
+};
+
+}  // namespace
+
+Status ParallelFor(
+    ExecContext* ctx, int64_t num_chunks,
+    const std::function<Status(ExecContext*, int, int64_t)>& fn) {
+  const int workers = PlannedWorkers(ctx, num_chunks);
+  if (workers <= 1) {
+    for (int64_t c = 0; c < num_chunks; ++c) {
+      MMDB_RETURN_IF_ERROR(fn(ctx, 0, c));
+    }
+    return Status::OK();
+  }
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots;
+  slots.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    slots.push_back(std::make_unique<WorkerSlot>(*ctx));
+  }
+
+  std::atomic<int64_t> cursor{0};
+  std::atomic<bool> failed{false};
+  std::vector<Status> chunk_status(static_cast<size_t>(num_chunks));
+  auto run_worker = [&](int w) {
+    ExecContext* wctx = &slots[static_cast<size_t>(w)]->ctx;
+    for (;;) {
+      const int64_t c = cursor.fetch_add(1, std::memory_order_relaxed);
+      if (c >= num_chunks) return;
+      if (failed.load(std::memory_order_acquire)) continue;  // drain fast
+      Status s = fn(wctx, w, c);
+      if (!s.ok()) {
+        chunk_status[static_cast<size_t>(c)] = std::move(s);
+        failed.store(true, std::memory_order_release);
+      }
+    }
+  };
+
+  ThreadPool* pool = ThreadPool::Shared();
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(workers));
+  for (int w = 0; w < workers; ++w) {
+    futures.push_back(pool->Submit([&run_worker, w] { run_worker(w); }));
+  }
+  for (std::future<void>& f : futures) {
+    f.get();
+  }
+  // All workers are done (future::get is the synchronization point): fold
+  // their tallies into the shared clock. Addition commutes, so the totals
+  // do not depend on which worker processed which chunk.
+  for (const auto& slot : slots) {
+    ctx->clock->MergeFrom(slot->clock);
+  }
+  if (failed.load(std::memory_order_acquire)) {
+    for (const Status& s : chunk_status) {
+      if (!s.ok()) return s;
+    }
+  }
+  return Status::OK();
+}
+
+Status ComputePartitionIds(ExecContext* ctx, const std::vector<Row>& rows,
+                           const std::function<int64_t(const Row&)>& pid_of,
+                           std::vector<int32_t>* pids) {
+  pids->assign(rows.size(), 0);
+  const std::vector<IndexRange> morsels =
+      MorselRanges(static_cast<int64_t>(rows.size()));
+  return ParallelFor(
+      ctx, static_cast<int64_t>(morsels.size()),
+      [&](ExecContext* wctx, int, int64_t m) {
+        const IndexRange range = morsels[static_cast<size_t>(m)];
+        for (int64_t i = range.begin; i < range.end; ++i) {
+          wctx->clock->Hash();
+          (*pids)[static_cast<size_t>(i)] = static_cast<int32_t>(
+              pid_of(rows[static_cast<size_t>(i)]));
+        }
+        return Status::OK();
+      });
+}
+
+std::vector<std::vector<int64_t>> GroupIndicesByPartition(
+    const std::vector<int32_t>& pids, int64_t num_partitions) {
+  std::vector<std::vector<int64_t>> groups(
+      static_cast<size_t>(num_partitions));
+  for (size_t i = 0; i < pids.size(); ++i) {
+    groups[static_cast<size_t>(pids[i])].push_back(static_cast<int64_t>(i));
+  }
+  return groups;
+}
+
+Status ParallelDistribute(ExecContext* ctx, const std::vector<Row>& rows,
+                          const std::vector<std::vector<int64_t>>& groups,
+                          int64_t first_group, PartitionWriterSet* writers) {
+  const int64_t num_writers =
+      static_cast<int64_t>(groups.size()) - first_group;
+  return ParallelFor(
+      ctx, num_writers, [&](ExecContext* wctx, int, int64_t p) {
+        std::vector<char> scratch(
+            static_cast<size_t>(writers->record_size()));
+        for (int64_t idx : groups[static_cast<size_t>(first_group + p)]) {
+          MMDB_RETURN_IF_ERROR(
+              writers->AppendTo(p, rows[static_cast<size_t>(idx)],
+                                wctx->clock, scratch.data()));
+        }
+        return Status::OK();
+      });
+}
+
+}  // namespace mmdb

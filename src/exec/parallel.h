@@ -1,0 +1,75 @@
+#ifndef MMDB_EXEC_PARALLEL_H_
+#define MMDB_EXEC_PARALLEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/exec_context.h"
+#include "exec/partitioner.h"
+#include "storage/row.h"
+
+namespace mmdb {
+
+/// Rows per morsel for the morsel-driven scans (DESIGN.md §8): small enough
+/// to load-balance skewed work across workers, large enough that claiming a
+/// morsel from the shared cursor is noise next to processing it.
+inline constexpr int64_t kMorselRows = 2048;
+
+/// Contiguous index range [begin, end).
+struct IndexRange {
+  int64_t begin = 0;
+  int64_t end = 0;
+};
+
+/// Splits [0, n) into ceil(n / morsel_rows) contiguous morsels, in order.
+std::vector<IndexRange> MorselRanges(int64_t n,
+                                     int64_t morsel_rows = kMorselRows);
+
+/// The worker count ParallelFor will use: min(max(1, ctx->dop), chunks).
+int PlannedWorkers(const ExecContext* ctx, int64_t num_chunks);
+
+/// Runs `fn(worker_ctx, worker, chunk)` for every chunk in [0, num_chunks)
+/// on the shared ThreadPool: PlannedWorkers() workers pull chunk indices
+/// from a shared cursor (morsel-driven scheduling), so a slow chunk never
+/// idles the other workers.
+///
+/// Each worker gets a private ExecContext clone whose CostClock is merged
+/// into ctx->clock after every worker finishes — cost totals are therefore
+/// independent of the chunk→worker assignment and of the DOP. Worker
+/// contexts have dop = 1, so operators nested inside a chunk run serially
+/// (no pool re-entry, no starvation). With ctx->dop <= 1 or a single chunk
+/// the chunks run inline on the calling thread against ctx itself.
+///
+/// Returns the error of the lowest-numbered failing chunk, if any. Once a
+/// chunk fails, remaining chunks are skipped (their cost is not charged);
+/// error paths make no determinism promise.
+Status ParallelFor(ExecContext* ctx, int64_t num_chunks,
+                   const std::function<Status(ExecContext*, int, int64_t)>& fn);
+
+/// Morsel-parallel partition-id computation: (*pids)[i] = pid_of(rows[i]),
+/// charging one Hash per row (the partitioning hash of §3.3) on the worker
+/// clocks. `pid_of` must be pure (it is called concurrently).
+Status ComputePartitionIds(ExecContext* ctx, const std::vector<Row>& rows,
+                           const std::function<int64_t(const Row&)>& pid_of,
+                           std::vector<int32_t>* pids);
+
+/// Groups row indices by partition id, preserving input order within each
+/// group (pure bookkeeping — no clock charges). Serial: it only moves
+/// int64s, a tiny fraction of the distribution work it sets up.
+std::vector<std::vector<int64_t>> GroupIndicesByPartition(
+    const std::vector<int32_t>& pids, int64_t num_partitions);
+
+/// Partition-parallel spill: one task per partition appends that
+/// partition's rows (groups[first_group + k] goes to writer k) in input
+/// order, charging one Move per row on the worker clocks. Because exactly
+/// one task owns each writer, every spill file has the same contents — and
+/// hence the same page count and flush I/Os — as a serial distribution.
+Status ParallelDistribute(ExecContext* ctx, const std::vector<Row>& rows,
+                          const std::vector<std::vector<int64_t>>& groups,
+                          int64_t first_group, PartitionWriterSet* writers);
+
+}  // namespace mmdb
+
+#endif  // MMDB_EXEC_PARALLEL_H_

@@ -51,10 +51,15 @@ PartitionWriterSet::PartitionWriterSet(ExecContext* ctx, const Schema& schema,
 }
 
 Status PartitionWriterSet::Append(int64_t p, const Row& row) {
+  return AppendTo(p, row, ctx_->clock, record_buf_.data());
+}
+
+Status PartitionWriterSet::AppendTo(int64_t p, const Row& row,
+                                    CostClock* clock, char* scratch) {
   MMDB_DCHECK(p >= 0 && p < static_cast<int64_t>(writers_.size()));
-  ctx_->clock->Move();
-  MMDB_RETURN_IF_ERROR(SerializeRow(schema_, row, record_buf_.data()));
-  return writers_[static_cast<size_t>(p)]->Append(record_buf_.data());
+  clock->Move();
+  MMDB_RETURN_IF_ERROR(SerializeRow(schema_, row, scratch));
+  return writers_[static_cast<size_t>(p)]->Append(scratch);
 }
 
 Status PartitionWriterSet::FinishAll() {

@@ -21,6 +21,12 @@ struct IndexStats {
     page_faults += o.page_faults;
     return *this;
   }
+
+  /// Parallel-accounting discipline (same as CostClock::MergeFrom): the
+  /// struct itself is not synchronized, so concurrent readers must keep a
+  /// private IndexStats and fold it into the shared instance after their
+  /// region completes. Totals are then independent of the work split.
+  void MergeFrom(const IndexStats& o) { *this += o; }
 };
 
 }  // namespace mmdb

@@ -3,11 +3,31 @@
 #include <algorithm>
 
 #include "common/check.h"
+#include "exec/parallel.h"
 #include "optimizer/optimizer.h"
 
 namespace mmdb {
 
 namespace {
+
+/// Applies a plan node's DOP to the context while the node itself runs
+/// (children execute under their own nodes' settings). A node dop of 1
+/// leaves the context untouched, so directly-invoked operators keep
+/// whatever the caller configured.
+class ScopedDop {
+ public:
+  ScopedDop(ExecContext* ctx, int dop) : ctx_(ctx), saved_(ctx->dop) {
+    if (dop > 1) ctx_->dop = dop;
+  }
+  ~ScopedDop() { ctx_->dop = saved_; }
+
+  ScopedDop(const ScopedDop&) = delete;
+  ScopedDop& operator=(const ScopedDop&) = delete;
+
+ private:
+  ExecContext* ctx_;
+  int saved_;
+};
 
 StatusOr<int> FindColumn(const std::vector<ColumnRef>& columns,
                          const ColumnRef& ref) {
@@ -56,6 +76,41 @@ StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
         col_indexes.push_back(idx);
       }
       Relation out(in.schema());
+      ScopedDop sd(ctx, plan.dop);
+      if (ctx->dop > 1) {
+        // Morsel-parallel filter: per-morsel survivor buffers concatenated
+        // in morsel order give the serial output order; the early-exit
+        // comparison pattern per row is unchanged, so so are the charges.
+        const std::vector<IndexRange> morsels =
+            MorselRanges(in.num_tuples());
+        std::vector<std::vector<Row>> kept(morsels.size());
+        MMDB_RETURN_IF_ERROR(ParallelFor(
+            ctx, static_cast<int64_t>(morsels.size()),
+            [&](ExecContext* wctx, int, int64_t m) {
+              std::vector<Row>& local = kept[static_cast<size_t>(m)];
+              const IndexRange range = morsels[static_cast<size_t>(m)];
+              for (int64_t r = range.begin; r < range.end; ++r) {
+                Row& row = in.mutable_rows()[static_cast<size_t>(r)];
+                bool keep = true;
+                for (size_t i = 0; i < plan.predicates.size(); ++i) {
+                  wctx->clock->Comp();
+                  if (!EvalPredicate(plan.predicates[i], row,
+                                     col_indexes[i])) {
+                    keep = false;
+                    break;
+                  }
+                }
+                if (keep) local.push_back(std::move(row));
+              }
+              return Status::OK();
+            }));
+        for (std::vector<Row>& batch : kept) {
+          for (Row& row : batch) {
+            out.Add(std::move(row));
+          }
+        }
+        return out;
+      }
       for (Row& row : in.mutable_rows()) {
         bool keep = true;
         for (size_t i = 0; i < plan.predicates.size(); ++i) {
@@ -86,6 +141,7 @@ StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
       JoinSpec spec;
       spec.left_column = plan.build_is_right ? right_idx : left_idx;
       spec.right_column = plan.build_is_right ? left_idx : right_idx;
+      ScopedDop sd(ctx, plan.dop);
       return ExecuteJoin(plan.algorithm, build, probe, spec, ctx);
     }
     case PlanNode::Kind::kProject: {

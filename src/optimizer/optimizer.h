@@ -19,6 +19,9 @@ struct OptimizerOptions {
   /// choose from" — consider only the hybrid hash join. When false the
   /// planner prices all four algorithms per join (the classical search).
   bool hash_only = false;
+  /// Degree of parallelism stamped onto the join and filter nodes of the
+  /// produced plan (DESIGN.md §8). 1 = serial plans, today's behavior.
+  int dop = 1;
 };
 
 /// A Selinger-flavoured planner specialised for main memory (§4):

@@ -51,6 +51,7 @@ std::string PlanNode::ToString(int indent) const {
       break;
     }
   }
+  if (dop > 1) out += " dop=" + std::to_string(dop);
   out += est;
   out += "\n";
   if (child_left) out += child_left->ToString(indent + 1);

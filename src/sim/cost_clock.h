@@ -32,6 +32,14 @@ struct CostCounters {
     rand_ios += o.rand_ios;
     return *this;
   }
+
+  bool operator==(const CostCounters& o) const {
+    return comparisons == o.comparisons && hashes == o.hashes &&
+           moves == o.moves && small_moves == o.small_moves &&
+           swaps == o.swaps && seq_ios == o.seq_ios &&
+           rand_ios == o.rand_ios;
+  }
+  bool operator!=(const CostCounters& o) const { return !(*this == o); }
 };
 
 /// Simulated-time accounting clock. The executed join/sort/recovery
@@ -55,6 +63,12 @@ class CostClock {
 
   const CostCounters& counters() const { return counters_; }
   const CostParams& params() const { return params_; }
+
+  /// Folds another clock's tallies into this one. The parallel operators
+  /// (DESIGN.md §8) give each worker a private clock and merge it here once
+  /// the parallel region completes — the clock itself stays lock-free, and
+  /// totals are independent of how work was split across workers.
+  void MergeFrom(const CostClock& other) { counters_ += other.counters_; }
 
   /// Total simulated elapsed time in seconds under the machine model.
   double Seconds() const;

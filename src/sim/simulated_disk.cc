@@ -7,14 +7,19 @@
 namespace mmdb {
 
 SimulatedDisk::FileId SimulatedDisk::CreateFile(std::string name) {
+  std::lock_guard<std::mutex> lock(mu_);
   FileId id = next_id_++;
   files_[id].name = std::move(name);
   return id;
 }
 
-void SimulatedDisk::DeleteFile(FileId id) { files_.erase(id); }
+void SimulatedDisk::DeleteFile(FileId id) {
+  std::lock_guard<std::mutex> lock(mu_);
+  files_.erase(id);
+}
 
 int64_t SimulatedDisk::NumPages(FileId id) const {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(id);
   if (it == files_.end()) return 0;
   return static_cast<int64_t>(it->second.pages.size());
@@ -36,8 +41,8 @@ void SimulatedDisk::Charge(File* f, int64_t page_no, IoKind kind) {
   f->last_page_accessed = page_no;
 }
 
-Status SimulatedDisk::WritePage(FileId id, int64_t page_no, const void* data,
-                                IoKind kind) {
+Status SimulatedDisk::WritePageLocked(FileId id, int64_t page_no,
+                                      const void* data, IoKind kind) {
   auto it = files_.find(id);
   if (it == files_.end()) return Status::NotFound("no such file");
   if (page_no < 0) return Status::InvalidArgument("negative page number");
@@ -70,8 +75,15 @@ Status SimulatedDisk::WritePage(FileId id, int64_t page_no, const void* data,
   return Status::OK();
 }
 
+Status SimulatedDisk::WritePage(FileId id, int64_t page_no, const void* data,
+                                IoKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return WritePageLocked(id, page_no, data, kind);
+}
+
 Status SimulatedDisk::ReadPage(FileId id, int64_t page_no, void* out,
                                IoKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(id);
   if (it == files_.end()) return Status::NotFound("no such file");
   File& f = it->second;
@@ -98,14 +110,16 @@ Status SimulatedDisk::ReadPage(FileId id, int64_t page_no, void* out,
 
 StatusOr<int64_t> SimulatedDisk::AppendPage(FileId id, const void* data,
                                             IoKind kind) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(id);
   if (it == files_.end()) return Status::NotFound("no such file");
   int64_t page_no = static_cast<int64_t>(it->second.pages.size());
-  MMDB_RETURN_IF_ERROR(WritePage(id, page_no, data, kind));
+  MMDB_RETURN_IF_ERROR(WritePageLocked(id, page_no, data, kind));
   return page_no;
 }
 
 StatusOr<int64_t> SimulatedDisk::AllocatePage(FileId id) {
+  std::lock_guard<std::mutex> lock(mu_);
   auto it = files_.find(id);
   if (it == files_.end()) return Status::NotFound("no such file");
   File& f = it->second;
@@ -114,6 +128,7 @@ StatusOr<int64_t> SimulatedDisk::AllocatePage(FileId id) {
 }
 
 int64_t SimulatedDisk::TotalPages() const {
+  std::lock_guard<std::mutex> lock(mu_);
   int64_t total = 0;
   for (const auto& [id, f] : files_) {
     total += static_cast<int64_t>(f.pages.size());

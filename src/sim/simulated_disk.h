@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <map>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -26,6 +27,13 @@ enum class IoKind { kSequential, kRandom };
 /// attached CostClock instead of spinning rust. `auto_detect` mode instead
 /// infers seq/random from the previous arm position per file, used by tests
 /// to validate the callers' declared access kinds.
+///
+/// Thread-safety: every file operation (and the clock charge it performs)
+/// runs under one internal mutex, so the parallel operators of DESIGN.md §8
+/// may read/write/delete distinct files concurrently — this disk and its
+/// attached clock are the only state parallel workers share. Like a real
+/// single-spindle disk, transfers serialize. `stats()` must only be read
+/// with no transfer in flight (e.g. after a parallel region completes).
 class SimulatedDisk {
  public:
   using FileId = int64_t;
@@ -83,7 +91,10 @@ class SimulatedDisk {
     int64_t io_errors = 0;  ///< transfers failed by the fault injector
   };
   const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  void ResetStats() {
+    std::lock_guard<std::mutex> lock(mu_);
+    stats_ = Stats{};
+  }
 
  private:
   struct File {
@@ -93,6 +104,8 @@ class SimulatedDisk {
   };
 
   void Charge(File* f, int64_t page_no, IoKind kind);
+  Status WritePageLocked(FileId id, int64_t page_no, const void* data,
+                         IoKind kind);
 
   int64_t page_size_;
   CostClock* clock_;
@@ -100,6 +113,8 @@ class SimulatedDisk {
   FileId next_id_ = 0;
   std::map<FileId, File> files_;
   Stats stats_;
+  /// Guards files_, next_id_, stats_ and the clock charge of each transfer.
+  mutable std::mutex mu_;
 };
 
 }  // namespace mmdb

@@ -1,0 +1,294 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "exec/aggregate.h"
+#include "exec/join.h"
+#include "storage/datagen.h"
+
+namespace mmdb {
+namespace {
+
+/// The property under test (DESIGN.md §8): for every operator that supports
+/// DOP, a parallel run must produce (a) the exact result multiset of its
+/// serial counterpart and (b) the exact same simulated-cost tallies — at
+/// every DOP and on every rerun, because the cost clock is the repo's
+/// ground truth and must not wobble with the thread schedule.
+
+constexpr int kDops[] = {2, 4, 8};
+constexpr int kReruns = 2;
+
+std::multiset<std::string> Canonical(const Relation& rel) {
+  std::multiset<std::string> out;
+  for (const Row& row : rel.rows()) out.insert(RowToString(row));
+  return out;
+}
+
+struct DiffCase {
+  int64_t r_tuples;
+  int64_t s_tuples;
+  KeyDistribution s_dist;
+  int64_t s_key_range;
+  double memory_ratio;  ///< |M| as a fraction of |R|*F (spill pressure)
+  const char* name;
+};
+
+const DiffCase kCases[] = {
+    // In-memory: single-partition / one-pass code paths.
+    {400, 400, KeyDistribution::kUniform, 400, 2.0, "inmem"},
+    // Half-memory: hybrid spills some partitions, simple hash needs passes.
+    {600, 900, KeyDistribution::kUniform, 600, 0.5, "half_memory"},
+    // Severe memory pressure: deep partitioning on every algorithm.
+    {800, 1600, KeyDistribution::kUniform, 800, 0.15, "tiny_memory"},
+    // Zipf skew: unbalanced partitions and morsels.
+    {500, 1200, KeyDistribution::kZipf, 500, 0.3, "zipf_skew"},
+    // Duplicate-heavy: long probe chains, many-to-many matches.
+    {300, 900, KeyDistribution::kUniform, 40, 0.4, "duplicate_heavy"},
+    // Build side larger than probe side (stresses pass/partition counts).
+    {1500, 300, KeyDistribution::kUniform, 1500, 0.25, "large_build"},
+};
+
+class ParallelJoinDifferentialTest
+    : public ::testing::TestWithParam<DiffCase> {};
+
+TEST_P(ParallelJoinDifferentialTest, MatchesSerialResultAndCosts) {
+  const DiffCase c = GetParam();
+  GenOptions r_opts;
+  r_opts.num_tuples = c.r_tuples;
+  r_opts.tuple_width = 64;
+  r_opts.seed = 4242;
+  GenOptions s_opts;
+  s_opts.num_tuples = c.s_tuples;
+  s_opts.tuple_width = 48;
+  s_opts.distribution = c.s_dist;
+  s_opts.key_range = c.s_key_range;
+  s_opts.seed = 2424;
+  const Relation r = MakeKeyedRelation(r_opts);
+  const Relation s = MakeKeyedRelation(s_opts);
+  const JoinSpec spec{0, 0};
+  const int64_t memory = std::max<int64_t>(
+      2,
+      static_cast<int64_t>(c.memory_ratio * double(r.NumPages(4096)) * 1.2));
+
+  const JoinAlgorithm kParallelAlgorithms[] = {JoinAlgorithm::kSimpleHash,
+                                               JoinAlgorithm::kGraceHash,
+                                               JoinAlgorithm::kHybridHash};
+  for (JoinAlgorithm alg : kParallelAlgorithms) {
+    ExecEnv serial_env(memory);
+    JoinRunStats serial_stats;
+    auto serial = ExecuteJoin(alg, r, s, spec, &serial_env.ctx,
+                              &serial_stats);
+    ASSERT_TRUE(serial.ok()) << JoinAlgorithmName(alg);
+    const auto expected = Canonical(*serial);
+    const CostCounters expected_counters = serial_env.clock.counters();
+
+    for (int dop : kDops) {
+      for (int rerun = 0; rerun < kReruns; ++rerun) {
+        ExecEnv env(memory);
+        env.ctx.dop = dop;
+        JoinRunStats stats;
+        auto out = ExecuteJoin(alg, r, s, spec, &env.ctx, &stats);
+        ASSERT_TRUE(out.ok())
+            << JoinAlgorithmName(alg) << " dop=" << dop;
+        EXPECT_EQ(Canonical(*out), expected)
+            << JoinAlgorithmName(alg) << " dop=" << dop;
+        EXPECT_EQ(env.clock.counters(), expected_counters)
+            << JoinAlgorithmName(alg) << " dop=" << dop
+            << " rerun=" << rerun << "\nserial: "
+            << serial_env.clock.DebugString() << "\nparallel: "
+            << env.clock.DebugString();
+        EXPECT_EQ(stats.output_tuples, serial_stats.output_tuples);
+        EXPECT_EQ(stats.passes, serial_stats.passes);
+        EXPECT_EQ(stats.partitions, serial_stats.partitions);
+        EXPECT_EQ(env.disk.TotalPages(), 0)
+            << JoinAlgorithmName(alg) << " dop=" << dop;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ParallelJoinDifferentialTest,
+                         ::testing::ValuesIn(kCases),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(ParallelJoinDifferentialTest, EmptyInputsAtEveryDop) {
+  Schema schema({Column::Int64("key"), Column::Int64("payload")});
+  Relation empty(schema);
+  GenOptions opts;
+  opts.num_tuples = 200;
+  opts.tuple_width = 16;
+  Relation full = MakeKeyedRelation(opts);
+  const JoinAlgorithm kParallelAlgorithms[] = {JoinAlgorithm::kSimpleHash,
+                                               JoinAlgorithm::kGraceHash,
+                                               JoinAlgorithm::kHybridHash};
+  for (JoinAlgorithm alg : kParallelAlgorithms) {
+    for (int dop : kDops) {
+      ExecEnv env(4);
+      env.ctx.dop = dop;
+      auto a = ExecuteJoin(alg, empty, full, JoinSpec{0, 0}, &env.ctx);
+      ASSERT_TRUE(a.ok()) << JoinAlgorithmName(alg) << " dop=" << dop;
+      EXPECT_EQ(a->num_tuples(), 0);
+      auto b = ExecuteJoin(alg, full, empty, JoinSpec{0, 0}, &env.ctx);
+      ASSERT_TRUE(b.ok()) << JoinAlgorithmName(alg) << " dop=" << dop;
+      EXPECT_EQ(b->num_tuples(), 0);
+      auto c = ExecuteJoin(alg, empty, empty, JoinSpec{0, 0}, &env.ctx);
+      ASSERT_TRUE(c.ok()) << JoinAlgorithmName(alg) << " dop=" << dop;
+      EXPECT_EQ(c->num_tuples(), 0);
+      EXPECT_EQ(env.disk.TotalPages(), 0);
+    }
+  }
+}
+
+struct AggCase {
+  int64_t tuples;
+  KeyDistribution dist;
+  int64_t key_range;
+  int64_t memory_pages;
+  const char* name;
+};
+
+const AggCase kAggCases[] = {
+    {500, KeyDistribution::kUniform, 50, 1024, "one_pass_few_groups"},
+    {500, KeyDistribution::kUniqueShuffled, 500, 1024, "one_pass_all_distinct"},
+    {4000, KeyDistribution::kUniform, 200, 8, "partitioned"},
+    {4000, KeyDistribution::kZipf, 400, 8, "partitioned_zipf"},
+    {3000, KeyDistribution::kUniform, 6, 8, "partitioned_duplicate_heavy"},
+};
+
+class ParallelAggregateDifferentialTest
+    : public ::testing::TestWithParam<AggCase> {};
+
+TEST_P(ParallelAggregateDifferentialTest, MatchesSerialResultAndCosts) {
+  const AggCase c = GetParam();
+  GenOptions opts;
+  opts.num_tuples = c.tuples;
+  opts.tuple_width = 48;
+  opts.distribution = c.dist;
+  opts.key_range = c.key_range;
+  opts.seed = 777;
+  const Relation input = MakeKeyedRelation(opts);
+
+  // Group by key; aggregate the int64 payload column. Integer-valued sums
+  // keep the float accumulation exact regardless of merge order, so the
+  // parallel SUM/AVG must match the serial one bit for bit (DESIGN.md §8).
+  AggregateSpec spec;
+  spec.group_by = {0};
+  spec.aggregates = {{AggFn::kCount, 0, "cnt"},
+                     {AggFn::kSum, 1, "sum_payload"},
+                     {AggFn::kMin, 1, "min_payload"},
+                     {AggFn::kMax, 1, "max_payload"},
+                     {AggFn::kAvg, 1, "avg_payload"}};
+
+  ExecEnv serial_env(c.memory_pages);
+  AggStats serial_stats;
+  auto serial = HashAggregate(input, spec, &serial_env.ctx, &serial_stats);
+  ASSERT_TRUE(serial.ok());
+  const auto expected = Canonical(*serial);
+  const CostCounters expected_counters = serial_env.clock.counters();
+
+  for (int dop : kDops) {
+    for (int rerun = 0; rerun < kReruns; ++rerun) {
+      ExecEnv env(c.memory_pages);
+      env.ctx.dop = dop;
+      AggStats stats;
+      auto out = HashAggregate(input, spec, &env.ctx, &stats);
+      ASSERT_TRUE(out.ok()) << "dop=" << dop;
+      EXPECT_EQ(Canonical(*out), expected) << "dop=" << dop;
+      EXPECT_EQ(env.clock.counters(), expected_counters)
+          << "dop=" << dop << " rerun=" << rerun << "\nserial: "
+          << serial_env.clock.DebugString() << "\nparallel: "
+          << env.clock.DebugString();
+      EXPECT_EQ(stats.one_pass, serial_stats.one_pass);
+      EXPECT_EQ(stats.partitions, serial_stats.partitions);
+      EXPECT_EQ(stats.groups, serial_stats.groups);
+      EXPECT_EQ(env.disk.TotalPages(), 0) << "dop=" << dop;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Workloads, ParallelAggregateDifferentialTest,
+                         ::testing::ValuesIn(kAggCases),
+                         [](const auto& info) { return info.param.name; });
+
+TEST(ParallelAggregateDifferentialTest, ProjectDistinctAtEveryDop) {
+  GenOptions opts;
+  opts.num_tuples = 2000;
+  opts.tuple_width = 32;
+  opts.distribution = KeyDistribution::kUniform;
+  opts.key_range = 64;
+  opts.seed = 31;
+  const Relation input = MakeKeyedRelation(opts);
+
+  ExecEnv serial_env(8);
+  auto serial = ProjectDistinct(input, {0}, &serial_env.ctx);
+  ASSERT_TRUE(serial.ok());
+  const auto expected = Canonical(*serial);
+  const CostCounters expected_counters = serial_env.clock.counters();
+  for (int dop : kDops) {
+    ExecEnv env(8);
+    env.ctx.dop = dop;
+    auto out = ProjectDistinct(input, {0}, &env.ctx);
+    ASSERT_TRUE(out.ok()) << "dop=" << dop;
+    EXPECT_EQ(Canonical(*out), expected) << "dop=" << dop;
+    EXPECT_EQ(env.clock.counters(), expected_counters) << "dop=" << dop;
+  }
+}
+
+TEST(ParallelAggregateDifferentialTest, EmptyInputAtEveryDop) {
+  Schema schema({Column::Int64("key"), Column::Int64("payload")});
+  Relation empty(schema);
+  AggregateSpec spec;
+  spec.group_by = {0};
+  spec.aggregates = {{AggFn::kCount, 0, "cnt"}};
+  for (int dop : kDops) {
+    ExecEnv env(8);
+    env.ctx.dop = dop;
+    auto out = HashAggregate(empty, spec, &env.ctx);
+    ASSERT_TRUE(out.ok()) << "dop=" << dop;
+    EXPECT_EQ(out->num_tuples(), 0);
+  }
+}
+
+TEST(ParallelDifferentialTest, Dop1IsBitIdenticalToSerialIncludingOrder) {
+  // DOP=1 must take the original serial code paths: identical output
+  // SEQUENCE (not just multiset) and identical tallies.
+  GenOptions r_opts;
+  r_opts.num_tuples = 700;
+  r_opts.tuple_width = 64;
+  r_opts.seed = 9;
+  GenOptions s_opts;
+  s_opts.num_tuples = 1400;
+  s_opts.tuple_width = 48;
+  s_opts.distribution = KeyDistribution::kUniform;
+  s_opts.key_range = 700;
+  s_opts.seed = 10;
+  const Relation r = MakeKeyedRelation(r_opts);
+  const Relation s = MakeKeyedRelation(s_opts);
+  const int64_t memory =
+      std::max<int64_t>(2, static_cast<int64_t>(
+                               0.3 * double(r.NumPages(4096)) * 1.2));
+  const JoinAlgorithm kParallelAlgorithms[] = {JoinAlgorithm::kSimpleHash,
+                                               JoinAlgorithm::kGraceHash,
+                                               JoinAlgorithm::kHybridHash};
+  for (JoinAlgorithm alg : kParallelAlgorithms) {
+    ExecEnv a(memory);
+    auto out_a = ExecuteJoin(alg, r, s, JoinSpec{0, 0}, &a.ctx);
+    ASSERT_TRUE(out_a.ok());
+    ExecEnv b(memory);
+    b.ctx.dop = 1;  // explicit, same thing
+    auto out_b = ExecuteJoin(alg, r, s, JoinSpec{0, 0}, &b.ctx);
+    ASSERT_TRUE(out_b.ok());
+    ASSERT_EQ(out_a->num_tuples(), out_b->num_tuples());
+    for (int64_t i = 0; i < out_a->num_tuples(); ++i) {
+      ASSERT_EQ(RowToString(out_a->rows()[static_cast<size_t>(i)]),
+                RowToString(out_b->rows()[static_cast<size_t>(i)]))
+          << JoinAlgorithmName(alg) << " row " << i;
+    }
+    EXPECT_EQ(a.clock.counters(), b.clock.counters())
+        << JoinAlgorithmName(alg);
+  }
+}
+
+}  // namespace
+}  // namespace mmdb
