@@ -74,6 +74,7 @@ void ExecutedCrossCheck() {
   std::printf("%-8s | %12s %12s | %12s %12s | %12s %12s | %12s %12s\n",
               "ratio", "sm meas", "sm model", "simple meas", "model",
               "grace meas", "model", "hybrid meas", "model");
+  MetricsRegistry totals;  // merged across every executed run
   int64_t expected_tuples = -1;
   for (double ratio : {0.1, 0.2, 0.3, 0.45, 0.55, 0.7, 0.9, 1.1}) {
     const int64_t memory =
@@ -98,6 +99,7 @@ void ExecutedCrossCheck() {
       MMDB_CHECK_MSG(out->num_tuples() == expected_tuples,
                      "join results diverged");
       measured[i] = env.clock.Seconds();
+      totals.MergeFrom(env.metrics);
     }
     std::printf(
         "%-8.2f | %12.2f %12.2f | %12.2f %12.2f | %12.2f %12.2f | %12.2f "
@@ -110,6 +112,8 @@ void ExecutedCrossCheck() {
   std::printf("\nall four algorithms produced identical join results "
               "(%lld tuples) at every memory size\n",
               static_cast<long long>(expected_tuples));
+  std::printf("\nmetrics (merged over all executed runs):\n%s\n",
+              totals.ToJson().c_str());
 }
 
 }  // namespace

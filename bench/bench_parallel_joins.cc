@@ -74,9 +74,11 @@ void SweepJoins() {
       double base_wall = 0;
       double serial_sim = -1;
       int64_t serial_tuples = -1;
+      std::string serial_metrics;
       for (int dop : kDops) {
         double sim = 0;
         int64_t tuples = 0;
+        std::string metrics_json;
         const double wall = WallSeconds([&] {
           ExecEnv env(memory);
           env.ctx.dop = dop;
@@ -84,15 +86,21 @@ void SweepJoins() {
           MMDB_CHECK(out.ok());
           sim = env.clock.Seconds();
           tuples = out->num_tuples();
+          metrics_json = env.metrics.ToJson();
         });
         if (dop == 1) {
           base_wall = wall;
           serial_sim = sim;
           serial_tuples = tuples;
+          serial_metrics = metrics_json;
         }
         MMDB_CHECK_MSG(sim == serial_sim,
                        "simulated seconds drifted with DOP");
         MMDB_CHECK_MSG(tuples == serial_tuples, "join result drifted");
+        // The per-worker metric shards merge like the worker clocks, so the
+        // JSON snapshot must be byte-identical at every DOP (DESIGN.md §9).
+        MMDB_CHECK_MSG(metrics_json == serial_metrics,
+                       "metrics drifted with DOP");
         std::printf("%-12s %5d %12.4f %14.2f %9.2fx\n",
                     std::string(JoinAlgorithmName(alg)).c_str(), dop, wall,
                     sim, base_wall / wall);
@@ -121,9 +129,11 @@ void SweepAggregation() {
               static_cast<long long>(opts.key_range));
   std::printf("%-12s %5s %12s %14s %10s\n", "memory", "dop", "wall s",
               "simulated s", "speedup");
+  std::string last_metrics;
   for (int64_t memory : {int64_t{4096}, int64_t{64}}) {
     double base_wall = 0;
     double serial_sim = -1;
+    std::string serial_metrics;
     for (int dop : kDops) {
       double sim = 0;
       int64_t groups = 0;
@@ -135,13 +145,17 @@ void SweepAggregation() {
         MMDB_CHECK(out.ok());
         sim = env.clock.Seconds();
         groups = stats.groups;
+        last_metrics = env.metrics.ToJson();
       });
       if (dop == 1) {
         base_wall = wall;
         serial_sim = sim;
+        serial_metrics = last_metrics;
       }
       MMDB_CHECK_MSG(sim == serial_sim, "simulated seconds drifted with DOP");
       MMDB_CHECK_MSG(groups == opts.key_range, "group count drifted");
+      MMDB_CHECK_MSG(last_metrics == serial_metrics,
+                     "metrics drifted with DOP");
       char mem_label[32];
       std::snprintf(mem_label, sizeof(mem_label), "%lld pages",
                     static_cast<long long>(memory));
@@ -149,8 +163,9 @@ void SweepAggregation() {
                   sim, base_wall / wall);
     }
   }
-  std::printf("\nsimulated seconds identical at every DOP (asserted), as "
-              "DESIGN.md §8 requires.\n");
+  std::printf("\nsimulated seconds and metrics snapshots identical at every "
+              "DOP (asserted), as DESIGN.md §8/§9 require.\n");
+  std::printf("\nmetrics (last aggregation run):\n%s\n", last_metrics.c_str());
 }
 
 }  // namespace

@@ -95,8 +95,13 @@ int main() {
       std::printf("error: %s\n", result.status().ToString().c_str());
       continue;
     }
-    if (!result->plan_text.empty() && result->relation.num_tuples() == 0 &&
-        result->relation.schema().num_columns() == 0) {
+    if (result->analyzed) {
+      // EXPLAIN ANALYZE: annotated plan first, then the executed rows.
+      std::printf("%s", result->plan_text.c_str());
+      PrintRelation(result->relation);
+    } else if (!result->plan_text.empty() &&
+               result->relation.num_tuples() == 0 &&
+               result->relation.schema().num_columns() == 0) {
       std::printf("%s", result->plan_text.c_str());  // EXPLAIN
     } else if (result->rows_affected > 0) {
       std::printf("ok, %lld rows\n",

@@ -1,6 +1,7 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/check.h"
 #include "cost/access_cost.h"
@@ -18,7 +19,41 @@ Database::Database(Options options)
   exec_ctx_.clock = &clock_;
   exec_ctx_.memory_pages = options.memory_pages;
   exec_ctx_.fudge = options.cost_params.fudge;
+  // One registry for the whole database: the disk, buffer pool and query
+  // executors count into it live.
+  disk_.AttachMetrics(&metrics_);
+  pool_.AttachMetrics(&metrics_);
+  exec_ctx_.metrics = &metrics_;
 }
+
+void Database::SyncTxnPlaneMetrics() {
+  if (!txn_enabled_) return;
+  const Wal::Stats ws = wal_->stats();
+  metrics_.Set("log.device_writes", ws.device_writes);
+  metrics_.Set("log.device_bytes", ws.device_bytes);
+  metrics_.Set("log.logical_bytes", ws.logical_bytes);
+  metrics_.Set("log.commits", ws.commits);
+  metrics_.Set("log.io_retries", ws.io_retries);
+  metrics_.Set("log.write_failures", ws.write_failures);
+  const TransactionManager::Stats ts = txn_manager_->stats();
+  metrics_.Set("txn.begun", ts.begun);
+  metrics_.Set("txn.committed", ts.committed);
+  metrics_.Set("txn.aborted", ts.aborted);
+  const LockManager::Stats ls = lock_manager_->stats();
+  metrics_.Set("locks.acquisitions", ls.acquisitions);
+  metrics_.Set("locks.waits", ls.waits);
+  metrics_.Set("locks.deadlocks", ls.deadlocks);
+  metrics_.Set("locks.dependencies_recorded", ls.dependencies_recorded);
+  metrics_.Set("checkpoint.pages_written",
+               checkpointer_->total_pages_written());
+}
+
+MetricsRegistry::Snapshot Database::MetricsSnapshot() {
+  SyncTxnPlaneMetrics();
+  return metrics_.TakeSnapshot();
+}
+
+std::string Database::MetricsJson() { return MetricsSnapshot().ToJson(); }
 
 Status Database::CreateTable(const std::string& name, Schema schema) {
   if (tables_.count(name)) return Status::AlreadyExists("table " + name);
@@ -486,6 +521,54 @@ StatusOr<Database::SqlResult> Database::ExecuteSql(const std::string& sql) {
       MMDB_ASSIGN_OR_RETURN(result.plan_text, Explain(stmt.query));
       return result;
     }
+    case ParsedStatement::Kind::kExplainAnalyze: {
+      OptimizerOptions opts;
+      opts.memory_pages = options_.memory_pages;
+      opts.cost_params = options_.cost_params;
+      opts.w_cpu = options_.w_cpu;
+      opts.hash_only = options_.planner_hash_only;
+      Optimizer optimizer(&catalog(), opts);
+      MMDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
+                            optimizer.Optimize(stmt.query));
+      PlanRunTrace trace;
+      MMDB_ASSIGN_OR_RETURN(
+          Relation rel,
+          ExecutePlan(*plan, catalog(), &exec_ctx_, this, &trace));
+      std::string text = RenderAnalyzedPlan(*plan, trace);
+      if (stmt.aggregate.has_value() || stmt.distinct) {
+        // Aggregation runs on top of the plan tree (§4: it composes freely
+        // over any join order); summarize it as one extra line so EXPLAIN
+        // ANALYZE covers the whole statement.
+        AggStats agg_stats;
+        const double seconds_before = clock_.Seconds();
+        if (stmt.aggregate.has_value()) {
+          MMDB_ASSIGN_OR_RETURN(
+              result.relation,
+              HashAggregate(rel, *stmt.aggregate, &exec_ctx_, &agg_stats));
+        } else {
+          std::vector<int> all(size_t(rel.schema().num_columns()));
+          for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+          MMDB_ASSIGN_OR_RETURN(
+              result.relation,
+              ProjectDistinct(rel, all, &exec_ctx_, &agg_stats));
+        }
+        char buf[160];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s\n    (actual groups=%lld %s partitions=%lld cost=%.3fs)\n",
+            stmt.aggregate.has_value() ? "HashAggregate" : "ProjectDistinct",
+            static_cast<long long>(agg_stats.groups),
+            agg_stats.one_pass ? "one-pass" : "partitioned",
+            static_cast<long long>(agg_stats.partitions),
+            clock_.Seconds() - seconds_before);
+        text += buf;
+      } else {
+        result.relation = std::move(rel);
+      }
+      result.plan_text = std::move(text);
+      result.analyzed = true;
+      return result;
+    }
     case ParsedStatement::Kind::kSelect: {
       MMDB_ASSIGN_OR_RETURN(QueryResult qr, Execute(stmt.query));
       result.plan_text = std::move(qr.plan_text);
@@ -572,7 +655,9 @@ Status Database::EnableTransactions(const TxnPlaneOptions& options) {
 
 StatusOr<int64_t> Database::CheckpointNow() {
   if (!txn_enabled_) return Status::FailedPrecondition("transactions off");
-  return checkpointer_->CheckpointOnce();
+  MMDB_ASSIGN_OR_RETURN(int64_t pages, checkpointer_->CheckpointOnce());
+  metrics_.Add("checkpoint.sweeps", 1);
+  return pages;
 }
 
 Status Database::Crash() {
@@ -588,6 +673,13 @@ StatusOr<RecoveryStats> Database::Recover(RecoveryOptions options) {
   MMDB_ASSIGN_OR_RETURN(RecoveryStats stats,
                         RecoverStore(store_.get(), wal_.get(), fut_.get(),
                                      options));
+  metrics_.Add("recovery.runs", 1);
+  metrics_.Add("recovery.log_records_scanned", stats.log_records_scanned);
+  metrics_.Add("recovery.redo_applied", stats.redo_applied);
+  metrics_.Add("recovery.undo_applied", stats.undo_applied);
+  metrics_.Add("recovery.snapshot_pages_read", stats.snapshot_pages_read);
+  metrics_.Add("recovery.corrupt_records_skipped",
+               stats.corrupt_records_skipped);
   // Fresh lock table, version chains, and manager state; restart the
   // background threads. New transaction ids start above everything in the
   // log; version chains are volatile and restart empty.

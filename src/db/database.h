@@ -102,6 +102,9 @@ class Database : public IndexProvider {
     Relation relation;        ///< SELECT output (empty for DDL/DML)
     std::string plan_text;    ///< EXPLAIN / SELECT plan
     int64_t rows_affected = 0;  ///< INSERT row count
+    /// True for EXPLAIN ANALYZE: plan_text carries per-node actual run
+    /// statistics and relation carries the executed result.
+    bool analyzed = false;
   };
 
   /// Parses and executes one statement: CREATE TABLE / INSERT / SELECT /
@@ -164,6 +167,13 @@ class Database : public IndexProvider {
   BufferPool* buffer_pool() { return &pool_; }
   const Catalog& catalog();
 
+  /// The database-wide metrics registry (DESIGN.md §9): the disk, buffer
+  /// pool and query executors count here live; the transactional plane is
+  /// synced into it on each snapshot.
+  MetricsRegistry* metrics() { return &metrics_; }
+  MetricsRegistry::Snapshot MetricsSnapshot();
+  std::string MetricsJson();
+
  private:
   struct IndexHolder {
     IndexType type;
@@ -185,8 +195,11 @@ class Database : public IndexProvider {
   void InvalidateCatalog() { catalog_dirty_ = true; }
   AccessModelParams ModelFor(const TableHolder& table, int column) const;
 
+  void SyncTxnPlaneMetrics();
+
   Options options_;
   CostClock clock_;
+  MetricsRegistry metrics_;  ///< declared before its users (disk, pool)
   SimulatedDisk disk_;
   BufferPool pool_;
   ExecContext exec_ctx_;

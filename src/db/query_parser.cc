@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cctype>
+#include <charconv>
 
 #include "common/check.h"
 
@@ -17,6 +18,7 @@ enum class TokenType {
   kDouble,
   kString,   // single-quoted
   kSymbol,   // ( ) , * . = != < <= > >=
+  kError,    // malformed lexeme; `text` carries the message
   kEnd,
 };
 
@@ -72,20 +74,47 @@ class Lexer {
          std::isdigit(static_cast<unsigned char>(input_[pos_ + 1])))) {
       size_t start = pos_;
       ++pos_;
-      bool is_double = false;
+      int dots = 0;
       while (pos_ < input_.size() &&
              (std::isdigit(static_cast<unsigned char>(input_[pos_])) ||
               input_[pos_] == '.')) {
-        if (input_[pos_] == '.') is_double = true;
+        if (input_[pos_] == '.') ++dots;
         ++pos_;
       }
       const std::string text = input_.substr(start, pos_ - start);
-      if (is_double) {
+      // std::from_chars never throws; overflow and malformed shapes become
+      // kError tokens the parser turns into an error Status.
+      if (dots > 1) {
+        current_.type = TokenType::kError;
+        current_.text = "malformed numeric literal '" + text + "'";
+        return;
+      }
+      const char* end = text.data() + text.size();
+      if (dots == 1) {
+        double value = 0;
+        const auto [p, ec] = std::from_chars(text.data(), end, value);
+        if (ec != std::errc() || p != end) {
+          current_.type = TokenType::kError;
+          current_.text = ec == std::errc::result_out_of_range
+                              ? "numeric literal out of range '" + text + "'"
+                              : "malformed numeric literal '" + text + "'";
+          return;
+        }
         current_.type = TokenType::kDouble;
-        current_.double_value = std::stod(text);
+        current_.double_value = value;
       } else {
+        int64_t value = 0;
+        const auto [p, ec] = std::from_chars(text.data(), end, value);
+        if (ec != std::errc() || p != end) {
+          current_.type = TokenType::kError;
+          current_.text =
+              ec == std::errc::result_out_of_range
+                  ? "integer literal out of range for INT64 '" + text + "'"
+                  : "malformed numeric literal '" + text + "'";
+          return;
+        }
         current_.type = TokenType::kInt;
-        current_.int_value = std::stoll(text);
+        current_.int_value = value;
       }
       current_.text = text;
       return;
@@ -148,10 +177,15 @@ class Parser {
     if (kw == "SELECT") return ParseSelect(/*explain=*/false);
     if (kw == "EXPLAIN") {
       lexer_.Take();
+      const bool analyze = ConsumeKeyword("ANALYZE");
       if (Upper(lexer_.Peek().text) != "SELECT") {
-        return lexer_.Error("EXPLAIN supports SELECT only");
+        return lexer_.Error(analyze ? "EXPLAIN ANALYZE supports SELECT only"
+                                    : "EXPLAIN supports SELECT only");
       }
-      return ParseSelect(/*explain=*/true);
+      MMDB_ASSIGN_OR_RETURN(ParsedStatement stmt,
+                            ParseSelect(/*explain=*/true));
+      if (analyze) stmt.kind = ParsedStatement::Kind::kExplainAnalyze;
+      return stmt;
     }
     if (kw == "CREATE") return ParseCreateTable();
     if (kw == "INSERT") return ParseInsert();
@@ -238,6 +272,8 @@ class Parser {
         return Value{t.double_value};
       case TokenType::kString:
         return Value{t.text};
+      case TokenType::kError:
+        return lexer_.Error(t.text);
       default:
         return lexer_.Error("expected a literal");
     }

@@ -19,16 +19,22 @@ namespace mmdb {
 ///     FROM t1 [, t2 ...]
 ///     [WHERE a.x = b.y AND c op literal AND name LIKE 'j%' ...]
 ///     [GROUP BY cols]
-///   EXPLAIN SELECT ...
+///   EXPLAIN [ANALYZE] SELECT ...
 ///
 /// Restrictions (by design — see README "Status"): conjunctive predicates
 /// only, equi-joins only, LIKE with a trailing '%' only (the paper's "J*"
 /// prefix query), aggregates are COUNT/SUM/AVG/MIN/MAX.
 struct ParsedStatement {
-  enum class Kind { kSelect, kCreateTable, kInsert, kExplain };
+  enum class Kind {
+    kSelect,
+    kCreateTable,
+    kInsert,
+    kExplain,
+    kExplainAnalyze,  ///< run the query, annotate the plan with run stats
+  };
   Kind kind = Kind::kSelect;
 
-  // kSelect / kExplain
+  // kSelect / kExplain / kExplainAnalyze
   Query query;
   bool distinct = false;
   /// Present when the select list contains aggregates; group_by/column

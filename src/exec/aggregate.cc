@@ -432,10 +432,21 @@ StatusOr<Relation> HashAggregate(const Relation& input,
       MMDB_RETURN_IF_ERROR(ParallelAggregatePartition(
           input.rows(), input.schema(), spec, ctx, &out, st));
     }
-    return out;
+  } else {
+    MMDB_RETURN_IF_ERROR(
+        AggregateRec(input.rows(), input.schema(), spec, ctx, 0, &out, st));
   }
-  MMDB_RETURN_IF_ERROR(
-      AggregateRec(input.rows(), input.schema(), spec, ctx, 0, &out, st));
+  // Publish once per top-level aggregation (AggregateRec recurses on
+  // overflow partitions internally).
+  if (ctx->metrics != nullptr) {
+    MetricsRegistry* m = ctx->metrics;
+    m->Add("exec.agg.runs", 1);
+    m->Add("exec.agg.input_tuples", input.num_tuples());
+    m->Add("exec.agg.groups", st->groups);
+    m->Add("exec.agg.one_pass_runs", st->one_pass ? 1 : 0);
+    m->Add("exec.agg.spilled_partitions", st->partitions);
+    m->Record("exec.agg.group_count", st->groups);
+  }
   return out;
 }
 

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "sim/cost_clock.h"
 #include "sim/simulated_disk.h"
@@ -33,6 +34,11 @@ struct ExecContext {
   /// DOP the simulated cost totals are identical: parallel workers charge
   /// private clocks that are merged when each parallel region completes.
   int dop = 1;
+  /// Optional observability sink (DESIGN.md §9). When set, operators record
+  /// named counters/histograms here; parallel regions give each worker a
+  /// private shard merged exactly like the worker clocks, so totals are
+  /// deterministic at every DOP. When null, nothing is recorded.
+  MetricsRegistry* metrics = nullptr;
 
   int64_t page_size() const { return disk->page_size(); }
 
@@ -51,10 +57,12 @@ struct ExecEnv {
     ctx.clock = &clock;
     ctx.memory_pages = memory_pages;
     ctx.fudge = params.fudge;
+    ctx.metrics = &metrics;
   }
 
   CostClock clock;
   SimulatedDisk disk;
+  MetricsRegistry metrics;
   ExecContext ctx;
 };
 

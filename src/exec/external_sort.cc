@@ -249,16 +249,32 @@ StatusOr<std::unique_ptr<SortedStream>> SortRelation(const Relation& input,
   bool in_memory = false;
   MMDB_ASSIGN_OR_RETURN(std::vector<SortRun> runs,
                         FormRuns(input, key_column, ctx, &in_memory));
-  if (stats != nullptr) {
-    stats->runs = static_cast<int64_t>(runs.size());
-    stats->in_memory = in_memory;
-    stats->merge_levels = 0;
-    int64_t total_pages = 0;
-    for (const SortRun& r : runs) total_pages += r.pages;
-    stats->avg_run_pages =
-        runs.empty() ? 0 : double(total_pages) / double(runs.size());
+  SortStats local;
+  SortStats* st = stats != nullptr ? stats : &local;
+  *st = SortStats{};
+  st->runs = static_cast<int64_t>(runs.size());
+  st->in_memory = in_memory;
+  int64_t total_pages = 0;
+  for (const SortRun& r : runs) {
+    total_pages += r.pages;
+    if (!in_memory && ctx->metrics != nullptr) {
+      ctx->metrics->Record("exec.sort.run_length_pages", r.pages);
+    }
   }
+  st->avg_run_pages =
+      runs.empty() ? 0 : double(total_pages) / double(runs.size());
+  auto publish = [&] {
+    if (ctx->metrics == nullptr) return;
+    MetricsRegistry* m = ctx->metrics;
+    m->Add("exec.sort.runs", 1);
+    m->Add("exec.sort.input_tuples", input.num_tuples());
+    m->Add("exec.sort.initial_runs", st->runs);
+    m->Add("exec.sort.in_memory_runs", st->in_memory ? 1 : 0);
+    m->Add("exec.sort.merge_levels", st->merge_levels);
+    m->Add("exec.sort.run_pages", total_pages);
+  };
   if (in_memory) {
+    publish();
     return std::unique_ptr<SortedStream>(
         new MemoryStream(std::move(runs.front().rows)));
   }
@@ -267,8 +283,9 @@ StatusOr<std::unique_ptr<SortedStream>> SortRelation(const Relation& input,
     MMDB_ASSIGN_OR_RETURN(
         runs, MergeLevel(std::move(runs), ctx->memory_pages, input.schema(),
                          key_column, ctx));
-    if (stats != nullptr) ++stats->merge_levels;
+    ++st->merge_levels;
   }
+  publish();
   return std::unique_ptr<SortedStream>(
       new MergeStream(ctx, input.schema(), key_column, std::move(runs)));
 }

@@ -49,15 +49,15 @@ StatusOr<Relation> NestedLoopJoin(const Relation& r, const Relation& s,
   return out;
 }
 
-StatusOr<Relation> ExecuteJoin(JoinAlgorithm algorithm, const Relation& r,
-                               const Relation& s, const JoinSpec& spec,
-                               ExecContext* ctx, JoinRunStats* stats) {
+namespace {
+
+StatusOr<Relation> DispatchJoin(JoinAlgorithm algorithm, const Relation& r,
+                                const Relation& s, const JoinSpec& spec,
+                                ExecContext* ctx, JoinRunStats* stats) {
   switch (algorithm) {
     case JoinAlgorithm::kNestedLoop: {
       StatusOr<Relation> out = NestedLoopJoin(r, s, spec, ctx);
-      if (out.ok() && stats != nullptr) {
-        stats->output_tuples = out->num_tuples();
-      }
+      if (out.ok()) stats->output_tuples = out->num_tuples();
       return out;
     }
     case JoinAlgorithm::kSortMerge:
@@ -70,6 +70,31 @@ StatusOr<Relation> ExecuteJoin(JoinAlgorithm algorithm, const Relation& r,
       return HybridHashJoin(r, s, spec, ctx, stats);
   }
   return Status::InvalidArgument("unknown join algorithm");
+}
+
+}  // namespace
+
+StatusOr<Relation> ExecuteJoin(JoinAlgorithm algorithm, const Relation& r,
+                               const Relation& s, const JoinSpec& spec,
+                               ExecContext* ctx, JoinRunStats* stats) {
+  JoinRunStats local;
+  JoinRunStats* st = stats != nullptr ? stats : &local;
+  *st = JoinRunStats{};
+  StatusOr<Relation> out = DispatchJoin(algorithm, r, s, spec, ctx, st);
+  // Publish once per top-level join: the GRACE/hybrid leaves recurse
+  // internally, so counting here (and only here) avoids double counts.
+  if (out.ok() && ctx != nullptr && ctx->metrics != nullptr) {
+    MetricsRegistry* m = ctx->metrics;
+    m->Add("exec.join.runs", 1);
+    m->Add("exec.join.build_tuples", r.num_tuples());
+    m->Add("exec.join.probe_tuples", s.num_tuples());
+    m->Add("exec.join.output_tuples", st->output_tuples);
+    m->Add("exec.join.passes", st->passes);
+    m->Add("exec.join.spilled_partitions", st->partitions);
+    m->Add("exec.join.recursions", st->recursion_depth);
+    m->Record("exec.join.fanout", st->output_tuples);
+  }
+  return out;
 }
 
 }  // namespace mmdb

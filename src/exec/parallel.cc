@@ -29,15 +29,18 @@ int PlannedWorkers(const ExecContext* ctx, int64_t num_chunks) {
 
 namespace {
 
-/// One worker's private execution state: a clock of the same machine model
-/// and a context clone pointing at it (dop = 1 — nested operators serial).
+/// One worker's private execution state: a clock of the same machine
+/// model, a private metrics shard (when the caller records metrics), and a
+/// context clone pointing at them (dop = 1 — nested operators serial).
 struct WorkerSlot {
   CostClock clock;
+  MetricsRegistry metrics;
   ExecContext ctx;
 
   explicit WorkerSlot(const ExecContext& base)
       : clock(base.clock->params()), ctx(base) {
     ctx.clock = &clock;
+    ctx.metrics = base.metrics != nullptr ? &metrics : nullptr;
     ctx.dop = 1;
   }
 };
@@ -88,10 +91,11 @@ Status ParallelFor(
     f.get();
   }
   // All workers are done (future::get is the synchronization point): fold
-  // their tallies into the shared clock. Addition commutes, so the totals
-  // do not depend on which worker processed which chunk.
+  // their tallies into the shared clock and metrics. Addition commutes, so
+  // the totals do not depend on which worker processed which chunk.
   for (const auto& slot : slots) {
     ctx->clock->MergeFrom(slot->clock);
+    if (ctx->metrics != nullptr) ctx->metrics->MergeFrom(slot->metrics);
   }
   if (failed.load(std::memory_order_acquire)) {
     for (const Status& s : chunk_status) {

@@ -80,6 +80,26 @@ std::vector<PartitionWriterSet::PartitionFile> PartitionWriterSet::Release() {
     out.push_back(pf);
   }
   writers_.clear();
+  // Release() runs serially on the parent context, exactly once per
+  // partitioning op, so spill totals publish here (never per append) and
+  // stay deterministic at any DOP.
+  if (ctx_->metrics != nullptr) {
+    int64_t parts = 0, pages = 0, records = 0;
+    for (const PartitionFile& pf : out) {
+      if (pf.records == 0) continue;
+      ++parts;
+      pages += pf.pages;
+      records += pf.records;
+      ctx_->metrics->Record("exec.spill.partition_pages", pf.pages);
+    }
+    if (parts > 0) {
+      MetricsRegistry* m = ctx_->metrics;
+      m->Add("exec.spill.partitions", parts);
+      m->Add("exec.spill.pages", pages);
+      m->Add("exec.spill.records", records);
+      m->Add("exec.spill.bytes", pages * ctx_->page_size());
+    }
+  }
   return out;
 }
 

@@ -38,7 +38,12 @@ StatusOr<int> FindColumn(const std::vector<ColumnRef>& columns,
 }
 
 StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
-                              ExecContext* ctx, IndexProvider* indexes) {
+                              ExecContext* ctx, IndexProvider* indexes,
+                              PlanRunTrace* trace);
+
+StatusOr<Relation> ExecuteNode(const PlanNode& plan, const Catalog& catalog,
+                               ExecContext* ctx, IndexProvider* indexes,
+                               PlanRunTrace* trace) {
   switch (plan.kind) {
     case PlanNode::Kind::kScan: {
       MMDB_ASSIGN_OR_RETURN(const TableEntry* entry,
@@ -65,7 +70,8 @@ StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
     }
     case PlanNode::Kind::kFilter: {
       MMDB_ASSIGN_OR_RETURN(
-          Relation in, ExecuteRec(*plan.child_left, catalog, ctx, indexes));
+          Relation in,
+          ExecuteRec(*plan.child_left, catalog, ctx, indexes, trace));
       // Resolve each predicate once.
       std::vector<int> col_indexes;
       col_indexes.reserve(plan.predicates.size());
@@ -76,6 +82,7 @@ StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
         col_indexes.push_back(idx);
       }
       Relation out(in.schema());
+      const int64_t rows_in = in.num_tuples();
       ScopedDop sd(ctx, plan.dop);
       if (ctx->dop > 1) {
         // Morsel-parallel filter: per-morsel survivor buffers concatenated
@@ -102,6 +109,15 @@ StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
                 }
                 if (keep) local.push_back(std::move(row));
               }
+              // Per-morsel (not per-row) batched counts on the worker's
+              // private shard: each morsel is counted exactly once, so the
+              // merged totals are identical at every DOP.
+              if (wctx->metrics != nullptr) {
+                wctx->metrics->Add("exec.filter.rows_in",
+                                   range.end - range.begin);
+                wctx->metrics->Add("exec.filter.rows_out",
+                                   static_cast<int64_t>(local.size()));
+              }
               return Status::OK();
             }));
         for (std::vector<Row>& batch : kept) {
@@ -122,14 +138,19 @@ StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
         }
         if (keep) out.Add(std::move(row));
       }
+      if (ctx->metrics != nullptr) {
+        ctx->metrics->Add("exec.filter.rows_in", rows_in);
+        ctx->metrics->Add("exec.filter.rows_out", out.num_tuples());
+      }
       return out;
     }
     case PlanNode::Kind::kJoin: {
       MMDB_ASSIGN_OR_RETURN(
-          Relation left, ExecuteRec(*plan.child_left, catalog, ctx, indexes));
+          Relation left,
+          ExecuteRec(*plan.child_left, catalog, ctx, indexes, trace));
       MMDB_ASSIGN_OR_RETURN(
           Relation right,
-          ExecuteRec(*plan.child_right, catalog, ctx, indexes));
+          ExecuteRec(*plan.child_right, catalog, ctx, indexes, trace));
       MMDB_ASSIGN_OR_RETURN(
           int left_idx,
           FindColumn(plan.child_left->output_columns, plan.join.left));
@@ -146,7 +167,8 @@ StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
     }
     case PlanNode::Kind::kProject: {
       MMDB_ASSIGN_OR_RETURN(
-          Relation in, ExecuteRec(*plan.child_left, catalog, ctx, indexes));
+          Relation in,
+          ExecuteRec(*plan.child_left, catalog, ctx, indexes, trace));
       std::vector<int> col_indexes;
       col_indexes.reserve(plan.projection.size());
       for (const ColumnRef& ref : plan.projection) {
@@ -169,22 +191,99 @@ StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
   return Status::Internal("unknown plan node kind");
 }
 
+/// Trace-aware recursion step: with no trace this is just ExecuteNode;
+/// with a trace it brackets the node (children included — execution is
+/// depth-first, so the window spans the whole subtree) with cost-clock,
+/// disk and spill-counter snapshots. All snapshot reads happen at serial
+/// points: any parallel region inside the node has completed and merged
+/// its worker clocks/shards before the node returns.
+StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
+                              ExecContext* ctx, IndexProvider* indexes,
+                              PlanRunTrace* trace) {
+  if (trace == nullptr) {
+    return ExecuteNode(plan, catalog, ctx, indexes, trace);
+  }
+  const CostCounters before = ctx->clock->counters();
+  const double seconds_before = ctx->clock->Seconds();
+  const SimulatedDisk::Stats disk_before = ctx->disk->stats();
+  const int64_t spill_bytes_before =
+      ctx->metrics != nullptr ? ctx->metrics->Get("exec.spill.bytes") : 0;
+  const int64_t spill_parts_before =
+      ctx->metrics != nullptr ? ctx->metrics->Get("exec.spill.partitions") : 0;
+  StatusOr<Relation> out = ExecuteNode(plan, catalog, ctx, indexes, trace);
+  if (!out.ok()) return out;
+  const CostCounters after = ctx->clock->counters();
+  const SimulatedDisk::Stats disk_after = ctx->disk->stats();
+  PlanNodeRunStats& st = trace->nodes[&plan];
+  st.rows_out = out->num_tuples();
+  st.comparisons = after.comparisons - before.comparisons;
+  st.hashes = after.hashes - before.hashes;
+  st.page_reads = disk_after.reads - disk_before.reads;
+  st.page_writes = disk_after.writes - disk_before.writes;
+  if (ctx->metrics != nullptr) {
+    st.spill_bytes = ctx->metrics->Get("exec.spill.bytes") - spill_bytes_before;
+    st.spill_partitions =
+        ctx->metrics->Get("exec.spill.partitions") - spill_parts_before;
+  }
+  st.cost_seconds = ctx->clock->Seconds() - seconds_before;
+  return out;
+}
+
 }  // namespace
 
 StatusOr<Relation> ExecutePlan(const PlanNode& plan, const Catalog& catalog,
-                               ExecContext* ctx, IndexProvider* indexes) {
-  return ExecuteRec(plan, catalog, ctx, indexes);
+                               ExecContext* ctx, IndexProvider* indexes,
+                               PlanRunTrace* trace) {
+  return ExecuteRec(plan, catalog, ctx, indexes, trace);
+}
+
+std::string RenderAnalyzedPlan(const PlanNode& plan,
+                               const PlanRunTrace& trace) {
+  return plan.ToString(
+      0, [&trace](const PlanNode& node, int indent) -> std::string {
+        auto it = trace.nodes.find(&node);
+        if (it == trace.nodes.end()) return std::string();
+        const PlanNodeRunStats& s = it->second;
+        // Self cost = this node's inclusive window minus the children's.
+        double child_seconds = 0;
+        for (const PlanNode* child :
+             {node.child_left.get(), node.child_right.get()}) {
+          if (child == nullptr) continue;
+          auto cit = trace.nodes.find(child);
+          if (cit != trace.nodes.end()) {
+            child_seconds += cit->second.cost_seconds;
+          }
+        }
+        char buf[256];
+        std::snprintf(
+            buf, sizeof(buf),
+            "\n%s(actual rows=%lld comps=%lld hashes=%lld reads=%lld "
+            "writes=%lld spill=%lldB/%lldp cost=%.3fs self=%.3fs)",
+            std::string(static_cast<size_t>(indent) * 2 + 4, ' ').c_str(),
+            static_cast<long long>(s.rows_out),
+            static_cast<long long>(s.comparisons),
+            static_cast<long long>(s.hashes),
+            static_cast<long long>(s.page_reads),
+            static_cast<long long>(s.page_writes),
+            static_cast<long long>(s.spill_bytes),
+            static_cast<long long>(s.spill_partitions),
+            s.cost_seconds, s.cost_seconds - child_seconds);
+        return std::string(buf);
+      });
 }
 
 StatusOr<QueryResult> RunQuery(const Query& query, const Catalog& catalog,
                                const OptimizerOptions& options,
-                               ExecContext* ctx, IndexProvider* indexes) {
+                               ExecContext* ctx, IndexProvider* indexes,
+                               PlanRunTrace* trace) {
   Optimizer optimizer(&catalog, options);
   MMDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
                         optimizer.Optimize(query));
   MMDB_ASSIGN_OR_RETURN(Relation rel,
-                        ExecutePlan(*plan, catalog, ctx, indexes));
-  QueryResult result{std::move(rel), plan->ToString()};
+                        ExecutePlan(*plan, catalog, ctx, indexes, trace));
+  QueryResult result{std::move(rel), trace != nullptr
+                                         ? RenderAnalyzedPlan(*plan, *trace)
+                                         : plan->ToString()};
   return result;
 }
 

@@ -1,6 +1,9 @@
 #ifndef MMDB_OPTIMIZER_EXECUTOR_H_
 #define MMDB_OPTIMIZER_EXECUTOR_H_
 
+#include <map>
+#include <string>
+
 #include "exec/exec_context.h"
 #include "optimizer/catalog.h"
 #include "optimizer/plan.h"
@@ -18,14 +21,46 @@ class IndexProvider {
                                             const Predicate& pred) = 0;
 };
 
+/// What one plan node actually did during an EXPLAIN ANALYZE run. Every
+/// figure is *inclusive* of the node's children (execution is depth-first,
+/// so a node's window contains its subtree); the renderer derives self
+/// time by subtracting the children's inclusive costs.
+struct PlanNodeRunStats {
+  int64_t rows_out = 0;
+  int64_t comparisons = 0;       ///< cost-clock comparison charges
+  int64_t hashes = 0;            ///< cost-clock hash charges
+  int64_t page_reads = 0;        ///< simulated-disk page reads
+  int64_t page_writes = 0;       ///< simulated-disk page writes
+  int64_t spill_partitions = 0;  ///< "exec.spill.partitions" delta
+  int64_t spill_bytes = 0;       ///< "exec.spill.bytes" delta
+  double cost_seconds = 0;       ///< simulated cost-clock delta
+};
+
+/// Per-node statistics keyed by plan node, filled by ExecutePlan when the
+/// caller passes a trace (the EXPLAIN ANALYZE path).
+struct PlanRunTrace {
+  std::map<const PlanNode*, PlanNodeRunStats> nodes;
+};
+
 /// Executes a physical plan produced by Optimizer::Optimize against the
 /// catalog's memory-resident tables, charging all operator work (filter
 /// comparisons, join hashing/moving/probing, spill I/O) to ctx->clock.
+/// With `trace` non-null, each node's actual row counts, comparisons, page
+/// I/O, spill volume and cost-clock delta are recorded (spill figures need
+/// ctx->metrics attached).
 StatusOr<Relation> ExecutePlan(const PlanNode& plan, const Catalog& catalog,
                                ExecContext* ctx,
-                               IndexProvider* indexes = nullptr);
+                               IndexProvider* indexes = nullptr,
+                               PlanRunTrace* trace = nullptr);
 
-/// Convenience: optimize + execute in one call.
+/// The plan text with each node annotated by its actual run statistics:
+///   Join[hybrid-hash](...)  [~60 tuples, 0.123s]
+///       (actual rows=60 comps=118 reads=0 spill=0B self=0.012s)
+std::string RenderAnalyzedPlan(const PlanNode& plan,
+                               const PlanRunTrace& trace);
+
+/// Convenience: optimize + execute in one call. With `trace` non-null the
+/// returned plan_text is the EXPLAIN ANALYZE rendering.
 struct QueryResult {
   Relation relation;
   std::string plan_text;
@@ -33,7 +68,8 @@ struct QueryResult {
 StatusOr<QueryResult> RunQuery(const Query& query, const Catalog& catalog,
                                const struct OptimizerOptions& options,
                                ExecContext* ctx,
-                               IndexProvider* indexes = nullptr);
+                               IndexProvider* indexes = nullptr,
+                               PlanRunTrace* trace = nullptr);
 
 }  // namespace mmdb
 

@@ -327,8 +327,9 @@ StatusOr<std::unique_ptr<PlanNode>> Optimizer::Optimize(
                   right.est_pages / std::max(1.0, right.est_tuples)) *
                      out_tuples);
         best.cost_seconds = total;
-        // Stash which split produced it (encoded in the node for rebuild).
-        best.node->table = std::to_string(rest) + ":" + std::to_string(bit);
+        // Stash which split produced it for the rebuild pass.
+        best.node->dp_split_rest = rest;
+        best.node->dp_split_bit = bit;
         found = true;
       }
       if (found) dp[mask] = std::move(best);
@@ -352,12 +353,10 @@ StatusOr<std::unique_ptr<PlanNode>> Optimizer::Optimize(
     if (sp.node->kind != PlanNode::Kind::kJoin) {
       return std::move(sp.node);
     }
-    // Decode the split.
-    const std::string& enc = sp.node->table;
-    const size_t colon = enc.find(':');
-    const uint32_t rest = static_cast<uint32_t>(std::stoul(enc.substr(0, colon)));
-    const uint32_t bit = static_cast<uint32_t>(std::stoul(enc.substr(colon + 1)));
-    sp.node->table.clear();
+    const uint32_t rest = sp.node->dp_split_rest;
+    const uint32_t bit = sp.node->dp_split_bit;
+    sp.node->dp_split_rest = 0;
+    sp.node->dp_split_bit = 0;
     sp.node->child_left = build(rest);
     sp.node->child_right = build(bit);
     // Output columns: build side first (Schema::Concat(R, S) order).

@@ -5,6 +5,10 @@
 namespace mmdb {
 
 std::string PlanNode::ToString(int indent) const {
+  return ToString(indent, Annotator());
+}
+
+std::string PlanNode::ToString(int indent, const Annotator& annotate) const {
   std::string pad(static_cast<size_t>(indent) * 2, ' ');
   char est[96];
   std::snprintf(est, sizeof(est), "  [~%.0f tuples, %.3fs]", est_tuples,
@@ -53,9 +57,10 @@ std::string PlanNode::ToString(int indent) const {
   }
   if (dop > 1) out += " dop=" + std::to_string(dop);
   out += est;
+  if (annotate) out += annotate(*this, indent);
   out += "\n";
-  if (child_left) out += child_left->ToString(indent + 1);
-  if (child_right) out += child_right->ToString(indent + 1);
+  if (child_left) out += child_left->ToString(indent + 1, annotate);
+  if (child_right) out += child_right->ToString(indent + 1, annotate);
   return out;
 }
 

@@ -1,6 +1,8 @@
 #ifndef MMDB_OPTIMIZER_PLAN_H_
 #define MMDB_OPTIMIZER_PLAN_H_
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -84,8 +86,22 @@ struct PlanNode {
   double est_pages = 0;
   double est_cost_seconds = 0;  ///< cumulative W*CPU + IO
 
+  /// Optimizer-internal DP bookkeeping (kJoin only): the winning split of
+  /// this node's relation mask into child masks, recorded during dynamic
+  /// programming and consumed when the final tree is rebuilt. Zero outside
+  /// the optimizer; never meaningful in a finished plan.
+  uint32_t dp_split_rest = 0;
+  uint32_t dp_split_bit = 0;
+
   /// Multi-line indented rendering for logs and plan tests.
   std::string ToString(int indent = 0) const;
+
+  /// Rendering with a per-node annotation appended after each line — the
+  /// EXPLAIN ANALYZE renderer supplies actual run statistics this way. The
+  /// annotator receives the node and its indent level (for continuation
+  /// lines); its return value is inserted before the line's newline.
+  using Annotator = std::function<std::string(const PlanNode&, int)>;
+  std::string ToString(int indent, const Annotator& annotate) const;
 };
 
 }  // namespace mmdb

@@ -6,6 +6,44 @@
 
 namespace mmdb {
 
+void SimulatedDisk::BindCounters() {
+  c_reads_ = metrics_->counter("disk.reads");
+  c_writes_ = metrics_->counter("disk.writes");
+  c_seq_ios_ = metrics_->counter("disk.seq_ios");
+  c_rand_ios_ = metrics_->counter("disk.rand_ios");
+  c_io_errors_ = metrics_->counter("disk.io_errors");
+}
+
+void SimulatedDisk::AttachMetrics(MetricsRegistry* registry) {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsRegistry* next = registry != nullptr ? registry : owned_metrics_.get();
+  if (next == metrics_) return;
+  // Carry accumulated tallies into the new home so stats() stays monotone
+  // across the switch.
+  next->MergeFrom(*metrics_);
+  metrics_->Reset();
+  metrics_ = next;
+  BindCounters();
+}
+
+SimulatedDisk::Stats SimulatedDisk::stats() const {
+  Stats s;
+  s.reads = c_reads_->Get();
+  s.writes = c_writes_->Get();
+  s.seq_ios = c_seq_ios_->Get();
+  s.rand_ios = c_rand_ios_->Get();
+  s.io_errors = c_io_errors_->Get();
+  return s;
+}
+
+void SimulatedDisk::ResetStats() {
+  c_reads_->Set(0);
+  c_writes_->Set(0);
+  c_seq_ios_->Set(0);
+  c_rand_ios_->Set(0);
+  c_io_errors_->Set(0);
+}
+
 SimulatedDisk::FileId SimulatedDisk::CreateFile(std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
   FileId id = next_id_++;
@@ -34,9 +72,9 @@ void SimulatedDisk::Charge(File* f, int64_t page_no, IoKind kind) {
     }
   }
   if (kind == IoKind::kSequential) {
-    ++stats_.seq_ios;
+    c_seq_ios_->Add(1);
   } else {
-    ++stats_.rand_ios;
+    c_rand_ios_->Add(1);
   }
   f->last_page_accessed = page_no;
 }
@@ -54,7 +92,7 @@ Status SimulatedDisk::WritePageLocked(FileId id, int64_t page_no,
     Status s = injector_->OnWrite(FaultDevice::kDataDisk, id, page_no,
                                   buf.data(), page_size_, &persist);
     if (!s.ok()) {
-      ++stats_.io_errors;
+      c_io_errors_->Add(1);
       return s;
     }
   }
@@ -70,7 +108,7 @@ Status SimulatedDisk::WritePageLocked(FileId id, int64_t page_no,
   } else {
     page = std::move(buf);
   }
-  ++stats_.writes;
+  c_writes_->Add(1);
   Charge(&f, page_no, kind);
   return Status::OK();
 }
@@ -93,7 +131,7 @@ Status SimulatedDisk::ReadPage(FileId id, int64_t page_no, void* out,
   if (injector_ != nullptr) {
     Status s = injector_->OnRead(FaultDevice::kDataDisk, id, page_no);
     if (!s.ok()) {
-      ++stats_.io_errors;
+      c_io_errors_->Add(1);
       return s;
     }
   }
@@ -103,7 +141,7 @@ Status SimulatedDisk::ReadPage(FileId id, int64_t page_no, void* out,
   } else {
     std::memcpy(out, page.data(), static_cast<size_t>(page_size_));
   }
-  ++stats_.reads;
+  c_reads_->Add(1);
   Charge(&f, page_no, kind);
   return Status::OK();
 }

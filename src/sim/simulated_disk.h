@@ -3,10 +3,12 @@
 
 #include <cstdint>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/status.h"
 #include "sim/cost_clock.h"
 #include "sim/fault_injector.h"
@@ -41,7 +43,12 @@ class SimulatedDisk {
 
   explicit SimulatedDisk(int64_t page_size_bytes = 4096,
                          CostClock* clock = nullptr)
-      : page_size_(page_size_bytes), clock_(clock) {}
+      : page_size_(page_size_bytes),
+        clock_(clock),
+        owned_metrics_(std::make_unique<MetricsRegistry>()),
+        metrics_(owned_metrics_.get()) {
+    BindCounters();
+  }
 
   SimulatedDisk(const SimulatedDisk&) = delete;
   SimulatedDisk& operator=(const SimulatedDisk&) = delete;
@@ -83,6 +90,10 @@ class SimulatedDisk {
   /// Total pages across all files (disk occupancy).
   int64_t TotalPages() const;
 
+  /// Legacy view assembled from the "disk.*" registry counters (DESIGN.md
+  /// §9). The disk counts directly into a MetricsRegistry — its own by
+  /// default, or one attached by the host. Like before, read only with no
+  /// transfer in flight.
   struct Stats {
     int64_t reads = 0;
     int64_t writes = 0;
@@ -90,11 +101,14 @@ class SimulatedDisk {
     int64_t rand_ios = 0;
     int64_t io_errors = 0;  ///< transfers failed by the fault injector
   };
-  const Stats& stats() const { return stats_; }
-  void ResetStats() {
-    std::lock_guard<std::mutex> lock(mu_);
-    stats_ = Stats{};
-  }
+  Stats stats() const;
+  void ResetStats();
+
+  /// Redirects counting into `registry` (e.g. the database-wide one);
+  /// accumulated tallies carry over. Pass nullptr to detach back to the
+  /// disk's private registry. Call with no transfer in flight.
+  void AttachMetrics(MetricsRegistry* registry);
+  MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   struct File {
@@ -107,13 +121,21 @@ class SimulatedDisk {
   Status WritePageLocked(FileId id, int64_t page_no, const void* data,
                          IoKind kind);
 
+  void BindCounters();
+
   int64_t page_size_;
   CostClock* clock_;
   FaultInjector* injector_ = nullptr;
   FileId next_id_ = 0;
   std::map<FileId, File> files_;
-  Stats stats_;
-  /// Guards files_, next_id_, stats_ and the clock charge of each transfer.
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  MetricCounter* c_reads_ = nullptr;
+  MetricCounter* c_writes_ = nullptr;
+  MetricCounter* c_seq_ios_ = nullptr;
+  MetricCounter* c_rand_ios_ = nullptr;
+  MetricCounter* c_io_errors_ = nullptr;
+  /// Guards files_, next_id_ and the clock charge of each transfer.
   mutable std::mutex mu_;
 };
 

@@ -14,7 +14,7 @@ Status BufferPool::ReadPageRetry(SimulatedDisk::FileId file, int64_t page_no,
   for (int attempt = 0; attempt < kDefaultMaxIoAttempts; ++attempt) {
     last = disk_->ReadPage(file, page_no, out, kind);
     if (last.ok() || last.code() != StatusCode::kIOError) return last;
-    ++stats_.io_retries;
+    c_io_retries_->Add(1);
     std::this_thread::sleep_for(std::chrono::microseconds(1 << attempt));
   }
   return Status::RetryExhausted("buffer pool read: " + last.ToString());
@@ -26,7 +26,7 @@ Status BufferPool::WritePageRetry(SimulatedDisk::FileId file, int64_t page_no,
   for (int attempt = 0; attempt < kDefaultMaxIoAttempts; ++attempt) {
     last = disk_->WritePage(file, page_no, data, kind);
     if (last.ok() || last.code() != StatusCode::kIOError) return last;
-    ++stats_.io_retries;
+    c_io_retries_->Add(1);
     std::this_thread::sleep_for(std::chrono::microseconds(1 << attempt));
   }
   return Status::RetryExhausted("buffer pool write: " + last.ToString());
@@ -36,6 +36,9 @@ BufferPool::BufferPool(SimulatedDisk* disk, int64_t num_frames,
                        ReplacementPolicy policy, uint64_t seed)
     : disk_(disk), num_frames_(num_frames), policy_(policy), rng_(seed) {
   MMDB_CHECK_MSG(num_frames >= 1, "buffer pool needs at least one frame");
+  owned_metrics_ = std::make_unique<MetricsRegistry>();
+  metrics_ = owned_metrics_.get();
+  BindCounters();
   frames_.resize(static_cast<size_t>(num_frames));
   lru_pos_.resize(static_cast<size_t>(num_frames));
   in_lru_.assign(static_cast<size_t>(num_frames), false);
@@ -45,6 +48,46 @@ BufferPool::BufferPool(SimulatedDisk* disk, int64_t num_frames,
         static_cast<size_t>(disk->page_size()));
     free_frames_.push_back(i);
   }
+}
+
+void BufferPool::BindCounters() {
+  c_fetches_ = metrics_->counter("buffer_pool.fetches");
+  c_hits_ = metrics_->counter("buffer_pool.hits");
+  c_faults_ = metrics_->counter("buffer_pool.faults");
+  c_evictions_ = metrics_->counter("buffer_pool.evictions");
+  c_writebacks_ = metrics_->counter("buffer_pool.writebacks");
+  c_io_retries_ = metrics_->counter("buffer_pool.io_retries");
+}
+
+void BufferPool::AttachMetrics(MetricsRegistry* registry) {
+  MetricsRegistry* next = registry != nullptr ? registry : owned_metrics_.get();
+  if (next == metrics_) return;
+  // Carry accumulated tallies into the new home so stats() stays monotone
+  // across the switch.
+  next->MergeFrom(*metrics_);
+  metrics_->Reset();
+  metrics_ = next;
+  BindCounters();
+}
+
+BufferPool::Stats BufferPool::stats() const {
+  Stats s;
+  s.fetches = c_fetches_->Get();
+  s.hits = c_hits_->Get();
+  s.faults = c_faults_->Get();
+  s.evictions = c_evictions_->Get();
+  s.writebacks = c_writebacks_->Get();
+  s.io_retries = c_io_retries_->Get();
+  return s;
+}
+
+void BufferPool::ResetStats() {
+  c_fetches_->Set(0);
+  c_hits_->Set(0);
+  c_faults_->Set(0);
+  c_evictions_->Set(0);
+  c_writebacks_->Set(0);
+  c_io_retries_->Set(0);
 }
 
 char* BufferPool::PageRef::data() {
@@ -150,7 +193,7 @@ Status BufferPool::EvictFrame(int64_t frame) {
     // Write-back of a victim goes wherever the arm happens to be: random.
     MMDB_RETURN_IF_ERROR(
         WritePageRetry(f.file, f.page_no, f.data.data(), IoKind::kRandom));
-    ++stats_.writebacks;
+    c_writebacks_->Add(1);
   }
   page_table_.erase(PageKey{f.file, f.page_no});
   if (in_lru_[static_cast<size_t>(frame)]) {
@@ -161,7 +204,7 @@ Status BufferPool::EvictFrame(int64_t frame) {
   f.dirty = false;
   f.file = SimulatedDisk::kInvalidFile;
   f.page_no = -1;
-  ++stats_.evictions;
+  c_evictions_->Add(1);
   return Status::OK();
 }
 
@@ -178,16 +221,16 @@ StatusOr<int64_t> BufferPool::AcquireFrame() {
 
 StatusOr<BufferPool::PageRef> BufferPool::Fetch(SimulatedDisk::FileId file,
                                                 int64_t page_no, IoKind kind) {
-  ++stats_.fetches;
+  c_fetches_->Add(1);
   auto it = page_table_.find(PageKey{file, page_no});
   if (it != page_table_.end()) {
-    ++stats_.hits;
+    c_hits_->Add(1);
     Frame& f = frames_[static_cast<size_t>(it->second)];
     ++f.pin_count;
     Touch(it->second);
     return PageRef(this, it->second);
   }
-  ++stats_.faults;
+  c_faults_->Add(1);
   MMDB_ASSIGN_OR_RETURN(int64_t frame, AcquireFrame());
   Frame& f = frames_[static_cast<size_t>(frame)];
   Status read = ReadPageRetry(file, page_no, f.data.data(), kind);
@@ -228,7 +271,7 @@ Status BufferPool::FlushAll() {
       MMDB_RETURN_IF_ERROR(
           WritePageRetry(f.file, f.page_no, f.data.data(), IoKind::kSequential));
       f.dirty = false;
-      ++stats_.writebacks;
+      c_writebacks_->Add(1);
     }
   }
   return Status::OK();

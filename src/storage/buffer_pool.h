@@ -4,9 +4,11 @@
 #include <cstdint>
 #include <list>
 #include <map>
+#include <memory>
 #include <utility>
 #include <vector>
 
+#include "common/metrics.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "sim/simulated_disk.h"
@@ -90,6 +92,9 @@ class BufferPool {
   int64_t num_frames() const { return num_frames_; }
   ReplacementPolicy policy() const { return policy_; }
 
+  /// Legacy view assembled from the "buffer_pool.*" registry counters
+  /// (DESIGN.md §9). The pool counts directly into a MetricsRegistry — its
+  /// own by default, or one attached by the host database.
   struct Stats {
     int64_t fetches = 0;
     int64_t hits = 0;
@@ -98,8 +103,14 @@ class BufferPool {
     int64_t writebacks = 0;
     int64_t io_retries = 0;  ///< transient disk errors retried with backoff
   };
-  const Stats& stats() const { return stats_; }
-  void ResetStats() { stats_ = Stats{}; }
+  Stats stats() const;
+  void ResetStats();
+
+  /// Redirects counting into `registry` (e.g. the database-wide one).
+  /// Tallies accumulated so far are carried over. Pass nullptr to go back
+  /// to the pool's private registry.
+  void AttachMetrics(MetricsRegistry* registry);
+  MetricsRegistry* metrics() const { return metrics_; }
 
  private:
   friend class PageRef;
@@ -148,7 +159,17 @@ class BufferPool {
   std::vector<bool> in_lru_;
 
   int64_t clock_hand_ = 0;
-  Stats stats_;
+
+  void BindCounters();
+
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
+  MetricCounter* c_fetches_ = nullptr;
+  MetricCounter* c_hits_ = nullptr;
+  MetricCounter* c_faults_ = nullptr;
+  MetricCounter* c_evictions_ = nullptr;
+  MetricCounter* c_writebacks_ = nullptr;
+  MetricCounter* c_io_retries_ = nullptr;
 };
 
 }  // namespace mmdb

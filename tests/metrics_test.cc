@@ -1,0 +1,273 @@
+#include "common/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <climits>
+#include <string>
+
+#include "exec/aggregate.h"
+#include "exec/join.h"
+#include "storage/datagen.h"
+
+namespace mmdb {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Counters.
+
+TEST(MetricsCounterTest, AddSetGet) {
+  MetricsRegistry reg;
+  EXPECT_EQ(reg.Get("never.touched"), 0);
+  reg.Add("a", 3);
+  reg.Add("a", 4);
+  EXPECT_EQ(reg.Get("a"), 7);
+  reg.Set("a", 100);
+  EXPECT_EQ(reg.Get("a"), 100);
+  reg.Add("a", -1);
+  EXPECT_EQ(reg.Get("a"), 99);
+}
+
+TEST(MetricsCounterTest, HandlesAreStableAcrossInsertions) {
+  MetricsRegistry reg;
+  MetricCounter* a = reg.counter("a");
+  a->Add(1);
+  // Force rebalancing / new nodes; the handle must stay valid.
+  for (int i = 0; i < 100; ++i) {
+    reg.counter("filler." + std::to_string(i))->Add(1);
+  }
+  a->Add(1);
+  EXPECT_EQ(reg.Get("a"), 2);
+  EXPECT_EQ(reg.counter("a"), a);  // get-or-create returns the same object
+}
+
+// ---------------------------------------------------------------------------
+// Histograms.
+
+TEST(MetricsHistogramTest, BucketOfIsBitWidth) {
+  // Bucket i holds values of bit width i, i.e. [2^(i-1), 2^i).
+  EXPECT_EQ(MetricHistogram::BucketOf(-5), 0);
+  EXPECT_EQ(MetricHistogram::BucketOf(0), 0);
+  EXPECT_EQ(MetricHistogram::BucketOf(1), 1);
+  EXPECT_EQ(MetricHistogram::BucketOf(2), 2);
+  EXPECT_EQ(MetricHistogram::BucketOf(3), 2);
+  EXPECT_EQ(MetricHistogram::BucketOf(4), 3);
+  EXPECT_EQ(MetricHistogram::BucketOf(7), 3);
+  EXPECT_EQ(MetricHistogram::BucketOf(8), 4);
+  EXPECT_EQ(MetricHistogram::BucketOf(1023), 10);
+  EXPECT_EQ(MetricHistogram::BucketOf(1024), 11);
+  EXPECT_EQ(MetricHistogram::BucketOf(INT64_MAX),
+            MetricHistogram::kNumBuckets - 1);
+}
+
+TEST(MetricsHistogramTest, RecordTracksCountSumMinMaxBuckets) {
+  MetricHistogram h;
+  h.Record(5);
+  h.Record(1);
+  h.Record(12);
+  const MetricHistogram::Data d = h.data();
+  EXPECT_EQ(d.count, 3);
+  EXPECT_EQ(d.sum, 18);
+  EXPECT_EQ(d.min, 1);
+  EXPECT_EQ(d.max, 12);
+  EXPECT_DOUBLE_EQ(d.Mean(), 6.0);
+  EXPECT_EQ(d.buckets[size_t(MetricHistogram::BucketOf(1))], 1);
+  EXPECT_EQ(d.buckets[size_t(MetricHistogram::BucketOf(5))], 1);
+  EXPECT_EQ(d.buckets[size_t(MetricHistogram::BucketOf(12))], 1);
+}
+
+TEST(MetricsHistogramTest, MergeCombinesAndEmptyMergeIsNoOp) {
+  MetricHistogram a;
+  a.Record(2);
+  a.Record(100);
+  MetricHistogram b;
+  b.Record(1);
+  b.Record(50);
+  a.MergeFrom(b);
+  MetricHistogram::Data d = a.data();
+  EXPECT_EQ(d.count, 4);
+  EXPECT_EQ(d.sum, 153);
+  EXPECT_EQ(d.min, 1);
+  EXPECT_EQ(d.max, 100);
+
+  MetricHistogram empty;
+  a.MergeFrom(empty);  // no-op
+  EXPECT_TRUE(a.data() == d);
+
+  empty.MergeFrom(a);  // merge into empty adopts min/max wholesale
+  EXPECT_TRUE(empty.data() == d);
+}
+
+// ---------------------------------------------------------------------------
+// Registry merge / reset / snapshot semantics.
+
+TEST(MetricsRegistryTest, MergeFromAddsCountersAndMergesHistograms) {
+  MetricsRegistry a;
+  a.Add("shared", 10);
+  a.Add("only_a", 1);
+  a.Record("hist", 4);
+  MetricsRegistry b;
+  b.Add("shared", 5);
+  b.Add("only_b", 2);
+  b.Record("hist", 16);
+  a.MergeFrom(b);
+  EXPECT_EQ(a.Get("shared"), 15);
+  EXPECT_EQ(a.Get("only_a"), 1);
+  EXPECT_EQ(a.Get("only_b"), 2);
+  const MetricHistogram::Data d = a.histogram("hist")->data();
+  EXPECT_EQ(d.count, 2);
+  EXPECT_EQ(d.sum, 20);
+  EXPECT_EQ(d.min, 4);
+  EXPECT_EQ(d.max, 16);
+  // The source registry is untouched.
+  EXPECT_EQ(b.Get("shared"), 5);
+}
+
+TEST(MetricsRegistryTest, SnapshotSurvivesReset) {
+  MetricsRegistry reg;
+  reg.Add("c", 42);
+  reg.Record("h", 9);
+  const MetricsRegistry::Snapshot snap = reg.TakeSnapshot();
+  reg.Reset();
+  // The snapshot keeps the pre-reset values...
+  EXPECT_EQ(snap.counters.at("c"), 42);
+  EXPECT_EQ(snap.histograms.at("h").count, 1);
+  // ...while the registry is zeroed with the names intact.
+  EXPECT_EQ(reg.Get("c"), 0);
+  EXPECT_EQ(reg.histogram("h")->data().count, 0);
+  const MetricsRegistry::Snapshot after = reg.TakeSnapshot();
+  EXPECT_EQ(after.counters.count("c"), 1u);
+  EXPECT_EQ(after.counters.at("c"), 0);
+}
+
+TEST(MetricsRegistryTest, ToJsonIsDeterministicAndNameSorted) {
+  MetricsRegistry reg;
+  reg.Add("zeta", 1);
+  reg.Add("alpha", 2);
+  reg.Record("h", 3);
+  reg.Record("h", 1024);
+  EXPECT_EQ(reg.ToJson(),
+            "{\"counters\":{\"alpha\":2,\"zeta\":1},"
+            "\"histograms\":{\"h\":{\"count\":2,\"sum\":1027,\"min\":3,"
+            "\"max\":1024,\"buckets\":[[4,1],[2048,1]]}}}");
+}
+
+TEST(MetricsRegistryTest, ToJsonEscapesQuotesAndBackslashes) {
+  MetricsRegistry reg;
+  reg.Add("quo\"te\\slash", 1);
+  const std::string json = reg.ToJson();
+  EXPECT_NE(json.find("\"quo\\\"te\\\\slash\":1"), std::string::npos) << json;
+}
+
+// ---------------------------------------------------------------------------
+// Determinism at every DOP (DESIGN.md §8/§9): the per-worker metric shards
+// merge exactly like the worker cost clocks, so the merged totals must be
+// independent of the thread schedule — identical to the serial run at DOP
+// 2/4/8 and across reruns, both for the in-memory and the spilling paths.
+
+constexpr int kDops[] = {2, 4, 8};
+constexpr int kReruns = 2;
+
+void ExpectSnapshotsEqual(const MetricsRegistry::Snapshot& got,
+                          const MetricsRegistry::Snapshot& want,
+                          const std::string& label) {
+  EXPECT_EQ(got.counters, want.counters) << label;
+  EXPECT_TRUE(got.histograms == want.histograms)
+      << label << "\n got: " << got.ToJson() << "\nwant: " << want.ToJson();
+}
+
+TEST(MetricsParallelTest, JoinMetricsIdenticalAtEveryDop) {
+  GenOptions r_opts;
+  r_opts.num_tuples = 600;
+  r_opts.tuple_width = 64;
+  r_opts.seed = 4242;
+  GenOptions s_opts;
+  s_opts.num_tuples = 900;
+  s_opts.tuple_width = 48;
+  s_opts.key_range = 600;
+  s_opts.seed = 2424;
+  const Relation r = MakeKeyedRelation(r_opts);
+  const Relation s = MakeKeyedRelation(s_opts);
+  // Half-memory so hybrid hash really spills: exec.spill.* must stay
+  // deterministic even when parallel workers share the partition writers.
+  const int64_t memory = std::max<int64_t>(
+      2, static_cast<int64_t>(0.5 * double(r.NumPages(4096)) * 1.2));
+
+  const JoinAlgorithm kAlgorithms[] = {JoinAlgorithm::kSimpleHash,
+                                       JoinAlgorithm::kGraceHash,
+                                       JoinAlgorithm::kHybridHash};
+  for (JoinAlgorithm alg : kAlgorithms) {
+    ExecEnv serial_env(memory);
+    auto serial = ExecuteJoin(alg, r, s, JoinSpec{0, 0}, &serial_env.ctx);
+    ASSERT_TRUE(serial.ok()) << JoinAlgorithmName(alg);
+    const MetricsRegistry::Snapshot expected =
+        serial_env.metrics.TakeSnapshot();
+    const CostCounters expected_counters = serial_env.clock.counters();
+    EXPECT_GT(expected.counters.at("exec.join.runs"), 0);
+
+    for (int dop : kDops) {
+      for (int rerun = 0; rerun < kReruns; ++rerun) {
+        ExecEnv env(memory);
+        env.ctx.dop = dop;
+        auto out = ExecuteJoin(alg, r, s, JoinSpec{0, 0}, &env.ctx);
+        ASSERT_TRUE(out.ok()) << JoinAlgorithmName(alg) << " dop=" << dop;
+        const std::string label = std::string(JoinAlgorithmName(alg)) +
+                                  " dop=" + std::to_string(dop) +
+                                  " rerun=" + std::to_string(rerun);
+        ExpectSnapshotsEqual(env.metrics.TakeSnapshot(), expected, label);
+        EXPECT_EQ(env.clock.counters(), expected_counters) << label;
+      }
+    }
+  }
+}
+
+TEST(MetricsParallelTest, AggregateMetricsIdenticalAtEveryDop) {
+  GenOptions opts;
+  opts.num_tuples = 4000;
+  opts.tuple_width = 48;
+  opts.key_range = 200;
+  opts.seed = 777;
+  const Relation input = MakeKeyedRelation(opts);
+  AggregateSpec spec;
+  spec.group_by = {0};
+  spec.aggregates = {{AggFn::kCount, 0, "cnt"}, {AggFn::kSum, 1, "sum"}};
+
+  ExecEnv serial_env(8);  // 8 pages => partitioned (spilling) path
+  auto serial = HashAggregate(input, spec, &serial_env.ctx);
+  ASSERT_TRUE(serial.ok());
+  const MetricsRegistry::Snapshot expected = serial_env.metrics.TakeSnapshot();
+  EXPECT_EQ(expected.counters.at("exec.agg.input_tuples"), 4000);
+  EXPECT_GT(expected.counters.at("exec.agg.spilled_partitions"), 0);
+
+  for (int dop : kDops) {
+    for (int rerun = 0; rerun < kReruns; ++rerun) {
+      ExecEnv env(8);
+      env.ctx.dop = dop;
+      auto out = HashAggregate(input, spec, &env.ctx);
+      ASSERT_TRUE(out.ok()) << "dop=" << dop;
+      ExpectSnapshotsEqual(
+          env.metrics.TakeSnapshot(), expected,
+          "dop=" + std::to_string(dop) + " rerun=" + std::to_string(rerun));
+    }
+  }
+}
+
+TEST(MetricsParallelTest, NullMetricsPointerRecordsNothingAndStillRuns) {
+  GenOptions opts;
+  opts.num_tuples = 300;
+  opts.tuple_width = 32;
+  opts.seed = 5;
+  const Relation r = MakeKeyedRelation(opts);
+  ExecEnv env(1024);
+  env.ctx.metrics = nullptr;  // observability off
+  for (int dop : {1, 4}) {
+    env.ctx.dop = dop;
+    auto out = ExecuteJoin(JoinAlgorithm::kHybridHash, r, r, JoinSpec{0, 0},
+                           &env.ctx);
+    ASSERT_TRUE(out.ok()) << "dop=" << dop;
+    EXPECT_EQ(out->num_tuples(), 300);
+  }
+  EXPECT_EQ(env.metrics.Get("exec.join.runs"), 0);
+}
+
+}  // namespace
+}  // namespace mmdb

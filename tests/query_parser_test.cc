@@ -140,6 +140,88 @@ TEST_F(SqlTest, ErrorsAreDiagnosed) {
   EXPECT_FALSE(db_.ExecuteSql("SELECT name FROM emp extra_garbage").ok());
 }
 
+TEST_F(SqlTest, OutOfRangeIntegerLiteralIsAnErrorNotACrash) {
+  // Regression: this used to abort via an uncaught std::out_of_range from
+  // std::stoll. It must come back as an error Status.
+  auto r = db_.ExecuteSql(
+      "SELECT emp_id FROM emp WHERE emp_id = 99999999999999999999");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos)
+      << r.status().ToString();
+  // INT64_MAX itself still parses.
+  EXPECT_TRUE(
+      db_.ExecuteSql(
+             "SELECT emp_id FROM emp WHERE emp_id = 9223372036854775807")
+          .ok());
+}
+
+TEST_F(SqlTest, OutOfRangeDoubleLiteralIsAnErrorNotACrash) {
+  // Same crash via std::stod: a mantissa beyond double range overflowed.
+  const std::string huge(400, '9');
+  auto r =
+      db_.ExecuteSql("SELECT emp_id FROM emp WHERE salary = " + huge + ".0");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("out of range"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(SqlTest, MultiDotNumericLiteralIsRejected) {
+  auto r = db_.ExecuteSql("SELECT emp_id FROM emp WHERE salary = 1.2.3");
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("malformed numeric literal"),
+            std::string::npos)
+      << r.status().ToString();
+  // A single trailing dot is valid (strtod-style), as in standard SQL.
+  EXPECT_TRUE(
+      db_.ExecuteSql("SELECT emp_id FROM emp WHERE salary = 1.").ok());
+}
+
+TEST_F(SqlTest, ExplainAnalyzeAnnotatesEveryNodeAndReturnsRows) {
+  Exec("CREATE TABLE loc (dept_id INT64, city CHAR(12))");
+  for (int64_t d = 0; d < 3; ++d) {
+    Exec("INSERT INTO loc VALUES (" + std::to_string(d) + ", 'city" +
+         std::to_string(d) + "')");
+  }
+  // Two joins: emp ⋈ dept ⋈ loc.
+  auto r = Exec(
+      "EXPLAIN ANALYZE SELECT name, dname, city FROM emp, dept, loc "
+      "WHERE emp.dept = dept.dept_id AND dept.dept_id = loc.dept_id");
+  EXPECT_EQ(r.relation.num_tuples(), 60);  // rows really executed
+  // Every plan node (2 joins + 3 scans + project) carries actuals.
+  size_t annotations = 0;
+  for (size_t at = r.plan_text.find("(actual rows="); at != std::string::npos;
+       at = r.plan_text.find("(actual rows=", at + 1)) {
+    ++annotations;
+  }
+  EXPECT_GE(annotations, 6u) << r.plan_text;
+  EXPECT_NE(r.plan_text.find("comps="), std::string::npos) << r.plan_text;
+  EXPECT_NE(r.plan_text.find("reads="), std::string::npos) << r.plan_text;
+  EXPECT_NE(r.plan_text.find("spill="), std::string::npos) << r.plan_text;
+  EXPECT_NE(r.plan_text.find("self="), std::string::npos) << r.plan_text;
+}
+
+TEST_F(SqlTest, ExplainAnalyzeAggregateReportsGroups) {
+  auto r = Exec(
+      "EXPLAIN ANALYZE SELECT dept, COUNT(*) FROM emp GROUP BY dept");
+  EXPECT_EQ(r.relation.num_tuples(), 3);
+  EXPECT_NE(r.plan_text.find("actual groups=3"), std::string::npos)
+      << r.plan_text;
+}
+
+TEST_F(SqlTest, ExplainAnalyzeRequiresSelect) {
+  EXPECT_FALSE(db_.ExecuteSql("EXPLAIN ANALYZE").ok());
+  EXPECT_FALSE(
+      db_.ExecuteSql("EXPLAIN ANALYZE INSERT INTO dept VALUES (9, 'x')").ok());
+}
+
+TEST_F(SqlTest, MetricsJsonReflectsExecutedWork) {
+  Exec("SELECT name FROM emp, dept WHERE emp.dept = dept.dept_id");
+  const std::string json = db_.MetricsJson();
+  EXPECT_NE(json.find("\"exec.join.runs\":"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"buffer_pool.fetches\":"), std::string::npos) << json;
+  EXPECT_GT(db_.metrics()->Get("exec.join.probe_tuples"), 0);
+}
+
 TEST_F(SqlTest, KeywordsAreCaseInsensitive) {
   auto r = Exec("select Name from EMP where SALARY >= 1590.0");
   EXPECT_EQ(r.relation.num_tuples(), 1);

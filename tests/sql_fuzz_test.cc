@@ -226,6 +226,63 @@ TEST_P(SqlFuzzTest, EngineParserAndOracleAgree) {
   }
 }
 
+TEST(SqlCrashCorpusTest, AdversarialStatementsNeverCrash) {
+  // Historical crashers plus fuzz-style garbage. Every statement must come
+  // back as a Status (ok or error) — never an uncaught exception or abort.
+  const char* corpus[] = {
+      // std::stoll used to throw std::out_of_range on these.
+      "SELECT k FROM t WHERE k = 99999999999999999999",
+      "SELECT k FROM t WHERE k = -99999999999999999999",
+      "INSERT INTO t VALUES (123456789012345678901234567890)",
+      // std::stod overflow.
+      "SELECT k FROM t WHERE d = "
+      "999999999999999999999999999999999999999999999999999999999999999999999"
+      "999999999999999999999999999999999999999999999999999999999999999999999"
+      "999999999999999999999999999999999999999999999999999999999999999999999"
+      "999999999999999999999999999999999999999999999999999999999999999999999"
+      "999999999999999999999999999999999999999999999999999999.0",
+      // Multi-dot and trailing-dot literals.
+      "SELECT k FROM t WHERE d = 1.2.3",
+      "SELECT k FROM t WHERE d = 1.2.3.4.5",
+      "SELECT k FROM t WHERE d = .",
+      "SELECT k FROM t WHERE d = 1.",
+      "INSERT INTO t VALUES (1..2)",
+      // General malformed shapes around literals and punctuation.
+      "SELECT",
+      "SELECT * FROM",
+      "SELECT * FROM t WHERE",
+      "SELECT * FROM t WHERE k =",
+      "SELECT * FROM t WHERE k = 'unterminated",
+      "SELECT * FROM t WHERE k = ''''",
+      "EXPLAIN",
+      "EXPLAIN ANALYZE",
+      "EXPLAIN EXPLAIN SELECT * FROM t",
+      "EXPLAIN ANALYZE ANALYZE SELECT * FROM t",
+      "CREATE TABLE (",
+      "INSERT INTO t VALUES (,)",
+      "SELECT * FROM t GROUP BY",
+      ")(*&^%$#@!",
+      "",
+      "   ",
+      ";;;",
+  };
+  Database db;
+  ASSERT_TRUE(
+      db.CreateTable("t", Schema({Column::Int64("k"), Column::Double("d")}))
+          .ok());
+  ASSERT_TRUE(db.Insert("t", {int64_t{1}, 2.5}).ok());
+  for (const char* sql : corpus) {
+    auto result = db.ExecuteSql(sql);  // must not crash
+    if (!result.ok()) {
+      EXPECT_FALSE(result.status().message().empty()) << sql;
+    }
+  }
+  // The engine is still healthy afterwards.
+  auto ok = db.ExecuteSql("SELECT k FROM t WHERE d = 2.5");
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->relation.num_tuples(), 1);
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, SqlFuzzTest,
                          ::testing::Values(FuzzCase{1, 30}, FuzzCase{2, 30},
                                            FuzzCase{3, 30}, FuzzCase{4, 30},
