@@ -1,0 +1,172 @@
+// DESIGN.md §10: closed-loop multi-session throughput through the server
+// front end. Each client thread owns one session and drives a mixed
+// read/write SQL workload (80% single-predicate SELECTs, 20% UPDATEs) as
+// fast as the scheduler admits it; the sweep doubles the session count
+// 1 -> 32 and reports tps and per-statement latency from the database
+// metrics registry (server.bench.latency_us), plus the admission
+// counters.
+//
+// The transactional plane is enabled with the group-commit WAL, so every
+// write statement pays a real commit-durability wait (§5.2). That wait is
+// what multi-session admission overlaps: one session alone stalls for the
+// full log flush on each UPDATE, while N sessions share flushes — the
+// paper's group-commit effect, and the reason tps rises with sessions
+// even on a single-core host. Reads share the catalog latch and run
+// concurrently throughout.
+//
+// Usage: bench_server_throughput [--smoke] [duration_ms_per_point]
+//   --smoke: 2 sweep points x 150 ms — the ctest soak.
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/random.h"
+#include "server/server.h"
+
+namespace mmdb {
+namespace {
+
+constexpr int64_t kRows = 2000;
+
+struct SweepPoint {
+  int sessions = 0;
+  int64_t statements = 0;
+  int64_t overloaded = 0;
+  double tps = 0;
+  double mean_latency_us = 0;
+  int64_t max_latency_us = 0;
+};
+
+SweepPoint RunPoint(int sessions, int duration_ms) {
+  Database db;
+  MMDB_CHECK(db.ExecuteSql("CREATE TABLE acct (id INT64, owner CHAR(8), "
+                           "balance DOUBLE)")
+                 .ok());
+  for (int64_t i = 0; i < kRows; ++i) {
+    MMDB_CHECK(db.ExecuteSql("INSERT INTO acct VALUES (" + std::to_string(i) +
+                             ", 'o" + std::to_string(i % 16) + "', " +
+                             std::to_string(100.0 + double(i)) + ")")
+                   .ok());
+  }
+  // Enable the §5 plane AFTER the bulk load so setup does not pay 2000
+  // commit waits. From here on every write statement is made durable
+  // through the group-commit log (1 ms simulated page write).
+  Database::TxnPlaneOptions txn;
+  txn.wal_kind = Database::TxnPlaneOptions::WalKind::kSingle;
+  txn.log_write_latency = std::chrono::microseconds(1000);
+  MMDB_CHECK(db.EnableTransactions(txn).ok());
+
+  Server::Options opts;
+  opts.scheduler.num_workers = sessions;
+  opts.scheduler.max_queue_depth = 4 * sessions;
+  opts.max_sessions = sessions;
+  Server server(&db, opts);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> statements{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    clients.emplace_back([&, s] {
+      auto session = server.OpenSession();
+      MMDB_CHECK(session.ok());
+      Random rng(static_cast<uint64_t>(17 + s));
+      int64_t done = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t id = static_cast<int64_t>(rng.Uniform(kRows));
+        std::string sql;
+        if (rng.Uniform(10) < 2) {
+          sql = "UPDATE acct SET balance = " + std::to_string(double(id)) +
+                " WHERE id = " + std::to_string(id);
+        } else {
+          sql = "SELECT id, balance FROM acct WHERE id = " +
+                std::to_string(id);
+        }
+        const auto t0 = std::chrono::steady_clock::now();
+        auto result = (*session)->ExecuteSql(sql);
+        const int64_t us =
+            std::chrono::duration_cast<std::chrono::microseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (result.ok()) {
+          db.metrics()->Record("server.bench.latency_us", us);
+          ++done;
+        } else if (result.status().code() != StatusCode::kOverloaded) {
+          std::fprintf(stderr, "statement failed: %s\n",
+                       result.status().ToString().c_str());
+          break;
+        }
+        // kOverloaded: closed-loop backpressure — just retry.
+      }
+      statements.fetch_add(done, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : clients) t.join();
+  server.Shutdown();
+
+  SweepPoint point;
+  point.sessions = sessions;
+  point.statements = statements.load();
+  point.tps = 1000.0 * double(point.statements) / double(duration_ms);
+  point.overloaded =
+      db.metrics()->Get("server.admission.rejected_queue_full") +
+      db.metrics()->Get("server.admission.rejected_session_cap");
+  const MetricHistogram::Data lat =
+      db.metrics()->histogram("server.bench.latency_us")->data();
+  point.mean_latency_us = lat.Mean();
+  point.max_latency_us = lat.max;
+  return point;
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main(int argc, char** argv) {
+  using namespace mmdb;
+  bool smoke = false;
+  int duration_ms = 1000;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      duration_ms = std::atoi(argv[i]);
+    }
+  }
+  if (smoke) duration_ms = std::min(duration_ms, 150);
+  const std::vector<int> sweep =
+      smoke ? std::vector<int>{1, 4} : std::vector<int>{1, 2, 4, 8, 16, 32};
+
+  std::printf("== §10: closed-loop server throughput, %lld-row table, "
+              "80/20 read/write, %d ms per point ==\n\n",
+              static_cast<long long>(kRows), duration_ms);
+  std::printf("%9s %12s %10s %14s %14s %12s\n", "sessions", "statements",
+              "tps", "mean lat (us)", "max lat (us)", "overloaded");
+  std::vector<SweepPoint> points;
+  for (int sessions : sweep) {
+    points.push_back(RunPoint(sessions, duration_ms));
+    const SweepPoint& p = points.back();
+    std::printf("%9d %12lld %10.0f %14.0f %14lld %12lld\n", p.sessions,
+                static_cast<long long>(p.statements), p.tps,
+                p.mean_latency_us, static_cast<long long>(p.max_latency_us),
+                static_cast<long long>(p.overloaded));
+  }
+  if (points.size() >= 2 && points.back().tps <= points.front().tps) {
+    std::printf("\nwarning: tps did not increase with sessions "
+                "(%0.0f -> %0.0f)\n",
+                points.front().tps, points.back().tps);
+  }
+  std::printf("\npaper (§5.2 adapted): with data memory-resident, a lone "
+              "session stalls on every commit's log flush; admitting more "
+              "sessions lets group commit amortize one flush across many "
+              "write statements, so tps rises with sessions until the CPU "
+              "or the write latch saturates.\n");
+  return 0;
+}

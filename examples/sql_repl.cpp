@@ -1,20 +1,36 @@
-// A tiny SQL shell over mmdb: pipe statements in (semicolon- or
-// newline-terminated) or use it interactively.
+// A tiny SQL shell over mmdb's multi-session server front end. Pipe
+// statements in or use it interactively; a line may carry several
+// semicolon-separated statements and each is executed in order — one
+// statement's error is reported without aborting the rest of the batch.
 //
 //   $ ./build/examples/sql_repl
 //   mmdb> CREATE TABLE emp (id INT64, name CHAR(20), salary DOUBLE)
-//   mmdb> INSERT INTO emp VALUES (1, 'jones', 52000.0), (2, 'smith', 48000.0)
-//   mmdb> SELECT name FROM emp WHERE salary > 50000
-//   mmdb> EXPLAIN SELECT name FROM emp WHERE salary > 50000
+//   mmdb> INSERT INTO emp VALUES (1, 'jones', 52000.0); SELECT * FROM emp
+//   mmdb> UPDATE emp SET salary = 60000.0 WHERE id = 1
+//   mmdb> BEGIN; SELECT name FROM emp WHERE salary > 50000; COMMIT
 //
 // `\demo` loads the paper's employee/department schema with sample data;
-// `\cost` prints the simulated-time tally; `\quit` exits.
+// `\cost` prints the simulated-time tally; `\metrics` dumps the metrics
+// registry (server.sessions.* / server.admission.* included); `\quit`
+// exits.
+//
+// Concurrent stress mode (DESIGN.md §10): `sql_repl --sessions N [ms]`
+// (alias `--stress`) loads the demo data, opens N sessions and drives
+// the 80/20 read/write mix from N client threads through the
+// admission-controlled scheduler, then reports throughput and the
+// admission counters.
 
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <iostream>
 #include <string>
+#include <thread>
+#include <vector>
 
-#include "db/database.h"
+#include "common/random.h"
+#include "server/server.h"
 #include "storage/datagen.h"
 
 using namespace mmdb;  // NOLINT — example brevity
@@ -59,15 +75,115 @@ void LoadDemo(Database* db) {
               "WHERE emp.dept = dept.dept_id GROUP BY dname\n");
 }
 
+void PrintResult(const StatusOr<Database::SqlResult>& result) {
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return;
+  }
+  if (result->analyzed) {
+    // EXPLAIN ANALYZE: annotated plan first, then the executed rows.
+    std::printf("%s", result->plan_text.c_str());
+    PrintRelation(result->relation);
+  } else if (!result->plan_text.empty() &&
+             result->relation.num_tuples() == 0 &&
+             result->relation.schema().num_columns() == 0) {
+    std::printf("%s", result->plan_text.c_str());  // EXPLAIN
+  } else if (result->rows_affected > 0) {
+    std::printf("ok, %lld rows\n",
+                static_cast<long long>(result->rows_affected));
+  } else if (result->relation.schema().num_columns() > 0) {
+    PrintRelation(result->relation);
+  } else {
+    std::printf("ok\n");
+  }
+}
+
+/// `--stress N [ms]`: N concurrent sessions over the demo tables, mixed
+/// 80/20 SELECT/UPDATE on emp, closed loop, admission backpressure
+/// honoured by retrying kOverloaded.
+int RunStress(int sessions, int duration_ms) {
+  Database db;
+  LoadDemo(&db);
+  Server::Options opts;
+  opts.scheduler.num_workers = sessions;
+  opts.scheduler.max_queue_depth = 4 * sessions;
+  opts.max_sessions = sessions;
+  Server server(&db, opts);
+
+  std::printf("stress: %d sessions, %d ms, 80/20 read/write on emp\n",
+              sessions, duration_ms);
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> statements{0};
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<size_t>(sessions));
+  for (int s = 0; s < sessions; ++s) {
+    clients.emplace_back([&, s] {
+      auto session = server.OpenSession();
+      MMDB_CHECK(session.ok());
+      Random rng(static_cast<uint64_t>(7 + s));
+      int64_t done = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const int64_t id = static_cast<int64_t>(rng.Uniform(5000));
+        const std::string sql =
+            rng.Uniform(10) < 2
+                ? "UPDATE emp SET salary = " + std::to_string(40000.0 + id) +
+                      " WHERE emp_id = " + std::to_string(id)
+                : "SELECT name, salary FROM emp WHERE emp_id = " +
+                      std::to_string(id);
+        auto result = (*session)->ExecuteSql(sql);
+        if (result.ok()) {
+          ++done;
+        } else if (result.status().code() != StatusCode::kOverloaded) {
+          std::fprintf(stderr, "statement failed: %s\n",
+                       result.status().ToString().c_str());
+          break;
+        }
+      }
+      statements.fetch_add(done, std::memory_order_relaxed);
+    });
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+  stop.store(true, std::memory_order_relaxed);
+  for (auto& t : clients) t.join();
+  server.Shutdown();
+  std::printf("%lld statements in %d ms -> %.0f tps\n",
+              static_cast<long long>(statements.load()), duration_ms,
+              1000.0 * double(statements.load()) / double(duration_ms));
+  std::printf("admitted=%lld rejected_queue_full=%lld "
+              "rejected_session_cap=%lld\n",
+              static_cast<long long>(
+                  db.metrics()->Get("server.admission.admitted")),
+              static_cast<long long>(
+                  db.metrics()->Get("server.admission.rejected_queue_full")),
+              static_cast<long long>(
+                  db.metrics()->Get("server.admission.rejected_session_cap")));
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  if (argc >= 2 && (std::strcmp(argv[1], "--sessions") == 0 ||
+                    std::strcmp(argv[1], "--stress") == 0)) {
+    const int sessions = argc >= 3 ? std::atoi(argv[2]) : 8;
+    const int duration_ms = argc >= 4 ? std::atoi(argv[3]) : 2000;
+    return RunStress(sessions > 0 ? sessions : 8,
+                     duration_ms > 0 ? duration_ms : 2000);
+  }
+
   Database db;
+  Server server(&db);
+  auto opened = server.OpenSession();
+  MMDB_CHECK(opened.ok());
+  Session* session = *opened;
+
   std::string line;
   const bool tty = isatty(fileno(stdin));
   if (tty) {
-    std::printf("mmdb SQL shell — \\demo loads sample data, \\cost shows "
-                "simulated time, \\quit exits\n");
+    std::printf("mmdb SQL shell (server session #%lld) — \\demo loads "
+                "sample data, \\cost shows simulated time, \\metrics dumps "
+                "counters, \\quit exits; semicolons separate statements\n",
+                static_cast<long long>(session->id()));
   }
   while (true) {
     if (tty) {
@@ -75,11 +191,6 @@ int main() {
       std::fflush(stdout);
     }
     if (!std::getline(std::cin, line)) break;
-    // Strip trailing semicolon / whitespace.
-    while (!line.empty() &&
-           (line.back() == ';' || std::isspace((unsigned char)line.back()))) {
-      line.pop_back();
-    }
     if (line.empty()) continue;
     if (line == "\\quit" || line == "\\q") break;
     if (line == "\\demo") {
@@ -90,27 +201,21 @@ int main() {
       std::printf("%s\n", db.clock()->DebugString().c_str());
       continue;
     }
-    auto result = db.ExecuteSql(line);
-    if (!result.ok()) {
-      std::printf("error: %s\n", result.status().ToString().c_str());
+    if (line == "\\metrics") {
+      std::printf("%s\n", db.MetricsJson().c_str());
       continue;
     }
-    if (result->analyzed) {
-      // EXPLAIN ANALYZE: annotated plan first, then the executed rows.
-      std::printf("%s", result->plan_text.c_str());
-      PrintRelation(result->relation);
-    } else if (!result->plan_text.empty() &&
-               result->relation.num_tuples() == 0 &&
-               result->relation.schema().num_columns() == 0) {
-      std::printf("%s", result->plan_text.c_str());  // EXPLAIN
-    } else if (result->rows_affected > 0) {
-      std::printf("ok, %lld rows\n",
-                  static_cast<long long>(result->rows_affected));
-    } else if (result->relation.schema().num_columns() > 0) {
-      PrintRelation(result->relation);
-    } else {
-      std::printf("ok\n");
+    // One line may hold many statements; each runs even if an earlier one
+    // failed (its error is printed in sequence instead).
+    const std::vector<std::string> stmts = Session::SplitStatements(line);
+    if (stmts.empty()) continue;
+    for (size_t i = 0; i < stmts.size(); ++i) {
+      if (stmts.size() > 1) {
+        std::printf("-- statement %zu/%zu\n", i + 1, stmts.size());
+      }
+      PrintResult(session->ExecuteSql(stmts[i]));
     }
   }
+  server.Shutdown();
   return 0;
 }

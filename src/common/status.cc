@@ -30,6 +30,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "CORRUPTION";
     case StatusCode::kRetryExhausted:
       return "RETRY_EXHAUSTED";
+    case StatusCode::kOverloaded:
+      return "OVERLOADED";
   }
   return "UNKNOWN";
 }

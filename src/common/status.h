@@ -26,6 +26,10 @@ enum class StatusCode {
   kInternal,
   kCorruption,
   kRetryExhausted,
+  /// Admission control: the server's statement queue (or session table) is
+  /// full and the request was rejected without queuing — the client should
+  /// back off and retry (DESIGN.md §10).
+  kOverloaded,
 };
 
 /// Returns a human-readable name for `code` ("OK", "NOT_FOUND", ...).
@@ -80,6 +84,9 @@ class Status {
   }
   static Status RetryExhausted(std::string msg) {
     return Status(StatusCode::kRetryExhausted, std::move(msg));
+  }
+  static Status Overloaded(std::string msg) {
+    return Status(StatusCode::kOverloaded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,11 +1,15 @@
 #include "db/database.h"
 
 #include <algorithm>
+#include <cctype>
 #include <cstdio>
+#include <mutex>
+#include <shared_mutex>
 
 #include "common/check.h"
 #include "cost/access_cost.h"
 #include "db/query_parser.h"
+#include "optimizer/predicate.h"
 
 namespace mmdb {
 
@@ -259,6 +263,7 @@ StatusOr<Row> Database::IndexLookup(const std::string& table_name,
     return Status::NotFound("no index on " + table_name + "." + column);
   }
   IndexHolder& index = idx_it->second;
+  std::lock_guard<std::mutex> index_latch(*index.latch);
   switch (index.type) {
     case IndexType::kAvl: {
       MMDB_ASSIGN_OR_RETURN(int64_t ordinal, index.avl->Find(key));
@@ -302,7 +307,13 @@ Status Database::IndexRangeScan(const std::string& table_name,
     return Status::NotFound("no index on " + table_name + "." + column);
   }
   IndexHolder& index = idx_it->second;
-  const TableHolder& table = it->second;
+  std::lock_guard<std::mutex> index_latch(*index.latch);
+  return IndexRangeScanLocked(it->second, index, low, limit, fn);
+}
+
+Status Database::IndexRangeScanLocked(
+    const TableHolder& table, IndexHolder& index, const Value& low,
+    int64_t limit, const std::function<bool(const Row&)>& fn) {
   switch (index.type) {
     case IndexType::kAvl: {
       Status status = Status::OK();
@@ -356,7 +367,12 @@ Status Database::IndexRangeScan(const std::string& table_name,
 }
 
 const Catalog& Database::catalog() {
-  if (catalog_dirty_) {
+  // Double-checked rebuild: concurrent read statements may all ask for the
+  // catalog; only the first rebuilds (under catalog_mu_), the rest either
+  // wait on the mutex or see the release-published clean flag.
+  if (!catalog_dirty_.load(std::memory_order_acquire)) return catalog_;
+  std::lock_guard<std::mutex> lock(catalog_mu_);
+  if (catalog_dirty_.load(std::memory_order_relaxed)) {
     catalog_ = Catalog(options_.page_size);
     for (const auto& [name, table] : tables_) {
       Status s = catalog_.RegisterTable(name, &table.relation);
@@ -379,13 +395,14 @@ const Catalog& Database::catalog() {
         MMDB_CHECK_MSG(s.ok(), s.ToString().c_str());
       }
     }
-    catalog_dirty_ = false;
+    catalog_dirty_.store(false, std::memory_order_release);
   }
   return catalog_;
 }
 
 StatusOr<Relation> Database::IndexLookupAll(const std::string& table_name,
-                                            const Predicate& pred) {
+                                            const Predicate& pred,
+                                            ExecContext* ctx) {
   auto it = tables_.find(table_name);
   if (it == tables_.end()) return Status::NotFound("table " + table_name);
   auto idx_it = it->second.indexes.find(pred.column);
@@ -394,6 +411,11 @@ StatusOr<Relation> Database::IndexLookupAll(const std::string& table_name,
   }
   IndexHolder& index = idx_it->second;
   const TableHolder& table = it->second;
+  // Concurrent statements serialize on the index latch (the structures
+  // mutate their operation counters on lookup) but charge their own clock.
+  std::lock_guard<std::mutex> index_latch(*index.latch);
+  CostClock* clock =
+      ctx != nullptr && ctx->clock != nullptr ? ctx->clock : &clock_;
   Relation out(table.relation.schema());
   auto emit = [&](int64_t ordinal) -> Status {
     MMDB_ASSIGN_OR_RETURN(Row row, RowByOrdinal(table, ordinal));
@@ -406,11 +428,11 @@ StatusOr<Relation> Database::IndexLookupAll(const std::string& table_name,
       case IndexType::kHash: {
         const int64_t comps_before = index.hash->stats().comparisons;
         Status status = Status::OK();
-        clock_.Hash();
+        clock->Hash();
         index.hash->FindAll(pred.literal, [&](int64_t ordinal) {
           if (status.ok()) status = emit(ordinal);
         });
-        clock_.Comp(index.hash->stats().comparisons - comps_before);
+        clock->Comp(index.hash->stats().comparisons - comps_before);
         return status.ok() ? StatusOr<Relation>(std::move(out))
                            : StatusOr<Relation>(status);
       }
@@ -422,7 +444,7 @@ StatusOr<Relation> Database::IndexLookupAll(const std::string& table_name,
           if (status.ok()) status = emit(ord);
           return status.ok();
         });
-        clock_.Comp(index.avl->stats().comparisons - comps_before);
+        clock->Comp(index.avl->stats().comparisons - comps_before);
         return status.ok() ? StatusOr<Relation>(std::move(out))
                            : StatusOr<Relation>(status);
       }
@@ -449,10 +471,10 @@ StatusOr<Relation> Database::IndexLookupAll(const std::string& table_name,
     return s.size() >= p.size() && s.compare(0, p.size(), p) == 0;
   };
   const int col_index = index.column;
-  MMDB_RETURN_IF_ERROR(IndexRangeScan(
-      table_name, pred.column, pred.literal, /*limit=*/-1,
+  MMDB_RETURN_IF_ERROR(IndexRangeScanLocked(
+      table, index, pred.literal, /*limit=*/-1,
       [&](const Row& row) {
-        clock_.Comp();
+        clock->Comp();
         if (!qualifies(row[size_t(col_index)])) return false;  // past range
         if (status.ok()) {
           out.Add(row);
@@ -463,13 +485,18 @@ StatusOr<Relation> Database::IndexLookupAll(const std::string& table_name,
   return out;
 }
 
-StatusOr<QueryResult> Database::Execute(const Query& query) {
+StatusOr<QueryResult> Database::ExecuteWith(const Query& query,
+                                            ExecContext* ctx) {
   OptimizerOptions opts;
   opts.memory_pages = options_.memory_pages;
   opts.cost_params = options_.cost_params;
   opts.w_cpu = options_.w_cpu;
   opts.hash_only = options_.planner_hash_only;
-  return RunQuery(query, catalog(), opts, &exec_ctx_, this);
+  return RunQuery(query, catalog(), opts, ctx, this);
+}
+
+StatusOr<QueryResult> Database::Execute(const Query& query) {
+  return ExecuteWith(query, &exec_ctx_);
 }
 
 StatusOr<Relation> Database::ExecuteAggregate(const Query& query,
@@ -490,7 +517,164 @@ StatusOr<std::string> Database::Explain(const Query& query) {
   return plan->ToString();
 }
 
+bool Database::IsWriteSql(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() &&
+         std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  std::string kw;
+  while (i < sql.size() &&
+         std::isalpha(static_cast<unsigned char>(sql[i]))) {
+    kw.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(sql[i]))));
+    ++i;
+  }
+  return kw == "CREATE" || kw == "INSERT" || kw == "UPDATE";
+}
+
 StatusOr<Database::SqlResult> Database::ExecuteSql(const std::string& sql) {
+  TxnId durable_txn = kInvalidTxn;
+  StatusOr<SqlResult> result = ExecuteSqlPreCommit(sql, &durable_txn);
+  WaitSqlDurable(durable_txn);
+  return result;
+}
+
+StatusOr<Database::SqlResult> Database::ExecuteSqlPreCommit(
+    const std::string& sql, TxnId* durable_txn) {
+  *durable_txn = kInvalidTxn;
+  if (IsWriteSql(sql)) {
+    std::unique_lock<std::shared_mutex> lock(latch_);
+    StatusOr<SqlResult> result = ExecuteSqlWriteLocked(sql);
+    // §5.2 pre-commit at statement granularity: with the transactional
+    // plane enabled, a successful write statement appends a commit record
+    // while still holding the latch — log order therefore matches latch
+    // order, so a later statement that read this one's effects commits
+    // after it — and leaves the durability wait to the caller. Concurrent
+    // sessions' waits then land in the same group-commit flush, the
+    // paper's mechanism for beating one-log-write-per-commit.
+    if (result.ok() && txn_enabled_ && wal_ != nullptr) {
+      LogRecord rec;
+      rec.type = LogRecordType::kCommit;
+      rec.txn_id = next_sql_stmt_txn_.fetch_add(1, std::memory_order_relaxed);
+      wal_->AppendCommit(rec, {});
+      *durable_txn = rec.txn_id;
+    }
+    return result;
+  }
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  return ExecuteSqlReadLocked(sql);
+}
+
+void Database::WaitSqlDurable(TxnId txn) {
+  if (txn == kInvalidTxn || wal_ == nullptr) return;
+  wal_->WaitCommitDurable(txn);
+}
+
+StatusOr<Database::SqlResult> Database::ExecuteSqlReadLocked(
+    const std::string& sql) {
+  MMDB_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseStatement(sql, catalog()));
+  // Statement-local context: each concurrent reader charges a private
+  // clock and metrics shard, merged when the statement finishes. Addition
+  // commutes, so N statements produce the same totals in any interleaving
+  // as they would serially (the same discipline the DOP>1 operators use).
+  CostClock local_clock(options_.cost_params);
+  MetricsRegistry local_metrics;
+  ExecContext ctx = exec_ctx_;
+  ctx.clock = &local_clock;
+  ctx.metrics = &local_metrics;
+  struct MergeOnExit {
+    Database* db;
+    CostClock* clock;
+    MetricsRegistry* shard;
+    ~MergeOnExit() {
+      // The disk owns the only lock that already serializes charges to the
+      // global clock (checkpointer, parallel spills), so merge through it.
+      db->disk_.MergeClock(*clock);
+      db->metrics_.MergeFrom(*shard);
+    }
+  } merge{this, &local_clock, &local_metrics};
+
+  SqlResult result;
+  switch (stmt.kind) {
+    case ParsedStatement::Kind::kExplain: {
+      MMDB_ASSIGN_OR_RETURN(result.plan_text, Explain(stmt.query));
+      return result;
+    }
+    case ParsedStatement::Kind::kExplainAnalyze: {
+      OptimizerOptions opts;
+      opts.memory_pages = options_.memory_pages;
+      opts.cost_params = options_.cost_params;
+      opts.w_cpu = options_.w_cpu;
+      opts.hash_only = options_.planner_hash_only;
+      Optimizer optimizer(&catalog(), opts);
+      MMDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
+                            optimizer.Optimize(stmt.query));
+      PlanRunTrace trace;
+      MMDB_ASSIGN_OR_RETURN(
+          Relation rel, ExecutePlan(*plan, catalog(), &ctx, this, &trace));
+      std::string text = RenderAnalyzedPlan(*plan, trace);
+      if (stmt.aggregate.has_value() || stmt.distinct) {
+        // Aggregation runs on top of the plan tree (§4: it composes freely
+        // over any join order); summarize it as one extra line so EXPLAIN
+        // ANALYZE covers the whole statement.
+        AggStats agg_stats;
+        const double seconds_before = local_clock.Seconds();
+        if (stmt.aggregate.has_value()) {
+          MMDB_ASSIGN_OR_RETURN(
+              result.relation,
+              HashAggregate(rel, *stmt.aggregate, &ctx, &agg_stats));
+        } else {
+          std::vector<int> all(size_t(rel.schema().num_columns()));
+          for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+          MMDB_ASSIGN_OR_RETURN(
+              result.relation, ProjectDistinct(rel, all, &ctx, &agg_stats));
+        }
+        char buf[160];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s\n    (actual groups=%lld %s partitions=%lld cost=%.3fs)\n",
+            stmt.aggregate.has_value() ? "HashAggregate" : "ProjectDistinct",
+            static_cast<long long>(agg_stats.groups),
+            agg_stats.one_pass ? "one-pass" : "partitioned",
+            static_cast<long long>(agg_stats.partitions),
+            local_clock.Seconds() - seconds_before);
+        text += buf;
+      } else {
+        result.relation = std::move(rel);
+      }
+      result.plan_text = std::move(text);
+      result.analyzed = true;
+      return result;
+    }
+    case ParsedStatement::Kind::kSelect: {
+      MMDB_ASSIGN_OR_RETURN(QueryResult qr, ExecuteWith(stmt.query, &ctx));
+      result.plan_text = std::move(qr.plan_text);
+      if (stmt.aggregate.has_value()) {
+        MMDB_ASSIGN_OR_RETURN(
+            result.relation,
+            HashAggregate(qr.relation, *stmt.aggregate, &ctx));
+      } else if (stmt.distinct) {
+        std::vector<int> all(size_t(qr.relation.schema().num_columns()));
+        for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
+        MMDB_ASSIGN_OR_RETURN(result.relation,
+                              ProjectDistinct(qr.relation, all, &ctx));
+      } else {
+        result.relation = std::move(qr.relation);
+      }
+      return result;
+    }
+    case ParsedStatement::Kind::kCreateTable:
+    case ParsedStatement::Kind::kInsert:
+    case ParsedStatement::Kind::kUpdate:
+      return Status::Internal("statement classification mismatch: write "
+                              "statement on the read path");
+  }
+  return Status::Internal("unhandled statement kind");
+}
+
+StatusOr<Database::SqlResult> Database::ExecuteSqlWriteLocked(
+    const std::string& sql) {
   MMDB_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseStatement(sql, catalog()));
   SqlResult result;
   switch (stmt.kind) {
@@ -517,77 +701,85 @@ StatusOr<Database::SqlResult> Database::ExecuteSql(const std::string& sql) {
       }
       return result;
     }
-    case ParsedStatement::Kind::kExplain: {
-      MMDB_ASSIGN_OR_RETURN(result.plan_text, Explain(stmt.query));
+    case ParsedStatement::Kind::kUpdate: {
+      MMDB_RETURN_IF_ERROR(ExecuteUpdateLocked(stmt, &result.rows_affected));
       return result;
     }
-    case ParsedStatement::Kind::kExplainAnalyze: {
-      OptimizerOptions opts;
-      opts.memory_pages = options_.memory_pages;
-      opts.cost_params = options_.cost_params;
-      opts.w_cpu = options_.w_cpu;
-      opts.hash_only = options_.planner_hash_only;
-      Optimizer optimizer(&catalog(), opts);
-      MMDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
-                            optimizer.Optimize(stmt.query));
-      PlanRunTrace trace;
-      MMDB_ASSIGN_OR_RETURN(
-          Relation rel,
-          ExecutePlan(*plan, catalog(), &exec_ctx_, this, &trace));
-      std::string text = RenderAnalyzedPlan(*plan, trace);
-      if (stmt.aggregate.has_value() || stmt.distinct) {
-        // Aggregation runs on top of the plan tree (§4: it composes freely
-        // over any join order); summarize it as one extra line so EXPLAIN
-        // ANALYZE covers the whole statement.
-        AggStats agg_stats;
-        const double seconds_before = clock_.Seconds();
-        if (stmt.aggregate.has_value()) {
-          MMDB_ASSIGN_OR_RETURN(
-              result.relation,
-              HashAggregate(rel, *stmt.aggregate, &exec_ctx_, &agg_stats));
-        } else {
-          std::vector<int> all(size_t(rel.schema().num_columns()));
-          for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
-          MMDB_ASSIGN_OR_RETURN(
-              result.relation,
-              ProjectDistinct(rel, all, &exec_ctx_, &agg_stats));
-        }
-        char buf[160];
-        std::snprintf(
-            buf, sizeof(buf),
-            "%s\n    (actual groups=%lld %s partitions=%lld cost=%.3fs)\n",
-            stmt.aggregate.has_value() ? "HashAggregate" : "ProjectDistinct",
-            static_cast<long long>(agg_stats.groups),
-            agg_stats.one_pass ? "one-pass" : "partitioned",
-            static_cast<long long>(agg_stats.partitions),
-            clock_.Seconds() - seconds_before);
-        text += buf;
-      } else {
-        result.relation = std::move(rel);
-      }
-      result.plan_text = std::move(text);
-      result.analyzed = true;
-      return result;
-    }
-    case ParsedStatement::Kind::kSelect: {
-      MMDB_ASSIGN_OR_RETURN(QueryResult qr, Execute(stmt.query));
-      result.plan_text = std::move(qr.plan_text);
-      if (stmt.aggregate.has_value()) {
-        MMDB_ASSIGN_OR_RETURN(
-            result.relation,
-            HashAggregate(qr.relation, *stmt.aggregate, &exec_ctx_));
-      } else if (stmt.distinct) {
-        std::vector<int> all(size_t(qr.relation.schema().num_columns()));
-        for (size_t i = 0; i < all.size(); ++i) all[i] = static_cast<int>(i);
-        MMDB_ASSIGN_OR_RETURN(result.relation,
-                              ProjectDistinct(qr.relation, all, &exec_ctx_));
-      } else {
-        result.relation = std::move(qr.relation);
-      }
-      return result;
-    }
+    case ParsedStatement::Kind::kSelect:
+    case ParsedStatement::Kind::kExplain:
+    case ParsedStatement::Kind::kExplainAnalyze:
+      return Status::Internal("statement classification mismatch: read "
+                              "statement on the write path");
   }
   return Status::Internal("unhandled statement kind");
+}
+
+Status Database::ExecuteUpdateLocked(const ParsedStatement& stmt,
+                                     int64_t* rows_affected) {
+  auto it = tables_.find(stmt.table_name);
+  if (it == tables_.end()) return Status::NotFound("table " + stmt.table_name);
+  TableHolder& table = it->second;
+  const Schema& schema = table.relation.schema();
+  std::vector<std::pair<int, const Value*>> sets;
+  sets.reserve(stmt.set_clauses.size());
+  for (const ParsedStatement::SetClause& sc : stmt.set_clauses) {
+    MMDB_ASSIGN_OR_RETURN(int idx, schema.ColumnIndex(sc.column));
+    sets.emplace_back(idx, &sc.value);
+  }
+  std::vector<int> filter_cols;
+  filter_cols.reserve(stmt.query.filters.size());
+  for (const Predicate& p : stmt.query.filters) {
+    MMDB_ASSIGN_OR_RETURN(int idx, schema.ColumnIndex(p.column));
+    filter_cols.push_back(idx);
+  }
+  // Charge a local clock and merge through the disk (whose mutex already
+  // serializes global-clock charges against the checkpointer's I/O).
+  CostClock local_clock(options_.cost_params);
+  int64_t matched = 0;
+  for (Row& row : table.relation.mutable_rows()) {
+    bool match = true;
+    for (size_t i = 0; i < stmt.query.filters.size(); ++i) {
+      local_clock.Comp();
+      if (!EvalPredicate(stmt.query.filters[i], row, filter_cols[i])) {
+        match = false;
+        break;
+      }
+    }
+    if (!match) continue;
+    for (const std::pair<int, const Value*>& set : sets) {
+      local_clock.Move();
+      row[static_cast<size_t>(set.first)] = *set.second;
+    }
+    ++matched;
+  }
+  disk_.MergeClock(local_clock);
+  // Rebuild any index whose key column was assigned: the §2 structures
+  // have no delete path, and an UPDATE touching an indexed key is rare
+  // enough that a rebuild is the simplest correct maintenance.
+  std::vector<std::pair<std::string, IndexType>> rebuilds;
+  for (const auto& entry : table.indexes) {
+    for (const std::pair<int, const Value*>& set : sets) {
+      if (entry.second.column == set.first) {
+        rebuilds.emplace_back(entry.first, entry.second.type);
+        break;
+      }
+    }
+  }
+  for (const std::pair<std::string, IndexType>& rebuild : rebuilds) {
+    table.indexes.erase(rebuild.first);
+    MMDB_RETURN_IF_ERROR(
+        BuildIndex(&table, stmt.table_name, rebuild.first, rebuild.second));
+  }
+  // UPDATE changes no schema, cardinality or index set, so the catalog
+  // stays valid; only an index rebuild must be re-registered. Column
+  // value statistics go stale until the next invalidation — the standard
+  // stale-statistics trade every optimizer makes (a per-update stats
+  // rescan would serialize the whole session mix behind catalog_mu_).
+  if (!rebuilds.empty()) InvalidateCatalog();
+  metrics_.Add("sql.update.statements", 1);
+  metrics_.Add("sql.update.rows", matched);
+  *rows_affected = matched;
+  return Status::OK();
 }
 
 Status Database::EnableTransactions(const TxnPlaneOptions& options) {

@@ -1,8 +1,11 @@
 #ifndef MMDB_DB_DATABASE_H_
 #define MMDB_DB_DATABASE_H_
 
+#include <atomic>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <shared_mutex>
 #include <string>
 
 #include "cost/access_cost.h"
@@ -31,8 +34,15 @@ namespace mmdb {
 ///  * and an optional transactional plane with group-commit logging,
 ///    fuzzy checkpointing and crash recovery (§5).
 ///
-/// Single-threaded on the query plane; the transactional plane is fully
-/// thread-safe (that is where the paper's concurrency lives).
+/// Threading (DESIGN.md §10): `ExecuteSql` is re-entrant — read statements
+/// (SELECT / EXPLAIN [ANALYZE]) run concurrently under a shared
+/// catalog/table latch with statement-local cost clocks and metrics shards
+/// (merged on completion, so totals match a serial run), while write
+/// statements (CREATE TABLE / INSERT / UPDATE) take the latch exclusively.
+/// The other public methods (Execute, Insert, CreateIndex, ...) remain
+/// single-threaded embedded APIs; multi-session traffic goes through
+/// `server/Server`, which adds admission control and transaction-scoped
+/// table locks on top. The transactional plane is fully thread-safe.
 ///
 /// Database implements IndexProvider: the planner's IndexScan nodes are
 /// served by the facade's own AVL / B+-tree / hash indexes.
@@ -82,9 +92,13 @@ class Database : public IndexProvider {
                         const std::function<bool(const Row&)>& fn);
 
   /// IndexProvider: all rows satisfying an equality / prefix restriction,
-  /// served from the column's index (used by IndexScan plan nodes).
+  /// served from the column's index (used by IndexScan plan nodes). CPU
+  /// work is charged to `ctx->clock` when given (the executing statement's
+  /// private clock), else to the database clock; the index structure is
+  /// guarded by a per-index latch so concurrent statements may share it.
   StatusOr<Relation> IndexLookupAll(const std::string& table,
-                                    const Predicate& pred) override;
+                                    const Predicate& pred,
+                                    ExecContext* ctx = nullptr) override;
 
   // ---- Queries (§3, §4) ------------------------------------------------
   /// Optimizes and executes a declarative query.
@@ -107,9 +121,33 @@ class Database : public IndexProvider {
     bool analyzed = false;
   };
 
-  /// Parses and executes one statement: CREATE TABLE / INSERT / SELECT /
-  /// EXPLAIN SELECT. See ParseStatement for the dialect.
+  /// Parses and executes one statement: CREATE TABLE / INSERT / UPDATE /
+  /// SELECT / EXPLAIN SELECT. See ParseStatement for the dialect.
+  ///
+  /// Re-entrant: safe to call from many threads at once. Reads share the
+  /// catalog latch and execute against statement-local clocks/metrics;
+  /// writes serialize on the exclusive latch. Statement-level atomicity
+  /// only — transaction-scoped locking across statements is the server
+  /// layer's job (server/server.h).
+  ///
+  /// With the transactional plane enabled, a write statement is made
+  /// durable before this returns: its commit record goes through the WAL
+  /// (group commit overlaps concurrent statements' flushes, §5.2).
   StatusOr<SqlResult> ExecuteSql(const std::string& sql);
+
+  /// §5.2 pre-commit variant: identical to ExecuteSql except that it
+  /// returns as soon as the statement's effects are visible and its commit
+  /// record is *appended* (not yet durable). `*durable_txn` receives the
+  /// commit id to pass to WaitSqlDurable before acknowledging a client, or
+  /// kInvalidTxn when there is nothing to wait for (reads; txn plane off).
+  /// The server layer releases its table locks between the two calls so
+  /// writers overlap their group-commit flushes instead of serializing
+  /// lock-held durability waits.
+  StatusOr<SqlResult> ExecuteSqlPreCommit(const std::string& sql,
+                                          TxnId* durable_txn);
+
+  /// Blocks until `txn`'s commit record is durable. No-op for kInvalidTxn.
+  void WaitSqlDurable(TxnId txn);
 
   // ---- Transactional plane (§5) -----------------------------------------
   struct TxnPlaneOptions {
@@ -183,6 +221,10 @@ class Database : public IndexProvider {
     std::unique_ptr<HashIndex> hash;
     int column = -1;
     int32_t key_width = 8;
+    /// Index read latch (§10): lookups mutate the structures' operation
+    /// counters (and pin buffer pool pages), so concurrent read statements
+    /// serialize per index. Heap-allocated to keep IndexHolder movable.
+    std::unique_ptr<std::mutex> latch = std::make_unique<std::mutex>();
   };
   struct TableHolder {
     Relation relation;
@@ -192,8 +234,25 @@ class Database : public IndexProvider {
   Status BuildIndex(TableHolder* table, const std::string& table_name,
                     const std::string& column, IndexType type);
   StatusOr<Row> RowByOrdinal(const TableHolder& table, int64_t ordinal) const;
-  void InvalidateCatalog() { catalog_dirty_ = true; }
+  void InvalidateCatalog() {
+    catalog_dirty_.store(true, std::memory_order_release);
+  }
   AccessModelParams ModelFor(const TableHolder& table, int column) const;
+
+  /// True when `sql`'s first keyword is CREATE / INSERT / UPDATE — decides
+  /// which latch mode ExecuteSql takes (must agree with the parser's
+  /// statement dispatch).
+  static bool IsWriteSql(const std::string& sql);
+  StatusOr<SqlResult> ExecuteSqlReadLocked(const std::string& sql);
+  StatusOr<SqlResult> ExecuteSqlWriteLocked(const std::string& sql);
+  Status ExecuteUpdateLocked(const struct ParsedStatement& stmt,
+                             int64_t* rows_affected);
+  StatusOr<QueryResult> ExecuteWith(const Query& query, ExecContext* ctx);
+  /// Shared body of IndexRangeScan / IndexLookupAll; caller holds the
+  /// index latch.
+  Status IndexRangeScanLocked(const TableHolder& table, IndexHolder& index,
+                              const Value& low, int64_t limit,
+                              const std::function<bool(const Row&)>& fn);
 
   void SyncTxnPlaneMetrics();
 
@@ -206,11 +265,22 @@ class Database : public IndexProvider {
 
   std::map<std::string, TableHolder> tables_;
   Catalog catalog_;
-  bool catalog_dirty_ = true;
+  std::atomic<bool> catalog_dirty_{true};
+
+  /// §10 catalog/table latch: read statements shared, write statements
+  /// exclusive. The public embedded APIs do not take it (single-threaded
+  /// by contract); ExecuteSql does.
+  mutable std::shared_mutex latch_;
+  /// Serializes the lazy catalog rebuild among concurrent readers.
+  std::mutex catalog_mu_;
 
   // §5 plane.
   TxnPlaneOptions txn_options_;
   bool txn_enabled_ = false;
+  /// Commit-record ids for durable SQL write statements (§5.2 pre-commit
+  /// in ExecuteSql). Offset far above TransactionManager's counting ids so
+  /// the two namespaces never collide in the log or the durability map.
+  std::atomic<TxnId> next_sql_stmt_txn_{int64_t{1} << 40};
   std::unique_ptr<StableMemory> stable_;
   std::vector<std::unique_ptr<LogDevice>> log_devices_;
   std::unique_ptr<Wal> wal_;

@@ -189,6 +189,7 @@ class Parser {
     }
     if (kw == "CREATE") return ParseCreateTable();
     if (kw == "INSERT") return ParseInsert();
+    if (kw == "UPDATE") return ParseUpdate();
     return lexer_.Error("unknown statement '" + first.text + "'");
   }
 
@@ -566,6 +567,58 @@ class Parser {
     query->filters.push_back(
         Predicate{left.table, left.column, cmp, std::move(literal)});
     return Status::OK();
+  }
+
+  StatusOr<ParsedStatement> ParseUpdate() {
+    ParsedStatement stmt;
+    stmt.kind = ParsedStatement::Kind::kUpdate;
+    MMDB_RETURN_IF_ERROR(ExpectKeyword("UPDATE"));
+    MMDB_ASSIGN_OR_RETURN(stmt.table_name, ExpectIdent("a table name"));
+    MMDB_ASSIGN_OR_RETURN(const TableEntry* entry,
+                          catalog_.Lookup(stmt.table_name));
+    stmt.query.tables.push_back(stmt.table_name);
+    const Schema& schema = entry->relation->schema();
+    MMDB_RETURN_IF_ERROR(ExpectKeyword("SET"));
+    do {
+      MMDB_ASSIGN_OR_RETURN(std::string column, ExpectIdent("a column"));
+      MMDB_RETURN_IF_ERROR(ExpectSymbol("="));
+      MMDB_ASSIGN_OR_RETURN(Value literal, ParseLiteral());
+      MMDB_ASSIGN_OR_RETURN(int col, schema.ColumnIndex(column));
+      const ValueType col_type = schema.column(col).type;
+      if (col_type == ValueType::kDouble &&
+          std::holds_alternative<int64_t>(literal)) {
+        literal = Value{double(std::get<int64_t>(literal))};
+      } else if (col_type == ValueType::kInt64 &&
+                 std::holds_alternative<double>(literal)) {
+        const double d = std::get<double>(literal);
+        if (d != double(int64_t(d))) {
+          return Status::InvalidArgument(
+              "non-integral literal assigned to INT64 column " + column);
+        }
+        literal = Value{int64_t(d)};
+      } else if (TypeOf(literal) != col_type) {
+        return Status::InvalidArgument("literal type does not match column " +
+                                       stmt.table_name + "." + column);
+      }
+      stmt.set_clauses.push_back(
+          ParsedStatement::SetClause{std::move(column), std::move(literal)});
+    } while (ConsumeSymbol(","));
+    if (ConsumeKeyword("WHERE")) {
+      do {
+        MMDB_RETURN_IF_ERROR(ParseConjunct(&stmt.query));
+      } while (ConsumeKeyword("AND"));
+      if (!stmt.query.joins.empty()) {
+        return Status::InvalidArgument(
+            "UPDATE supports column-vs-literal restrictions only");
+      }
+    }
+    if (lexer_.Peek().type != TokenType::kEnd &&
+        !(lexer_.Peek().type == TokenType::kSymbol &&
+          lexer_.Peek().text == ";")) {
+      return lexer_.Error("unexpected trailing input '" +
+                          lexer_.Peek().text + "'");
+    }
+    return stmt;
   }
 
   StatusOr<ParsedStatement> ParseCreateTable() {

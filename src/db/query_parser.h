@@ -15,6 +15,7 @@ namespace mmdb {
 ///
 ///   CREATE TABLE t (col INT64 | DOUBLE | CHAR(n), ...)
 ///   INSERT INTO t VALUES (lit, ...)[, (lit, ...) ...]
+///   UPDATE t SET col = lit [, col = lit ...] [WHERE col op literal ...]
 ///   SELECT [DISTINCT] cols | * | aggregates
 ///     FROM t1 [, t2 ...]
 ///     [WHERE a.x = b.y AND c op literal AND name LIKE 'j%' ...]
@@ -29,24 +30,34 @@ struct ParsedStatement {
     kSelect,
     kCreateTable,
     kInsert,
+    kUpdate,
     kExplain,
     kExplainAnalyze,  ///< run the query, annotate the plan with run stats
   };
   Kind kind = Kind::kSelect;
 
-  // kSelect / kExplain / kExplainAnalyze
+  // kSelect / kExplain / kExplainAnalyze; kUpdate reuses query.tables (the
+  // one target table) and query.filters (the WHERE restrictions).
   Query query;
   bool distinct = false;
   /// Present when the select list contains aggregates; group_by/column
   /// indexes refer to the columns of `query.select_columns`.
   std::optional<AggregateSpec> aggregate;
 
-  // kCreateTable
+  // kCreateTable / kUpdate
   std::string table_name;
   Schema schema;
 
   // kInsert
   std::vector<Row> rows;
+
+  // kUpdate: column = literal assignments, literals coerced to the
+  // column's declared type at parse time.
+  struct SetClause {
+    std::string column;
+    Value value;
+  };
+  std::vector<SetClause> set_clauses;
 };
 
 /// Parses one statement. Column references are resolved against `catalog`

@@ -53,7 +53,7 @@ StatusOr<Relation> ExecuteNode(const PlanNode& plan, const Catalog& catalog,
     case PlanNode::Kind::kIndexScan: {
       MMDB_CHECK(!plan.predicates.empty());
       if (indexes != nullptr) {
-        return indexes->IndexLookupAll(plan.table, plan.predicates[0]);
+        return indexes->IndexLookupAll(plan.table, plan.predicates[0], ctx);
       }
       // No provider (plan executed standalone): degrade to scan + filter.
       MMDB_ASSIGN_OR_RETURN(const TableEntry* entry,

@@ -17,8 +17,12 @@ namespace mmdb {
 class IndexProvider {
  public:
   virtual ~IndexProvider() = default;
+  /// `ctx` is the executing statement's context: implementations charge
+  /// CPU work to ctx->clock (falling back to their own clock when null) so
+  /// concurrently executing statements never share an unsynchronized clock.
   virtual StatusOr<Relation> IndexLookupAll(const std::string& table,
-                                            const Predicate& pred) = 0;
+                                            const Predicate& pred,
+                                            ExecContext* ctx) = 0;
 };
 
 /// What one plan node actually did during an EXPLAIN ANALYZE run. Every

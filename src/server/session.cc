@@ -1,0 +1,356 @@
+#include "server/session.h"
+
+#include <algorithm>
+#include <cctype>
+#include <memory>
+#include <utility>
+
+#include "server/server.h"
+#include "txn/version_store.h"
+
+namespace mmdb {
+
+namespace {
+
+/// First bare word of `sql`, uppercased ("SELECT", "BEGIN", ...).
+std::string FirstKeyword(const std::string& sql) {
+  size_t i = 0;
+  while (i < sql.size() && std::isspace(static_cast<unsigned char>(sql[i]))) {
+    ++i;
+  }
+  std::string kw;
+  while (i < sql.size() && std::isalpha(static_cast<unsigned char>(sql[i]))) {
+    kw.push_back(static_cast<char>(
+        std::toupper(static_cast<unsigned char>(sql[i]))));
+    ++i;
+  }
+  return kw;
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+/// The table names a statement references, by a lightweight scan of the
+/// dialect's fixed shapes: identifiers after FROM (comma-separated list),
+/// after INSERT ... INTO, after UPDATE, and after CREATE TABLE. String
+/// literals are skipped so a quoted FROM cannot confuse the scan. This is
+/// the *lock* footprint only — the parser remains the arbiter of validity.
+std::vector<std::string> ReferencedTables(const std::string& sql) {
+  std::vector<std::string> tables;
+  std::vector<std::string> tokens;
+  size_t i = 0;
+  while (i < sql.size()) {
+    const char c = sql[i];
+    if (c == '\'') {  // string literal: skip to the closing quote
+      ++i;
+      while (i < sql.size() && sql[i] != '\'') ++i;
+      if (i < sql.size()) ++i;
+      tokens.push_back("'");
+      continue;
+    }
+    if (IsIdentChar(c)) {
+      std::string tok;
+      while (i < sql.size() && IsIdentChar(sql[i])) tok.push_back(sql[i++]);
+      tokens.push_back(std::move(tok));
+      continue;
+    }
+    if (!std::isspace(static_cast<unsigned char>(c))) {
+      tokens.push_back(std::string(1, c));
+    }
+    ++i;
+  }
+  auto upper = [](const std::string& s) {
+    std::string u = s;
+    std::transform(u.begin(), u.end(), u.begin(), [](unsigned char ch) {
+      return static_cast<char>(std::toupper(ch));
+    });
+    return u;
+  };
+  for (size_t t = 0; t < tokens.size(); ++t) {
+    const std::string kw = upper(tokens[t]);
+    if (kw == "FROM") {
+      // FROM a, b, c — identifiers separated by commas.
+      size_t j = t + 1;
+      while (j < tokens.size() && IsIdentChar(tokens[j][0])) {
+        tables.push_back(tokens[j]);
+        if (j + 1 < tokens.size() && tokens[j + 1] == ",") {
+          j += 2;
+        } else {
+          break;
+        }
+      }
+    } else if ((kw == "INTO" || kw == "UPDATE") && t + 1 < tokens.size() &&
+               IsIdentChar(tokens[t + 1][0])) {
+      tables.push_back(tokens[t + 1]);
+    } else if (kw == "TABLE" && t > 0 && upper(tokens[t - 1]) == "CREATE" &&
+               t + 1 < tokens.size() && IsIdentChar(tokens[t + 1][0])) {
+      tables.push_back(tokens[t + 1]);
+    }
+  }
+  std::sort(tables.begin(), tables.end());
+  tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+  return tables;
+}
+
+}  // namespace
+
+Session::Session(Server* server, int64_t id, SessionOptions options)
+    : server_(server), id_(id), options_(options) {
+  trace_plans_.store(options.trace_plans, std::memory_order_relaxed);
+}
+
+std::future<StatusOr<Database::SqlResult>> Session::SubmitSql(
+    std::string sql) {
+  auto promise =
+      std::make_shared<std::promise<StatusOr<Database::SqlResult>>>();
+  std::future<StatusOr<Database::SqlResult>> future = promise->get_future();
+  Status admitted = server_->scheduler()->Submit(
+      this, [this, promise, sql = std::move(sql)]() -> std::function<void()> {
+        auto result = std::make_shared<StatusOr<Database::SqlResult>>(
+            RunStatement(sql));
+        // Publishing is deferred until the scheduler has released this
+        // statement's admission slots (see SqlScheduler::Submit).
+        return [promise, result]() { promise->set_value(std::move(*result)); };
+      });
+  if (!admitted.ok()) {
+    metrics_.Add("session.rejected", 1);
+    promise->set_value(admitted);
+  }
+  return future;
+}
+
+StatusOr<Database::SqlResult> Session::ExecuteSql(const std::string& sql) {
+  return SubmitSql(sql).get();
+}
+
+std::vector<std::string> Session::SplitStatements(const std::string& batch) {
+  std::vector<std::string> out;
+  std::string current;
+  bool in_string = false;
+  for (char c : batch) {
+    if (c == '\'') in_string = !in_string;
+    if (c == ';' && !in_string) {
+      out.push_back(std::move(current));
+      current.clear();
+      continue;
+    }
+    current.push_back(c);
+  }
+  out.push_back(std::move(current));
+  std::vector<std::string> stmts;
+  for (std::string& s : out) {
+    const bool blank = std::all_of(s.begin(), s.end(), [](unsigned char c) {
+      return std::isspace(c) != 0;
+    });
+    if (!blank) stmts.push_back(std::move(s));
+  }
+  return stmts;
+}
+
+std::vector<StatusOr<Database::SqlResult>> Session::ExecuteBatch(
+    const std::string& batch) {
+  std::vector<StatusOr<Database::SqlResult>> results;
+  for (const std::string& stmt : SplitStatements(batch)) {
+    results.push_back(ExecuteSql(stmt));
+  }
+  return results;
+}
+
+bool Session::in_txn() const {
+  std::lock_guard<std::mutex> lock(stmt_mu_);
+  return explicit_txn_;
+}
+
+Status Session::Begin() {
+  std::lock_guard<std::mutex> lock(stmt_mu_);
+  return BeginLocked();
+}
+
+Status Session::Commit() {
+  std::lock_guard<std::mutex> lock(stmt_mu_);
+  return CommitLocked();
+}
+
+Status Session::Rollback() {
+  std::lock_guard<std::mutex> lock(stmt_mu_);
+  return RollbackLocked();
+}
+
+Status Session::BeginLocked() {
+  if (explicit_txn_) {
+    return Status::FailedPrecondition("transaction already open");
+  }
+  explicit_txn_ = true;
+  metrics_.Add("session.txns", 1);
+  return Status::OK();
+}
+
+Status Session::CommitLocked() {
+  if (!explicit_txn_) return Status::FailedPrecondition("no open transaction");
+  Status status = Status::OK();
+  if (record_txn_ != 0) {
+    status = server_->database()->txn_manager()->Commit(record_txn_);
+    record_txn_ = 0;
+  }
+  explicit_txn_ = false;
+  if (holds_table_locks_) {
+    server_->table_locks()->ReleaseAll(id_);
+    holds_table_locks_ = false;
+  }
+  return status;
+}
+
+Status Session::RollbackLocked() {
+  if (!explicit_txn_ && record_txn_ == 0 && !holds_table_locks_) {
+    return Status::FailedPrecondition("no open transaction");
+  }
+  Status status = Status::OK();
+  if (record_txn_ != 0) {
+    status = server_->database()->txn_manager()->Abort(record_txn_);
+    record_txn_ = 0;
+  }
+  explicit_txn_ = false;
+  if (holds_table_locks_) {
+    server_->table_locks()->ReleaseAll(id_);
+    holds_table_locks_ = false;
+  }
+  return status;
+}
+
+StatusOr<TxnId> Session::RecordTxnLocked() {
+  TransactionManager* tm = server_->database()->txn_manager();
+  if (tm == nullptr) {
+    return Status::FailedPrecondition(
+        "record operations need EnableTransactions");
+  }
+  if (record_txn_ == 0) record_txn_ = tm->Begin();
+  return record_txn_;
+}
+
+StatusOr<std::string> Session::ReadRecord(int64_t record_id) {
+  Database* db = server_->database();
+  std::lock_guard<std::mutex> lock(stmt_mu_);
+  if (options_.isolation == IsolationLevel::kSnapshot) {
+    VersionManager* versions = db->version_manager();
+    if (versions == nullptr) {
+      return Status::FailedPrecondition(
+          "snapshot reads need enable_versioning");
+    }
+    if (db->recoverable_store() == nullptr) {
+      return Status::FailedPrecondition(
+          "record operations need EnableTransactions");
+    }
+    // Lock-free: a one-read snapshot at the latest commit sequence. Never
+    // blocks on (or blocks) any writer's record locks.
+    const uint64_t snap = versions->BeginSnapshot();
+    StatusOr<std::string> value =
+        versions->Read(snap, record_id, db->recoverable_store());
+    versions->EndSnapshot(snap);
+    metrics_.Add("session.record_reads", 1);
+    return value;
+  }
+  MMDB_ASSIGN_OR_RETURN(TxnId txn, RecordTxnLocked());
+  StatusOr<std::string> value = db->txn_manager()->Read(txn, record_id);
+  metrics_.Add("session.record_reads", 1);
+  if (!explicit_txn_) {
+    // Autocommit: one op per transaction.
+    Status end = value.ok() ? db->txn_manager()->Commit(txn)
+                            : db->txn_manager()->Abort(txn);
+    record_txn_ = 0;
+    if (value.ok() && !end.ok()) return end;
+  } else if (!value.ok() && value.status().code() == StatusCode::kDeadlock) {
+    (void)RollbackLocked();  // this session is the victim
+  }
+  return value;
+}
+
+Status Session::UpdateRecord(int64_t record_id, const std::string& value) {
+  Database* db = server_->database();
+  std::lock_guard<std::mutex> lock(stmt_mu_);
+  MMDB_ASSIGN_OR_RETURN(TxnId txn, RecordTxnLocked());
+  Status status = db->txn_manager()->Update(txn, record_id, value);
+  metrics_.Add("session.record_updates", 1);
+  if (!explicit_txn_) {
+    Status end = status.ok() ? db->txn_manager()->Commit(txn)
+                             : db->txn_manager()->Abort(txn);
+    record_txn_ = 0;
+    if (status.ok()) return end;
+  } else if (status.code() == StatusCode::kDeadlock) {
+    (void)RollbackLocked();
+  }
+  return status;
+}
+
+Status Session::LockTablesLocked(const std::string& sql, bool is_write) {
+  // Snapshot readers take no table locks at all.
+  if (!is_write && options_.isolation == IsolationLevel::kSnapshot) {
+    return Status::OK();
+  }
+  const LockMode mode = is_write ? LockMode::kExclusive : LockMode::kShared;
+  for (const std::string& table : ReferencedTables(sql)) {
+    std::vector<TxnId> deps;
+    Status status = server_->table_locks()->Acquire(
+        id_, Server::TableLockId(table), mode, &deps);
+    if (!status.ok()) return status;
+    holds_table_locks_ = true;
+  }
+  return Status::OK();
+}
+
+StatusOr<Database::SqlResult> Session::RunStatement(const std::string& sql) {
+  std::lock_guard<std::mutex> lock(stmt_mu_);
+  const std::string kw = FirstKeyword(sql);
+  Database::SqlResult control;
+  if (kw == "BEGIN") {
+    MMDB_RETURN_IF_ERROR(BeginLocked());
+    return control;
+  }
+  if (kw == "COMMIT") {
+    MMDB_RETURN_IF_ERROR(CommitLocked());
+    return control;
+  }
+  if (kw == "ROLLBACK" || kw == "ABORT") {
+    MMDB_RETURN_IF_ERROR(RollbackLocked());
+    return control;
+  }
+  const bool is_write = kw == "CREATE" || kw == "INSERT" || kw == "UPDATE";
+  Status locked = LockTablesLocked(sql, is_write);
+  if (!locked.ok()) {
+    metrics_.Add("session.errors", 1);
+    if (locked.code() == StatusCode::kDeadlock) {
+      (void)RollbackLocked();  // deadlock victim: the whole txn aborts
+    } else if (!explicit_txn_ && holds_table_locks_) {
+      server_->table_locks()->ReleaseAll(id_);
+      holds_table_locks_ = false;
+    }
+    return locked;
+  }
+  std::string to_run = sql;
+  if (trace_plans_.load(std::memory_order_relaxed) && kw == "SELECT") {
+    to_run = "EXPLAIN ANALYZE " + sql;
+  }
+  Database* db = server_->database();
+  TxnId durable_txn = kInvalidTxn;
+  StatusOr<Database::SqlResult> result =
+      db->ExecuteSqlPreCommit(to_run, &durable_txn);
+  metrics_.Add("session.statements", 1);
+  if (!result.ok()) {
+    metrics_.Add("session.errors", 1);
+  } else if (result->rows_affected > 0) {
+    metrics_.Add("session.rows_affected", result->rows_affected);
+  }
+  if (!explicit_txn_ && holds_table_locks_) {
+    server_->table_locks()->ReleaseAll(id_);
+    holds_table_locks_ = false;
+  }
+  // §5.2 pre-commit: the table locks are released above, as soon as the
+  // statement's commit record is in the log buffer; the client is only
+  // answered once that record is durable. Waiting AFTER the lock release
+  // is what lets concurrent writers share one group-commit flush instead
+  // of serializing lock-held durability stalls.
+  db->WaitSqlDurable(durable_txn);
+  return result;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,79 @@
+#include "server/sql_scheduler.h"
+
+#include <utility>
+
+#include "server/session.h"
+
+namespace mmdb {
+
+SqlScheduler::SqlScheduler(Options options, MetricsRegistry* metrics)
+    : options_(options),
+      metrics_(metrics),
+      pool_(std::make_unique<ThreadPool>(options.num_workers)) {}
+
+SqlScheduler::~SqlScheduler() { Drain(); }
+
+Status SqlScheduler::Submit(Session* session,
+                            std::function<std::function<void()>()> work) {
+  if (draining()) {
+    if (metrics_ != nullptr) metrics_->Add("server.admission.rejected_drain", 1);
+    return Status::FailedPrecondition("scheduler draining");
+  }
+  // Reserve the scheduler slot first, then the session slot; undo on any
+  // rejection. Re-check draining after reserving so Drain cannot miss a
+  // concurrently admitted statement.
+  if (admitted_.fetch_add(1, std::memory_order_acq_rel) >=
+      options_.max_queue_depth) {
+    admitted_.fetch_sub(1, std::memory_order_acq_rel);
+    if (metrics_ != nullptr) {
+      metrics_->Add("server.admission.rejected_queue_full", 1);
+    }
+    return Status::Overloaded("statement queue full");
+  }
+  if (session != nullptr &&
+      session->inflight_.fetch_add(1, std::memory_order_acq_rel) >=
+          options_.max_inflight_per_session) {
+    session->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    admitted_.fetch_sub(1, std::memory_order_acq_rel);
+    if (metrics_ != nullptr) {
+      metrics_->Add("server.admission.rejected_session_cap", 1);
+    }
+    return Status::Overloaded("session in-flight cap reached");
+  }
+  if (draining()) {
+    if (session != nullptr) {
+      session->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    admitted_.fetch_sub(1, std::memory_order_acq_rel);
+    if (metrics_ != nullptr) metrics_->Add("server.admission.rejected_drain", 1);
+    return Status::FailedPrecondition("scheduler draining");
+  }
+  if (metrics_ != nullptr) metrics_->Add("server.admission.admitted", 1);
+  pool_->Submit([this, session, work = std::move(work)]() {
+    if (hook_) hook_();
+    std::function<void()> publish = work();
+    // Release the slots BEFORE publishing the result: the publish step is
+    // what wakes a blocked client, and that client may resubmit
+    // immediately.
+    if (session != nullptr) {
+      session->inflight_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      admitted_.fetch_sub(1, std::memory_order_acq_rel);
+    }
+    drained_cv_.notify_all();
+    if (publish) publish();
+  });
+  return Status::OK();
+}
+
+void SqlScheduler::Drain() {
+  draining_.store(true, std::memory_order_release);
+  std::unique_lock<std::mutex> lock(mu_);
+  drained_cv_.wait(lock, [this] {
+    return admitted_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+}  // namespace mmdb

@@ -44,6 +44,11 @@ void SimulatedDisk::ResetStats() {
   c_io_errors_->Set(0);
 }
 
+void SimulatedDisk::MergeClock(const CostClock& other) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (clock_ != nullptr) clock_->MergeFrom(other);
+}
+
 SimulatedDisk::FileId SimulatedDisk::CreateFile(std::string name) {
   std::lock_guard<std::mutex> lock(mu_);
   FileId id = next_id_++;

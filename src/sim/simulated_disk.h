@@ -57,6 +57,13 @@ class SimulatedDisk {
   void set_clock(CostClock* clock) { clock_ = clock; }
   CostClock* clock() const { return clock_; }
 
+  /// Folds a private clock's tallies into the attached clock under the
+  /// disk's mutex — the same lock that serializes the disk's own charges.
+  /// Concurrent SQL statements (DESIGN.md §10) charge CPU work to private
+  /// clocks and merge them here on completion, so the attached clock is
+  /// only ever mutated with this mutex held. No-op when no clock attached.
+  void MergeClock(const CostClock& other);
+
   /// Attaches a fault injector consulted on every page transfer (nullptr
   /// detaches). File ids are passed as the injector's entity key, so
   /// permanent page errors can target one file's pages.
