@@ -882,6 +882,16 @@ StatusOr<RecoveryStats> Database::Recover(RecoveryOptions options) {
   txn_manager_ = std::make_unique<TransactionManager>(
       store_.get(), lock_manager_.get(), wal_.get(), fut_.get(),
       stats.max_txn_id + 1, versions_.get());
+  // Keep the SQL-statement commit-id namespace disjoint from the record
+  // plane across restarts: seed it past every SQL commit id in the log
+  // (max_txn_id above excludes those, so the record plane stays below
+  // kSqlStmtTxnBase). Never move the counter backwards — an in-process
+  // Crash()/Recover() may have ids beyond what survived in the log.
+  const TxnId sql_seed =
+      std::max(kSqlStmtTxnBase, stats.max_sql_stmt_txn_id + 1);
+  if (next_sql_stmt_txn_.load(std::memory_order_relaxed) < sql_seed) {
+    next_sql_stmt_txn_.store(sql_seed, std::memory_order_relaxed);
+  }
   wal_->Start();
   if (txn_options_.start_checkpointer) checkpointer_->Start();
   return stats;

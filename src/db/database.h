@@ -279,8 +279,10 @@ class Database : public IndexProvider {
   bool txn_enabled_ = false;
   /// Commit-record ids for durable SQL write statements (§5.2 pre-commit
   /// in ExecuteSql). Offset far above TransactionManager's counting ids so
-  /// the two namespaces never collide in the log or the durability map.
-  std::atomic<TxnId> next_sql_stmt_txn_{int64_t{1} << 40};
+  /// the two namespaces never collide in the log or the durability map;
+  /// Recover() re-seeds it past every logged SQL commit id (recovery
+  /// tracks the two namespaces separately, see kSqlStmtTxnBase).
+  std::atomic<TxnId> next_sql_stmt_txn_{kSqlStmtTxnBase};
   std::unique_ptr<StableMemory> stable_;
   std::vector<std::unique_ptr<LogDevice>> log_devices_;
   std::unique_ptr<Wal> wal_;

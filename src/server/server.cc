@@ -21,10 +21,13 @@ LockId Server::TableLockId(const std::string& table) {
 }
 
 StatusOr<Session*> Server::OpenSession(SessionOptions options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  // Checked under mu_: Shutdown sets the flag before its retirement loop
+  // takes the lock, so a session can never be inserted after that loop ran
+  // (it would be orphaned — never rolled back, its metrics never merged).
   if (shutdown_.load(std::memory_order_acquire)) {
     return Status::FailedPrecondition("server shut down");
   }
-  std::lock_guard<std::mutex> lock(mu_);
   if (static_cast<int>(sessions_.size()) >= options_.max_sessions) {
     db_->metrics()->Add("server.admission.rejected_session_table_full", 1);
     return Status::Overloaded("session table full");
@@ -53,6 +56,10 @@ Status Server::CloseSession(int64_t session_id) {
     db_->metrics()->Set("server.sessions.active",
                         static_cast<int64_t>(sessions_.size()));
   }
+  // Refuse further admissions and wait for every statement already queued
+  // or executing on this session to finish — destroying it any earlier
+  // would let a scheduler worker run RunStatement on a freed object.
+  session->CloseAndWaitIdle();
   if (session->in_txn()) (void)session->Rollback();
   table_locks_.ReleaseAll(session->id());
   // Fold the session's private shard into the database registry, following

@@ -50,8 +50,10 @@ class Server {
   /// server and valid until CloseSession / Shutdown.
   StatusOr<Session*> OpenSession(SessionOptions options = SessionOptions());
 
-  /// Rolls back the session's open transaction (if any), merges its
-  /// metrics shard into the database registry, and destroys it.
+  /// Stops admitting statements for the session, waits for those already
+  /// queued or executing to finish, rolls back its open transaction (if
+  /// any), merges its metrics shard into the database registry, and
+  /// destroys it.
   Status CloseSession(int64_t session_id);
 
   /// Graceful stop, per the class comment. Idempotent; open sessions are

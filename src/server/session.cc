@@ -100,6 +100,31 @@ Session::Session(Server* server, int64_t id, SessionOptions options)
   trace_plans_.store(options.trace_plans, std::memory_order_relaxed);
 }
 
+Status Session::ReserveInflightSlot(int max_inflight) {
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  if (closed_) return Status::FailedPrecondition("session closed");
+  if (inflight_ >= max_inflight) {
+    return Status::Overloaded("session in-flight cap reached");
+  }
+  ++inflight_;
+  return Status::OK();
+}
+
+void Session::ReleaseInflightSlot() {
+  // Notify while still holding the lock: the waiter can then destroy the
+  // session only after this thread has released inflight_mu_, i.e. after
+  // the last member access here.
+  std::lock_guard<std::mutex> lock(inflight_mu_);
+  --inflight_;
+  if (inflight_ == 0) inflight_cv_.notify_all();
+}
+
+void Session::CloseAndWaitIdle() {
+  std::unique_lock<std::mutex> lock(inflight_mu_);
+  closed_ = true;
+  inflight_cv_.wait(lock, [this] { return inflight_ == 0; });
+}
+
 std::future<StatusOr<Database::SqlResult>> Session::SubmitSql(
     std::string sql) {
   auto promise =

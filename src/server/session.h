@@ -2,6 +2,7 @@
 #define MMDB_SERVER_SESSION_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <future>
 #include <mutex>
@@ -109,6 +110,21 @@ class Session {
 
   /// Statement body, run on a scheduler worker under stmt_mu_.
   StatusOr<Database::SqlResult> RunStatement(const std::string& sql);
+
+  // ---- In-flight slot handshake (SqlScheduler / Server) -----------------
+  /// Counts one admitted statement against this session, or rejects with
+  /// kOverloaded (cap reached) / kFailedPrecondition (session closed).
+  /// The closed check and the increment are one critical section, so a
+  /// statement can never be admitted after CloseAndWaitIdle() returned.
+  Status ReserveInflightSlot(int max_inflight);
+  /// Releases one slot. Touches no member after inflight_mu_ is dropped —
+  /// the CloseAndWaitIdle() waiter may destroy the session the moment it
+  /// reacquires the mutex and sees inflight_ == 0.
+  void ReleaseInflightSlot();
+  /// Refuses all further admissions and blocks until every admitted
+  /// statement has finished. After this returns the session is quiescent
+  /// and may be destroyed.
+  void CloseAndWaitIdle();
   Status BeginLocked();
   Status CommitLocked();
   Status RollbackLocked();
@@ -123,8 +139,14 @@ class Session {
   const int64_t id_;
   SessionOptions options_;
   std::atomic<bool> trace_plans_{false};
+
+  /// Guards inflight_ / closed_ (the slot handshake above).
+  std::mutex inflight_mu_;
+  std::condition_variable inflight_cv_;
   /// Admitted-but-unfinished statements (maintained by SqlScheduler).
-  std::atomic<int> inflight_{0};
+  int inflight_ = 0;
+  /// Set by CloseAndWaitIdle: no further admissions.
+  bool closed_ = false;
 
   /// Serializes this session's statement execution and transaction state.
   mutable std::mutex stmt_mu_;

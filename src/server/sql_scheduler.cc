@@ -13,6 +13,18 @@ SqlScheduler::SqlScheduler(Options options, MetricsRegistry* metrics)
 
 SqlScheduler::~SqlScheduler() { Drain(); }
 
+void SqlScheduler::ReleaseAdmittedSlot() {
+  // Decrement under mu_ and notify afterwards, on every path that gives a
+  // slot back (completion AND admission undo): a bare fetch_sub could
+  // bring the count to 0 after Drain() checked it but before it slept,
+  // and Drain would then wait forever.
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    admitted_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  drained_cv_.notify_all();
+}
+
 Status SqlScheduler::Submit(Session* session,
                             std::function<std::function<void()>()> work) {
   if (draining()) {
@@ -24,27 +36,29 @@ Status SqlScheduler::Submit(Session* session,
   // concurrently admitted statement.
   if (admitted_.fetch_add(1, std::memory_order_acq_rel) >=
       options_.max_queue_depth) {
-    admitted_.fetch_sub(1, std::memory_order_acq_rel);
+    ReleaseAdmittedSlot();
     if (metrics_ != nullptr) {
       metrics_->Add("server.admission.rejected_queue_full", 1);
     }
     return Status::Overloaded("statement queue full");
   }
-  if (session != nullptr &&
-      session->inflight_.fetch_add(1, std::memory_order_acq_rel) >=
-          options_.max_inflight_per_session) {
-    session->inflight_.fetch_sub(1, std::memory_order_acq_rel);
-    admitted_.fetch_sub(1, std::memory_order_acq_rel);
-    if (metrics_ != nullptr) {
-      metrics_->Add("server.admission.rejected_session_cap", 1);
+  if (session != nullptr) {
+    Status slot =
+        session->ReserveInflightSlot(options_.max_inflight_per_session);
+    if (!slot.ok()) {
+      ReleaseAdmittedSlot();
+      if (metrics_ != nullptr) {
+        metrics_->Add(slot.code() == StatusCode::kOverloaded
+                          ? "server.admission.rejected_session_cap"
+                          : "server.admission.rejected_session_closed",
+                      1);
+      }
+      return slot;
     }
-    return Status::Overloaded("session in-flight cap reached");
   }
   if (draining()) {
-    if (session != nullptr) {
-      session->inflight_.fetch_sub(1, std::memory_order_acq_rel);
-    }
-    admitted_.fetch_sub(1, std::memory_order_acq_rel);
+    if (session != nullptr) session->ReleaseInflightSlot();
+    ReleaseAdmittedSlot();
     if (metrics_ != nullptr) metrics_->Add("server.admission.rejected_drain", 1);
     return Status::FailedPrecondition("scheduler draining");
   }
@@ -54,15 +68,11 @@ Status SqlScheduler::Submit(Session* session,
     std::function<void()> publish = work();
     // Release the slots BEFORE publishing the result: the publish step is
     // what wakes a blocked client, and that client may resubmit
-    // immediately.
-    if (session != nullptr) {
-      session->inflight_.fetch_sub(1, std::memory_order_acq_rel);
-    }
-    {
-      std::lock_guard<std::mutex> lock(mu_);
-      admitted_.fetch_sub(1, std::memory_order_acq_rel);
-    }
-    drained_cv_.notify_all();
+    // immediately. The session slot goes first — after it is released the
+    // session pointer must not be touched again (CloseSession may be
+    // waiting to destroy it).
+    if (session != nullptr) session->ReleaseInflightSlot();
+    ReleaseAdmittedSlot();
     if (publish) publish();
   });
   return Status::OK();

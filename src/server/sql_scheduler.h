@@ -76,6 +76,10 @@ class SqlScheduler {
   }
 
  private:
+  /// Gives one scheduler-wide admission slot back: decrement under mu_,
+  /// then wake Drain(). Used by completion and every admission-undo path.
+  void ReleaseAdmittedSlot();
+
   Options options_;
   MetricsRegistry* metrics_;
   std::atomic<bool> draining_{false};

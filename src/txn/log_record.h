@@ -16,6 +16,14 @@ using TxnId = int64_t;
 constexpr Lsn kInvalidLsn = -1;
 constexpr TxnId kInvalidTxn = -1;
 
+/// Transaction ids at or above this value are SQL-statement commit ids
+/// (Database::next_sql_stmt_txn_); ids below it belong to the record
+/// plane's TransactionManager. Recovery keeps the two namespaces disjoint
+/// by seeding each restart counter only from ids on its own side of the
+/// boundary — a shared max would let an aborted record-plane txn reuse the
+/// id of a logged SQL commit and be replayed as a winner.
+constexpr TxnId kSqlStmtTxnBase = TxnId{1} << 40;
+
 /// §5.4: "The log entries for a particular transaction are of the form
 /// Begin Transaction ... End Transaction", with old/new values per update.
 enum class LogRecordType : uint8_t {

@@ -43,7 +43,12 @@ StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
   std::unordered_set<TxnId> seen;
   for (const LogRecord& rec : log) {
     seen.insert(rec.txn_id);
-    stats.max_txn_id = std::max(stats.max_txn_id, rec.txn_id);
+    if (rec.txn_id >= kSqlStmtTxnBase) {
+      stats.max_sql_stmt_txn_id = std::max(stats.max_sql_stmt_txn_id,
+                                           rec.txn_id);
+    } else {
+      stats.max_txn_id = std::max(stats.max_txn_id, rec.txn_id);
+    }
     if (rec.type == LogRecordType::kCommit ||
         rec.type == LogRecordType::kAbort) {
       winners.insert(rec.txn_id);

@@ -23,7 +23,12 @@ struct RecoveryStats {
   int64_t winners = 0;  ///< committed or cleanly aborted transactions
   int64_t losers = 0;   ///< in-flight at crash
   Lsn start_lsn = 0;
-  TxnId max_txn_id = 0;  ///< restart transaction ids above this
+  /// Largest record-plane txn id in the log (ids below kSqlStmtTxnBase);
+  /// the restarted TransactionManager starts above this.
+  TxnId max_txn_id = 0;
+  /// Largest SQL-statement commit id in the log (ids at/above
+  /// kSqlStmtTxnBase, 0 if none); next_sql_stmt_txn_ restarts above this.
+  TxnId max_sql_stmt_txn_id = 0;
   int64_t snapshot_pages_read = 0;
   double wall_seconds = 0;
   /// Simulated log-read time: scanned bytes / page size * page read time.

@@ -195,6 +195,45 @@ TEST_F(DatabaseTest, EndToEndCrashRecoveryThroughFacade) {
   EXPECT_TRUE(db_.Execute(q).ok());
 }
 
+TEST_F(DatabaseTest, SqlCommitIdsStayDisjointFromRecordPlaneAcrossRecovery) {
+  Database::TxnPlaneOptions topts;
+  topts.num_records = 100;
+  topts.record_size = 32;
+  topts.log_write_latency = std::chrono::microseconds(0);
+  ASSERT_TRUE(db_.EnableTransactions(topts).ok());
+  // A durable SQL write leaves a commit record with an id at/above
+  // kSqlStmtTxnBase in the log.
+  ASSERT_TRUE(db_.ExecuteSql("CREATE TABLE t (a INT64)").ok());
+  ASSERT_TRUE(db_.Crash().ok());
+  auto stats1 = db_.Recover();
+  ASSERT_TRUE(stats1.ok());
+  // The SQL id must not leak into the record plane's restart seed.
+  EXPECT_LT(stats1->max_txn_id, kSqlStmtTxnBase);
+  EXPECT_GE(stats1->max_sql_stmt_txn_id, kSqlStmtTxnBase);
+
+  auto* tm = db_.txn_manager();
+  const std::string committed(32, 'A');
+  const std::string uncommitted(32, 'L');
+  const TxnId winner = tm->Begin();
+  EXPECT_LT(winner, kSqlStmtTxnBase);
+  ASSERT_TRUE(tm->Update(winner, 7, committed).ok());
+  ASSERT_TRUE(tm->Commit(winner).ok());
+  // In flight at the crash, so the next recovery must undo it — even with
+  // SQL statement commits landing in the log after its update.
+  const TxnId loser = tm->Begin();
+  ASSERT_TRUE(tm->Update(loser, 7, uncommitted).ok());
+  ASSERT_TRUE(db_.ExecuteSql("INSERT INTO t VALUES (1)").ok());
+  ASSERT_TRUE(db_.ExecuteSql("INSERT INTO t VALUES (2)").ok());
+
+  ASSERT_TRUE(db_.Crash().ok());
+  ASSERT_TRUE(db_.Recover().ok());
+  // With a shared id space the loser could alias one of those SQL commit
+  // records, be classified a winner, and have `uncommitted` redone.
+  std::string out;
+  ASSERT_TRUE(db_.recoverable_store()->ReadRecord(7, &out).ok());
+  EXPECT_EQ(out, committed);
+}
+
 TEST_F(DatabaseTest, ClockAccumulatesAcrossQueries) {
   Query q;
   q.tables = {"emp"};

@@ -108,6 +108,40 @@ TEST(SessionTest, SplitStatementsRespectsStringLiterals) {
   EXPECT_EQ(stmts[1].find("INSERT"), std::string::npos);
 }
 
+TEST(SessionTest, CloseSessionWaitsForQueuedStatements) {
+  Database db;
+  Seed(&db, 5);
+  Server::Options opts;
+  opts.scheduler.num_workers = 1;
+  opts.scheduler.max_inflight_per_session = 8;
+  Server server(&db, opts);
+  auto session = server.OpenSession();
+  ASSERT_TRUE(session.ok());
+
+  // Hold the single worker so the second statement stays queued while the
+  // session is being closed: CloseSession must wait for both instead of
+  // freeing the session under them.
+  std::atomic<bool> release{false};
+  server.scheduler()->set_before_execute_hook([&release] {
+    while (!release.load()) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  auto f1 = (*session)->SubmitSql("SELECT id FROM acct");  // executing
+  auto f2 = (*session)->SubmitSql("SELECT id FROM acct");  // queued
+  const int64_t sid = (*session)->id();
+  std::thread closer(
+      [&server, sid] { EXPECT_TRUE(server.CloseSession(sid).ok()); });
+  // The closer must block while statements are in flight.
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  EXPECT_EQ(server.active_sessions(), 0);  // already out of the table...
+  release.store(true);
+  closer.join();  // ...but only destroyed once both statements finished
+  EXPECT_TRUE(f1.get().ok());
+  EXPECT_TRUE(f2.get().ok());
+  server.scheduler()->set_before_execute_hook(nullptr);
+}
+
 TEST(AdmissionTest, QueueFullRejectsWithOverloaded) {
   Database db;
   Seed(&db, 5);
