@@ -11,10 +11,17 @@
 //    depends on the host's core count (on a single-core container the
 //    wall-clock cannot improve and thread switching adds overhead).
 
+// Usage: bench_parallel_joins [--smoke] [--json=PATH]
+//   --smoke: 1/10 tuple counts, fewer DOPs and repeats — the ctest / CI
+//            soak (the determinism assertions still run).
+//   --json : write machine-readable per-case results to PATH.
+
 #include <chrono>
 #include <cstdio>
+#include <cstring>
 #include <functional>
 #include <string>
+#include <vector>
 
 #include "common/check.h"
 #include "common/thread_pool.h"
@@ -25,12 +32,27 @@
 namespace mmdb {
 namespace {
 
-constexpr int kDops[] = {1, 2, 4, 8};
-constexpr int kRepeats = 3;  // best-of to tame scheduler noise
+struct BenchConfig {
+  bool smoke = false;
+  std::vector<int> dops = {1, 2, 4, 8};
+  int repeats = 3;  // best-of to tame scheduler noise
+  int64_t join_tuples = 40'000;  // 1/10 of Table 2
+  int64_t agg_tuples = 200'000;
+  int64_t agg_key_range = 5'000;
+};
+BenchConfig cfg;
+
+struct JsonCase {
+  std::string name;
+  int dop = 0;
+  double wall_s = 0;
+  double simulated_s = 0;
+};
+std::vector<JsonCase> json_cases;
 
 double WallSeconds(const std::function<void()>& fn) {
   double best = 1e300;
-  for (int rep = 0; rep < kRepeats; ++rep) {
+  for (int rep = 0; rep < cfg.repeats; ++rep) {
     const auto start = std::chrono::steady_clock::now();
     fn();
     const std::chrono::duration<double> dt =
@@ -41,7 +63,7 @@ double WallSeconds(const std::function<void()>& fn) {
 }
 
 void SweepJoins() {
-  constexpr int64_t kTuples = 40'000;  // 1/10 of Table 2
+  const int64_t kTuples = cfg.join_tuples;
   GenOptions r_opts;
   r_opts.num_tuples = kTuples;
   r_opts.tuple_width = 100;
@@ -63,7 +85,10 @@ void SweepJoins() {
   const JoinAlgorithm algs[] = {JoinAlgorithm::kSimpleHash,
                                 JoinAlgorithm::kGraceHash,
                                 JoinAlgorithm::kHybridHash};
-  for (double ratio : {0.3, 0.55, 1.1}) {
+  const std::vector<double> ratios =
+      cfg.smoke ? std::vector<double>{0.55} : std::vector<double>{0.3, 0.55,
+                                                                  1.1};
+  for (double ratio : ratios) {
     const int64_t memory =
         static_cast<int64_t>(ratio * double(r_pages) * params.fudge);
     std::printf("== joins, |M|/(|R|F) = %.2f (|M| = %lld pages) ==\n", ratio,
@@ -75,7 +100,7 @@ void SweepJoins() {
       double serial_sim = -1;
       int64_t serial_tuples = -1;
       std::string serial_metrics;
-      for (int dop : kDops) {
+      for (int dop : cfg.dops) {
         double sim = 0;
         int64_t tuples = 0;
         std::string metrics_json;
@@ -104,6 +129,9 @@ void SweepJoins() {
         std::printf("%-12s %5d %12.4f %14.2f %9.2fx\n",
                     std::string(JoinAlgorithmName(alg)).c_str(), dop, wall,
                     sim, base_wall / wall);
+        json_cases.push_back({"join:" + std::string(JoinAlgorithmName(alg)) +
+                                  ":ratio=" + std::to_string(ratio),
+                              dop, wall, sim});
       }
     }
     std::printf("\n");
@@ -112,10 +140,10 @@ void SweepJoins() {
 
 void SweepAggregation() {
   GenOptions opts;
-  opts.num_tuples = 200'000;
+  opts.num_tuples = cfg.agg_tuples;
   opts.tuple_width = 48;
   opts.distribution = KeyDistribution::kUniform;
-  opts.key_range = 5'000;
+  opts.key_range = cfg.agg_key_range;
   opts.seed = 33;
   const Relation input = MakeKeyedRelation(opts);
   AggregateSpec spec;
@@ -134,7 +162,7 @@ void SweepAggregation() {
     double base_wall = 0;
     double serial_sim = -1;
     std::string serial_metrics;
-    for (int dop : kDops) {
+    for (int dop : cfg.dops) {
       double sim = 0;
       int64_t groups = 0;
       const double wall = WallSeconds([&] {
@@ -161,6 +189,8 @@ void SweepAggregation() {
                     static_cast<long long>(memory));
       std::printf("%-12s %5d %12.4f %14.2f %9.2fx\n", mem_label, dop, wall,
                   sim, base_wall / wall);
+      json_cases.push_back(
+          {"aggregate:mem=" + std::to_string(memory), dop, wall, sim});
     }
   }
   std::printf("\nsimulated seconds and metrics snapshots identical at every "
@@ -168,11 +198,48 @@ void SweepAggregation() {
   std::printf("\nmetrics (last aggregation run):\n%s\n", last_metrics.c_str());
 }
 
+void WriteJson(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"parallel_joins\",\n  \"smoke\": %s,\n"
+               "  \"cases\": [\n",
+               cfg.smoke ? "true" : "false");
+  for (size_t i = 0; i < json_cases.size(); ++i) {
+    const JsonCase& c = json_cases[i];
+    std::fprintf(f,
+                 "    {\"case\": \"%s\", \"dop\": %d, \"wall_s\": %.6f, "
+                 "\"simulated_s\": %.4f}%s\n",
+                 c.name.c_str(), c.dop, c.wall_s, c.simulated_s,
+                 i + 1 < json_cases.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %zu cases to %s\n", json_cases.size(), path.c_str());
+}
+
 }  // namespace
 }  // namespace mmdb
 
-int main() {
-  mmdb::SweepJoins();
-  mmdb::SweepAggregation();
+int main(int argc, char** argv) {
+  using namespace mmdb;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+      cfg.dops = {1, 2};
+      cfg.repeats = 1;
+      cfg.join_tuples = 4'000;
+      cfg.agg_tuples = 40'000;
+      cfg.agg_key_range = 1'000;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+  SweepJoins();
+  SweepAggregation();
+  if (!json_path.empty()) WriteJson(json_path);
   return 0;
 }

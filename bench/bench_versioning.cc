@@ -8,13 +8,13 @@
 //
 //   lock-based  — the scan S-locks every record (a consistent 2PL read);
 //                 writers stall behind it and it stalls behind writers;
-//   versioned   — the scan reads a VersionManager snapshot: no locks at
+//   versioned   — the scan reads an MvccManager snapshot: no locks at
 //                 all; totals are still exact;
 //   none        — no reader (baseline writer throughput).
 //
 // Reported: writer tps, scans completed, and whether every scan saw the
 // conserved total (versioned and lock-based must; a raw unlocked scan
-// would tear — demonstrated in version_store_test).
+// would tear — demonstrated in mvcc_test).
 
 #include <atomic>
 #include <cstdio>
@@ -54,7 +54,6 @@ Result Run(ReaderMode mode, int duration_ms) {
   std::thread reader([&]() {
     auto* tm = db.txn_manager();
     auto* vm = db.version_manager();
-    auto* store = db.recoverable_store();
     while (!stop.load()) {
       int64_t total = 0;
       bool ok = true;
@@ -82,7 +81,7 @@ Result Run(ReaderMode mode, int duration_ms) {
         case ReaderMode::kVersioned: {
           const uint64_t snap = vm->BeginSnapshot();
           for (int64_t r = 0; ok && r < bopts.num_accounts; ++r) {
-            auto v = vm->Read(snap, r, store);
+            auto v = vm->Read(snap, r);
             if (!v.ok()) {
               ok = false;
               break;

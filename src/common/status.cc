@@ -32,6 +32,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "RETRY_EXHAUSTED";
     case StatusCode::kOverloaded:
       return "OVERLOADED";
+    case StatusCode::kConflict:
+      return "CONFLICT";
   }
   return "UNKNOWN";
 }

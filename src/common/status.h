@@ -30,6 +30,11 @@ enum class StatusCode {
   /// full and the request was rejected without queuing — the client should
   /// back off and retry (DESIGN.md §10).
   kOverloaded,
+  /// First-writer-wins MVCC conflict (DESIGN.md §11): the record is owned
+  /// by another in-flight writer, or a version newer than the snapshot's
+  /// read timestamp was committed. The transaction must roll back; the
+  /// client may retry on a fresh snapshot.
+  kConflict,
 };
 
 /// Returns a human-readable name for `code` ("OK", "NOT_FOUND", ...).
@@ -87,6 +92,9 @@ class Status {
   }
   static Status Overloaded(std::string msg) {
     return Status(StatusCode::kOverloaded, std::move(msg));
+  }
+  static Status Conflict(std::string msg) {
+    return Status(StatusCode::kConflict, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -43,6 +43,18 @@ void Database::SyncTxnPlaneMetrics() {
   metrics_.Set("txn.begun", ts.begun);
   metrics_.Set("txn.committed", ts.committed);
   metrics_.Set("txn.aborted", ts.aborted);
+  metrics_.Set("txn.snapshot_begun", ts.snapshot_begun);
+  metrics_.Set("txn.conflicts", ts.conflicts);
+  if (versions_ != nullptr) {
+    const MvccManager::Stats vs = versions_->stats();
+    metrics_.Set("mvcc.versions_stored", vs.versions_stored);
+    metrics_.Set("mvcc.versions_gced", vs.versions_gced);
+    metrics_.Set("mvcc.chain_reads", vs.chain_reads);
+    metrics_.Set("mvcc.direct_reads", vs.direct_reads);
+    metrics_.Set("mvcc.conflicts", vs.conflicts);
+    metrics_.Set("mvcc.commits", vs.commits);
+    metrics_.Set("mvcc.aborts", vs.aborts);
+  }
   const LockManager::Stats ls = lock_manager_->stats();
   metrics_.Set("locks.acquisitions", ls.acquisitions);
   metrics_.Set("locks.waits", ls.waits);
@@ -544,8 +556,18 @@ StatusOr<Database::SqlResult> Database::ExecuteSqlPreCommit(
     const std::string& sql, TxnId* durable_txn) {
   *durable_txn = kInvalidTxn;
   if (IsWriteSql(sql)) {
+    // Parse under the SHARED latch (the parser only reads the catalog), so
+    // concurrent writers overlap their parse work and the exclusive
+    // section shrinks to the statement's actual apply. Name resolution is
+    // re-done under the exclusive latch, so a DDL racing in between can
+    // only turn this statement into a clean error, never corrupt it.
+    StatusOr<ParsedStatement> parsed = [&]() -> StatusOr<ParsedStatement> {
+      std::shared_lock<std::shared_mutex> shared(latch_);
+      return ParseStatement(sql, catalog());
+    }();
+    if (!parsed.ok()) return parsed.status();
     std::unique_lock<std::shared_mutex> lock(latch_);
-    StatusOr<SqlResult> result = ExecuteSqlWriteLocked(sql);
+    StatusOr<SqlResult> result = ExecuteSqlWriteLocked(*parsed);
     // §5.2 pre-commit at statement granularity: with the transactional
     // plane enabled, a successful write statement appends a commit record
     // while still holding the latch — log order therefore matches latch
@@ -569,6 +591,22 @@ StatusOr<Database::SqlResult> Database::ExecuteSqlPreCommit(
 void Database::WaitSqlDurable(TxnId txn) {
   if (txn == kInvalidTxn || wal_ == nullptr) return;
   wal_->WaitCommitDurable(txn);
+}
+
+bool Database::RowLockEligible(
+    const std::string& table, const std::string& where_column,
+    const std::vector<std::string>& set_columns) const {
+  std::shared_lock<std::shared_mutex> lock(latch_);
+  auto it = tables_.find(table);
+  if (it == tables_.end()) return false;
+  const Schema& schema = it->second.relation.schema();
+  if (schema.num_columns() == 0) return false;
+  const std::string& key_column = schema.column(0).name;
+  if (where_column != key_column) return false;
+  for (const std::string& set_column : set_columns) {
+    if (set_column == key_column) return false;
+  }
+  return true;
 }
 
 StatusOr<Database::SqlResult> Database::ExecuteSqlReadLocked(
@@ -674,8 +712,8 @@ StatusOr<Database::SqlResult> Database::ExecuteSqlReadLocked(
 }
 
 StatusOr<Database::SqlResult> Database::ExecuteSqlWriteLocked(
-    const std::string& sql) {
-  MMDB_ASSIGN_OR_RETURN(ParsedStatement stmt, ParseStatement(sql, catalog()));
+    const ParsedStatement& stmt_in) {
+  ParsedStatement stmt = stmt_in;
   SqlResult result;
   switch (stmt.kind) {
     case ParsedStatement::Kind::kCreateTable: {
@@ -732,25 +770,77 @@ Status Database::ExecuteUpdateLocked(const ParsedStatement& stmt,
     MMDB_ASSIGN_OR_RETURN(int idx, schema.ColumnIndex(p.column));
     filter_cols.push_back(idx);
   }
+  // Point-update fast path (DESIGN.md §11): a single equality predicate on
+  // an indexed column resolves its target ordinals through the index
+  // instead of scanning the table, shrinking the exclusive-latch section
+  // that the server's row-granularity point writers serialize on.
+  std::vector<int64_t> ordinals;
+  bool fast_path = false;
+  if (stmt.query.filters.size() == 1 &&
+      stmt.query.filters[0].op == CmpOp::kEq) {
+    const Predicate& pred = stmt.query.filters[0];
+    auto idx_it = table.indexes.find(pred.column);
+    if (idx_it != table.indexes.end()) {
+      IndexHolder& index = idx_it->second;
+      if (TypeOf(pred.literal) == schema.column(filter_cols[0]).type &&
+          (index.type == IndexType::kHash || index.type == IndexType::kAvl)) {
+        std::lock_guard<std::mutex> index_latch(*index.latch);
+        if (index.type == IndexType::kHash) {
+          index.hash->FindAll(pred.literal,
+                              [&](int64_t ord) { ordinals.push_back(ord); });
+        } else {
+          index.avl->ScanFrom(pred.literal,
+                              [&](const Value& key, int64_t ord) {
+                                if (!ValuesEqual(key, pred.literal)) {
+                                  return false;
+                                }
+                                ordinals.push_back(ord);
+                                return true;
+                              });
+        }
+        fast_path = true;
+      }
+    }
+  }
   // Charge a local clock and merge through the disk (whose mutex already
   // serializes global-clock charges against the checkpointer's I/O).
   CostClock local_clock(options_.cost_params);
   int64_t matched = 0;
-  for (Row& row : table.relation.mutable_rows()) {
-    bool match = true;
-    for (size_t i = 0; i < stmt.query.filters.size(); ++i) {
+  if (fast_path) {
+    std::vector<Row>& rows = table.relation.mutable_rows();
+    for (int64_t ord : ordinals) {
+      if (ord < 0 || ord >= static_cast<int64_t>(rows.size())) continue;
+      Row& row = rows[static_cast<size_t>(ord)];
       local_clock.Comp();
-      if (!EvalPredicate(stmt.query.filters[i], row, filter_cols[i])) {
-        match = false;
-        break;
+      // Re-verify against the live row: one comparison buys immunity to
+      // any future index-staleness bug on this write path.
+      if (!EvalPredicate(stmt.query.filters[0], row, filter_cols[0])) {
+        continue;
       }
+      for (const std::pair<int, const Value*>& set : sets) {
+        local_clock.Move();
+        row[static_cast<size_t>(set.first)] = *set.second;
+      }
+      ++matched;
     }
-    if (!match) continue;
-    for (const std::pair<int, const Value*>& set : sets) {
-      local_clock.Move();
-      row[static_cast<size_t>(set.first)] = *set.second;
+    metrics_.Add("sql.update.index_fast_path", 1);
+  } else {
+    for (Row& row : table.relation.mutable_rows()) {
+      bool match = true;
+      for (size_t i = 0; i < stmt.query.filters.size(); ++i) {
+        local_clock.Comp();
+        if (!EvalPredicate(stmt.query.filters[i], row, filter_cols[i])) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      for (const std::pair<int, const Value*>& set : sets) {
+        local_clock.Move();
+        row[static_cast<size_t>(set.first)] = *set.second;
+      }
+      ++matched;
     }
-    ++matched;
   }
   disk_.MergeClock(local_clock);
   // Rebuild any index whose key column was assigned: the §2 structures
@@ -831,7 +921,7 @@ Status Database::EnableTransactions(const TxnPlaneOptions& options) {
   fut_ = std::make_unique<FirstUpdateTable>(stable_.get(),
                                             store_->num_pages());
   if (options.enable_versioning) {
-    versions_ = std::make_unique<VersionManager>();
+    versions_ = std::make_unique<MvccManager>(store_.get());
   }
   txn_manager_ = std::make_unique<TransactionManager>(
       store_.get(), lock_manager_.get(), wal_.get(), fut_.get(),
@@ -877,7 +967,7 @@ StatusOr<RecoveryStats> Database::Recover(RecoveryOptions options) {
   // log; version chains are volatile and restart empty.
   lock_manager_ = std::make_unique<LockManager>();
   if (txn_options_.enable_versioning) {
-    versions_ = std::make_unique<VersionManager>();
+    versions_ = std::make_unique<MvccManager>(store_.get());
   }
   txn_manager_ = std::make_unique<TransactionManager>(
       store_.get(), lock_manager_.get(), wal_.get(), fut_.get(),

@@ -23,8 +23,8 @@
 #include "txn/partitioned_log.h"
 #include "txn/recovery.h"
 #include "txn/stable_log.h"
+#include "txn/mvcc.h"
 #include "txn/transaction_manager.h"
-#include "txn/version_store.h"
 
 namespace mmdb {
 
@@ -149,6 +149,17 @@ class Database : public IndexProvider {
   /// Blocks until `txn`'s commit record is durable. No-op for kInvalidTxn.
   void WaitSqlDurable(TxnId txn);
 
+  /// True when an UPDATE on `table` with an equality predicate on
+  /// `where_column` assigning `set_columns` qualifies for the server's
+  /// row-granularity lock fast path (DESIGN.md §11): the predicate column
+  /// must be the table's FIRST column — so every fast-path writer on the
+  /// table keys its row locks off the same column, making distinct
+  /// literals imply disjoint row sets — and no SET clause may reassign it
+  /// (a row must not migrate between row-lock ids mid-transaction).
+  bool RowLockEligible(const std::string& table,
+                       const std::string& where_column,
+                       const std::vector<std::string>& set_columns) const;
+
   // ---- Transactional plane (§5) -----------------------------------------
   struct TxnPlaneOptions {
     enum class WalKind {
@@ -165,8 +176,9 @@ class Database : public IndexProvider {
     int64_t stable_memory_bytes = 16 << 20;
     bool compress_stable_log = true;
     bool start_checkpointer = false;
-    /// §6 / version_store.h: maintain version chains so read-only snapshot
-    /// transactions run without locks.
+    /// §6 / mvcc.h: maintain per-record version chains so snapshot
+    /// transactions read without locks and write with first-writer-wins
+    /// conflict detection instead of blocking (DESIGN.md §11).
     bool enable_versioning = false;
     CheckpointerOptions checkpointer_options;
     /// When non-null, every transfer of the data disk, the log devices and
@@ -181,7 +193,7 @@ class Database : public IndexProvider {
 
   TransactionManager* txn_manager() { return txn_manager_.get(); }
   /// Non-null iff TxnPlaneOptions::enable_versioning was set.
-  VersionManager* version_manager() { return versions_.get(); }
+  MvccManager* version_manager() { return versions_.get(); }
   RecoverableStore* recoverable_store() { return store_.get(); }
   Checkpointer* checkpointer() { return checkpointer_.get(); }
   Wal* wal() { return wal_.get(); }
@@ -244,7 +256,7 @@ class Database : public IndexProvider {
   /// statement dispatch).
   static bool IsWriteSql(const std::string& sql);
   StatusOr<SqlResult> ExecuteSqlReadLocked(const std::string& sql);
-  StatusOr<SqlResult> ExecuteSqlWriteLocked(const std::string& sql);
+  StatusOr<SqlResult> ExecuteSqlWriteLocked(const struct ParsedStatement& stmt);
   Status ExecuteUpdateLocked(const struct ParsedStatement& stmt,
                              int64_t* rows_affected);
   StatusOr<QueryResult> ExecuteWith(const Query& query, ExecContext* ctx);
@@ -289,7 +301,7 @@ class Database : public IndexProvider {
   std::unique_ptr<LockManager> lock_manager_;
   std::unique_ptr<RecoverableStore> store_;
   std::unique_ptr<FirstUpdateTable> fut_;
-  std::unique_ptr<VersionManager> versions_;
+  std::unique_ptr<MvccManager> versions_;
   std::unique_ptr<TransactionManager> txn_manager_;
   std::unique_ptr<Checkpointer> checkpointer_;
 };

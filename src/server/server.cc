@@ -20,6 +20,13 @@ LockId Server::TableLockId(const std::string& table) {
   return static_cast<LockId>(h & 0x7fffffffffffffffULL);
 }
 
+LockId Server::RowLockId(const std::string& table,
+                         const std::string& canonical_key) {
+  const size_t h =
+      std::hash<std::string>{}(table + '\x1f' + canonical_key);
+  return static_cast<LockId>(h & 0x7fffffffffffffffULL);
+}
+
 StatusOr<Session*> Server::OpenSession(SessionOptions options) {
   std::lock_guard<std::mutex> lock(mu_);
   // Checked under mu_: Shutdown sets the flag before its retirement loop

@@ -35,6 +35,14 @@ class Server {
   struct Options {
     SqlScheduler::Options scheduler;
     int max_sessions = 64;
+    /// Row-granularity SQL write locks (DESIGN.md §11): an UPDATE with an
+    /// equality predicate on a table's first column takes intention-
+    /// exclusive on the table plus X on the row key, so point writers on
+    /// distinct keys run concurrently instead of serializing on a table
+    /// X lock. Ineligible writes (full-table UPDATE, INSERT, CREATE, key
+    /// reassignment) keep the coarse table X lock. Off = PR 5 behavior,
+    /// kept as the bench baseline.
+    bool row_locks = true;
   };
 
   /// `db` is borrowed and must outlive the server.
@@ -65,12 +73,20 @@ class Server {
   Database* database() { return db_; }
   SqlScheduler* scheduler() { return &scheduler_; }
   LockManager* table_locks() { return &table_locks_; }
+  const Options& options() const { return options_; }
 
   int64_t active_sessions() const;
 
   /// The table-lock id for `table`: its name hash, folded positive.
   /// A (vanishingly unlikely) collision merely over-serializes two tables.
   static LockId TableLockId(const std::string& table);
+
+  /// The row-lock id for key `canonical_key` of `table` (the key literal
+  /// in canonical form, e.g. an integer re-rendered by std::to_string so
+  /// "05" and "5" share a lock). Collisions — with other rows or with a
+  /// table lock id — merely over-serialize; they can never under-lock.
+  static LockId RowLockId(const std::string& table,
+                          const std::string& canonical_key);
 
  private:
   Database* db_;

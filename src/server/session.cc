@@ -2,11 +2,13 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cerrno>
+#include <cstdlib>
 #include <memory>
 #include <utility>
 
 #include "server/server.h"
-#include "txn/version_store.h"
+#include "txn/mvcc.h"
 
 namespace mmdb {
 
@@ -31,13 +33,10 @@ bool IsIdentChar(char c) {
   return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
 }
 
-/// The table names a statement references, by a lightweight scan of the
-/// dialect's fixed shapes: identifiers after FROM (comma-separated list),
-/// after INSERT ... INTO, after UPDATE, and after CREATE TABLE. String
-/// literals are skipped so a quoted FROM cannot confuse the scan. This is
-/// the *lock* footprint only — the parser remains the arbiter of validity.
-std::vector<std::string> ReferencedTables(const std::string& sql) {
-  std::vector<std::string> tables;
+/// Lightweight token scan shared by ReferencedTables and
+/// TryParsePointUpdate: identifiers/numbers come out whole, string
+/// literals collapse to "'", other non-space characters come out single.
+std::vector<std::string> Tokenize(const std::string& sql) {
   std::vector<std::string> tokens;
   size_t i = 0;
   while (i < sql.size()) {
@@ -60,13 +59,26 @@ std::vector<std::string> ReferencedTables(const std::string& sql) {
     }
     ++i;
   }
-  auto upper = [](const std::string& s) {
-    std::string u = s;
-    std::transform(u.begin(), u.end(), u.begin(), [](unsigned char ch) {
-      return static_cast<char>(std::toupper(ch));
-    });
-    return u;
-  };
+  return tokens;
+}
+
+std::string Upper(const std::string& s) {
+  std::string u = s;
+  std::transform(u.begin(), u.end(), u.begin(), [](unsigned char ch) {
+    return static_cast<char>(std::toupper(ch));
+  });
+  return u;
+}
+
+/// The table names a statement references, by a lightweight scan of the
+/// dialect's fixed shapes: identifiers after FROM (comma-separated list),
+/// after INSERT ... INTO, after UPDATE, and after CREATE TABLE. String
+/// literals are skipped so a quoted FROM cannot confuse the scan. This is
+/// the *lock* footprint only — the parser remains the arbiter of validity.
+std::vector<std::string> ReferencedTables(const std::string& sql) {
+  std::vector<std::string> tables;
+  const std::vector<std::string> tokens = Tokenize(sql);
+  auto upper = [](const std::string& s) { return Upper(s); };
   for (size_t t = 0; t < tokens.size(); ++t) {
     const std::string kw = upper(tokens[t]);
     if (kw == "FROM") {
@@ -91,6 +103,88 @@ std::vector<std::string> ReferencedTables(const std::string& sql) {
   std::sort(tables.begin(), tables.end());
   tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
   return tables;
+}
+
+/// Recognized by TryParsePointUpdate:
+///   UPDATE t SET c1 = v1 [, c2 = v2]* WHERE key_col = <int literal>
+/// with nothing after the literal (no AND/OR, no extra predicate).
+struct PointUpdateShape {
+  std::string table;
+  std::string where_column;
+  /// The key literal rendered canonically ("05" -> "5") so every spelling
+  /// of the same key maps to the same row-lock id.
+  std::string canonical_key;
+  std::vector<std::string> set_columns;
+};
+
+bool IsAllDigits(const std::string& tok) {
+  if (tok.empty()) return false;
+  return std::all_of(tok.begin(), tok.end(), [](unsigned char c) {
+    return std::isdigit(c) != 0;
+  });
+}
+
+/// Conservative shape detection for the row-granularity lock fast path:
+/// only an integer-literal equality on a single predicate qualifies
+/// (integers have one canonical rendering; anything fancier keeps the
+/// coarse table lock). The parser remains the arbiter of validity — a
+/// false positive here merely over- or differently-locks a statement that
+/// then fails to parse.
+bool TryParsePointUpdate(const std::string& sql, PointUpdateShape* shape) {
+  const std::vector<std::string> tokens = Tokenize(sql);
+  size_t t = 0;
+  auto at = [&](size_t i) -> const std::string& {
+    static const std::string kEnd;
+    return i < tokens.size() ? tokens[i] : kEnd;
+  };
+  if (Upper(at(t)) != "UPDATE" || !IsIdentChar(at(t + 1).empty() ? ' ' : at(t + 1)[0])) {
+    return false;
+  }
+  shape->table = at(t + 1);
+  t += 2;
+  if (Upper(at(t)) != "SET") return false;
+  ++t;
+  // SET clauses: ident "=" <value tokens> { "," ident "=" <value tokens> }
+  while (true) {
+    const std::string& col = at(t);
+    if (col.empty() || !IsIdentChar(col[0])) return false;
+    if (at(t + 1) != "=") return false;
+    shape->set_columns.push_back(col);
+    t += 2;
+    // Swallow the value: tokens up to the next "," or WHERE.
+    size_t value_tokens = 0;
+    while (t < tokens.size() && at(t) != "," && Upper(at(t)) != "WHERE") {
+      ++t;
+      ++value_tokens;
+    }
+    if (value_tokens == 0) return false;
+    if (at(t) == ",") {
+      ++t;
+      continue;
+    }
+    break;
+  }
+  if (Upper(at(t)) != "WHERE") return false;
+  ++t;
+  const std::string& where_col = at(t);
+  if (where_col.empty() || !IsIdentChar(where_col[0])) return false;
+  if (at(t + 1) != "=") return false;
+  t += 2;
+  bool negative = false;
+  if (at(t) == "-") {
+    negative = true;
+    ++t;
+  }
+  const std::string& digits = at(t);
+  if (!IsAllDigits(digits)) return false;
+  if (t + 1 != tokens.size()) return false;  // anything else: not a point
+  errno = 0;
+  char* end = nullptr;
+  const long long key = std::strtoll(digits.c_str(), &end, 10);
+  if (errno != 0 || end == nullptr || *end != '\0') return false;
+  shape->where_column = where_col;
+  shape->canonical_key = std::to_string(negative ? -key : key);
+  return true;
 }
 
 }  // namespace
@@ -244,12 +338,21 @@ Status Session::RollbackLocked() {
 }
 
 StatusOr<TxnId> Session::RecordTxnLocked() {
-  TransactionManager* tm = server_->database()->txn_manager();
+  Database* db = server_->database();
+  TransactionManager* tm = db->txn_manager();
   if (tm == nullptr) {
     return Status::FailedPrecondition(
         "record operations need EnableTransactions");
   }
-  if (record_txn_ == 0) record_txn_ = tm->Begin();
+  if (record_txn_ == 0) {
+    // Snapshot sessions run MVCC transactions: a read timestamp pinned at
+    // begin, lock-free reads, first-writer-wins writes (DESIGN.md §11).
+    // Without versioning enabled they degrade to 2PL.
+    record_txn_ = options_.isolation == IsolationLevel::kSnapshot &&
+                          db->version_manager() != nullptr
+                      ? tm->BeginSnapshotTxn()
+                      : tm->Begin();
+  }
   return record_txn_;
 }
 
@@ -257,20 +360,23 @@ StatusOr<std::string> Session::ReadRecord(int64_t record_id) {
   Database* db = server_->database();
   std::lock_guard<std::mutex> lock(stmt_mu_);
   if (options_.isolation == IsolationLevel::kSnapshot) {
-    VersionManager* versions = db->version_manager();
+    MvccManager* versions = db->version_manager();
     if (versions == nullptr) {
       return Status::FailedPrecondition(
           "snapshot reads need enable_versioning");
     }
-    if (db->recoverable_store() == nullptr) {
-      return Status::FailedPrecondition(
-          "record operations need EnableTransactions");
+    if (explicit_txn_) {
+      // Inside BEGIN/COMMIT the whole transaction reads at one pinned
+      // timestamp — a true repeatable snapshot spanning concurrent commits.
+      MMDB_ASSIGN_OR_RETURN(TxnId txn, RecordTxnLocked());
+      StatusOr<std::string> value = db->txn_manager()->Read(txn, record_id);
+      metrics_.Add("session.record_reads", 1);
+      return value;
     }
-    // Lock-free: a one-read snapshot at the latest commit sequence. Never
+    // Lock-free: a one-read snapshot at the latest commit timestamp. Never
     // blocks on (or blocks) any writer's record locks.
     const uint64_t snap = versions->BeginSnapshot();
-    StatusOr<std::string> value =
-        versions->Read(snap, record_id, db->recoverable_store());
+    StatusOr<std::string> value = versions->Read(snap, record_id);
     versions->EndSnapshot(snap);
     metrics_.Add("session.record_reads", 1);
     return value;
@@ -296,12 +402,18 @@ Status Session::UpdateRecord(int64_t record_id, const std::string& value) {
   MMDB_ASSIGN_OR_RETURN(TxnId txn, RecordTxnLocked());
   Status status = db->txn_manager()->Update(txn, record_id, value);
   metrics_.Add("session.record_updates", 1);
+  if (status.code() == StatusCode::kConflict) {
+    metrics_.Add("session.conflicts", 1);
+  }
   if (!explicit_txn_) {
     Status end = status.ok() ? db->txn_manager()->Commit(txn)
                              : db->txn_manager()->Abort(txn);
     record_txn_ = 0;
     if (status.ok()) return end;
-  } else if (status.code() == StatusCode::kDeadlock) {
+  } else if (status.code() == StatusCode::kDeadlock ||
+             status.code() == StatusCode::kConflict) {
+    // Deadlock victim or first-writer-wins loser: the transaction is
+    // abort-required either way; the client retries on a fresh one.
     (void)RollbackLocked();
   }
   return status;
@@ -311,6 +423,30 @@ Status Session::LockTablesLocked(const std::string& sql, bool is_write) {
   // Snapshot readers take no table locks at all.
   if (!is_write && options_.isolation == IsolationLevel::kSnapshot) {
     return Status::OK();
+  }
+  // Row-granularity fast path (DESIGN.md §11): a point UPDATE takes
+  // intention-exclusive on the table plus X on the key's row-lock id, so
+  // point writers on distinct keys stop serializing on a table X lock.
+  // Fixed acquisition order (table, then row) keeps single statements
+  // deadlock-free among themselves.
+  if (is_write && server_->options().row_locks) {
+    PointUpdateShape shape;
+    if (TryParsePointUpdate(sql, &shape) &&
+        server_->database()->RowLockEligible(shape.table, shape.where_column,
+                                             shape.set_columns)) {
+      std::vector<TxnId> deps;
+      Status status = server_->table_locks()->Acquire(
+          id_, Server::TableLockId(shape.table),
+          LockMode::kIntentionExclusive, &deps);
+      if (!status.ok()) return status;
+      holds_table_locks_ = true;
+      status = server_->table_locks()->Acquire(
+          id_, Server::RowLockId(shape.table, shape.canonical_key),
+          LockMode::kExclusive, &deps);
+      if (!status.ok()) return status;
+      metrics_.Add("session.row_lock_statements", 1);
+      return Status::OK();
+    }
   }
   const LockMode mode = is_write ? LockMode::kExclusive : LockMode::kShared;
   for (const std::string& table : ReferencedTables(sql)) {

@@ -23,9 +23,13 @@ enum class IsolationLevel {
   /// Strict 2PL at table granularity on the SQL plane (S on read tables,
   /// X on written ones) and record granularity on the record plane.
   kSerializable,
-  /// Reads take no locks: SQL reads rely on the statement latch only, and
-  /// record reads go through the version store (§6), so snapshot readers
-  /// never block — and are never blocked by — writers. Writes still 2PL.
+  /// Snapshot isolation over the MVCC version chains (§6, DESIGN.md §11):
+  /// reads take no locks and no latches — they are visibility checks
+  /// against the session's read timestamp — so snapshot readers never
+  /// block, and are never blocked by, writers. Record-plane writes claim
+  /// per-record write ownership with first-writer-wins conflict
+  /// detection: a lost race rolls the transaction back with kConflict
+  /// instead of blocking.
   kSnapshot,
 };
 
@@ -93,10 +97,16 @@ class Session {
 
   // ---- Record plane (§5/§6; requires Database::EnableTransactions) ------
   /// kSerializable: S-lock read through the TransactionManager.
-  /// kSnapshot: lock-free read as of the latest commit via the version
-  /// store (requires enable_versioning).
+  /// kSnapshot: lock-free MVCC visibility read (requires
+  /// enable_versioning) — inside Begin()/Commit() the whole transaction
+  /// reads at one pinned timestamp; outside, each read snapshots the
+  /// latest commit.
   StatusOr<std::string> ReadRecord(int64_t record_id);
-  /// X-lock + logged in-place update; autocommits unless inside Begin().
+  /// Logged in-place update; autocommits unless inside Begin().
+  /// kSerializable: record X lock (blocking 2PL). kSnapshot: per-record
+  /// MVCC write claim — a conflict (another in-flight writer, or a commit
+  /// newer than the pinned snapshot) returns kConflict and rolls the open
+  /// transaction back; retry on a fresh transaction.
   Status UpdateRecord(int64_t record_id, const std::string& value);
 
   /// This session's private metrics shard (session.statements, ...).
@@ -132,7 +142,9 @@ class Session {
   StatusOr<TxnId> RecordTxnLocked();
   /// Table 2PL for one statement: locks every referenced table (sorted, so
   /// single statements cannot deadlock each other), X for writes, S for
-  /// serializable reads, nothing for snapshot reads.
+  /// serializable reads, nothing for snapshot reads. Point updates take
+  /// table IX + row X instead when Server::Options::row_locks is on
+  /// (DESIGN.md §11).
   Status LockTablesLocked(const std::string& sql, bool is_write);
 
   Server* server_;

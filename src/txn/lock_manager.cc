@@ -8,9 +8,7 @@ bool LockManager::Compatible(const Lock& lock, TxnId txn,
                              LockMode mode) const {
   for (const auto& [holder, held_mode] : lock.holders) {
     if (holder == txn) continue;  // self-compatibility / upgrade handled out
-    if (mode == LockMode::kExclusive || held_mode == LockMode::kExclusive) {
-      return false;
-    }
+    if (!LockModesCompatible(mode, held_mode)) return false;
   }
   return true;
 }
@@ -37,13 +35,13 @@ Status LockManager::Acquire(TxnId txn, LockId lock_id, LockMode mode,
   Lock& l = locks_[lock_id];
   ++stats_.acquisitions;
 
-  // Already held? Possibly upgrade S -> X.
+  // Already held? Possibly upgrade (S+X, S+IX and IX+X all escalate to X).
   auto self = l.holders.find(txn);
   if (self != l.holders.end()) {
-    if (self->second == LockMode::kExclusive || mode == LockMode::kShared) {
-      return Status::OK();
-    }
-    // Upgrade: fall through to the wait loop (compatibility ignores self).
+    const LockMode combined = CombineLockModes(self->second, mode);
+    if (combined == self->second) return Status::OK();
+    // Upgrade: wait for the combined mode (compatibility ignores self).
+    mode = combined;
   }
 
   bool waited = false;
@@ -54,10 +52,7 @@ Status LockManager::Acquire(TxnId txn, LockId lock_id, LockMode mode,
     blockers.clear();
     for (const auto& [holder, held_mode] : l.holders) {
       if (holder == txn) continue;
-      if (mode == LockMode::kExclusive ||
-          held_mode == LockMode::kExclusive) {
-        blockers.insert(holder);
-      }
+      if (!LockModesCompatible(mode, held_mode)) blockers.insert(holder);
     }
     for (TxnId blocker : blockers) {
       if (PathExists(blocker, txn)) {

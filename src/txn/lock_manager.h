@@ -17,7 +17,23 @@ namespace mmdb {
 /// Lockable object id (a record id in the RecoverableStore).
 using LockId = int64_t;
 
-enum class LockMode { kShared, kExclusive };
+/// kIntentionExclusive declares finer-granularity exclusive intent under a
+/// coarse lock (a table lock covering per-row locks): IX is compatible
+/// with IX — two point-writers on the same table proceed concurrently,
+/// serializing on their row locks — but conflicts with S and X, so whole-
+/// table readers and writers still exclude them. An S + IX combination
+/// held by one transaction escalates to X (SIX is approximated by X).
+enum class LockMode { kShared, kIntentionExclusive, kExclusive };
+
+/// Lock-mode compatibility matrix: S~S, IX~IX; everything else conflicts.
+inline bool LockModesCompatible(LockMode a, LockMode b) {
+  return a == b && a != LockMode::kExclusive;
+}
+
+/// The weakest mode subsuming both (S+IX and anything+X give X).
+inline LockMode CombineLockModes(LockMode a, LockMode b) {
+  return a == b ? a : LockMode::kExclusive;
+}
 
 /// §5.2's extended lock table: "Associated with each lock are three sets of
 /// transactions: active transactions that currently hold the lock,

@@ -1,10 +1,9 @@
 #include "txn/transaction_manager.h"
 
 #include <algorithm>
-#include <map>
 
 #include "common/check.h"
-#include "txn/version_store.h"
+#include "txn/mvcc.h"
 
 namespace mmdb {
 
@@ -12,7 +11,7 @@ TransactionManager::TransactionManager(RecoverableStore* store,
                                        LockManager* locks, Wal* wal,
                                        FirstUpdateTable* fut,
                                        TxnId first_txn_id,
-                                       VersionManager* versions)
+                                       MvccManager* versions)
     : store_(store),
       locks_(locks),
       wal_(wal),
@@ -33,7 +32,65 @@ TxnId TransactionManager::Begin() {
   return txn;
 }
 
+TxnId TransactionManager::BeginSnapshotTxn() {
+  MMDB_CHECK_MSG(versions_ != nullptr,
+                 "BeginSnapshotTxn requires an MvccManager");
+  const TxnId txn = next_txn_.fetch_add(1);
+  LogRecord rec;
+  rec.type = LogRecordType::kBegin;
+  rec.txn_id = txn;
+  wal_->Append(std::move(rec));
+  // Pin the read timestamp after the begin record so the snapshot is at
+  // least as fresh as everything this txn could have observed beforehand.
+  const uint64_t read_ts = versions_->BeginSnapshot();
+  std::unique_lock<std::mutex> lock(mu_);
+  TxnState state;
+  state.mode = TxnMode::kSnapshot;
+  state.read_ts = read_ts;
+  active_[txn] = std::move(state);
+  ++stats_.begun;
+  ++stats_.snapshot_begun;
+  return txn;
+}
+
+bool TransactionManager::LookupMode(TxnId txn, TxnMode* mode,
+                                    uint64_t* read_ts) const {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = active_.find(txn);
+  if (it == active_.end()) return false;
+  *mode = it->second.mode;
+  *read_ts = it->second.read_ts;
+  return true;
+}
+
+Status TransactionManager::TrackClaim(TxnId txn, int64_t record_id) {
+  std::unique_lock<std::mutex> lock(mu_);
+  auto it = active_.find(txn);
+  if (it == active_.end()) {
+    // The txn vanished between the claim and here; release the orphan
+    // claim so the record does not stay owned forever.
+    lock.unlock();
+    versions_->AbortTxn(txn, {record_id});
+    return Status::FailedPrecondition("transaction not active");
+  }
+  std::vector<int64_t>& claimed = it->second.claimed;
+  if (std::find(claimed.begin(), claimed.end(), record_id) == claimed.end()) {
+    claimed.push_back(record_id);
+  }
+  return Status::OK();
+}
+
 StatusOr<std::string> TransactionManager::Read(TxnId txn, int64_t record_id) {
+  TxnMode mode;
+  uint64_t read_ts;
+  if (!LookupMode(txn, &mode, &read_ts)) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+  if (mode == TxnMode::kSnapshot) {
+    // §6: no locks, no latches — pure visibility check at the pinned
+    // read timestamp.
+    return versions_->Read(read_ts, record_id);
+  }
   std::vector<TxnId> deps;
   MMDB_RETURN_IF_ERROR(
       locks_->Acquire(txn, record_id, LockMode::kShared, &deps));
@@ -53,17 +110,51 @@ StatusOr<std::string> TransactionManager::Read(TxnId txn, int64_t record_id) {
 
 Status TransactionManager::Update(TxnId txn, int64_t record_id,
                                   std::string_view new_value) {
+  TxnMode mode;
+  uint64_t read_ts;
+  if (!LookupMode(txn, &mode, &read_ts)) {
+    return Status::FailedPrecondition("transaction not active");
+  }
+
   std::vector<TxnId> deps;
-  MMDB_RETURN_IF_ERROR(
-      locks_->Acquire(txn, record_id, LockMode::kExclusive, &deps));
+  if (mode == TxnMode::kSnapshot) {
+    // Claim-then-lock: the non-blocking ownership claim is the conflict
+    // check (first writer wins); the record X lock merely keeps §5 2PL
+    // readers from seeing our in-place value mid-flight. Claims never
+    // block, so they can never complete a waits-for cycle.
+    Status claim = versions_->ClaimWrite(txn, record_id, read_ts);
+    if (!claim.ok()) {
+      if (claim.code() == StatusCode::kConflict) {
+        std::unique_lock<std::mutex> lock(mu_);
+        ++stats_.conflicts;
+      }
+      return claim;
+    }
+    MMDB_RETURN_IF_ERROR(TrackClaim(txn, record_id));
+    MMDB_RETURN_IF_ERROR(
+        locks_->Acquire(txn, record_id, LockMode::kExclusive, &deps));
+  } else {
+    // Lock-then-claim: 2PL writers serialize on the X lock; the claim then
+    // only loses to a snapshot writer caught between its claim and its
+    // lock acquisition.
+    MMDB_RETURN_IF_ERROR(
+        locks_->Acquire(txn, record_id, LockMode::kExclusive, &deps));
+    if (versions_ != nullptr) {
+      Status claim = versions_->ClaimWrite(txn, record_id,
+                                           MvccManager::kNoSnapshotCheck);
+      if (!claim.ok()) {
+        if (claim.code() == StatusCode::kConflict) {
+          std::unique_lock<std::mutex> lock(mu_);
+          ++stats_.conflicts;
+        }
+        return claim;
+      }
+      MMDB_RETURN_IF_ERROR(TrackClaim(txn, record_id));
+    }
+  }
 
   std::string old_value;
   MMDB_RETURN_IF_ERROR(store_->ReadRecord(record_id, &old_value));
-  if (versions_ != nullptr) {
-    // Base capture must precede the in-place write so snapshot readers can
-    // never observe our uncommitted value (see VersionManager::Read).
-    versions_->CaptureBase(record_id, old_value);
-  }
 
   LogRecord rec;
   rec.type = LogRecordType::kUpdate;
@@ -87,37 +178,36 @@ Status TransactionManager::Update(TxnId txn, int64_t record_id,
 }
 
 Status TransactionManager::Commit(TxnId txn) {
-  std::vector<TxnId> deps;
-  std::vector<UndoEntry> undo;
+  TxnState state;
   {
     std::unique_lock<std::mutex> lock(mu_);
     auto it = active_.find(txn);
     if (it == active_.end()) {
       return Status::FailedPrecondition("transaction not active");
     }
-    deps = std::move(it->second.deps);
-    undo = std::move(it->second.undo);
+    state = std::move(it->second);
     active_.erase(it);
   }
-  std::sort(deps.begin(), deps.end());
-  deps.erase(std::unique(deps.begin(), deps.end()), deps.end());
+  std::sort(state.deps.begin(), state.deps.end());
+  state.deps.erase(std::unique(state.deps.begin(), state.deps.end()),
+                   state.deps.end());
 
   LogRecord rec;
   rec.type = LogRecordType::kCommit;
   rec.txn_id = txn;
   // 1. Pre-commit: the commit record enters the log buffer.
-  wal_->AppendCommit(std::move(rec), deps);
-  // 1b. Publish versions before releasing locks, so the commit sequence
-  // respects serialization order (a dependent writer cannot even acquire
-  // our locks, let alone publish, before this point).
-  if (versions_ != nullptr && !undo.empty()) {
-    std::map<int64_t, std::string> final_values;
-    for (const UndoEntry& u : undo) {
-      final_values[u.record_id] = u.new_value;  // last write wins
-    }
-    std::vector<std::pair<int64_t, std::string>> published(
-        final_values.begin(), final_values.end());
-    versions_->PublishCommit(published);
+  wal_->AppendCommit(std::move(rec), state.deps);
+  // 1b. Stamp versions before releasing locks, so the commit timestamp
+  // order respects serialization order (a dependent writer cannot even
+  // acquire our locks, let alone claim our records, before this point).
+  // Visibility follows §5.2 pre-commit: the new versions become readable
+  // when the commit record is buffered, not when it is durable —
+  // consistent with what lock-based readers observe.
+  if (versions_ != nullptr && !state.claimed.empty()) {
+    versions_->CommitTxn(txn, state.claimed);
+  }
+  if (versions_ != nullptr && state.mode == TxnMode::kSnapshot) {
+    versions_->EndSnapshot(state.read_ts);
   }
   // 2. Locks release immediately — dependents may proceed.
   locks_->PreCommit(txn);
@@ -155,6 +245,15 @@ Status TransactionManager::Abort(TxnId txn) {
     const Lsn lsn = wal_->Append(rec);
     MMDB_RETURN_IF_ERROR(
         store_->WriteRecord(it->record_id, it->old_value, lsn, fut_));
+  }
+  // Release MVCC claims only after the store holds the restored values:
+  // readers that still see the pending pre-image node and readers that see
+  // the store must agree.
+  if (versions_ != nullptr && !state.claimed.empty()) {
+    versions_->AbortTxn(txn, state.claimed);
+  }
+  if (versions_ != nullptr && state.mode == TxnMode::kSnapshot) {
+    versions_->EndSnapshot(state.read_ts);
   }
   LogRecord abort_rec;
   abort_rec.type = LogRecordType::kAbort;

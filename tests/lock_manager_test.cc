@@ -51,6 +51,38 @@ TEST(LockManagerTest, ReacquireAndUpgrade) {
             StatusCode::kDeadlock);  // times out
 }
 
+TEST(LockManagerTest, IntentionExclusiveCoexistsWithItself) {
+  // Point writers on the same table each take IX (DESIGN.md §11); they must
+  // not serialize on the table lock itself.
+  LockManager lm;
+  std::vector<TxnId> deps;
+  EXPECT_TRUE(lm.Acquire(1, 10, LockMode::kIntentionExclusive, &deps).ok());
+  EXPECT_TRUE(lm.Acquire(2, 10, LockMode::kIntentionExclusive, &deps).ok());
+  EXPECT_TRUE(deps.empty());
+  // S and X both conflict with a held IX (the timeout path reports
+  // kDeadlock, same trick as ReacquireAndUpgrade).
+  LockManager strict(milliseconds(50));
+  std::vector<TxnId> d2;
+  ASSERT_TRUE(
+      strict.Acquire(1, 10, LockMode::kIntentionExclusive, &d2).ok());
+  EXPECT_EQ(strict.Acquire(2, 10, LockMode::kShared, &d2).code(),
+            StatusCode::kDeadlock);
+  EXPECT_EQ(strict.Acquire(3, 10, LockMode::kExclusive, &d2).code(),
+            StatusCode::kDeadlock);
+}
+
+TEST(LockManagerTest, SharedPlusIntentionEscalatesToExclusive) {
+  // A txn holding S that then asks for IX (or vice versa) escalates to a
+  // full X — SIX is approximated conservatively — so another reader must
+  // now conflict.
+  LockManager strict(milliseconds(50));
+  std::vector<TxnId> d;
+  ASSERT_TRUE(strict.Acquire(1, 4, LockMode::kShared, &d).ok());
+  ASSERT_TRUE(strict.Acquire(1, 4, LockMode::kIntentionExclusive, &d).ok());
+  EXPECT_EQ(strict.Acquire(2, 4, LockMode::kShared, &d).code(),
+            StatusCode::kDeadlock);
+}
+
 TEST(LockManagerTest, PreCommitReleasesButRecordsDependency) {
   // §5.2's core protocol: after PreCommit, others acquire immediately but
   // become dependents.
