@@ -34,6 +34,8 @@ std::string_view StatusCodeToString(StatusCode code) {
       return "OVERLOADED";
     case StatusCode::kConflict:
       return "CONFLICT";
+    case StatusCode::kRecovering:
+      return "RECOVERING";
   }
   return "UNKNOWN";
 }

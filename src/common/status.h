@@ -35,6 +35,12 @@ enum class StatusCode {
   /// read timestamp was committed. The transaction must roll back; the
   /// client may retry on a fresh snapshot.
   kConflict,
+  /// Instant recovery (DESIGN.md §12): the record is not yet restored and
+  /// replaying its log chain on demand would exceed the statement's
+  /// bounded replay budget. The access was refused without side effects on
+  /// the store; the client should retry — the background sweep (or a
+  /// later, cheaper on-demand replay) will restore the record.
+  kRecovering,
 };
 
 /// Returns a human-readable name for `code` ("OK", "NOT_FOUND", ...).
@@ -95,6 +101,9 @@ class Status {
   }
   static Status Conflict(std::string msg) {
     return Status(StatusCode::kConflict, std::move(msg));
+  }
+  static Status Recovering(std::string msg) {
+    return Status(StatusCode::kRecovering, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

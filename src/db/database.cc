@@ -62,6 +62,25 @@ void Database::SyncTxnPlaneMetrics() {
   metrics_.Set("locks.dependencies_recorded", ls.dependencies_recorded);
   metrics_.Set("checkpoint.pages_written",
                checkpointer_->total_pages_written());
+  if (recovery_ctl_ != nullptr) {
+    const RecoveryStats rs = recovery_ctl_->stats();
+    metrics_.Set("recovery.instant.pending", recovery_ctl_->remaining());
+    metrics_.Set("recovery.instant.complete",
+                 recovery_ctl_->complete() ? 1 : 0);
+    metrics_.Set("recovery.instant.index_records", rs.pending_records);
+    metrics_.Set("recovery.analysis.ms",
+                 static_cast<int64_t>(rs.analysis_seconds * 1e3));
+    metrics_.Set("recovery.ondemand.records", rs.ondemand_records);
+    metrics_.Set("recovery.ondemand.replayed", rs.ondemand_replayed);
+    metrics_.Set("recovery.ondemand.budget_exceeded",
+                 rs.ondemand_budget_exceeded);
+    metrics_.Set("recovery.ondemand.ms",
+                 static_cast<int64_t>(rs.ondemand_seconds * 1e3));
+    metrics_.Set("recovery.sweep.records", rs.sweep_records);
+    metrics_.Set("recovery.sweep.replayed", rs.sweep_replayed);
+    metrics_.Set("recovery.sweep.ms",
+                 static_cast<int64_t>(rs.sweep_seconds * 1e3));
+  }
 }
 
 MetricsRegistry::Snapshot Database::MetricsSnapshot() {
@@ -944,6 +963,11 @@ StatusOr<int64_t> Database::CheckpointNow() {
 
 Status Database::Crash() {
   if (!txn_enabled_) return Status::FailedPrecondition("transactions off");
+  // A crash can land inside instant recovery's serving window: join the
+  // sweep first so no replay write races the memory wipe below. Its
+  // in-memory progress is lost with the rest of volatile state — the next
+  // Recover() re-enters analysis and rebuilds the index from the log.
+  if (recovery_ctl_ != nullptr) recovery_ctl_->Stop();
   checkpointer_->Stop();
   wal_->CrashStop();  // flusher threads die; buffered bytes are LOST
   store_->SimulateCrash();
@@ -952,9 +976,26 @@ Status Database::Crash() {
 
 StatusOr<RecoveryStats> Database::Recover(RecoveryOptions options) {
   if (!txn_enabled_) return Status::FailedPrecondition("transactions off");
-  MMDB_ASSIGN_OR_RETURN(RecoveryStats stats,
-                        RecoverStore(store_.get(), wal_.get(), fut_.get(),
-                                     options));
+  // Retire (don't destroy) any previous instant-recovery controller: an
+  // access guard call in flight on another thread may still reference it.
+  // Stopped controllers are inert; they are freed with the Database.
+  if (recovery_ctl_ != nullptr) {
+    recovery_ctl_->Stop();
+    retired_recovery_ctls_.push_back(std::move(recovery_ctl_));
+  }
+
+  RecoveryStats stats;
+  InstantRecoveryPlan plan;
+  const bool instant = options.mode == RecoveryMode::kInstant;
+  if (instant) {
+    MMDB_ASSIGN_OR_RETURN(plan, AnalyzeInstantRecovery(store_.get(),
+                                                       wal_.get(), fut_.get(),
+                                                       options));
+    stats = plan.stats;
+  } else {
+    MMDB_ASSIGN_OR_RETURN(stats, RecoverStore(store_.get(), wal_.get(),
+                                              fut_.get(), options));
+  }
   metrics_.Add("recovery.runs", 1);
   metrics_.Add("recovery.log_records_scanned", stats.log_records_scanned);
   metrics_.Add("recovery.redo_applied", stats.redo_applied);
@@ -983,8 +1024,28 @@ StatusOr<RecoveryStats> Database::Recover(RecoveryOptions options) {
     next_sql_stmt_txn_.store(sql_seed, std::memory_order_relaxed);
   }
   wal_->Start();
-  if (txn_options_.start_checkpointer) checkpointer_->Start();
+  if (instant) {
+    // Serving starts NOW; the controller restores records behind the
+    // guard. The checkpointer stays down until the sweep drains —
+    // checkpointing a page with unrestored records would reset its
+    // first-update entry while the page image is still stale, losing redo
+    // if we crash again before the sweep reaches it.
+    recovery_ctl_ = std::make_unique<RecoveryController>(
+        store_.get(), fut_.get(), wal_.get(), std::move(plan), options,
+        /*on_complete=*/[this] {
+          if (txn_options_.start_checkpointer) checkpointer_->Start();
+        });
+    recovery_ctl_->Start();
+  } else if (txn_options_.start_checkpointer) {
+    checkpointer_->Start();
+  }
   return stats;
+}
+
+Status Database::WaitRecoveryDrained() {
+  if (!txn_enabled_) return Status::FailedPrecondition("transactions off");
+  if (recovery_ctl_ == nullptr) return Status::OK();
+  return recovery_ctl_->WaitComplete();
 }
 
 }  // namespace mmdb

@@ -7,6 +7,7 @@
 #include <mutex>
 #include <shared_mutex>
 #include <string>
+#include <vector>
 
 #include "cost/access_cost.h"
 #include "exec/aggregate.h"
@@ -20,6 +21,7 @@
 #include "sim/stable_memory.h"
 #include "txn/banking.h"
 #include "txn/checkpoint.h"
+#include "txn/instant_recovery.h"
 #include "txn/partitioned_log.h"
 #include "txn/recovery.h"
 #include "txn/stable_log.h"
@@ -208,7 +210,26 @@ class Database : public IndexProvider {
   Status Crash();
 
   /// Restart recovery; restarts the background threads afterwards.
+  ///
+  /// RecoveryMode::kBlocking replays everything before returning (§5).
+  /// RecoveryMode::kInstant returns after the analysis phase only: the
+  /// database serves traffic immediately (sessions open, statements run)
+  /// while a RecoveryController replays records on demand and sweeps the
+  /// rest in the background (DESIGN.md §12). The background checkpointer —
+  /// when configured — is deliberately NOT restarted until the sweep
+  /// drains: checkpointing a page with unrestored records would clear its
+  /// first-update entry and lose redo on a re-crash.
   StatusOr<RecoveryStats> Recover(RecoveryOptions options = {});
+
+  /// The live controller of an in-progress (or just-finished) instant
+  /// recovery; nullptr before the first kInstant Recover().
+  RecoveryController* recovery_controller() { return recovery_ctl_.get(); }
+
+  /// Blocks until instant recovery has fully drained (index retired, final
+  /// checkpoint durable). No-op (OK) when no instant recovery is running.
+  /// After this returns OK the store is byte-identical to what blocking
+  /// recovery would have produced, modulo committed new traffic.
+  Status WaitRecoveryDrained();
 
   // ---- Introspection -----------------------------------------------------
   ExecContext* exec_context() { return &exec_ctx_; }
@@ -304,6 +325,13 @@ class Database : public IndexProvider {
   std::unique_ptr<MvccManager> versions_;
   std::unique_ptr<TransactionManager> txn_manager_;
   std::unique_ptr<Checkpointer> checkpointer_;
+  /// Instant recovery driver (declared after checkpointer_: its callback
+  /// starts the checkpointer, so it must be destroyed first).
+  std::unique_ptr<RecoveryController> recovery_ctl_;
+  /// Controllers superseded by a later Recover(). Kept alive (stopped)
+  /// until ~Database: a guard call in flight on another thread may still
+  /// hold a pointer to one.
+  std::vector<std::unique_ptr<RecoveryController>> retired_recovery_ctls_;
 };
 
 }  // namespace mmdb

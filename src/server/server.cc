@@ -45,6 +45,12 @@ StatusOr<Session*> Server::OpenSession(SessionOptions options) {
   Session* raw = session.get();
   sessions_[id] = std::move(session);
   db_->metrics()->Add("server.sessions.opened", 1);
+  // Restart availability (DESIGN.md §12): sessions admitted while instant
+  // recovery's sweep is still draining are the whole point — count them.
+  RecoveryController* recovery = db_->recovery_controller();
+  if (recovery != nullptr && !recovery->complete()) {
+    db_->metrics()->Add("server.admission.during_recovery", 1);
+  }
   db_->metrics()->Set("server.sessions.active",
                       static_cast<int64_t>(sessions_.size()));
   return raw;

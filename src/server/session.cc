@@ -371,6 +371,9 @@ StatusOr<std::string> Session::ReadRecord(int64_t record_id) {
       MMDB_ASSIGN_OR_RETURN(TxnId txn, RecordTxnLocked());
       StatusOr<std::string> value = db->txn_manager()->Read(txn, record_id);
       metrics_.Add("session.record_reads", 1);
+      if (!value.ok() && value.status().code() == StatusCode::kRecovering) {
+        metrics_.Add("session.recovering_rejections", 1);
+      }
       return value;
     }
     // Lock-free: a one-read snapshot at the latest commit timestamp. Never
@@ -379,11 +382,17 @@ StatusOr<std::string> Session::ReadRecord(int64_t record_id) {
     StatusOr<std::string> value = versions->Read(snap, record_id);
     versions->EndSnapshot(snap);
     metrics_.Add("session.record_reads", 1);
+    if (!value.ok() && value.status().code() == StatusCode::kRecovering) {
+      metrics_.Add("session.recovering_rejections", 1);
+    }
     return value;
   }
   MMDB_ASSIGN_OR_RETURN(TxnId txn, RecordTxnLocked());
   StatusOr<std::string> value = db->txn_manager()->Read(txn, record_id);
   metrics_.Add("session.record_reads", 1);
+  if (!value.ok() && value.status().code() == StatusCode::kRecovering) {
+    metrics_.Add("session.recovering_rejections", 1);
+  }
   if (!explicit_txn_) {
     // Autocommit: one op per transaction.
     Status end = value.ok() ? db->txn_manager()->Commit(txn)
@@ -405,15 +414,22 @@ Status Session::UpdateRecord(int64_t record_id, const std::string& value) {
   if (status.code() == StatusCode::kConflict) {
     metrics_.Add("session.conflicts", 1);
   }
+  if (status.code() == StatusCode::kRecovering) {
+    metrics_.Add("session.recovering_rejections", 1);
+  }
   if (!explicit_txn_) {
     Status end = status.ok() ? db->txn_manager()->Commit(txn)
                              : db->txn_manager()->Abort(txn);
     record_txn_ = 0;
     if (status.ok()) return end;
   } else if (status.code() == StatusCode::kDeadlock ||
-             status.code() == StatusCode::kConflict) {
-    // Deadlock victim or first-writer-wins loser: the transaction is
-    // abort-required either way; the client retries on a fresh one.
+             status.code() == StatusCode::kConflict ||
+             status.code() == StatusCode::kRecovering) {
+    // Deadlock victim, first-writer-wins loser, or a record still awaiting
+    // instant-recovery replay beyond the on-demand budget: Update may have
+    // failed after taking locks or claiming the write, so the transaction
+    // is abort-required; the client retries on a fresh one (for
+    // kRecovering, after the background sweep catches up).
     (void)RollbackLocked();
   }
   return status;

@@ -1,0 +1,220 @@
+#include "txn/instant_recovery.h"
+
+#include <chrono>
+#include <thread>
+#include <unordered_set>
+
+#include "common/check.h"
+
+namespace mmdb {
+
+namespace {
+int64_t MicrosSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+}  // namespace
+
+RecoveryController::RecoveryController(RecoverableStore* store,
+                                       FirstUpdateTable* fut, Wal* wal,
+                                       InstantRecoveryPlan plan,
+                                       RecoveryOptions options,
+                                       std::function<void()> on_complete)
+    : store_(store),
+      fut_(fut),
+      wal_(wal),
+      plan_(std::move(plan)),
+      options_(options),
+      on_complete_(std::move(on_complete)) {
+  const int64_t n = store_->num_records();
+  restored_ = std::make_unique<std::atomic<bool>[]>(static_cast<size_t>(n));
+  for (int64_t i = 0; i < n; ++i) {
+    restored_[static_cast<size_t>(i)].store(true, std::memory_order_relaxed);
+  }
+  for (const auto& [record_id, chain] : plan_.pending) {
+    restored_[static_cast<size_t>(record_id)].store(
+        false, std::memory_order_relaxed);
+  }
+  remaining_.store(static_cast<int64_t>(plan_.pending.size()),
+                   std::memory_order_release);
+}
+
+RecoveryController::~RecoveryController() { Stop(); }
+
+void RecoveryController::Start() {
+  store_->set_access_guard(this);
+  pool_ = std::make_unique<ThreadPool>(1);
+  sweep_future_ = pool_->Submit([this] { SweepLoop(); });
+}
+
+void RecoveryController::Stop() {
+  {
+    // Under wait_mu_ so a waiter between its predicate check and its wait
+    // cannot miss the wakeup.
+    std::lock_guard<std::mutex> lock(wait_mu_);
+    stop_.store(true, std::memory_order_release);
+  }
+  wait_cv_.notify_all();
+  if (sweep_future_.valid()) sweep_future_.get();
+  pool_.reset();
+  // Detach only our own guard: a newer controller may already have
+  // installed its own on the same store.
+  store_->ClearAccessGuard(this);
+}
+
+Status RecoveryController::OnAccess(int64_t record_id) {
+  if (complete_.load(std::memory_order_acquire)) return Status::OK();
+  if (record_id < 0 || record_id >= store_->num_records()) {
+    return Status::OK();  // the store will reject it with OutOfRange
+  }
+  if (restored_[static_cast<size_t>(record_id)].load(
+          std::memory_order_acquire)) {
+    return Status::OK();
+  }
+  return EnsureRecovered(record_id, /*from_sweep=*/false);
+}
+
+Status RecoveryController::EnsureRecovered(int64_t record_id,
+                                           bool from_sweep) {
+  std::unique_lock<std::mutex> shard(
+      shards_[static_cast<size_t>(record_id) % kShards]);
+  std::atomic<bool>& restored = restored_[static_cast<size_t>(record_id)];
+  if (restored.load(std::memory_order_acquire)) return Status::OK();
+
+  auto it = plan_.pending.find(record_id);
+  MMDB_CHECK(it != plan_.pending.end());  // unrestored => indexed
+  InstantRecoveryPlan::Chain& chain = it->second;
+  const int64_t cost =
+      static_cast<int64_t>(chain.redo.size()) + (chain.undo >= 0 ? 1 : 0);
+  if (!from_sweep && cost > options_.ondemand_replay_budget) {
+    ondemand_budget_exceeded_.fetch_add(1, std::memory_order_relaxed);
+    return Status::Recovering("record awaits background recovery");
+  }
+
+  const auto t0 = std::chrono::steady_clock::now();
+  // Realize the per-record log-segment read in real time (see
+  // RecoveryOptions::replay_latency) — the same cost the blocking apply
+  // loop pays, just deferred to whoever restores the record.
+  if (options_.replay_latency.count() > 0) {
+    std::this_thread::sleep_for(options_.replay_latency);
+  }
+  for (int32_t idx : chain.redo) {
+    MMDB_RETURN_IF_ERROR(store_->ApplyRecovery(
+        record_id, plan_.log[static_cast<size_t>(idx)].new_value));
+  }
+  if (chain.undo >= 0) {
+    MMDB_RETURN_IF_ERROR(store_->ApplyRecovery(
+        record_id, plan_.log[static_cast<size_t>(chain.undo)].old_value));
+  }
+  // Retire the chain: the index shrinks as recovery proceeds, so a long
+  // serving-while-sweeping window does not hold the whole log's values
+  // twice.
+  chain.redo = {};
+  chain.undo = -1;
+  restored.store(true, std::memory_order_release);
+  shard.unlock();
+
+  if (from_sweep) {
+    sweep_records_.fetch_add(1, std::memory_order_relaxed);
+    sweep_replayed_.fetch_add(cost, std::memory_order_relaxed);
+  } else {
+    ondemand_records_.fetch_add(1, std::memory_order_relaxed);
+    ondemand_replayed_.fetch_add(cost, std::memory_order_relaxed);
+    ondemand_micros_.fetch_add(MicrosSince(t0), std::memory_order_relaxed);
+  }
+  remaining_.fetch_sub(1, std::memory_order_acq_rel);
+  return Status::OK();
+}
+
+void RecoveryController::SweepLoop() {
+  const auto t0 = std::chrono::steady_clock::now();
+  Status status;
+  int64_t in_batch = 0;
+  for (int64_t record_id : plan_.sweep_order) {
+    if (stop_.load(std::memory_order_acquire)) {
+      status = Status::FailedPrecondition("recovery sweep stopped");
+      break;
+    }
+    if (restored_[static_cast<size_t>(record_id)].load(
+            std::memory_order_acquire)) {
+      continue;  // restored on demand — don't count it against the batch
+    }
+    status = EnsureRecovered(record_id, /*from_sweep=*/true);
+    if (!status.ok()) break;
+    if (++in_batch >= options_.sweep_batch_size) {
+      in_batch = 0;
+      if (options_.sweep_pause.count() > 0) {
+        std::unique_lock<std::mutex> lock(wait_mu_);
+        wait_cv_.wait_for(lock, options_.sweep_pause, [this] {
+          return stop_.load(std::memory_order_acquire);
+        });
+      }
+    }
+  }
+  if (status.ok() && !stop_.load(std::memory_order_acquire)) {
+    status = FinishSweep();
+  }
+  {
+    std::unique_lock<std::mutex> lock(wait_mu_);
+    sweep_status_ = status;
+    sweep_done_.store(true, std::memory_order_release);
+    // Total sweep wall time (start -> index retired + final checkpoint).
+    sweep_micros_.store(MicrosSince(t0), std::memory_order_release);
+  }
+  wait_cv_.notify_all();
+  if (status.ok() && on_complete_) on_complete_();
+}
+
+Status RecoveryController::FinishSweep() {
+  // Persist the recovered image so a crash after this point skips replay
+  // entirely on the next restart: every dirty page (replay writes and any
+  // foreground traffic so far) plus every quarantined page (heal the bad
+  // sectors even when untouched). CheckpointPage enforces the WAL rule for
+  // pages foreground traffic updated and resets first-update entries with
+  // the reset-before-copy discipline, so nothing a concurrent writer does
+  // during this loop can lose redo.
+  std::unordered_set<int64_t> to_checkpoint(plan_.quarantined_pages.begin(),
+                                            plan_.quarantined_pages.end());
+  for (int64_t page : store_->DirtyPages()) to_checkpoint.insert(page);
+  for (int64_t page : to_checkpoint) {
+    if (stop_.load(std::memory_order_acquire)) {
+      return Status::FailedPrecondition("recovery sweep stopped");
+    }
+    MMDB_RETURN_IF_ERROR(store_->CheckpointPage(page, fut_, wal_));
+  }
+  complete_.store(true, std::memory_order_release);
+  store_->ClearAccessGuard(this);
+  return Status::OK();
+}
+
+Status RecoveryController::WaitComplete() {
+  std::unique_lock<std::mutex> lock(wait_mu_);
+  wait_cv_.wait(lock, [this] {
+    return sweep_done_.load(std::memory_order_acquire) ||
+           stop_.load(std::memory_order_acquire);
+  });
+  if (sweep_done_.load(std::memory_order_acquire)) return sweep_status_;
+  return Status::FailedPrecondition("recovery controller stopped");
+}
+
+RecoveryStats RecoveryController::stats() const {
+  RecoveryStats s = plan_.stats;
+  s.ondemand_records = ondemand_records_.load(std::memory_order_acquire);
+  s.ondemand_replayed = ondemand_replayed_.load(std::memory_order_acquire);
+  s.ondemand_budget_exceeded =
+      ondemand_budget_exceeded_.load(std::memory_order_acquire);
+  s.ondemand_seconds =
+      double(ondemand_micros_.load(std::memory_order_acquire)) * 1e-6;
+  s.sweep_records = sweep_records_.load(std::memory_order_acquire);
+  s.sweep_replayed = sweep_replayed_.load(std::memory_order_acquire);
+  s.sweep_seconds =
+      double(sweep_micros_.load(std::memory_order_acquire)) * 1e-6;
+  // redo/undo in instant mode are the records actually replayed (on demand
+  // or by the sweep), so the blocking/instant stat surfaces line up.
+  s.redo_applied = s.ondemand_replayed + s.sweep_replayed;
+  s.pending_records = plan_.stats.pending_records;
+  return s;
+}
+
+}  // namespace mmdb

@@ -192,6 +192,12 @@ Status RecoverableStore::ReadRecord(int64_t record_id,
   if (record_id < 0 || record_id >= num_records_) {
     return Status::OutOfRange("record id");
   }
+  // The guard runs before mu_ so its on-demand replay can re-enter the
+  // store through ApplyRecovery without self-deadlocking.
+  if (RecordAccessGuard* guard =
+          access_guard_.load(std::memory_order_acquire)) {
+    MMDB_RETURN_IF_ERROR(guard->OnAccess(record_id));
+  }
   std::unique_lock<std::mutex> lock(mu_);
   if (!loaded_) return Status::FailedPrecondition("store is crashed");
   out->assign(RecordPtr(record_id), static_cast<size_t>(record_size_));
@@ -205,6 +211,10 @@ Status RecoverableStore::WriteRecord(int64_t record_id, std::string_view value,
   }
   if (static_cast<int32_t>(value.size()) > record_size_) {
     return Status::InvalidArgument("value wider than record");
+  }
+  if (RecordAccessGuard* guard =
+          access_guard_.load(std::memory_order_acquire)) {
+    MMDB_RETURN_IF_ERROR(guard->OnAccess(record_id));
   }
   std::unique_lock<std::mutex> lock(mu_);
   if (!loaded_) return Status::FailedPrecondition("store is crashed");
@@ -220,6 +230,23 @@ Status RecoverableStore::WriteRecord(int64_t record_id, std::string_view value,
   ++stats_.updates;
   lock.unlock();
   if (fut != nullptr && lsn != kInvalidLsn) fut->RecordUpdate(page, lsn);
+  return Status::OK();
+}
+
+Status RecoverableStore::ApplyRecovery(int64_t record_id,
+                                       std::string_view value) {
+  if (record_id < 0 || record_id >= num_records_) {
+    return Status::OutOfRange("record id");
+  }
+  if (static_cast<int32_t>(value.size()) > record_size_) {
+    return Status::InvalidArgument("value wider than record");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!loaded_) return Status::FailedPrecondition("store is crashed");
+  char* dst = RecordPtr(record_id);
+  std::memset(dst, 0, static_cast<size_t>(record_size_));
+  std::memcpy(dst, value.data(), value.size());
+  dirty_pages_.insert(PageOf(record_id));
   return Status::OK();
 }
 

@@ -77,6 +77,22 @@ class FirstUpdateTable {
   mutable std::mutex mu_;
 };
 
+/// Consulted on every record access while instant recovery is in progress
+/// (DESIGN.md §12). Installed by the RecoveryController after the analysis
+/// phase; detached once the sweep has drained. The guard runs BEFORE the
+/// store's mutex is taken, so it may itself call back into the store (via
+/// ApplyRecovery) to replay the record's log chain on demand.
+class RecordAccessGuard {
+ public:
+  virtual ~RecordAccessGuard() = default;
+
+  /// Called with the record about to be read or written. Returns OK when
+  /// the record is (now) restored; kRecovering when restoring it would
+  /// exceed the on-demand replay budget (the access is refused with no
+  /// side effects).
+  virtual Status OnAccess(int64_t record_id) = 0;
+};
+
 /// The §5 database: a fixed array of fixed-size records kept ENTIRELY in
 /// (volatile) main memory, with a page-structured snapshot on disk.
 /// Transactions mutate the memory image through the TransactionManager;
@@ -113,6 +129,26 @@ class RecoverableStore {
   /// the first-update table (if provided).
   Status WriteRecord(int64_t record_id, std::string_view value, Lsn lsn,
                      FirstUpdateTable* fut);
+
+  /// Installs (or replaces) the access guard consulted by every
+  /// ReadRecord/WriteRecord. All record access paths — 2PL reads, MVCC
+  /// version materialisation, SQL autocommit — funnel through those two
+  /// entry points, so this one hook covers the whole surface.
+  void set_access_guard(RecordAccessGuard* guard) {
+    access_guard_.store(guard, std::memory_order_release);
+  }
+  /// Detaches the guard iff it is still `expected` — a retired controller
+  /// must not clobber the guard a newer recovery installed.
+  void ClearAccessGuard(RecordAccessGuard* expected) {
+    access_guard_.compare_exchange_strong(expected, nullptr,
+                                          std::memory_order_acq_rel);
+  }
+
+  /// Replay write used by recovery itself: bypasses the access guard (the
+  /// guard's own replay must not recurse), never enters the first-update
+  /// table and carries no WAL fence (the value comes FROM the durable log).
+  /// Marks the page dirty so the end-of-recovery checkpoint persists it.
+  Status ApplyRecovery(int64_t record_id, std::string_view value);
 
   /// Pages currently dirty (updated since their last checkpoint).
   std::vector<int64_t> DirtyPages() const;
@@ -192,6 +228,7 @@ class RecoverableStore {
   Stats stats_;
   std::atomic<int64_t> io_retries_{0};
   std::atomic<int64_t> pages_quarantined_{0};
+  std::atomic<RecordAccessGuard*> access_guard_{nullptr};
 };
 
 }  // namespace mmdb

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <limits>
+#include <thread>
 #include <unordered_map>
 #include <unordered_set>
 
@@ -10,42 +11,78 @@
 
 namespace mmdb {
 
-StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
-                                     FirstUpdateTable* fut,
-                                     RecoveryOptions options) {
-  const auto t0 = std::chrono::steady_clock::now();
+namespace {
+
+/// Per-record resolution shared by blocking recovery and instant analysis.
+/// With value (physical) logging the final state of a record is fully
+/// determined by its update timeline:
+///   * the NEW value of its latest winner update, unless
+///   * a loser updated it after that winner — then the OLD value of the
+///     EARLIEST such loser update (the committed image the loser
+///     overwrote; locks guarantee no winner interleaved).
+/// This rule is idempotent across crash epochs: a loser from a previous
+/// epoch (which the log never seals) is automatically superseded by any
+/// later winner on the same record instead of being re-undone over it.
+struct RecordState {
+  const LogRecord* winner = nullptr;       // latest winner update
+  const LogRecord* loser_after = nullptr;  // earliest loser after it
+  /// Indices (into the log vector) of every winner update, LSN order —
+  /// the record's committed redo chain for the instant-recovery index.
+  std::vector<int32_t> winner_chain;
+  int32_t loser_index = -1;
+};
+
+/// Everything both recovery flavours extract from one pass over the log
+/// and the snapshot load.
+struct AnalysisResult {
+  std::vector<LogRecord> log;
+  std::unordered_map<int64_t, RecordState> final_state;
+  std::unordered_set<int64_t> quarantined;
+  std::vector<int64_t> quarantined_pages;
+  bool fut_trusted = false;
   RecoveryStats stats;
+};
+
+/// Phases 1+2(+3a): snapshot load, log merge, winner classification and
+/// per-record resolution. `keep_chains` additionally records each record's
+/// full committed chain (instant recovery replays chains; blocking
+/// recovery only needs the resolved endpoint).
+StatusOr<AnalysisResult> AnalyzeLog(RecoverableStore* store, Wal* wal,
+                                    FirstUpdateTable* fut,
+                                    const RecoveryOptions& options,
+                                    bool keep_chains) {
+  AnalysisResult out;
+  RecoveryStats& stats = out.stats;
 
   // 1. Snapshot reload. Pages that stay unreadable or fail their CRC are
   // quarantined (zero-filled); their contents are rebuilt from the log
   // below, so they must not take the first-update fast path.
   const RecoverableStore::Stats store_before = store->stats();
-  std::vector<int64_t> quarantined_pages;
-  MMDB_RETURN_IF_ERROR(store->LoadSnapshot(&quarantined_pages));
+  MMDB_RETURN_IF_ERROR(store->LoadSnapshot(&out.quarantined_pages));
   stats.snapshot_pages_read =
       store->stats().snapshot_pages_read - store_before.snapshot_pages_read;
   stats.snapshot_pages_quarantined =
-      static_cast<int64_t>(quarantined_pages.size());
-  std::unordered_set<int64_t> quarantined(quarantined_pages.begin(),
-                                          quarantined_pages.end());
+      static_cast<int64_t>(out.quarantined_pages.size());
+  out.quarantined.insert(out.quarantined_pages.begin(),
+                         out.quarantined_pages.end());
 
   // 2. Merge fragments, classify transactions. Checksum-failed records are
   // dropped by the parser (counted, never applied); a torn tail past the
   // last valid record is expected after a crash mid-flush.
   Wal::LogReadStats log_read;
-  std::vector<LogRecord> log = wal->ReadAllForRecovery(&log_read);
-  stats.log_records_total = static_cast<int64_t>(log.size());
+  out.log = wal->ReadAllForRecovery(&log_read);
+  stats.log_records_total = static_cast<int64_t>(out.log.size());
   stats.corrupt_records_skipped = log_read.corrupt_records_skipped;
   stats.torn_tail_bytes = log_read.torn_tail_bytes;
   stats.unreadable_log_pages = log_read.unreadable_pages;
 
   std::unordered_set<TxnId> winners;
   std::unordered_set<TxnId> seen;
-  for (const LogRecord& rec : log) {
+  for (const LogRecord& rec : out.log) {
     seen.insert(rec.txn_id);
     if (rec.txn_id >= kSqlStmtTxnBase) {
-      stats.max_sql_stmt_txn_id = std::max(stats.max_sql_stmt_txn_id,
-                                           rec.txn_id);
+      stats.max_sql_stmt_txn_id =
+          std::max(stats.max_sql_stmt_txn_id, rec.txn_id);
     } else {
       stats.max_txn_id = std::max(stats.max_txn_id, rec.txn_id);
     }
@@ -57,54 +94,42 @@ StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
   stats.winners = static_cast<int64_t>(winners.size());
   stats.losers = static_cast<int64_t>(seen.size()) - stats.winners;
 
-  // 3. Redo winners from the first-update boundary — but only if the table
-  // survives its checksum check. A bit-flipped first-update LSN could
-  // silently skip redo, so on mismatch the table is abandoned and the whole
-  // log replayed (degraded mode: slow but safe).
-  const bool fut_trusted =
+  // 3a. Redo winners from the first-update boundary — but only if the
+  // table survives its checksum check. A bit-flipped first-update LSN
+  // could silently skip redo, so on mismatch the table is abandoned and
+  // the whole log replayed (degraded mode: slow but safe).
+  out.fut_trusted =
       options.use_first_update_table && fut != nullptr && fut->Verify();
-  if (options.use_first_update_table && fut != nullptr && !fut_trusted) {
+  if (options.use_first_update_table && fut != nullptr && !out.fut_trusted) {
     stats.degraded_mode = true;
   }
-  if (!quarantined.empty()) stats.degraded_mode = true;
+  if (!out.quarantined.empty()) stats.degraded_mode = true;
   Lsn start = 0;
-  if (fut_trusted) {
+  if (out.fut_trusted) {
     const Lsn min_lsn = fut->MinLsn();
     start = min_lsn == kInvalidLsn
                 ? std::numeric_limits<Lsn>::max()  // everything checkpointed
                 : min_lsn;
     // Quarantined pages lost their snapshot image: every surviving update
     // to them must replay, so the scan cannot start past the log head.
-    if (!quarantined.empty()) start = 0;
+    if (!out.quarantined.empty()) start = 0;
   }
   stats.start_lsn = start;
 
-  // 3b/4. Per-record resolution. With value (physical) logging the final
-  // state of a record is fully determined by its update timeline:
-  //   * the NEW value of its latest winner update, unless
-  //   * a loser updated it after that winner — then the OLD value of the
-  //     EARLIEST such loser update (the committed image the loser
-  //     overwrote; locks guarantee no winner interleaved).
-  // This rule is idempotent across crash epochs: a loser from a previous
-  // epoch (which the log never seals) is automatically superseded by any
-  // later winner on the same record instead of being re-undone over it.
-  struct RecordState {
-    const LogRecord* winner = nullptr;        // latest winner update
-    const LogRecord* loser_after = nullptr;   // earliest loser after it
-  };
-  std::unordered_map<int64_t, RecordState> final_state;
-
   int64_t scanned_bytes = 0;
-  for (const LogRecord& rec : log) {
+  for (int32_t i = 0; i < static_cast<int32_t>(out.log.size()); ++i) {
+    const LogRecord& rec = out.log[static_cast<size_t>(i)];
     if (rec.lsn >= start) {
       ++stats.log_records_scanned;
       scanned_bytes += rec.SerializedSize();
     }
     if (rec.type != LogRecordType::kUpdate) continue;
-    RecordState& state = final_state[rec.record_id];
+    RecordState& state = out.final_state[rec.record_id];
     if (winners.count(rec.txn_id)) {
-      state.winner = &rec;       // later winner supersedes
+      state.winner = &rec;  // later winner supersedes
       state.loser_after = nullptr;
+      state.loser_index = -1;
+      if (keep_chains) state.winner_chain.push_back(i);
     } else if (state.loser_after == nullptr) {
       if (rec.old_value.empty() && !rec.new_value.empty()) {
         // A compressed record can only belong to a committed txn;
@@ -112,26 +137,65 @@ StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
         return Status::Internal("loser update lacks undo image");
       }
       state.loser_after = &rec;  // first in-flight overwrite after winner
+      state.loser_index = i;
     }
   }
-  for (const auto& [record_id, state] : final_state) {
+  // Price the log scan as sequential 4K-page reads at the paper's 10 ms.
+  stats.simulated_log_read_seconds =
+      double((scanned_bytes + 4095) / 4096) * 0.010;
+  // Transient I/O retried so far (snapshot load + log read); the caller
+  // adds retries from its own apply/checkpoint phase.
+  stats.retries = log_read.retries +
+                  (store->stats().io_retries - store_before.io_retries);
+  return out;
+}
+
+/// True when `state`'s resolved redo may be skipped: the record's latest
+/// committed update predates its page's first un-checkpointed update, so
+/// the snapshot already holds it (and the page was not quarantined).
+bool SkipByFirstUpdate(const AnalysisResult& analysis,
+                       const RecordState& state, int64_t page,
+                       FirstUpdateTable* fut) {
+  if (!analysis.fut_trusted || analysis.quarantined.count(page)) return false;
+  const Lsn page_first = fut->Get(page);
+  return page_first == kInvalidLsn || state.winner->lsn < page_first;
+}
+
+}  // namespace
+
+StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
+                                     FirstUpdateTable* fut,
+                                     RecoveryOptions options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  MMDB_ASSIGN_OR_RETURN(
+      AnalysisResult analysis,
+      AnalyzeLog(store, wal, fut, options, /*keep_chains=*/false));
+  RecoveryStats stats = analysis.stats;
+  const int64_t io_retries_before_apply = store->stats().io_retries;
+
+  // 3b/4. Apply each record's resolved endpoint: undo beats redo, redo is
+  // page-precise against the first-update table.
+  for (const auto& [record_id, state] : analysis.final_state) {
     if (state.loser_after != nullptr) {
-      MMDB_RETURN_IF_ERROR(store->WriteRecord(
-          record_id, state.loser_after->old_value, kInvalidLsn, nullptr));
+      if (options.replay_latency.count() > 0) {
+        std::this_thread::sleep_for(options.replay_latency);
+      }
+      MMDB_RETURN_IF_ERROR(
+          store->ApplyRecovery(record_id, state.loser_after->old_value));
       ++stats.undo_applied;
     } else if (state.winner != nullptr) {
       const int64_t page = store->PageOf(record_id);
-      if (fut_trusted && !quarantined.count(page)) {
+      if (SkipByFirstUpdate(analysis, state, page, fut)) {
         // Page-precise skip: updates older than the page's first-update
         // entry are guaranteed to be in the snapshot already. Quarantined
         // pages were zero-filled, so nothing is "already there" for them.
-        const Lsn page_first = fut->Get(page);
-        if (page_first == kInvalidLsn || state.winner->lsn < page_first) {
-          continue;
-        }
+        continue;
       }
-      MMDB_RETURN_IF_ERROR(store->WriteRecord(
-          record_id, state.winner->new_value, kInvalidLsn, nullptr));
+      if (options.replay_latency.count() > 0) {
+        std::this_thread::sleep_for(options.replay_latency);
+      }
+      MMDB_RETURN_IF_ERROR(
+          store->ApplyRecovery(record_id, state.winner->new_value));
       ++stats.redo_applied;
     }
   }
@@ -142,14 +206,14 @@ StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
   // rewritten even when no redo touched them — the successful full write
   // heals the bad sector (remap) and restores a valid checksum, so the next
   // load will not re-quarantine them.
-  std::unordered_set<int64_t> to_checkpoint(quarantined.begin(),
-                                            quarantined.end());
+  std::unordered_set<int64_t> to_checkpoint(analysis.quarantined.begin(),
+                                            analysis.quarantined.end());
   for (int64_t page : store->DirtyPages()) to_checkpoint.insert(page);
   for (int64_t page : to_checkpoint) {
     MMDB_RETURN_IF_ERROR(store->CheckpointPage(page, fut, nullptr));
   }
   if (fut != nullptr) {
-    if (fut_trusted) {
+    if (analysis.fut_trusted) {
       for (int64_t p = 0; p < fut->num_pages(); ++p) fut->ResetPage(p);
     } else {
       // A corrupted table cannot be repaired incrementally — rebuild it.
@@ -157,17 +221,74 @@ StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
     }
   }
 
-  stats.retries =
-      log_read.retries + (store->stats().io_retries - store_before.io_retries);
+  stats.retries += store->stats().io_retries - io_retries_before_apply;
 
   const auto t1 = std::chrono::steady_clock::now();
   stats.wall_seconds =
       std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
           .count();
-  // Price the log scan as sequential 4K-page reads at the paper's 10 ms.
-  stats.simulated_log_read_seconds =
-      double((scanned_bytes + 4095) / 4096) * 0.010;
   return stats;
+}
+
+StatusOr<InstantRecoveryPlan> AnalyzeInstantRecovery(RecoverableStore* store,
+                                                     Wal* wal,
+                                                     FirstUpdateTable* fut,
+                                                     RecoveryOptions options) {
+  const auto t0 = std::chrono::steady_clock::now();
+  MMDB_ASSIGN_OR_RETURN(
+      AnalysisResult analysis,
+      AnalyzeLog(store, wal, fut, options, /*keep_chains=*/true));
+
+  InstantRecoveryPlan plan;
+  plan.stats = analysis.stats;
+  plan.quarantined_pages = std::move(analysis.quarantined_pages);
+
+  // Build the log index: one chain per record with outstanding work. A
+  // record whose resolved redo the first-update table proves is already in
+  // the snapshot gets NO chain — it is restored the moment the snapshot
+  // loads, exactly as in blocking recovery.
+  struct OrderKey {
+    Lsn first_lsn;
+    int64_t record_id;
+  };
+  std::vector<OrderKey> order;
+  for (auto& [record_id, state] : analysis.final_state) {
+    InstantRecoveryPlan::Chain chain;
+    if (state.loser_after != nullptr) {
+      // The loser's old_value IS the committed image (it embeds every
+      // winner before it, and locks guarantee no winner after it), so the
+      // redo chain is redundant: one undo write restores the record.
+      chain.undo = state.loser_index;
+    } else if (state.winner != nullptr) {
+      const int64_t page = store->PageOf(record_id);
+      if (SkipByFirstUpdate(analysis, state, page, fut)) continue;
+      chain.redo = std::move(state.winner_chain);
+    } else {
+      continue;  // only loser updates BEFORE a winner — nothing pending
+    }
+    const Lsn first_lsn =
+        !chain.redo.empty()
+            ? analysis.log[static_cast<size_t>(chain.redo.front())].lsn
+            : analysis.log[static_cast<size_t>(chain.undo)].lsn;
+    order.push_back(OrderKey{first_lsn, record_id});
+    plan.pending.emplace(record_id, std::move(chain));
+  }
+  std::sort(order.begin(), order.end(), [](const OrderKey& a,
+                                           const OrderKey& b) {
+    return a.first_lsn != b.first_lsn ? a.first_lsn < b.first_lsn
+                                      : a.record_id < b.record_id;
+  });
+  plan.sweep_order.reserve(order.size());
+  for (const OrderKey& k : order) plan.sweep_order.push_back(k.record_id);
+  plan.log = std::move(analysis.log);
+  plan.stats.pending_records = static_cast<int64_t>(plan.pending.size());
+
+  const auto t1 = std::chrono::steady_clock::now();
+  plan.stats.analysis_seconds =
+      std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
+          .count();
+  plan.stats.wall_seconds = plan.stats.analysis_seconds;
+  return plan;
 }
 
 }  // namespace mmdb

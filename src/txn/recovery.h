@@ -1,11 +1,29 @@
 #ifndef MMDB_TXN_RECOVERY_H_
 #define MMDB_TXN_RECOVERY_H_
 
+#include <chrono>
+#include <limits>
+#include <unordered_map>
+#include <vector>
+
 #include "common/status.h"
 #include "txn/log_manager.h"
 #include "txn/recoverable_store.h"
 
 namespace mmdb {
+
+/// How much of recovery must complete before the store serves traffic
+/// (DESIGN.md §12).
+enum class RecoveryMode {
+  /// §5 / RecoverStore: snapshot load + full redo/undo before anything is
+  /// readable. Minutes of downtime at scale, but dead simple.
+  kBlocking,
+  /// MM-DIRECT-style instant recovery: only the analysis phase (one log
+  /// scan building a per-record redo index) blocks. The store then serves
+  /// traffic immediately; a not-yet-restored record is replayed on demand
+  /// at first access while a background sweep restores the rest.
+  kInstant,
+};
 
 struct RecoveryOptions {
   /// Use the stable first-update table to skip the log prefix whose
@@ -13,6 +31,29 @@ struct RecoveryOptions {
   /// entire log is replayed ("recovery times would become intolerably
   /// long" — measured by bench_checkpoint_recovery).
   bool use_first_update_table = true;
+
+  /// Blocking (§5) vs instant (§12) restart. Defaults to blocking so every
+  /// pre-existing test and bench keeps its semantics without edits.
+  RecoveryMode mode = RecoveryMode::kBlocking;
+
+  // ---- kInstant knobs (ignored in kBlocking mode) -----------------------
+  /// Max log records an on-demand replay may apply synchronously on behalf
+  /// of one access. An access to a record whose chain is longer is refused
+  /// with kRecovering (no side effects) and must wait for the sweep.
+  int64_t ondemand_replay_budget = std::numeric_limits<int64_t>::max();
+  /// Records the background sweep restores per slice (throttle so the
+  /// sweep does not starve foreground on-demand traffic).
+  int64_t sweep_batch_size = 256;
+  /// Pause between sweep slices (0 = sweep flat out).
+  std::chrono::microseconds sweep_pause{0};
+  /// Realized cost of restoring one record from the log, slept in REAL
+  /// time wherever a record is replayed — the blocking apply loop, an
+  /// on-demand replay, and the background sweep alike. The in-memory log
+  /// makes replay unrealistically free; this models the per-record log
+  /// segment read the same way bench_recovery_throughput realizes log
+  /// WRITE latency (§5.2's 10 ms page). 0 (the default) sleeps nowhere.
+  /// Honoured by both modes, so blocking vs instant comparisons stay fair.
+  std::chrono::microseconds replay_latency{0};
 };
 
 struct RecoveryStats {
@@ -44,6 +85,24 @@ struct RecoveryStats {
   /// the table failed its checksum, or quarantined snapshot pages forced
   /// full-history replay for their records.
   bool degraded_mode = false;
+
+  // ---- Instant recovery (RecoveryMode::kInstant, DESIGN.md §12) ---------
+  // Phase timings. Blocking recovery reports everything under
+  // wall_seconds; instant recovery splits it: analysis blocks startup,
+  // on-demand time is paid inside foreground accesses, sweep time runs in
+  // the background. For kInstant, wall_seconds == analysis_seconds (the
+  // only part the restart waits for).
+  double analysis_seconds = 0;
+  double ondemand_seconds = 0;  ///< cumulative, across all accesses
+  double sweep_seconds = 0;     ///< sweep start -> index fully retired
+  /// Records whose log chains still had to be replayed when analysis
+  /// finished (the size of the log index handed to the controller).
+  int64_t pending_records = 0;
+  int64_t ondemand_records = 0;   ///< records restored by foreground accesses
+  int64_t ondemand_replayed = 0;  ///< log records applied on demand
+  int64_t ondemand_budget_exceeded = 0;  ///< accesses refused (kRecovering)
+  int64_t sweep_records = 0;      ///< records restored by the sweep
+  int64_t sweep_replayed = 0;     ///< log records applied by the sweep
 };
 
 /// Restart recovery for the §5 store:
@@ -60,6 +119,54 @@ struct RecoveryStats {
 StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
                                      FirstUpdateTable* fut,
                                      RecoveryOptions options = {});
+
+/// The log index built by instant recovery's analysis phase (DESIGN.md
+/// §12): for every record with outstanding redo/undo work, the ordered
+/// offsets (indices into `log`) of the committed update records to replay,
+/// plus — when the record's last pre-crash writer was still in flight —
+/// the in-flight update whose OLD value must win. The RecoveryController
+/// consumes one chain per record (on demand or from the sweep) and retires
+/// it.
+struct InstantRecoveryPlan {
+  struct Chain {
+    /// Committed (winner) updates of this record, in LSN order. Replayed
+    /// front to back; the last one carries the record's final redo image.
+    std::vector<int32_t> redo;
+    /// Index of the earliest in-flight (loser) update after the last
+    /// winner, or -1. When set, its old_value is applied LAST — the
+    /// committed image the loser overwrote.
+    int32_t undo = -1;
+  };
+
+  /// The merged, durable log retained for replay. Chains index into it.
+  std::vector<LogRecord> log;
+  /// record id -> outstanding replay work. Records absent from this map
+  /// were fully restored by the snapshot load.
+  std::unordered_map<int64_t, Chain> pending;
+  /// Records of `pending` ordered by first-chain-entry LSN — the sweep's
+  /// restoration order ("restore in log order").
+  std::vector<int64_t> sweep_order;
+  /// Snapshot pages that were zero-filled at load; the final checkpoint
+  /// rewrites them even when untouched, healing the bad sectors.
+  std::vector<int64_t> quarantined_pages;
+  /// Analysis-phase stats (wall_seconds == analysis_seconds). winners,
+  /// losers, id maxima and damage counters are final; redo/undo/ondemand/
+  /// sweep counters accumulate in the controller afterwards.
+  RecoveryStats stats;
+};
+
+/// Instant recovery's ANALYSIS phase: snapshot load + one scan of the
+/// merged log, producing the per-record log index. Blocks only for the
+/// scan — no redo is applied; the caller hands the plan to a
+/// RecoveryController (txn/instant_recovery.h) and opens for traffic.
+/// Quarantined snapshot pages and an untrusted first-update table compose
+/// exactly as in RecoverStore: the index is then built from the full log
+/// with no skip fast path (degraded_mode), which rebuilds quarantined
+/// pages record by record.
+StatusOr<InstantRecoveryPlan> AnalyzeInstantRecovery(RecoverableStore* store,
+                                                     Wal* wal,
+                                                     FirstUpdateTable* fut,
+                                                     RecoveryOptions options);
 
 }  // namespace mmdb
 

@@ -14,6 +14,7 @@
 #include "common/random.h"
 #include "sim/fault_injector.h"
 #include "txn/checkpoint.h"
+#include "txn/instant_recovery.h"
 #include "txn/recovery.h"
 #include "txn/transaction_manager.h"
 
@@ -338,6 +339,181 @@ INSTANTIATE_TEST_SUITE_P(
     [](const auto& info) {
       return "seed" + std::to_string(info.param.seed) + "_op" +
              std::to_string(info.param.crash_at_op);
+    });
+
+// ---------------------------------------------------------------------------
+// Nested crash schedules (DESIGN.md §12): the FIRST crash is recovered in
+// instant mode, and the SECOND crash lands inside the recovery window itself
+// — after a deterministic number of on-demand replays, mid-sweep. Recovery
+// must be idempotent across the nesting: the second restart re-enters
+// analysis on the unchanged durable state and lands in an admissible state.
+// A variant quarantines a snapshot page before the second restart and
+// asserts the fall-back to full-log replay (degraded mode, start LSN 0).
+// ---------------------------------------------------------------------------
+
+struct NestedCrashParam {
+  uint64_t seed;
+  int64_t crash_at_op;      ///< first crash, in device operations
+  int ondemand_touches;     ///< guarded reads inside the recovery window
+  bool quarantine_snapshot; ///< bad-sector a snapshot page before restart 2
+};
+
+class NestedCrashFuzzTest : public ::testing::TestWithParam<NestedCrashParam> {
+};
+
+TEST_P(NestedCrashFuzzTest, SecondCrashInsideRecoveryWindowIsIdempotent) {
+  const NestedCrashParam param = GetParam();
+  FaultInjectorOptions fopts;
+  fopts.seed = param.seed ^ 0x5EED;
+  fopts.crash_at_op = param.crash_at_op;
+  fopts.torn_write_on_crash = true;
+  FaultInjector injector(fopts);
+
+  SimulatedDisk disk(256);
+  disk.set_fault_injector(&injector);
+  StableMemory stable(1 << 20);
+  stable.set_fault_injector(&injector);
+  LogDevice device(4096, microseconds(0));
+  device.set_fault_injector(&injector);
+
+  RecoverableStore store(&disk, kAccounts, kBalanceSize, 256);
+  FirstUpdateTable fut(&stable, store.num_pages());
+  LockManager locks;
+  GroupCommitLogOptions gopts;
+  gopts.group_commit = false;
+  GroupCommitLog wal({&device}, gopts);
+  wal.Start();
+  TransactionManager tm(&store, &locks, &wal, &fut);
+  Checkpointer checkpointer(&store, &fut, &wal);
+
+  // Same banking workload shape as CrashScheduleFuzzTest: an opening grant
+  // then random transfers, with the two admissible end states tracked.
+  std::map<int64_t, std::string> state, prev_state;
+  for (int64_t a = 0; a < kAccounts; ++a) {
+    state[a] = std::string(kBalanceSize, '\0');
+  }
+  prev_state = state;
+  auto run_txn = [&](const std::map<int64_t, std::string>& writes) {
+    const TxnId txn = tm.Begin();
+    for (const auto& [record, value] : writes) {
+      MMDB_CHECK(tm.Update(txn, record, value).ok());
+    }
+    MMDB_CHECK(tm.Commit(txn).ok());
+    prev_state = state;
+    for (const auto& [record, value] : writes) state[record] = value;
+  };
+  std::map<int64_t, std::string> grant;
+  for (int64_t a = 0; a < kAccounts; ++a) grant[a] = Balance(100);
+  run_txn(grant);
+  Random rng(param.seed);
+  for (int t = 0; t < kTransfers && !injector.crash_requested(); ++t) {
+    const int64_t from = int64_t(rng.Uniform(kAccounts));
+    int64_t to = int64_t(rng.Uniform(kAccounts));
+    if (to == from) to = (to + 1) % kAccounts;
+    const int64_t amount = 1 + int64_t(rng.Uniform(10));
+    long long bal_from = 0, bal_to = 0;
+    std::sscanf(state[from].c_str(), "%lld", &bal_from);
+    std::sscanf(state[to].c_str(), "%lld", &bal_to);
+    run_txn({{from, Balance(bal_from - amount)},
+             {to, Balance(bal_to + amount)}});
+    if (t % 7 == 6 && !injector.crash_requested()) {
+      MMDB_CHECK(checkpointer.CheckpointOnce().ok());
+    }
+  }
+
+  // CRASH 1 -> instant recovery with a crawling sweep.
+  wal.CrashStop();
+  store.SimulateCrash();
+  RecoveryOptions ropts;
+  ropts.mode = RecoveryMode::kInstant;
+  ropts.sweep_batch_size = 1;
+  ropts.sweep_pause = microseconds(500);
+  auto plan = AnalyzeInstantRecovery(&store, &wal, &fut, ropts);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  wal.Start();
+  {
+    RecoveryController ctl(&store, &fut, &wal, std::move(*plan), ropts);
+    ctl.Start();
+    // On-demand replays inside the window (some records, some not-pending
+    // no-ops): this is the "crash during on-demand replay" surface.
+    std::string v;
+    for (int i = 0; i < param.ondemand_touches; ++i) {
+      ASSERT_TRUE(store.ReadRecord((i * 7 + 3) % kAccounts, &v).ok());
+    }
+    // CRASH 2, mid-sweep: the power fails before the index drains.
+    ctl.Stop();
+  }
+  wal.CrashStop();
+  store.SimulateCrash();
+
+  if (param.quarantine_snapshot) {
+    injector.MarkPermanentError(FaultDevice::kDataDisk,
+                                store.snapshot_file_id(), 0);
+  }
+
+  // Restart 2: analysis must re-enter cleanly on the unchanged durable
+  // state. Recover in instant mode and drain fully.
+  auto plan2 = AnalyzeInstantRecovery(&store, &wal, &fut, ropts);
+  ASSERT_TRUE(plan2.ok()) << plan2.status().ToString();
+  const RecoveryStats analysis2 = plan2->stats;
+  if (param.quarantine_snapshot) {
+    EXPECT_GE(analysis2.snapshot_pages_quarantined, 1);
+    EXPECT_TRUE(analysis2.degraded_mode);
+    // Quarantine falls back to full-log replay: no first-update skip.
+    EXPECT_EQ(analysis2.start_lsn, 0);
+  }
+  wal.Start();
+  std::map<int64_t, std::string> recovered;
+  {
+    RecoveryController ctl(&store, &fut, &wal, std::move(*plan2), ropts);
+    ctl.Start();
+    ASSERT_TRUE(ctl.WaitComplete().ok());
+    const RecoveryStats drained = ctl.stats();
+    EXPECT_EQ(drained.ondemand_records + drained.sweep_records,
+              drained.pending_records);
+    for (int64_t a = 0; a < kAccounts; ++a) {
+      std::string v;
+      ASSERT_TRUE(store.ReadRecord(a, &v).ok());
+      recovered[a] = v;
+    }
+  }
+
+  // Admissible-state audit: all acked commits, or all but the torn last.
+  EXPECT_TRUE(recovered == state || recovered == prev_state)
+      << "nested recovery landed in neither admissible state";
+  const int64_t total = TotalOf(recovered);
+  EXPECT_TRUE(total == TotalOf(state) || total == TotalOf(prev_state));
+
+  // Idempotence across modes: crash 3 with no new writes, recover BLOCKING,
+  // and the image must be byte-identical to the drained instant image.
+  wal.CrashStop();
+  store.SimulateCrash();
+  auto blocking = RecoverStore(&store, &wal, &fut);
+  ASSERT_TRUE(blocking.ok()) << blocking.status().ToString();
+  wal.Start();
+  for (int64_t a = 0; a < kAccounts; ++a) {
+    std::string v;
+    ASSERT_TRUE(store.ReadRecord(a, &v).ok());
+    EXPECT_EQ(v, recovered[a]) << "record " << a;
+  }
+  wal.Stop();
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    NestedCrashSchedules, NestedCrashFuzzTest,
+    ::testing::Values(NestedCrashParam{11, 5, 0, false},
+                      NestedCrashParam{11, 14, 5, false},
+                      NestedCrashParam{11, 33, 16, false},
+                      NestedCrashParam{22, 8, 3, false},
+                      NestedCrashParam{22, 27, 32, false},
+                      NestedCrashParam{11, 21, 4, true},
+                      NestedCrashParam{22, 41, 9, true},
+                      NestedCrashParam{33, 17, 7, true}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed) + "_op" +
+             std::to_string(info.param.crash_at_op) + "_touch" +
+             std::to_string(info.param.ondemand_touches) +
+             (info.param.quarantine_snapshot ? "_quar" : "");
     });
 
 }  // namespace
