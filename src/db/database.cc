@@ -62,6 +62,15 @@ void Database::SyncTxnPlaneMetrics() {
   metrics_.Set("locks.dependencies_recorded", ls.dependencies_recorded);
   metrics_.Set("checkpoint.pages_written",
                checkpointer_->total_pages_written());
+  if (backup_ != nullptr) {
+    const BackupManager::Stats bs = backup_->stats();
+    metrics_.Set("backup.backups_taken", bs.backups_taken);
+    metrics_.Set("backup.incremental_backups", bs.incremental_backups);
+    metrics_.Set("backup.pages_copied", bs.pages_copied);
+    metrics_.Set("backup.pages_skipped", bs.pages_skipped);
+    metrics_.Set("backup.log_records_captured", bs.log_records_captured);
+    metrics_.Set("backup.last_end_lsn", bs.last_end_lsn);
+  }
   if (recovery_ctl_ != nullptr) {
     const RecoveryStats rs = recovery_ctl_->stats();
     metrics_.Set("recovery.instant.pending", recovery_ctl_->remaining());
@@ -947,11 +956,21 @@ Status Database::EnableTransactions(const TxnPlaneOptions& options) {
       /*first_txn_id=*/1, versions_.get());
   checkpointer_ = std::make_unique<Checkpointer>(
       store_.get(), fut_.get(), wal_.get(), options.checkpointer_options);
+  backup_ = std::make_unique<BackupManager>(store_.get(), wal_.get(),
+                                            txn_manager_.get());
 
   wal_->Start();
   if (options.start_checkpointer) checkpointer_->Start();
   txn_enabled_ = true;
   return Status::OK();
+}
+
+Status Database::RestoreFromBackup(
+    const std::vector<const BackupImage*>& chain,
+    const RestoreOptions& options) {
+  if (!txn_enabled_) return Status::FailedPrecondition("transactions off");
+  return BackupManager::RestoreChain(chain, store_.get(), fut_.get(),
+                                     options);
 }
 
 StatusOr<int64_t> Database::CheckpointNow() {

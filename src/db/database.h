@@ -9,6 +9,7 @@
 #include <string>
 #include <vector>
 
+#include "backup/hot_backup.h"
 #include "cost/access_cost.h"
 #include "exec/aggregate.h"
 #include "exec/exec_context.h"
@@ -201,6 +202,15 @@ class Database : public IndexProvider {
   Wal* wal() { return wal_.get(); }
   FirstUpdateTable* first_update_table() { return fut_.get(); }
   StableMemory* stable_memory() { return stable_.get(); }
+  /// Hot backup driver (DESIGN.md §13); non-null once transactions are on.
+  BackupManager* backup() { return backup_.get(); }
+
+  /// Restores a backup chain into THIS database's record plane (which must
+  /// have transactions enabled, geometry matching the source, and no
+  /// traffic running). Thin wrapper over BackupManager::RestoreChain using
+  /// this database's store and first-update table.
+  Status RestoreFromBackup(const std::vector<const BackupImage*>& chain,
+                           const RestoreOptions& options = {});
 
   /// Forces one full checkpoint sweep.
   StatusOr<int64_t> CheckpointNow();
@@ -324,6 +334,7 @@ class Database : public IndexProvider {
   std::unique_ptr<FirstUpdateTable> fut_;
   std::unique_ptr<MvccManager> versions_;
   std::unique_ptr<TransactionManager> txn_manager_;
+  std::unique_ptr<BackupManager> backup_;
   std::unique_ptr<Checkpointer> checkpointer_;
   /// Instant recovery driver (declared after checkpointer_: its callback
   /// starts the checkpointer, so it must be destroyed first).

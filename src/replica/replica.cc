@@ -1,0 +1,130 @@
+#include "replica/replica.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/metrics.h"
+#include "txn/recoverable_store.h"
+
+namespace mmdb {
+
+Replica::Replica(Database* db) : db_(db) {}
+
+Status Replica::ApplyRecords(const std::vector<LogRecord>& batch,
+                             Lsn read_upto, Lsn shipped_horizon) {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (promoted_) {
+    return Status::FailedPrecondition("replica was promoted");
+  }
+  RecoverableStore* store = db_->recoverable_store();
+  for (const LogRecord& rec : batch) {
+    ++stats_.applied_records;
+    switch (rec.type) {
+      case LogRecordType::kBegin:
+        inflight_[rec.txn_id];  // note the txn; updates may follow
+        break;
+      case LogRecordType::kUpdate:
+        inflight_[rec.txn_id].push_back(
+            PendingUpdate{rec.record_id, rec.new_value, rec.lsn});
+        break;
+      case LogRecordType::kCommit:
+      case LogRecordType::kAbort: {
+        // Install the transaction atomically. Aborts take the same path:
+        // the primary logs compensation updates (old values, newest
+        // first) before the kAbort record, so replaying the full buffer
+        // in LSN order lands on the pre-image.
+        auto it = inflight_.find(rec.txn_id);
+        if (it != inflight_.end()) {
+          for (const PendingUpdate& upd : it->second) {
+            MMDB_RETURN_IF_ERROR(
+                store->ApplyRecovery(upd.record_id, upd.value, upd.lsn));
+          }
+          inflight_.erase(it);
+        }
+        ++stats_.applied_txns;
+        break;
+      }
+      case LogRecordType::kCheckpoint:
+        break;  // backup end fences et al. — no state change
+    }
+  }
+  // The shipper read [cursor, read_upto); everything sealed below
+  // read_upto is now installed, so that is the committed-prefix horizon
+  // reads may be served at. Buffered (unfinished) transactions are
+  // invisible by construction.
+  if (read_upto > applied_horizon_) applied_horizon_ = read_upto;
+  if (shipped_horizon > shipped_horizon_) shipped_horizon_ = shipped_horizon;
+  ++stats_.batches;
+  stats_.applied_horizon = applied_horizon_;
+  stats_.shipped_horizon = shipped_horizon_;
+  stats_.inflight_txns = static_cast<int64_t>(inflight_.size());
+  PublishMetricsLocked();
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> Replica::SnapshotRead(
+    const std::vector<int64_t>& record_ids, Lsn* horizon) {
+  std::unique_lock<std::mutex> lock(mu_);
+  RecoverableStore* store = db_->recoverable_store();
+  std::vector<std::string> values;
+  values.reserve(record_ids.size());
+  for (int64_t id : record_ids) {
+    std::string value;
+    MMDB_RETURN_IF_ERROR(store->ReadRecord(id, &value));
+    values.push_back(std::move(value));
+  }
+  if (horizon != nullptr) *horizon = applied_horizon_;
+  return values;
+}
+
+Lsn Replica::LagLsn() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return shipped_horizon_ > applied_horizon_
+             ? shipped_horizon_ - applied_horizon_
+             : 0;
+}
+
+Lsn Replica::AppliedHorizon() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return applied_horizon_;
+}
+
+Replica::Stats Replica::stats() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  return stats_;
+}
+
+Status Replica::Promote() {
+  std::unique_lock<std::mutex> lock(mu_);
+  if (promoted_) return Status::FailedPrecondition("already promoted");
+  // In-flight buffers are transactions whose commit never shipped; on the
+  // primary they were either rolled back or lost with it. The installed
+  // committed prefix stands as the new primary's state.
+  inflight_.clear();
+  stats_.inflight_txns = 0;
+  RecoverableStore* store = db_->recoverable_store();
+  // Page-LSN stamps came from the PRIMARY's WAL; under this database's
+  // own log they would overstate. Then persist the promoted image so the
+  // new primary restarts from it rather than from an empty snapshot.
+  store->ClearPageLsns();
+  FirstUpdateTable* fut = db_->first_update_table();
+  for (int64_t page : store->DirtyPages()) {
+    MMDB_RETURN_IF_ERROR(store->CheckpointPage(page, fut, nullptr));
+  }
+  if (fut != nullptr) fut->Clear();
+  promoted_ = true;
+  PublishMetricsLocked();
+  return Status::OK();
+}
+
+void Replica::PublishMetricsLocked() {
+  MetricsRegistry* metrics = db_->metrics();
+  metrics->Set("replica.applied_records", stats_.applied_records);
+  metrics->Set("replica.applied_txns", stats_.applied_txns);
+  metrics->Set("replica.horizon_lsn", applied_horizon_);
+  metrics->Set("replica.lag_lsn", shipped_horizon_ > applied_horizon_
+                                      ? shipped_horizon_ - applied_horizon_
+                                      : 0);
+}
+
+}  // namespace mmdb

@@ -40,6 +40,7 @@ StatusOr<Session*> Server::OpenSession(SessionOptions options) {
     return Status::Overloaded("session table full");
   }
   const int64_t id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.read_only) options.read_only = true;
   auto session =
       std::unique_ptr<Session>(new Session(this, id, options));
   Session* raw = session.get();

@@ -43,6 +43,10 @@ class Server {
     /// reassignment) keep the coarse table X lock. Off = PR 5 behavior,
     /// kept as the bench baseline.
     bool row_locks = true;
+    /// Force every session read-only regardless of its SessionOptions —
+    /// the admission mode of a server serving a log-shipping replica
+    /// (DESIGN.md §13): snapshot reads are offloaded, writes are refused.
+    bool read_only = false;
   };
 
   /// `db` is borrowed and must outlive the server.

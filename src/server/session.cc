@@ -408,6 +408,10 @@ StatusOr<std::string> Session::ReadRecord(int64_t record_id) {
 Status Session::UpdateRecord(int64_t record_id, const std::string& value) {
   Database* db = server_->database();
   std::lock_guard<std::mutex> lock(stmt_mu_);
+  if (options_.read_only) {
+    metrics_.Add("session.readonly_rejections", 1);
+    return Status::FailedPrecondition("session is read-only");
+  }
   MMDB_ASSIGN_OR_RETURN(TxnId txn, RecordTxnLocked());
   Status status = db->txn_manager()->Update(txn, record_id, value);
   metrics_.Add("session.record_updates", 1);
@@ -492,6 +496,10 @@ StatusOr<Database::SqlResult> Session::RunStatement(const std::string& sql) {
     return control;
   }
   const bool is_write = kw == "CREATE" || kw == "INSERT" || kw == "UPDATE";
+  if (is_write && options_.read_only) {
+    metrics_.Add("session.readonly_rejections", 1);
+    return Status::FailedPrecondition("session is read-only");
+  }
   Status locked = LockTablesLocked(sql, is_write);
   if (!locked.ok()) {
     metrics_.Add("session.errors", 1);

@@ -38,6 +38,11 @@ struct SessionOptions {
   /// When set, SELECT statements run as EXPLAIN ANALYZE: the result is
   /// still computed, and plan_text carries per-node actual run statistics.
   bool trace_plans = false;
+  /// Refuse every write (SQL CREATE/INSERT/UPDATE and record-plane
+  /// UpdateRecord) with kFailedPrecondition. A server fronting a
+  /// log-shipping replica forces this on (Server::Options::read_only):
+  /// the replica's state advances only through shipped records.
+  bool read_only = false;
 };
 
 /// One client's connection state (DESIGN.md §10): the current transaction,

@@ -100,12 +100,14 @@ Status RecoveryController::EnsureRecovered(int64_t record_id,
     std::this_thread::sleep_for(options_.replay_latency);
   }
   for (int32_t idx : chain.redo) {
-    MMDB_RETURN_IF_ERROR(store_->ApplyRecovery(
-        record_id, plan_.log[static_cast<size_t>(idx)].new_value));
+    const LogRecord& rec = plan_.log[static_cast<size_t>(idx)];
+    MMDB_RETURN_IF_ERROR(
+        store_->ApplyRecovery(record_id, rec.new_value, rec.lsn));
   }
   if (chain.undo >= 0) {
-    MMDB_RETURN_IF_ERROR(store_->ApplyRecovery(
-        record_id, plan_.log[static_cast<size_t>(chain.undo)].old_value));
+    const LogRecord& rec = plan_.log[static_cast<size_t>(chain.undo)];
+    MMDB_RETURN_IF_ERROR(
+        store_->ApplyRecovery(record_id, rec.old_value, rec.lsn));
   }
   // Retire the chain: the index shrinks as recovery proceeds, so a long
   // serving-while-sweeping window does not hold the whole log's values
@@ -176,6 +178,16 @@ Status RecoveryController::FinishSweep() {
   // during this loop can lose redo.
   std::unordered_set<int64_t> to_checkpoint(plan_.quarantined_pages.begin(),
                                             plan_.quarantined_pages.end());
+  // Healed quarantined pages no longer match any earlier backup of the
+  // same page (they were zero-filled and rebuilt from the log), so raise
+  // their page LSN to the log's end: an incremental backup taken after
+  // this restart must copy them even when no replay chain touched them.
+  if (!plan_.log.empty()) {
+    const Lsn heal_lsn = plan_.log.back().lsn;
+    for (int64_t page : plan_.quarantined_pages) {
+      store_->StampPageLsn(page, heal_lsn);
+    }
+  }
   for (int64_t page : store_->DirtyPages()) to_checkpoint.insert(page);
   for (int64_t page : to_checkpoint) {
     if (stop_.load(std::memory_order_acquire)) {

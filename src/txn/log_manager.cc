@@ -57,6 +57,10 @@ void GroupCommitLog::CrashStop() {
     stripe->commit_waiting = false;
     stripe->force_upto = kInvalidLsn;
   }
+  // Records that never reached a device are gone; they no longer hold the
+  // durable horizon back. ship_log_ mirrors the devices and survives.
+  std::unique_lock<std::mutex> ship(ship_mu_);
+  inflight_.clear();
 }
 
 Lsn GroupCommitLog::Append(LogRecord rec) {
@@ -71,7 +75,15 @@ Lsn GroupCommitLog::AppendCommit(LogRecord rec,
 Lsn GroupCommitLog::AppendInternal(LogRecord rec, bool is_commit,
                                    const std::vector<TxnId>& deps) {
   const int64_t size = rec.SerializedSize();
-  const Lsn lsn = next_lsn_.fetch_add(size);
+  Lsn lsn;
+  {
+    // LSN assignment and inflight registration are atomic together, so the
+    // durable-horizon scan can never miss a record that has an LSN but is
+    // not yet visible in any stripe's pending queue.
+    std::unique_lock<std::mutex> ship(ship_mu_);
+    lsn = next_lsn_.fetch_add(size);
+    inflight_.insert(lsn);
+  }
   rec.lsn = lsn;
   logical_bytes_.fetch_add(size);
 
@@ -87,10 +99,16 @@ Lsn GroupCommitLog::AppendInternal(LogRecord rec, bool is_commit,
     pending.is_commit = is_commit;
     pending.txn = rec.txn_id;
     pending.deps = deps;
+    pending.record = std::move(rec);
     stripe.pending.push_back(std::move(pending));
     if (is_commit && !stripe.commit_waiting) {
       stripe.commit_waiting = true;
       stripe.oldest_commit = std::chrono::steady_clock::now();
+    }
+    {
+      std::unique_lock<std::mutex> ship(ship_mu_);
+      auto it = inflight_.find(lsn);
+      if (it != inflight_.end()) inflight_.erase(it);  // CrashStop may clear
     }
   }
   stripe.cv.notify_all();
@@ -116,6 +134,7 @@ void GroupCommitLog::AccountFlushed(Stripe* stripe, int64_t n,
                                     int64_t* commits_in_write) {
   // Caller holds stripe->mu.
   std::vector<TxnId> newly_durable;
+  std::vector<LogRecord> newly_shipped;
   while (n > 0) {
     MMDB_CHECK(!stripe->pending.empty());
     PendingRecord& rec = stripe->pending.front();
@@ -127,7 +146,15 @@ void GroupCommitLog::AccountFlushed(Stripe* stripe, int64_t n,
         newly_durable.push_back(rec.txn);
         ++*commits_in_write;
       }
+      newly_shipped.push_back(std::move(rec.record));
       stripe->pending.pop_front();
+    }
+  }
+  if (!newly_shipped.empty()) {
+    std::unique_lock<std::mutex> ship(ship_mu_);
+    for (LogRecord& r : newly_shipped) {
+      const Lsn lsn = r.lsn;
+      ship_log_.emplace(lsn, std::move(r));
     }
   }
   {
@@ -306,6 +333,42 @@ std::vector<LogRecord> GroupCommitLog::ReadAllForRecovery(
   std::sort(all.begin(), all.end(),
             [](const LogRecord& a, const LogRecord& b) { return a.lsn < b.lsn; });
   return all;
+}
+
+Lsn GroupCommitLog::DurableHorizon() const {
+  // Cut order matters: take the ship_mu_ snapshot (inflight records + the
+  // LSN counter) FIRST, then scan the stripes. Any record assigned before
+  // the cut is either in inflight_ (seen here), or already stripe-pending
+  // (seen by the scan below unless it became durable or was dropped — both
+  // of which stop constraining the horizon). Any record assigned after the
+  // cut has lsn >= `frontier`. Never hold ship_mu_ across a stripe lock
+  // (appends take stripe.mu then ship_mu_).
+  Lsn horizon;
+  {
+    std::unique_lock<std::mutex> ship(ship_mu_);
+    horizon = next_lsn_.load();
+    if (!inflight_.empty()) horizon = std::min(horizon, *inflight_.begin());
+  }
+  for (const auto& stripe : stripes_) {
+    std::unique_lock<std::mutex> lock(stripe->mu);
+    // Stripe queues are not LSN-sorted (the counter fetch and the queue
+    // insert race across threads), so scan them all — the front is not
+    // necessarily the minimum.
+    for (const PendingRecord& rec : stripe->pending) {
+      horizon = std::min(horizon, rec.lsn);
+    }
+  }
+  return horizon;
+}
+
+std::vector<LogRecord> GroupCommitLog::ReadDurableRange(Lsn from, Lsn upto) {
+  std::vector<LogRecord> out;
+  std::unique_lock<std::mutex> ship(ship_mu_);
+  for (auto it = ship_log_.lower_bound(from);
+       it != ship_log_.end() && it->first < upto; ++it) {
+    out.push_back(it->second);
+  }
+  return out;
 }
 
 Wal::Stats GroupCommitLog::stats() const {

@@ -5,8 +5,10 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <unordered_set>
 #include <vector>
@@ -84,6 +86,22 @@ class Wal {
   virtual std::vector<LogRecord> ReadAllForRecovery(
       LogReadStats* stats = nullptr) = 0;
 
+  /// Log shipping (backup capture, read replicas). The durable horizon is
+  /// an LSN H such that every record with lsn < H is either durable on a
+  /// log device or permanently gone (dropped by a crash) — no record below
+  /// H is still in flight in a volatile buffer. A WAL that does not
+  /// support shipping returns 0 (nothing readable below the horizon).
+  virtual Lsn DurableHorizon() const { return 0; }
+
+  /// The durable records with `from <= lsn < upto`, in LSN order. `upto`
+  /// must not exceed DurableHorizon() at the time of the call; gaps are
+  /// possible (records lost to a crash before reaching the device).
+  virtual std::vector<LogRecord> ReadDurableRange(Lsn from, Lsn upto) {
+    (void)from;
+    (void)upto;
+    return {};
+  }
+
   virtual Stats stats() const = 0;
 };
 
@@ -121,6 +139,8 @@ class GroupCommitLog : public Wal {
   bool IsCommitDurable(TxnId txn) const;
   std::vector<LogRecord> ReadAllForRecovery(
       LogReadStats* stats = nullptr) override;
+  Lsn DurableHorizon() const override;
+  std::vector<LogRecord> ReadDurableRange(Lsn from, Lsn upto) override;
   Stats stats() const override;
 
   int num_stripes() const { return static_cast<int>(stripes_.size()); }
@@ -132,6 +152,9 @@ class GroupCommitLog : public Wal {
     bool is_commit = false;
     TxnId txn = kInvalidTxn;
     std::vector<TxnId> deps;
+    /// Retained until the bytes are durable, then moved into ship_log_ so
+    /// log shipping can read the record back without touching the device.
+    LogRecord record;
   };
 
   struct Stripe {
@@ -174,6 +197,15 @@ class GroupCommitLog : public Wal {
   int64_t commit_count_ = 0;
   int64_t writes_with_commits_ = 0;
   int64_t commits_grouped_ = 0;
+
+  /// Shipping state. inflight_ holds LSNs assigned but not yet enqueued on
+  /// a stripe (the window between next_lsn_.fetch_add and pending
+  /// insertion), so DurableHorizon never reads past a record that exists
+  /// but is invisible to the stripe scan. ship_log_ mirrors what the
+  /// devices durably hold, keyed by LSN.
+  mutable std::mutex ship_mu_;
+  std::multiset<Lsn> inflight_;
+  std::map<Lsn, LogRecord> ship_log_;
 };
 
 }  // namespace mmdb

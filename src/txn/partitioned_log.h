@@ -32,6 +32,10 @@ class PartitionedLogManager : public Wal {
       LogReadStats* stats = nullptr) override {
     return log_->ReadAllForRecovery(stats);
   }
+  Lsn DurableHorizon() const override { return log_->DurableHorizon(); }
+  std::vector<LogRecord> ReadDurableRange(Lsn from, Lsn upto) override {
+    return log_->ReadDurableRange(from, upto);
+  }
   Stats stats() const override { return log_->stats(); }
 
   /// Attaches a fault injector to every partition device (entity = the

@@ -234,7 +234,7 @@ Status RecoverableStore::WriteRecord(int64_t record_id, std::string_view value,
 }
 
 Status RecoverableStore::ApplyRecovery(int64_t record_id,
-                                       std::string_view value) {
+                                       std::string_view value, Lsn lsn) {
   if (record_id < 0 || record_id >= num_records_) {
     return Status::OutOfRange("record id");
   }
@@ -246,7 +246,56 @@ Status RecoverableStore::ApplyRecovery(int64_t record_id,
   char* dst = RecordPtr(record_id);
   std::memset(dst, 0, static_cast<size_t>(record_size_));
   std::memcpy(dst, value.data(), value.size());
-  dirty_pages_.insert(PageOf(record_id));
+  const int64_t page = PageOf(record_id);
+  dirty_pages_.insert(page);
+  if (lsn != kInvalidLsn) {
+    last_update_lsn_[static_cast<size_t>(page)] =
+        std::max(last_update_lsn_[static_cast<size_t>(page)], lsn);
+  }
+  return Status::OK();
+}
+
+Lsn RecoverableStore::PageLsn(int64_t page) const {
+  MMDB_DCHECK(page >= 0 && page < num_pages_);
+  std::unique_lock<std::mutex> lock(mu_);
+  return last_update_lsn_[static_cast<size_t>(page)];
+}
+
+void RecoverableStore::StampPageLsn(int64_t page, Lsn lsn) {
+  MMDB_DCHECK(page >= 0 && page < num_pages_);
+  if (lsn == kInvalidLsn) return;
+  std::unique_lock<std::mutex> lock(mu_);
+  last_update_lsn_[static_cast<size_t>(page)] =
+      std::max(last_update_lsn_[static_cast<size_t>(page)], lsn);
+}
+
+void RecoverableStore::ClearPageLsns() {
+  std::unique_lock<std::mutex> lock(mu_);
+  std::fill(last_update_lsn_.begin(), last_update_lsn_.end(), kInvalidLsn);
+}
+
+Status RecoverableStore::CopyPage(int64_t page, std::string* out,
+                                  Lsn* page_lsn) const {
+  if (page < 0 || page >= num_pages_) return Status::OutOfRange("page");
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!loaded_) return Status::FailedPrecondition("store is crashed");
+  out->assign(memory_.data() + page * page_size_,
+              static_cast<size_t>(page_size_));
+  if (page_lsn != nullptr) {
+    *page_lsn = last_update_lsn_[static_cast<size_t>(page)];
+  }
+  return Status::OK();
+}
+
+Status RecoverableStore::InstallPage(int64_t page, std::string_view bytes) {
+  if (page < 0 || page >= num_pages_) return Status::OutOfRange("page");
+  if (static_cast<int64_t>(bytes.size()) != page_size_) {
+    return Status::InvalidArgument("backup page size mismatch");
+  }
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!loaded_) return Status::FailedPrecondition("store is crashed");
+  std::memcpy(memory_.data() + page * page_size_, bytes.data(), bytes.size());
+  dirty_pages_.insert(page);
   return Status::OK();
 }
 

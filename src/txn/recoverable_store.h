@@ -115,6 +115,7 @@ class RecoverableStore {
   int64_t num_records() const { return num_records_; }
   int32_t record_size() const { return record_size_; }
   int64_t num_pages() const { return num_pages_; }
+  int64_t page_size() const { return page_size_; }
   int32_t records_per_page() const { return records_per_page_; }
   int64_t PageOf(int64_t record_id) const {
     return record_id / records_per_page_;
@@ -148,7 +149,37 @@ class RecoverableStore {
   /// guard's own replay must not recurse), never enters the first-update
   /// table and carries no WAL fence (the value comes FROM the durable log).
   /// Marks the page dirty so the end-of-recovery checkpoint persists it.
-  Status ApplyRecovery(int64_t record_id, std::string_view value);
+  /// When `lsn` is given it raises the page LSN, so incremental backups
+  /// taken after recovery still see the page as changed (the log record it
+  /// came from is durable, so no WAL fence is introduced).
+  Status ApplyRecovery(int64_t record_id, std::string_view value,
+                       Lsn lsn = kInvalidLsn);
+
+  /// Page LSN: the highest log LSN whose update is reflected in the page's
+  /// in-memory image. Volatile and meaningful only within this store's own
+  /// WAL epoch — restore/promote must ClearPageLsns() before serving under
+  /// a different log. kInvalidLsn when the page was never stamped.
+  Lsn PageLsn(int64_t page) const;
+
+  /// Raises the page LSN to at least `lsn`. Recovery uses it to cover
+  /// pages it healed without replaying (quarantined pages rebuilt by the
+  /// sweep's final checkpoint); the replica uses it while applying shipped
+  /// records.
+  void StampPageLsn(int64_t page, Lsn lsn);
+
+  /// Drops every page-LSN stamp. Required when an image produced under one
+  /// WAL epoch starts serving under another (backup restore, replica
+  /// promotion): a foreign LSN would overstate against the new log.
+  void ClearPageLsns();
+
+  /// Atomic copy of one page's bytes and its page LSN (hot backup reads
+  /// the live image page by page; cross-page consistency is repaired by
+  /// the captured WAL window at restore time).
+  Status CopyPage(int64_t page, std::string* out, Lsn* page_lsn) const;
+
+  /// Overwrites a whole page of the memory image from a backup, marking it
+  /// dirty so the post-restore checkpoint persists it.
+  Status InstallPage(int64_t page, std::string_view bytes);
 
   /// Pages currently dirty (updated since their last checkpoint).
   std::vector<int64_t> DirtyPages() const;

@@ -180,8 +180,8 @@ StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
       if (options.replay_latency.count() > 0) {
         std::this_thread::sleep_for(options.replay_latency);
       }
-      MMDB_RETURN_IF_ERROR(
-          store->ApplyRecovery(record_id, state.loser_after->old_value));
+      MMDB_RETURN_IF_ERROR(store->ApplyRecovery(
+          record_id, state.loser_after->old_value, state.loser_after->lsn));
       ++stats.undo_applied;
     } else if (state.winner != nullptr) {
       const int64_t page = store->PageOf(record_id);
@@ -194,9 +194,21 @@ StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
       if (options.replay_latency.count() > 0) {
         std::this_thread::sleep_for(options.replay_latency);
       }
-      MMDB_RETURN_IF_ERROR(
-          store->ApplyRecovery(record_id, state.winner->new_value));
+      MMDB_RETURN_IF_ERROR(store->ApplyRecovery(
+          record_id, state.winner->new_value, state.winner->lsn));
       ++stats.redo_applied;
+    }
+  }
+
+  // Quarantined pages were rebuilt (or zero-filled) from the log rather
+  // than loaded from the snapshot. Stamp them with the log's end LSN so an
+  // incremental backup taken after this restart still treats them as
+  // changed — their content no longer matches any earlier backup of the
+  // same page.
+  if (!analysis.quarantined.empty() && !analysis.log.empty()) {
+    const Lsn heal_lsn = analysis.log.back().lsn;
+    for (int64_t page : analysis.quarantined) {
+      store->StampPageLsn(page, heal_lsn);
     }
   }
 
@@ -228,6 +240,55 @@ StatusOr<RecoveryStats> RecoverStore(RecoverableStore* store, Wal* wal,
       std::chrono::duration_cast<std::chrono::duration<double>>(t1 - t0)
           .count();
   return stats;
+}
+
+StatusOr<std::unordered_map<int64_t, ResolvedUpdate>> ResolveLogWindow(
+    const std::vector<LogRecord>& log, Lsn cut_lsn) {
+  // The same §5 rule AnalyzeLog applies at restart, over an arbitrary
+  // window and with the winner set truncated at `cut_lsn`: a transaction
+  // whose commit/abort record lies at or beyond the cut never happened as
+  // far as the restored image is concerned, so its updates roll back to
+  // their old values.
+  std::unordered_set<TxnId> winners;
+  for (const LogRecord& rec : log) {
+    if (rec.lsn >= cut_lsn) break;  // log is LSN-sorted
+    if (rec.type == LogRecordType::kCommit ||
+        rec.type == LogRecordType::kAbort) {
+      winners.insert(rec.txn_id);
+    }
+  }
+  struct State {
+    const LogRecord* winner = nullptr;
+    const LogRecord* loser_after = nullptr;
+  };
+  std::unordered_map<int64_t, State> by_record;
+  for (const LogRecord& rec : log) {
+    if (rec.lsn >= cut_lsn) break;
+    if (rec.type != LogRecordType::kUpdate) continue;
+    State& state = by_record[rec.record_id];
+    if (winners.count(rec.txn_id)) {
+      state.winner = &rec;
+      state.loser_after = nullptr;
+    } else if (state.loser_after == nullptr) {
+      if (rec.old_value.empty() && !rec.new_value.empty()) {
+        return Status::Internal("loser update lacks undo image");
+      }
+      state.loser_after = &rec;
+    }
+  }
+  std::unordered_map<int64_t, ResolvedUpdate> out;
+  out.reserve(by_record.size());
+  for (const auto& [record_id, state] : by_record) {
+    if (state.loser_after != nullptr) {
+      out.emplace(record_id,
+                  ResolvedUpdate{state.loser_after->old_value,
+                                 state.loser_after->lsn});
+    } else if (state.winner != nullptr) {
+      out.emplace(record_id, ResolvedUpdate{state.winner->new_value,
+                                            state.winner->lsn});
+    }
+  }
+  return out;
 }
 
 StatusOr<InstantRecoveryPlan> AnalyzeInstantRecovery(RecoverableStore* store,

@@ -3,6 +3,7 @@
 
 #include <chrono>
 #include <limits>
+#include <string>
 #include <unordered_map>
 #include <vector>
 
@@ -154,6 +155,23 @@ struct InstantRecoveryPlan {
   /// sweep counters accumulate in the controller afterwards.
   RecoveryStats stats;
 };
+
+/// One record's resolved endpoint from a log window (ResolveLogWindow).
+struct ResolvedUpdate {
+  std::string value;  ///< the bytes the record must hold
+  Lsn lsn;            ///< the update record the value came from
+};
+
+/// §5's winner/loser resolution over an arbitrary LSN-sorted log slice,
+/// truncated at `cut_lsn` (exclusive): transactions whose commit/abort
+/// record lies at or past the cut are losers, so their updates resolve to
+/// the old value of the earliest post-winner loser update. Backup restore
+/// applies the result over the copied page image (full-window re-apply is
+/// idempotent: the image never holds state newer than the window's latest
+/// winner); point-in-time restore picks `cut_lsn` just past the target
+/// commit record.
+StatusOr<std::unordered_map<int64_t, ResolvedUpdate>> ResolveLogWindow(
+    const std::vector<LogRecord>& log, Lsn cut_lsn);
 
 /// Instant recovery's ANALYSIS phase: snapshot load + one scan of the
 /// merged log, producing the per-record log index. Blocks only for the

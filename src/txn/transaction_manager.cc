@@ -25,9 +25,11 @@ TxnId TransactionManager::Begin() {
   LogRecord rec;
   rec.type = LogRecordType::kBegin;
   rec.txn_id = txn;
-  wal_->Append(std::move(rec));
+  const Lsn begin_lsn = wal_->Append(std::move(rec));
   std::unique_lock<std::mutex> lock(mu_);
-  active_[txn] = TxnState{};
+  TxnState state;
+  state.begin_lsn = begin_lsn;
+  active_[txn] = std::move(state);
   ++stats_.begun;
   return txn;
 }
@@ -39,13 +41,14 @@ TxnId TransactionManager::BeginSnapshotTxn() {
   LogRecord rec;
   rec.type = LogRecordType::kBegin;
   rec.txn_id = txn;
-  wal_->Append(std::move(rec));
+  const Lsn begin_lsn = wal_->Append(std::move(rec));
   // Pin the read timestamp after the begin record so the snapshot is at
   // least as fresh as everything this txn could have observed beforehand.
   const uint64_t read_ts = versions_->BeginSnapshot();
   std::unique_lock<std::mutex> lock(mu_);
   TxnState state;
   state.mode = TxnMode::kSnapshot;
+  state.begin_lsn = begin_lsn;
   state.read_ts = read_ts;
   active_[txn] = std::move(state);
   ++stats_.begun;
@@ -272,6 +275,18 @@ Status TransactionManager::Abort(TxnId txn) {
 TransactionManager::Stats TransactionManager::stats() const {
   std::unique_lock<std::mutex> lock(mu_);
   return stats_;
+}
+
+Lsn TransactionManager::OldestActiveBeginLsn() const {
+  std::unique_lock<std::mutex> lock(mu_);
+  Lsn oldest = kInvalidLsn;
+  for (const auto& [txn, state] : active_) {
+    if (state.begin_lsn == kInvalidLsn) continue;
+    if (oldest == kInvalidLsn || state.begin_lsn < oldest) {
+      oldest = state.begin_lsn;
+    }
+  }
+  return oldest;
 }
 
 }  // namespace mmdb

@@ -97,6 +97,13 @@ class TransactionManager {
   };
   Stats stats() const;
 
+  /// Begin-record LSN of the oldest still-active transaction, or
+  /// kInvalidLsn when none is in flight. A hot backup starts its log
+  /// capture window here: every update a transaction active during the
+  /// page copy could have made carries an LSN at or after its begin
+  /// record.
+  Lsn OldestActiveBeginLsn() const;
+
   RecoverableStore* store() const { return store_; }
   Wal* wal() const { return wal_; }
   MvccManager* versions() const { return versions_; }
@@ -109,6 +116,7 @@ class TransactionManager {
   };
   struct TxnState {
     TxnMode mode = TxnMode::kTwoPhaseLocking;
+    Lsn begin_lsn = kInvalidLsn;  ///< LSN of the kBegin record
     uint64_t read_ts = 0;  ///< pinned snapshot (kSnapshot mode only)
     std::vector<TxnId> deps;
     std::vector<UndoEntry> undo;

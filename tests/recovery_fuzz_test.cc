@@ -6,12 +6,16 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstring>
 #include <map>
 
 #include "common/check.h"
 #include "common/random.h"
+#include "db/database.h"
+#include "replica/log_shipper.h"
+#include "replica/replica.h"
 #include "sim/fault_injector.h"
 #include "txn/checkpoint.h"
 #include "txn/instant_recovery.h"
@@ -514,6 +518,152 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(info.param.crash_at_op) + "_touch" +
              std::to_string(info.param.ondemand_touches) +
              (info.param.quarantine_snapshot ? "_quar" : "");
+    });
+
+// ---------------------------------------------------------------------------
+// Log-shipping crash schedules (DESIGN.md §13): random banking transfers on
+// a primary, shipped to a replica at random points, with the primary killed
+// and recovered mid-stream several times. Invariants, audited after every
+// ship and every recovery:
+//   * the replica NEVER exposes non-committed-prefix state — transfers are
+//     atomic, so the replica's total balance always equals the granted
+//     total (a torn or uncommitted capture would break conservation);
+//   * the replica's applied horizon is monotone and lag is non-negative;
+//   * after a final catch-up the replica equals the recovered primary byte
+//     for byte, across every crash generation.
+// ---------------------------------------------------------------------------
+
+struct ShipCrashParam {
+  uint64_t seed;
+  int txns_per_generation;
+  int generations;
+};
+
+class LogShipCrashFuzzTest : public ::testing::TestWithParam<ShipCrashParam> {
+};
+
+TEST_P(LogShipCrashFuzzTest, ReplicaTracksCommittedPrefixAcrossCrashes) {
+  const ShipCrashParam param = GetParam();
+  Random rng(param.seed);
+
+  Database::TxnPlaneOptions topts;
+  topts.num_records = kAccounts;
+  topts.record_size = kBalanceSize;
+  topts.log_write_latency = microseconds(0);
+  Database primary, standby;
+  ASSERT_TRUE(primary.EnableTransactions(topts).ok());
+  ASSERT_TRUE(standby.EnableTransactions(topts).ok());
+  Replica replica(&standby);
+  LogShipper shipper(primary.wal(), &replica);
+
+  auto replica_state = [&] {
+    std::map<int64_t, std::string> out;
+    for (int64_t a = 0; a < kAccounts; ++a) {
+      std::string v;
+      EXPECT_TRUE(standby.recoverable_store()->ReadRecord(a, &v).ok());
+      out[a] = v;
+    }
+    return out;
+  };
+
+  // The opening grant is a logged transaction, so it ships like any other.
+  std::map<int64_t, std::string> reference;
+  {
+    TransactionManager* tm = primary.txn_manager();
+    const TxnId txn = tm->Begin();
+    for (int64_t a = 0; a < kAccounts; ++a) {
+      ASSERT_TRUE(tm->Update(txn, a, Balance(100)).ok());
+      reference[a] = Balance(100);
+    }
+    ASSERT_TRUE(tm->Commit(txn).ok());
+  }
+  const int64_t granted_total = TotalOf(reference);
+  ASSERT_TRUE(shipper.CatchUp().ok());
+  EXPECT_EQ(TotalOf(replica_state()), granted_total);
+
+  Lsn prev_applied = replica.AppliedHorizon();
+  auto audit_replica = [&] {
+    EXPECT_EQ(TotalOf(replica_state()), granted_total)
+        << "replica exposed a non-atomic / uncommitted cut";
+    const Lsn applied = replica.AppliedHorizon();
+    EXPECT_GE(applied, prev_applied) << "applied horizon went backwards";
+    prev_applied = applied;
+    EXPECT_GE(replica.LagLsn(), 0);
+  };
+
+  for (int gen = 0; gen < param.generations; ++gen) {
+    bool abandoned = false;
+    for (int t = 0; t < param.txns_per_generation; ++t) {
+      TransactionManager* tm = primary.txn_manager();
+      const int64_t from = int64_t(rng.Uniform(kAccounts));
+      int64_t to = int64_t(rng.Uniform(kAccounts));
+      if (to == from) to = (to + 1) % kAccounts;
+      const int64_t amount = 1 + int64_t(rng.Uniform(10));
+      long long bal_from = 0, bal_to = 0;
+      std::sscanf(reference[from].c_str(), "%lld", &bal_from);
+      std::sscanf(reference[to].c_str(), "%lld", &bal_to);
+      const TxnId txn = tm->Begin();
+      ASSERT_TRUE(tm->Update(txn, std::min(from, to),
+                             from < to ? Balance(bal_from - amount)
+                                       : Balance(bal_to + amount))
+                      .ok());
+      ASSERT_TRUE(tm->Update(txn, std::max(from, to),
+                             from < to ? Balance(bal_to + amount)
+                                       : Balance(bal_from - amount))
+                      .ok());
+      const double dice = rng.NextDouble();
+      if (dice < 0.7) {
+        ASSERT_TRUE(tm->Commit(txn).ok());
+        reference[from] = Balance(bal_from - amount);
+        reference[to] = Balance(bal_to + amount);
+      } else if (dice < 0.9) {
+        ASSERT_TRUE(tm->Abort(txn).ok());
+      } else {
+        // Abandon in flight right before this generation's crash: its
+        // durable updates ship, but no commit ever will — the replica
+        // must keep them buffered, never applied.
+        abandoned = true;
+        break;
+      }
+      if (rng.Bernoulli(0.3)) {
+        ASSERT_TRUE(shipper.ShipOnce().ok());
+        audit_replica();
+      }
+      if (rng.Bernoulli(0.1)) {
+        ASSERT_TRUE(primary.CheckpointNow().ok());
+      }
+    }
+    if (!abandoned && rng.Bernoulli(0.5)) {
+      ASSERT_TRUE(shipper.ShipOnce().ok());
+      audit_replica();
+    }
+
+    // CRASH the primary mid-stream; the replica keeps serving throughout.
+    ASSERT_TRUE(primary.Crash().ok());
+    audit_replica();
+    auto stats = primary.Recover();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    // Recovery rolled losers back on the primary; their shipped updates
+    // sit in replica buffers, unapplied. Conservation must still hold.
+    ASSERT_TRUE(shipper.CatchUp().ok());
+    audit_replica();
+
+    // Differential audit: replica == recovered primary, byte for byte.
+    for (int64_t a = 0; a < kAccounts; ++a) {
+      std::string pv, rv;
+      ASSERT_TRUE(primary.recoverable_store()->ReadRecord(a, &pv).ok());
+      ASSERT_TRUE(standby.recoverable_store()->ReadRecord(a, &rv).ok());
+      EXPECT_EQ(pv, rv) << "generation " << gen << ", account " << a;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShipCrashSchedules, LogShipCrashFuzzTest,
+    ::testing::Values(ShipCrashParam{101, 40, 3}, ShipCrashParam{202, 40, 3},
+                      ShipCrashParam{303, 80, 2}, ShipCrashParam{404, 25, 4}),
+    [](const auto& info) {
+      return "seed" + std::to_string(info.param.seed);
     });
 
 }  // namespace
