@@ -1,0 +1,466 @@
+// Vectorized vs tuple-at-a-time execution (EXPERIMENTS.md §S9).
+//
+// The §3 operators charge a simulated cost clock; DESIGN.md §14's batch
+// kernels charge the SAME totals and produce the SAME bytes — what they
+// change is real time. This bench measures that claim and machine-checks
+// it:
+//  * scan -> filter -> hash-aggregate: the vector pipeline must be at
+//    least 2x faster than the Volcano pipeline (1.2x under --smoke, where
+//    the inputs are small enough for noise to matter) with byte-identical
+//    results and identical cost-clock counters;
+//  * the copy-free NextRef pull path must allocate strictly less than the
+//    copying Next path on the same scan->filter->project drain;
+//  * VectorHashJoin must match the tuple hybrid join byte-for-byte;
+//    the cache-partitioned RadixHashJoin and CacheConsciousSort must match
+//    their oracles;
+//  * a vectorized plan run with wall-clock collection on must publish
+//    exec.join.wall_ns / exec.agg.wall_ns / exec.filter.wall_ns.
+//
+// Usage: bench_vector_exec [--smoke] [--json=PATH]
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <functional>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "exec/batch.h"
+#include "exec/operator.h"
+#include "optimizer/executor.h"
+#include "optimizer/optimizer.h"
+#include "storage/datagen.h"
+
+// ---- Global allocation counter (satellite: Row copy churn). -----------
+// Counts every operator new; the NextRef-vs-Next comparison reads deltas.
+// GCC assumes the replaced operator new pairs with the replaced delete and
+// warns about the malloc/free mix inside them; the pairing here is correct.
+#pragma GCC diagnostic ignored "-Wmismatched-new-delete"
+namespace {
+std::atomic<uint64_t> g_allocs{0};
+}  // namespace
+
+void* operator new(std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t n) {
+  g_allocs.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(n)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace mmdb {
+namespace {
+
+struct BenchConfig {
+  bool smoke = false;
+  int repeats = 3;  // best-of to tame scheduler noise
+  int64_t pipeline_tuples = 1'000'000;
+  int64_t join_build = 50'000;
+  int64_t join_probe = 150'000;
+  int64_t sort_tuples = 400'000;
+  double required_speedup = 2.0;
+};
+BenchConfig cfg;
+
+struct JsonEntry {
+  std::string key;
+  std::string value;  // already-rendered JSON
+};
+std::vector<JsonEntry> json_entries;
+
+void JsonNum(const std::string& key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  json_entries.push_back({key, buf});
+}
+void JsonInt(const std::string& key, int64_t v) {
+  json_entries.push_back({key, std::to_string(v)});
+}
+
+double WallSeconds(const std::function<void()>& fn) {
+  double best = 1e300;
+  for (int rep = 0; rep < cfg.repeats; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    fn();
+    const std::chrono::duration<double> dt =
+        std::chrono::steady_clock::now() - start;
+    if (dt.count() < best) best = dt.count();
+  }
+  return best;
+}
+
+std::string RowBytes(const Relation& rel) {
+  std::string out;
+  for (const Row& row : rel.rows()) {
+    out += RowToString(row);
+    out += '\n';
+  }
+  return out;
+}
+
+// ---- scan -> filter -> hash-aggregate, tuple vs vector. ----------------
+
+void PipelineSection() {
+  GenOptions opts;
+  opts.num_tuples = cfg.pipeline_tuples;
+  opts.tuple_width = 64;
+  opts.distribution = KeyDistribution::kUniform;
+  opts.key_range = 1'000;
+  opts.seed = 7;
+  const Relation rel = MakeKeyedRelation(opts);
+  const Schema& schema = rel.schema();
+
+  Predicate pred;
+  pred.table = "t";
+  pred.column = "payload";
+  pred.op = CmpOp::kLt;
+  pred.literal = Value{cfg.pipeline_tuples / 2};
+  const int pred_idx = 1;  // payload
+
+  AggregateSpec agg;
+  agg.group_by = {0};
+  agg.aggregates = {{AggFn::kCount, 0, "cnt"},
+                    {AggFn::kSum, 1, "sum_p"},
+                    {AggFn::kMax, 1, "max_p"}};
+
+  std::string tuple_bytes, vector_bytes;
+  CostCounters tuple_counters, vector_counters;
+
+  const double tuple_wall = WallSeconds([&] {
+    ExecEnv env(1 << 20);
+    MemScan* scan = new MemScan(&rel);
+    Filter filter(std::unique_ptr<Operator>(scan),
+                  [&](const Row& row) {
+                    return EvalPredicate(pred, row, pred_idx);
+                  },
+                  &env.clock);
+    auto filtered = Materialize(&filter);
+    MMDB_CHECK(filtered.ok());
+    auto out = HashAggregate(*filtered, agg, &env.ctx);
+    MMDB_CHECK(out.ok());
+    tuple_bytes = RowBytes(*out);
+    tuple_counters = env.clock.counters();
+  });
+
+  const double vector_wall = WallSeconds([&] {
+    ExecEnv env(1 << 20);
+    // Scan+project fusion: the pipeline reads only (key, payload), so the
+    // cold pad column is never transposed out of row storage.
+    BatchFilter filter(
+        std::make_unique<BatchMemScan>(&rel, 0, -1, std::vector<int>{0, 1}),
+        {pred}, {pred_idx}, &env.clock);
+    auto out = BatchHashAggregate(&filter, agg, &env.ctx);
+    MMDB_CHECK(out.ok());
+    vector_bytes = RowBytes(*out);
+    vector_counters = env.clock.counters();
+  });
+
+  const double speedup = tuple_wall / vector_wall;
+  std::printf("== scan -> filter(payload<%lld) -> agg, %lld tuples ==\n",
+              static_cast<long long>(cfg.pipeline_tuples / 2),
+              static_cast<long long>(cfg.pipeline_tuples));
+  std::printf("%-8s %12s\n", "path", "wall s");
+  std::printf("%-8s %12.4f\n", "tuple", tuple_wall);
+  std::printf("%-8s %12.4f   (speedup %.2fx, required >= %.2fx)\n\n",
+              "vector", vector_wall, speedup, cfg.required_speedup);
+
+  MMDB_CHECK_MSG(vector_bytes == tuple_bytes,
+                 "vector pipeline result bytes differ from tuple pipeline");
+  MMDB_CHECK_MSG(vector_counters == tuple_counters,
+                 "vector pipeline cost-clock totals differ from tuple "
+                 "pipeline");
+  MMDB_CHECK_MSG(speedup >= cfg.required_speedup,
+                 "vector pipeline failed the wall-clock speedup bar");
+  (void)schema;
+  JsonNum("pipeline.tuple_wall_s", tuple_wall);
+  JsonNum("pipeline.vector_wall_s", vector_wall);
+  JsonNum("pipeline.speedup", speedup);
+  JsonNum("pipeline.required_speedup", cfg.required_speedup);
+}
+
+// ---- Row copy churn: Next (copying) vs NextRef (borrowing). -----------
+
+void AllocSection() {
+  GenOptions opts;
+  opts.num_tuples = std::min<int64_t>(cfg.pipeline_tuples, 200'000);
+  opts.tuple_width = 64;
+  opts.distribution = KeyDistribution::kUniform;
+  opts.key_range = 1'000;
+  opts.seed = 9;
+  const Relation rel = MakeKeyedRelation(opts);
+
+  const auto make_pipeline = [&](ExecEnv* env) {
+    auto scan = std::make_unique<MemScan>(&rel);
+    auto filter = std::make_unique<Filter>(
+        std::move(scan),
+        [](const Row& row) { return std::get<int64_t>(row[1]) % 4 != 0; },
+        &env->clock);
+    return std::make_unique<Project>(std::move(filter),
+                                     std::vector<int>{0, 1});
+  };
+
+  int64_t rows_copy = 0, rows_ref = 0;
+  ExecEnv env_copy(1 << 20);
+  auto copy_pipe = make_pipeline(&env_copy);
+  MMDB_CHECK(copy_pipe->Open().ok());
+  const uint64_t allocs_before_copy = g_allocs.load();
+  {
+    Row row;
+    while (true) {
+      auto more = copy_pipe->Next(&row);
+      MMDB_CHECK(more.ok());
+      if (!*more) break;
+      ++rows_copy;
+    }
+  }
+  const uint64_t copy_allocs = g_allocs.load() - allocs_before_copy;
+  copy_pipe->Close();
+
+  ExecEnv env_ref(1 << 20);
+  auto ref_pipe = make_pipeline(&env_ref);
+  MMDB_CHECK(ref_pipe->Open().ok());
+  const uint64_t allocs_before_ref = g_allocs.load();
+  {
+    Row scratch;
+    while (true) {
+      auto row = ref_pipe->NextRef(&scratch);
+      MMDB_CHECK(row.ok());
+      if (*row == nullptr) break;
+      ++rows_ref;
+    }
+  }
+  const uint64_t ref_allocs = g_allocs.load() - allocs_before_ref;
+  ref_pipe->Close();
+
+  std::printf("== Row copy churn, scan -> filter -> project drain of %lld "
+              "tuples ==\n",
+              static_cast<long long>(opts.num_tuples));
+  std::printf("%-10s %14s %10s\n", "pull path", "allocations", "rows");
+  std::printf("%-10s %14llu %10lld\n", "Next",
+              static_cast<unsigned long long>(copy_allocs),
+              static_cast<long long>(rows_copy));
+  std::printf("%-10s %14llu %10lld\n\n", "NextRef",
+              static_cast<unsigned long long>(ref_allocs),
+              static_cast<long long>(rows_ref));
+  MMDB_CHECK_MSG(rows_copy == rows_ref, "pull paths disagree on row count");
+  MMDB_CHECK_MSG(ref_allocs < copy_allocs,
+                 "NextRef drain must allocate strictly less than the "
+                 "copying Next drain");
+  JsonInt("alloc.next_allocs", static_cast<int64_t>(copy_allocs));
+  JsonInt("alloc.nextref_allocs", static_cast<int64_t>(ref_allocs));
+  JsonInt("alloc.rows", rows_copy);
+}
+
+// ---- Joins: vector probe parity + cache-partitioned radix. ------------
+
+void JoinSection() {
+  GenOptions r_opts;
+  r_opts.num_tuples = cfg.join_build;
+  r_opts.tuple_width = 64;
+  r_opts.seed = 11;
+  GenOptions s_opts;
+  s_opts.num_tuples = cfg.join_probe;
+  s_opts.tuple_width = 48;
+  s_opts.distribution = KeyDistribution::kUniform;
+  s_opts.key_range = cfg.join_build;
+  s_opts.seed = 13;
+  const Relation r = MakeKeyedRelation(r_opts);
+  const Relation s = MakeKeyedRelation(s_opts);
+  const JoinSpec spec{0, 0};
+
+  std::string tuple_bytes, vector_bytes;
+  CostCounters tuple_counters, vector_counters;
+  const double tuple_wall = WallSeconds([&] {
+    ExecEnv env(1 << 20);
+    auto out = ExecuteJoin(JoinAlgorithm::kHybridHash, r, s, spec, &env.ctx);
+    MMDB_CHECK(out.ok());
+    tuple_bytes = RowBytes(*out);
+    tuple_counters = env.clock.counters();
+  });
+  const double vector_wall = WallSeconds([&] {
+    ExecEnv env(1 << 20);
+    auto out = VectorHashJoin(r, s, spec, &env.ctx);
+    MMDB_CHECK(out.ok());
+    vector_bytes = RowBytes(*out);
+    vector_counters = env.clock.counters();
+  });
+  JoinRunStats radix_stats;
+  const double radix_wall = WallSeconds([&] {
+    ExecEnv env(1 << 20);
+    auto out = RadixHashJoin(r, s, spec, &env.ctx, &radix_stats);
+    MMDB_CHECK(out.ok());
+    // Partition-major emission: same multiset, different order.
+    std::string bytes = RowBytes(*out);
+    MMDB_CHECK(bytes.size() == vector_bytes.size());
+  });
+
+  std::printf("== in-memory hash join, %lld x %lld ==\n",
+              static_cast<long long>(cfg.join_build),
+              static_cast<long long>(cfg.join_probe));
+  std::printf("%-14s %12s\n", "algorithm", "wall s");
+  std::printf("%-14s %12.4f\n", "tuple hybrid", tuple_wall);
+  std::printf("%-14s %12.4f\n", "vector probe", vector_wall);
+  std::printf("%-14s %12.4f   (%lld cache partitions)\n\n", "radix",
+              radix_wall, static_cast<long long>(radix_stats.partitions));
+  MMDB_CHECK_MSG(vector_bytes == tuple_bytes,
+                 "vector join bytes differ from the tuple hybrid");
+  MMDB_CHECK_MSG(vector_counters == tuple_counters,
+                 "vector join charges differ from the tuple hybrid");
+  JsonNum("join.tuple_wall_s", tuple_wall);
+  JsonNum("join.vector_wall_s", vector_wall);
+  JsonNum("join.radix_wall_s", radix_wall);
+  JsonInt("join.radix_partitions", radix_stats.partitions);
+}
+
+// ---- Cache-conscious sort. --------------------------------------------
+
+void SortSection() {
+  GenOptions opts;
+  opts.num_tuples = cfg.sort_tuples;
+  opts.tuple_width = 48;
+  opts.distribution = KeyDistribution::kUniform;
+  opts.key_range = cfg.sort_tuples / 4;
+  opts.seed = 17;
+  const Relation input = MakeKeyedRelation(opts);
+
+  Relation expected;
+  const double std_wall = WallSeconds([&] {
+    Relation copy = input;
+    copy.SortBy(0);
+    expected = std::move(copy);
+  });
+  std::string cc_bytes;
+  const double cc_wall = WallSeconds([&] {
+    ExecEnv env(1 << 20);
+    auto out = CacheConsciousSort(input, 0, &env.ctx);
+    MMDB_CHECK(out.ok());
+    cc_bytes = RowBytes(*out);
+  });
+  std::printf("== sort of %lld tuples ==\n",
+              static_cast<long long>(cfg.sort_tuples));
+  std::printf("%-16s %12s\n", "algorithm", "wall s");
+  std::printf("%-16s %12.4f\n", "stable_sort", std_wall);
+  std::printf("%-16s %12.4f\n\n", "cache-partition", cc_wall);
+  MMDB_CHECK_MSG(cc_bytes == RowBytes(expected),
+                 "cache-conscious sort differs from stable_sort");
+  JsonNum("sort.stable_wall_s", std_wall);
+  JsonNum("sort.cache_wall_s", cc_wall);
+}
+
+// ---- exec.*.wall_ns via a vectorized plan run. ------------------------
+
+std::string WallMetricsSection() {
+  GenOptions r_opts;
+  r_opts.num_tuples = std::min<int64_t>(cfg.join_build, 20'000);
+  r_opts.tuple_width = 64;
+  r_opts.seed = 19;
+  const Relation r = MakeKeyedRelation(r_opts);
+  GenOptions s_opts;
+  s_opts.num_tuples = 3 * r_opts.num_tuples;
+  s_opts.tuple_width = 48;
+  s_opts.distribution = KeyDistribution::kUniform;
+  s_opts.key_range = r_opts.num_tuples;
+  s_opts.seed = 23;
+  const Relation s = MakeKeyedRelation(s_opts);
+
+  Catalog catalog;
+  MMDB_CHECK(catalog.RegisterTable("r", &r).ok());
+  MMDB_CHECK(catalog.RegisterTable("s", &s).ok());
+  Query query;
+  query.tables = {"r", "s"};
+  query.joins = {{{"r", "key"}, {"s", "key"}}};
+  query.filters = {{"s", "payload", CmpOp::kGt, Value{int64_t{0}}}};
+
+  OptimizerOptions opts;
+  opts.hash_only = true;
+  opts.vectorize = true;
+  ExecEnv env(1 << 20);
+  env.ctx.collect_wall_ns = true;
+  auto result = RunQuery(query, catalog, opts, &env.ctx);
+  MMDB_CHECK(result.ok());
+  MMDB_CHECK_MSG(result->plan_text.find("vector=on") != std::string::npos,
+                 "vectorized plan not stamped vector=on");
+  const int64_t join_ns = env.metrics.Get("exec.join.wall_ns");
+  const int64_t filter_ns = env.metrics.Get("exec.filter.wall_ns");
+  // Aggregate on top, vector path, wall collection on.
+  AggregateSpec agg;
+  agg.group_by = {0};
+  agg.aggregates = {{AggFn::kCount, 0, "cnt"}};
+  BatchMemScan scan(&result->relation);
+  auto aggregated = BatchHashAggregate(&scan, agg, &env.ctx);
+  MMDB_CHECK(aggregated.ok());
+  const int64_t agg_ns = env.metrics.Get("exec.agg.wall_ns");
+
+  std::printf("== exec.*.wall_ns (vectorized plan, wall collection on) ==\n");
+  std::printf("exec.filter.wall_ns = %lld\n",
+              static_cast<long long>(filter_ns));
+  std::printf("exec.join.wall_ns   = %lld\n", static_cast<long long>(join_ns));
+  std::printf("exec.agg.wall_ns    = %lld\n\n",
+              static_cast<long long>(agg_ns));
+  MMDB_CHECK_MSG(join_ns > 0, "exec.join.wall_ns not published");
+  MMDB_CHECK_MSG(filter_ns > 0, "exec.filter.wall_ns not published");
+  MMDB_CHECK_MSG(agg_ns > 0, "exec.agg.wall_ns not published");
+  JsonInt("wall_ns.join", join_ns);
+  JsonInt("wall_ns.filter", filter_ns);
+  JsonInt("wall_ns.agg", agg_ns);
+  return env.metrics.ToJson();
+}
+
+void WriteJson(const std::string& path, const std::string& metrics_json) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"vector_exec\",\n  \"smoke\": %s,\n",
+               cfg.smoke ? "true" : "false");
+  for (const JsonEntry& e : json_entries) {
+    std::fprintf(f, "  \"%s\": %s,\n", e.key.c_str(), e.value.c_str());
+  }
+  std::fprintf(f, "  \"metrics\": %s\n}\n", metrics_json.c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main(int argc, char** argv) {
+  using namespace mmdb;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+      cfg.repeats = 2;
+      cfg.pipeline_tuples = 200'000;
+      cfg.join_build = 10'000;
+      cfg.join_probe = 30'000;
+      cfg.sort_tuples = 80'000;
+      // Small inputs are noisier; the regression guard still requires the
+      // vector path to be strictly faster with margin.
+      cfg.required_speedup = 1.2;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+  PipelineSection();
+  AllocSection();
+  JoinSection();
+  SortSection();
+  const std::string metrics_json = WallMetricsSection();
+  if (!json_path.empty()) WriteJson(json_path, metrics_json);
+  std::printf("all vector-exec machine checks passed.\n");
+  return 0;
+}

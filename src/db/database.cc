@@ -532,6 +532,7 @@ StatusOr<QueryResult> Database::ExecuteWith(const Query& query,
   opts.cost_params = options_.cost_params;
   opts.w_cpu = options_.w_cpu;
   opts.hash_only = options_.planner_hash_only;
+  opts.vectorize = options_.vectorize;
   return RunQuery(query, catalog(), opts, ctx, this);
 }
 
@@ -551,6 +552,7 @@ StatusOr<std::string> Database::Explain(const Query& query) {
   opts.cost_params = options_.cost_params;
   opts.w_cpu = options_.w_cpu;
   opts.hash_only = options_.planner_hash_only;
+  opts.vectorize = options_.vectorize;
   Optimizer optimizer(&catalog(), opts);
   MMDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
                         optimizer.Optimize(query));
@@ -673,6 +675,7 @@ StatusOr<Database::SqlResult> Database::ExecuteSqlReadLocked(
       opts.cost_params = options_.cost_params;
       opts.w_cpu = options_.w_cpu;
       opts.hash_only = options_.planner_hash_only;
+  opts.vectorize = options_.vectorize;
       Optimizer optimizer(&catalog(), opts);
       MMDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
                             optimizer.Optimize(stmt.query));

@@ -59,6 +59,10 @@ class Database : public IndexProvider {
     /// Planner knobs (W, hash-only reduction).
     double w_cpu = 1.0;
     bool planner_hash_only = false;
+    /// Stamp vector=on onto plans: filters and in-memory hash joins run
+    /// the batch kernels (DESIGN.md §14). Same results and cost-clock
+    /// totals; less real time.
+    bool vectorize = false;
     /// Buffer pool for the paged (B+-tree) indexes.
     int64_t buffer_pool_pages = 4096;
     ReplacementPolicy buffer_policy = ReplacementPolicy::kRandom;

@@ -1,6 +1,7 @@
 #include "exec/aggregate.h"
 
 #include <algorithm>
+#include <chrono>
 #include <unordered_map>
 
 #include "common/check.h"
@@ -88,7 +89,9 @@ bool KeyRowsEqual(const Row& a, const Row& b) {
   return true;
 }
 
-Schema OutputSchema(const Schema& in, const AggregateSpec& spec) {
+}  // namespace
+
+Schema AggregateOutputSchema(const Schema& in, const AggregateSpec& spec) {
   std::vector<Column> cols;
   for (int c : spec.group_by) {
     cols.push_back(in.column(c));
@@ -117,6 +120,30 @@ Schema OutputSchema(const Schema& in, const AggregateSpec& spec) {
   }
   return Schema(std::move(cols));
 }
+
+Status ValidateAggregateSpec(const Schema& input_schema,
+                             const AggregateSpec& spec) {
+  for (int c : spec.group_by) {
+    if (c < 0 || c >= input_schema.num_columns()) {
+      return Status::InvalidArgument("bad group-by column");
+    }
+  }
+  for (const auto& a : spec.aggregates) {
+    if (a.fn != AggFn::kCount &&
+        (a.column < 0 || a.column >= input_schema.num_columns())) {
+      return Status::InvalidArgument("bad aggregate column");
+    }
+    if (a.fn == AggFn::kSum || a.fn == AggFn::kAvg) {
+      ValueType t = input_schema.column(a.column).type;
+      if (t == ValueType::kString) {
+        return Status::InvalidArgument("SUM/AVG on string column");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+namespace {
 
 void EmitGroup(const GroupState& g, const AggregateSpec& spec,
                Relation* out) {
@@ -398,27 +425,14 @@ Status ParallelAggregatePartition(const std::vector<Row>& rows,
 StatusOr<Relation> HashAggregate(const Relation& input,
                                  const AggregateSpec& spec, ExecContext* ctx,
                                  AggStats* stats) {
-  for (int c : spec.group_by) {
-    if (c < 0 || c >= input.schema().num_columns()) {
-      return Status::InvalidArgument("bad group-by column");
-    }
-  }
-  for (const auto& a : spec.aggregates) {
-    if (a.fn != AggFn::kCount &&
-        (a.column < 0 || a.column >= input.schema().num_columns())) {
-      return Status::InvalidArgument("bad aggregate column");
-    }
-    if (a.fn == AggFn::kSum || a.fn == AggFn::kAvg) {
-      ValueType t = input.schema().column(a.column).type;
-      if (t == ValueType::kString) {
-        return Status::InvalidArgument("SUM/AVG on string column");
-      }
-    }
-  }
-  Relation out(OutputSchema(input.schema(), spec));
+  MMDB_RETURN_IF_ERROR(ValidateAggregateSpec(input.schema(), spec));
+  Relation out(AggregateOutputSchema(input.schema(), spec));
   AggStats local;
   AggStats* st = stats != nullptr ? stats : &local;
   *st = AggStats{};
+  const bool timing = ctx->metrics != nullptr && ctx->collect_wall_ns;
+  const auto t0 = timing ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point();
   const int64_t capacity = std::max<int64_t>(
       1, ctx->TuplesInPages(input.schema(), ctx->memory_pages));
   st->one_pass = input.num_tuples() <= capacity;
@@ -446,6 +460,12 @@ StatusOr<Relation> HashAggregate(const Relation& input,
     m->Add("exec.agg.one_pass_runs", st->one_pass ? 1 : 0);
     m->Add("exec.agg.spilled_partitions", st->partitions);
     m->Record("exec.agg.group_count", st->groups);
+    if (timing) {
+      m->Add("exec.agg.wall_ns",
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count());
+    }
   }
   return out;
 }

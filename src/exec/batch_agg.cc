@@ -1,0 +1,273 @@
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "exec/batch.h"
+
+namespace mmdb {
+
+namespace {
+
+/// Typed running state of one aggregate over one group. Mirrors the tuple
+/// path's AggState field-for-field, but is updated through typed entry
+/// points so the per-row loop never touches a std::variant.
+struct BatchAggCell {
+  int64_t count = 0;
+  double sum = 0;
+  Value min_v;
+  Value max_v;
+  bool seen = false;
+
+  void UpdateI64(int64_t v) {
+    ++count;
+    sum += double(v);
+    if (!seen) {
+      min_v = Value{v};
+      max_v = Value{v};
+      seen = true;
+    } else {
+      if (v < std::get<int64_t>(min_v)) min_v = Value{v};
+      if (v > std::get<int64_t>(max_v)) max_v = Value{v};
+    }
+  }
+  void UpdateF64(double v) {
+    ++count;
+    sum += v;
+    if (!seen) {
+      min_v = Value{v};
+      max_v = Value{v};
+      seen = true;
+    } else {
+      if (v < std::get<double>(min_v)) min_v = Value{v};
+      if (v > std::get<double>(max_v)) max_v = Value{v};
+    }
+  }
+  void UpdateStr(const std::string& v) {
+    ++count;
+    if (!seen) {
+      min_v = Value{v};
+      max_v = Value{v};
+      seen = true;
+    } else {
+      if (v < std::get<std::string>(min_v)) min_v = Value{v};
+      if (v > std::get<std::string>(max_v)) max_v = Value{v};
+    }
+  }
+};
+
+struct BatchGroup {
+  Row key;
+  std::vector<BatchAggCell> aggs;
+};
+
+/// HashValue for a typed column slot — bit-identical to HashValue(Value)
+/// so the batch table sees the same 64-bit hashes (and hence the same
+/// bucket structure and comparison counts) as the tuple table.
+inline uint64_t TypedHash(const ColumnVector& col, int64_t i) {
+  switch (col.type) {
+    case ValueType::kInt64:
+      return Mix64(static_cast<uint64_t>(col.i64[static_cast<size_t>(i)]));
+    case ValueType::kDouble: {
+      double d = col.f64[static_cast<size_t>(i)];
+      if (d == 0.0) d = 0.0;  // normalize -0.0, like HashValue
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits);
+    }
+    case ValueType::kString:
+      return HashString(col.str[static_cast<size_t>(i)]);
+  }
+  return 0;
+}
+
+/// Typed equality of column slot i against an already-materialized key
+/// value (same result as ValuesEqual; the types agree by construction).
+inline bool TypedEquals(const ColumnVector& col, int64_t i, const Value& v) {
+  switch (col.type) {
+    case ValueType::kInt64:
+      return col.i64[static_cast<size_t>(i)] == std::get<int64_t>(v);
+    case ValueType::kDouble:
+      return col.f64[static_cast<size_t>(i)] == std::get<double>(v);
+    case ValueType::kString:
+      return col.str[static_cast<size_t>(i)] == std::get<std::string>(v);
+  }
+  return false;
+}
+
+void EmitBatchGroup(const BatchGroup& g, const AggregateSpec& spec,
+                    Relation* out) {
+  Row row = g.key;
+  for (size_t i = 0; i < spec.aggregates.size(); ++i) {
+    const BatchAggCell& st = g.aggs[i];
+    switch (spec.aggregates[i].fn) {
+      case AggFn::kCount:
+        row.emplace_back(st.count);
+        break;
+      case AggFn::kSum:
+        row.emplace_back(st.sum);
+        break;
+      case AggFn::kAvg:
+        row.emplace_back(st.count == 0 ? 0.0 : st.sum / double(st.count));
+        break;
+      case AggFn::kMin:
+        row.push_back(st.min_v);
+        break;
+      case AggFn::kMax:
+        row.push_back(st.max_v);
+        break;
+    }
+  }
+  out->Add(std::move(row));
+}
+
+}  // namespace
+
+StatusOr<Relation> BatchHashAggregate(BatchOperator* child,
+                                      const AggregateSpec& spec,
+                                      ExecContext* ctx, AggStats* stats) {
+  const Schema& in_schema = child->output_schema();
+  MMDB_RETURN_IF_ERROR(ValidateAggregateSpec(in_schema, spec));
+  const bool timing = ctx->metrics != nullptr && ctx->collect_wall_ns;
+  const auto t0 = timing ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point();
+
+  // Drain the pipeline. Batches are transport, not work: no charges here,
+  // exactly as Materialize charges nothing.
+  MMDB_RETURN_IF_ERROR(child->Open());
+  std::vector<RowBatch> batches;
+  int64_t n = 0;
+  while (true) {
+    RowBatch b;
+    MMDB_ASSIGN_OR_RETURN(bool more, child->NextBatch(&b));
+    if (!more) break;
+    n += b.ActiveRows();
+    batches.push_back(std::move(b));
+  }
+  child->Close();
+
+  const int64_t capacity = std::max<int64_t>(
+      1, ctx->TuplesInPages(in_schema, ctx->memory_pages));
+  if (n > capacity || ctx->dop > 1) {
+    // Spilling (or parallel-merge) aggregation: delegate to the row-major
+    // machinery — parity with the tuple path holds by definition.
+    Relation rel(in_schema);
+    for (const RowBatch& b : batches) {
+      const int64_t rows = b.ActiveRows();
+      for (int64_t k = 0; k < rows; ++k) {
+        rel.Add(b.RowAt(b.ActiveIndex(k)));
+      }
+    }
+    return HashAggregate(rel, spec, ctx, stats);
+  }
+
+  AggStats local;
+  AggStats* st = stats != nullptr ? stats : &local;
+  *st = AggStats{};
+  st->one_pass = true;
+  Relation out(AggregateOutputSchema(in_schema, spec));
+
+  // Typed one-pass kernel. Same table shape as AggregateInMemory — an
+  // unordered_map over the same 64-bit group hashes, fed in the same row
+  // order — so bucket layout, comparison counts AND the emission order of
+  // the final table walk all match the tuple path exactly.
+  std::unordered_map<uint64_t, std::vector<BatchGroup>> table;
+  int64_t comps = 0;
+  int64_t moves = 0;
+  std::vector<uint64_t> hashes;
+  for (const RowBatch& b : batches) {
+    const int64_t rows = b.ActiveRows();
+    if (rows == 0) continue;
+    ctx->clock->Hash(rows);
+    // Group hashes column-at-a-time: the HashCombine chain runs per row,
+    // but each step reads one contiguous typed column.
+    hashes.assign(static_cast<size_t>(rows), 0x9E3779B97F4A7C15ull);
+    for (int c : spec.group_by) {
+      const ColumnVector& col = b.columns[static_cast<size_t>(c)];
+      for (int64_t k = 0; k < rows; ++k) {
+        hashes[static_cast<size_t>(k)] = HashCombine(
+            hashes[static_cast<size_t>(k)], TypedHash(col, b.ActiveIndex(k)));
+      }
+    }
+    for (int64_t k = 0; k < rows; ++k) {
+      const int64_t i = b.ActiveIndex(k);
+      std::vector<BatchGroup>& bucket = table[hashes[static_cast<size_t>(k)]];
+      BatchGroup* group = nullptr;
+      for (BatchGroup& g : bucket) {
+        ++comps;
+        bool eq = true;
+        for (size_t gc = 0; gc < spec.group_by.size(); ++gc) {
+          if (!TypedEquals(
+                  b.columns[static_cast<size_t>(spec.group_by[gc])], i,
+                  g.key[gc])) {
+            eq = false;
+            break;
+          }
+        }
+        if (eq) {
+          group = &g;
+          break;
+        }
+      }
+      if (group == nullptr) {
+        ++moves;
+        BatchGroup g;
+        g.key.reserve(spec.group_by.size());
+        for (int c : spec.group_by) {
+          g.key.push_back(b.columns[static_cast<size_t>(c)].At(i));
+        }
+        g.aggs.resize(spec.aggregates.size());
+        bucket.push_back(std::move(g));
+        group = &bucket.back();
+      }
+      for (size_t a = 0; a < spec.aggregates.size(); ++a) {
+        const auto& agg = spec.aggregates[a];
+        const int col_idx = agg.fn == AggFn::kCount ? 0 : agg.column;
+        const ColumnVector& col = b.columns[static_cast<size_t>(col_idx)];
+        BatchAggCell& cell = group->aggs[a];
+        switch (col.type) {
+          case ValueType::kInt64:
+            cell.UpdateI64(col.i64[static_cast<size_t>(i)]);
+            break;
+          case ValueType::kDouble:
+            cell.UpdateF64(col.f64[static_cast<size_t>(i)]);
+            break;
+          case ValueType::kString:
+            cell.UpdateStr(col.str[static_cast<size_t>(i)]);
+            break;
+        }
+      }
+    }
+  }
+  ctx->clock->Comp(comps);
+  ctx->clock->Move(moves);
+
+  for (auto& [h, bucket] : table) {
+    for (const BatchGroup& g : bucket) {
+      EmitBatchGroup(g, spec, &out);
+      ++st->groups;
+    }
+  }
+
+  // Identical publication to HashAggregate's tail.
+  if (ctx->metrics != nullptr) {
+    MetricsRegistry* m = ctx->metrics;
+    m->Add("exec.agg.runs", 1);
+    m->Add("exec.agg.input_tuples", n);
+    m->Add("exec.agg.groups", st->groups);
+    m->Add("exec.agg.one_pass_runs", 1);
+    m->Add("exec.agg.spilled_partitions", 0);
+    m->Record("exec.agg.group_count", st->groups);
+    if (timing) {
+      m->Add("exec.agg.wall_ns",
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count());
+    }
+  }
+  return out;
+}
+
+}  // namespace mmdb

@@ -1,0 +1,246 @@
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <unordered_map>
+
+#include "common/check.h"
+#include "common/hash.h"
+#include "cost/join_cost.h"
+#include "exec/batch.h"
+
+namespace mmdb {
+
+namespace {
+
+using exec_internal::JoinHashTable;
+
+/// HashValue for one key slot of a row-major tuple with the column type
+/// hoisted out of the loop — bit-identical to HashValue(Value).
+inline uint64_t TypedKeyHash(const Row& row, size_t col, ValueType type) {
+  const Value& v = row[col];
+  switch (type) {
+    case ValueType::kInt64:
+      return Mix64(static_cast<uint64_t>(std::get<int64_t>(v)));
+    case ValueType::kDouble: {
+      double d = std::get<double>(v);
+      if (d == 0.0) d = 0.0;  // normalize -0.0, like HashValue
+      uint64_t bits;
+      std::memcpy(&bits, &d, sizeof(bits));
+      return Mix64(bits);
+    }
+    case ValueType::kString:
+      return HashString(std::get<std::string>(v));
+  }
+  return 0;
+}
+
+inline bool TypedKeyEquals(const Row& a, size_t ca, const Row& b, size_t cb,
+                           ValueType type) {
+  switch (type) {
+    case ValueType::kInt64:
+      return std::get<int64_t>(a[ca]) == std::get<int64_t>(b[cb]);
+    case ValueType::kDouble:
+      return std::get<double>(a[ca]) == std::get<double>(b[cb]);
+    case ValueType::kString:
+      return std::get<std::string>(a[ca]) == std::get<std::string>(b[cb]);
+  }
+  return false;
+}
+
+StatusOr<Relation> VectorHashJoinImpl(const Relation& r, const Relation& s,
+                                      const JoinSpec& spec, ExecContext* ctx,
+                                      JoinRunStats* stats) {
+  const Schema& rs = r.schema();
+  const Schema& ss = s.schema();
+  const int64_t r_pages = std::max<int64_t>(1, r.NumPages(ctx->page_size()));
+  const HybridSplit split =
+      SolveHybridSplit(r_pages, ctx->memory_pages, ctx->fudge);
+  if (split.q < 1.0 || ctx->dop > 1) {
+    // Spilling build or parallel run: the row-major hybrid handles it;
+    // parity with the tuple plan path holds by definition.
+    return HybridHashJoin(r, s, spec, ctx, stats);
+  }
+
+  // In-memory case, charge-identical to the hybrid's single-partition
+  // path: one Hash per tuple of both sides, one Move per build tuple, one
+  // Comp per bucket entry probed (a miss compares once). Emission is in
+  // probe input order, bucket-scan order within a key — the same bytes the
+  // tuple path produces.
+  const ValueType key_type =
+      rs.column(spec.left_column).type;
+  JoinHashTable table(spec.left_column, ctx->clock);
+  ctx->clock->Hash(r.num_tuples());
+  ctx->clock->Move(r.num_tuples());
+  for (const Row& row : r.rows()) {
+    table.Insert(row);
+  }
+
+  Relation out(Schema::Concat(rs, ss));
+  const size_t s_key = static_cast<size_t>(spec.right_column);
+  const size_t r_key = static_cast<size_t>(spec.left_column);
+  const ValueType probe_type = ss.column(spec.right_column).type;
+  ctx->clock->Hash(s.num_tuples());
+  int64_t comps = 0;
+  // Probe in key-hash batches: hashes for a run of kBatchRows probe keys
+  // compute in one tight pass, then the bucket walks run back to back.
+  std::vector<uint64_t> hashes;
+  const std::vector<Row>& s_rows = s.rows();
+  const int64_t n_s = s.num_tuples();
+  for (int64_t base = 0; base < n_s; base += kBatchRows) {
+    const int64_t take = std::min(kBatchRows, n_s - base);
+    hashes.resize(static_cast<size_t>(take));
+    for (int64_t k = 0; k < take; ++k) {
+      hashes[static_cast<size_t>(k)] =
+          TypedKeyHash(s_rows[static_cast<size_t>(base + k)], s_key,
+                       probe_type);
+    }
+    for (int64_t k = 0; k < take; ++k) {
+      const Row& s_row = s_rows[static_cast<size_t>(base + k)];
+      const std::vector<Row>* bucket =
+          table.FindBucket(hashes[static_cast<size_t>(k)]);
+      if (bucket == nullptr) {
+        ++comps;  // the miss still compares
+        continue;
+      }
+      for (const Row& r_row : *bucket) {
+        ++comps;
+        if (TypedKeyEquals(r_row, r_key, s_row, s_key, key_type)) {
+          out.Add(ConcatRows(r_row, s_row));
+        }
+      }
+    }
+  }
+  ctx->clock->Comp(comps);
+  if (stats != nullptr) {
+    stats->output_tuples = out.num_tuples();
+    stats->q = 1.0;
+    stats->partitions = 0;
+  }
+  return out;
+}
+
+}  // namespace
+
+StatusOr<Relation> VectorHashJoin(const Relation& r, const Relation& s,
+                                  const JoinSpec& spec, ExecContext* ctx,
+                                  JoinRunStats* stats) {
+  JoinRunStats local;
+  JoinRunStats* st = stats != nullptr ? stats : &local;
+  *st = JoinRunStats{};
+  const bool timing =
+      ctx != nullptr && ctx->metrics != nullptr && ctx->collect_wall_ns;
+  const auto t0 = timing ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point();
+  StatusOr<Relation> out = VectorHashJoinImpl(r, s, spec, ctx, st);
+  // Mirror ExecuteJoin's one-shot publication so the vector plan path
+  // reports the same counters as the tuple plan path.
+  if (out.ok() && ctx != nullptr && ctx->metrics != nullptr) {
+    MetricsRegistry* m = ctx->metrics;
+    m->Add("exec.join.runs", 1);
+    m->Add("exec.join.build_tuples", r.num_tuples());
+    m->Add("exec.join.probe_tuples", s.num_tuples());
+    m->Add("exec.join.output_tuples", st->output_tuples);
+    m->Add("exec.join.passes", st->passes);
+    m->Add("exec.join.spilled_partitions", st->partitions);
+    m->Add("exec.join.recursions", st->recursion_depth);
+    m->Add("exec.join.migrations", st->migrations);
+    m->Add("exec.join.forced_probes", st->forced_probes);
+    m->Record("exec.join.fanout", st->output_tuples);
+    if (timing) {
+      m->Add("exec.join.wall_ns",
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count());
+    }
+  }
+  return out;
+}
+
+StatusOr<Relation> RadixHashJoin(const Relation& r, const Relation& s,
+                                 const JoinSpec& spec, ExecContext* ctx,
+                                 JoinRunStats* stats, int64_t l2_bytes) {
+  const Schema& rs = r.schema();
+  const Schema& ss = s.schema();
+  Relation out(Schema::Concat(rs, ss));
+
+  // Enough partitions that one build partition's table (tuples + the F
+  // overhead of the hash structure) fits half of L2 — the other half is
+  // left for the probe stream and the output.
+  const int64_t build_bytes = static_cast<int64_t>(
+      double(r.num_tuples()) * double(rs.record_size()) * ctx->fudge);
+  int64_t parts = 1;
+  while (parts < 4096 && build_bytes / parts > std::max<int64_t>(1, l2_bytes / 2)) {
+    parts <<= 1;
+  }
+  const uint64_t mask = static_cast<uint64_t>(parts - 1);
+  const int shift = 64 - __builtin_ctzll(static_cast<uint64_t>(parts) == 1
+                                             ? 2
+                                             : static_cast<uint64_t>(parts));
+
+  const size_t r_key = static_cast<size_t>(spec.left_column);
+  const size_t s_key = static_cast<size_t>(spec.right_column);
+  const ValueType r_type = rs.column(spec.left_column).type;
+  const ValueType s_type = ss.column(spec.right_column).type;
+
+  // One Hash per tuple, computed once and reused for partitioning AND the
+  // per-partition table (the paper's shared-hash convention).
+  ctx->clock->Hash(r.num_tuples() + s.num_tuples());
+  std::vector<uint64_t> r_hash(static_cast<size_t>(r.num_tuples()));
+  std::vector<uint64_t> s_hash(static_cast<size_t>(s.num_tuples()));
+  std::vector<std::vector<int64_t>> r_part(static_cast<size_t>(parts));
+  std::vector<std::vector<int64_t>> s_part(static_cast<size_t>(parts));
+  for (int64_t i = 0; i < r.num_tuples(); ++i) {
+    const uint64_t h =
+        TypedKeyHash(r.rows()[static_cast<size_t>(i)], r_key, r_type);
+    r_hash[static_cast<size_t>(i)] = h;
+    r_part[static_cast<size_t>(parts == 1 ? 0 : (h >> shift) & mask)]
+        .push_back(i);
+  }
+  for (int64_t i = 0; i < s.num_tuples(); ++i) {
+    const uint64_t h =
+        TypedKeyHash(s.rows()[static_cast<size_t>(i)], s_key, s_type);
+    s_hash[static_cast<size_t>(i)] = h;
+    s_part[static_cast<size_t>(parts == 1 ? 0 : (h >> shift) & mask)]
+        .push_back(i);
+  }
+
+  // Build + probe each partition while it is cache-resident.
+  int64_t comps = 0;
+  int64_t moves = 0;
+  std::unordered_map<uint64_t, std::vector<int64_t>> buckets;
+  for (int64_t p = 0; p < parts; ++p) {
+    const std::vector<int64_t>& rp = r_part[static_cast<size_t>(p)];
+    const std::vector<int64_t>& sp = s_part[static_cast<size_t>(p)];
+    if (rp.empty() || sp.empty()) continue;
+    buckets.clear();
+    for (int64_t i : rp) {
+      ++moves;
+      buckets[r_hash[static_cast<size_t>(i)]].push_back(i);
+    }
+    for (int64_t i : sp) {
+      const Row& s_row = s.rows()[static_cast<size_t>(i)];
+      auto it = buckets.find(s_hash[static_cast<size_t>(i)]);
+      if (it == buckets.end()) {
+        ++comps;
+        continue;
+      }
+      for (int64_t ri : it->second) {
+        ++comps;
+        const Row& r_row = r.rows()[static_cast<size_t>(ri)];
+        if (TypedKeyEquals(r_row, r_key, s_row, s_key, r_type)) {
+          out.Add(ConcatRows(r_row, s_row));
+        }
+      }
+    }
+  }
+  ctx->clock->Comp(comps);
+  ctx->clock->Move(moves);
+  if (stats != nullptr) {
+    *stats = JoinRunStats{};
+    stats->output_tuples = out.num_tuples();
+    stats->partitions = parts;
+  }
+  return out;
+}
+
+}  // namespace mmdb

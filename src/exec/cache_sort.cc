@@ -1,0 +1,92 @@
+#include <algorithm>
+#include <cmath>
+
+#include "common/check.h"
+#include "exec/batch.h"
+
+namespace mmdb {
+
+/// Sample sort tuned so each bucket's working set stays inside half of L2
+/// while it is being sorted. The bucket function depends only on the key, so
+/// equal keys share a bucket; rows enter buckets in input order and each
+/// bucket sorts stably — the concatenation is therefore exactly the stable
+/// sort Relation::SortBy produces.
+StatusOr<Relation> CacheConsciousSort(const Relation& input, int key_column,
+                                      ExecContext* ctx, int64_t l2_bytes) {
+  const int64_t n = input.num_tuples();
+  Relation out(input.schema());
+  if (n == 0) return out;
+  MMDB_CHECK(key_column >= 0 &&
+             key_column < static_cast<int>(input.schema().num_columns()));
+
+  const int64_t record_size = std::max<int64_t>(1, input.schema().record_size());
+  const int64_t rows_per_bucket =
+      std::max<int64_t>(1, (l2_bytes / 2) / record_size);
+  const int64_t num_buckets = std::clamp<int64_t>(
+      (n + rows_per_bucket - 1) / rows_per_bucket, 1, 1024);
+
+  const std::vector<Row>& rows = input.rows();
+  int64_t comps = 0;
+  const auto less = [&](const Row& a, const Row& b) {
+    ++comps;
+    return CompareRowsOn(a, b, key_column) < 0;
+  };
+
+  std::vector<std::vector<int64_t>> buckets(
+      static_cast<size_t>(num_buckets));
+  if (num_buckets == 1) {
+    buckets[0].resize(static_cast<size_t>(n));
+    for (int64_t i = 0; i < n; ++i) buckets[0][static_cast<size_t>(i)] = i;
+  } else {
+    // Evenly spaced sample of keys, sorted, thinned to num_buckets - 1
+    // splitters.
+    const int64_t sample_size = std::min<int64_t>(n, 1024);
+    std::vector<int64_t> sample(static_cast<size_t>(sample_size));
+    for (int64_t i = 0; i < sample_size; ++i) {
+      sample[static_cast<size_t>(i)] = i * n / sample_size;
+    }
+    std::stable_sort(sample.begin(), sample.end(),
+                     [&](int64_t a, int64_t b) {
+                       return less(rows[static_cast<size_t>(a)],
+                                   rows[static_cast<size_t>(b)]);
+                     });
+    std::vector<int64_t> splitters;  // row indexes of the splitter keys
+    splitters.reserve(static_cast<size_t>(num_buckets - 1));
+    for (int64_t b = 1; b < num_buckets; ++b) {
+      splitters.push_back(
+          sample[static_cast<size_t>(b * sample_size / num_buckets)]);
+    }
+    // Route each row: bucket = index of the first splitter strictly greater
+    // than the key (binary search, one Comp per step).
+    for (int64_t i = 0; i < n; ++i) {
+      const Row& row = rows[static_cast<size_t>(i)];
+      int64_t lo = 0, hi = static_cast<int64_t>(splitters.size());
+      while (lo < hi) {
+        const int64_t mid = (lo + hi) / 2;
+        if (less(row, rows[static_cast<size_t>(
+                      splitters[static_cast<size_t>(mid)])])) {
+          hi = mid;
+        } else {
+          lo = mid + 1;
+        }
+      }
+      buckets[static_cast<size_t>(lo)].push_back(i);
+    }
+  }
+
+  for (std::vector<int64_t>& bucket : buckets) {
+    std::stable_sort(bucket.begin(), bucket.end(),
+                     [&](int64_t a, int64_t b) {
+                       return less(rows[static_cast<size_t>(a)],
+                                   rows[static_cast<size_t>(b)]);
+                     });
+    for (int64_t i : bucket) {
+      out.Add(rows[static_cast<size_t>(i)]);
+    }
+  }
+  ctx->clock->Comp(comps);
+  ctx->clock->Move(n);
+  return out;
+}
+
+}  // namespace mmdb

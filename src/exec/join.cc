@@ -1,5 +1,7 @@
 #include "exec/join.h"
 
+#include <chrono>
+
 #include "common/check.h"
 
 namespace mmdb {
@@ -80,6 +82,10 @@ StatusOr<Relation> ExecuteJoin(JoinAlgorithm algorithm, const Relation& r,
   JoinRunStats local;
   JoinRunStats* st = stats != nullptr ? stats : &local;
   *st = JoinRunStats{};
+  const bool timing =
+      ctx != nullptr && ctx->metrics != nullptr && ctx->collect_wall_ns;
+  const auto t0 = timing ? std::chrono::steady_clock::now()
+                         : std::chrono::steady_clock::time_point();
   StatusOr<Relation> out = DispatchJoin(algorithm, r, s, spec, ctx, st);
   // Publish once per top-level join: the GRACE/hybrid leaves recurse
   // internally, so counting here (and only here) avoids double counts.
@@ -92,7 +98,15 @@ StatusOr<Relation> ExecuteJoin(JoinAlgorithm algorithm, const Relation& r,
     m->Add("exec.join.passes", st->passes);
     m->Add("exec.join.spilled_partitions", st->partitions);
     m->Add("exec.join.recursions", st->recursion_depth);
+    m->Add("exec.join.migrations", st->migrations);
+    m->Add("exec.join.forced_probes", st->forced_probes);
     m->Record("exec.join.fanout", st->output_tuples);
+    if (timing) {
+      m->Add("exec.join.wall_ns",
+             std::chrono::duration_cast<std::chrono::nanoseconds>(
+                 std::chrono::steady_clock::now() - t0)
+                 .count());
+    }
   }
   return out;
 }

@@ -36,6 +36,9 @@ struct JoinRunStats {
   int64_t partitions = 0;        ///< GRACE / hybrid spilled partitions
   double q = 1.0;                ///< hybrid resident fraction
   int recursion_depth = 0;       ///< hybrid overflow recursions
+  int64_t migrations = 0;        ///< hybrid partitions destaged dynamically
+  int64_t forced_probes = 0;     ///< single-key overflow partitions joined
+                                 ///  without further re-partitioning
 };
 
 /// O(||R||·||S||) nested-loop join — the correctness oracle for the four
@@ -110,6 +113,14 @@ class JoinHashTable {
         fn(row);
       }
     }
+  }
+
+  /// Bucket lookup by precomputed 64-bit hash — the vectorized probe path,
+  /// which computes key hashes column-at-a-time and walks the matching
+  /// bucket itself (charging the same comparisons Probe would).
+  const std::vector<Row>* FindBucket(uint64_t hash) const {
+    auto it = buckets_.find(hash);
+    return it == buckets_.end() ? nullptr : &it->second;
   }
 
   int64_t size() const { return size_; }

@@ -18,38 +18,44 @@ StatusOr<Relation> HybridHashJoinImpl(const Relation& r, const Relation& s,
                                       const JoinSpec& spec, ExecContext* ctx,
                                       JoinRunStats* stats, int depth);
 
-/// The (q, B) split used by one hybrid invocation — computed identically by
-/// the serial and the parallel path so their partitioning (and hence their
-/// simulated costs) match bit for bit.
-HybridSplit ComputeShavedSplit(const Relation& r, ExecContext* ctx) {
-  const int64_t r_pages = std::max<int64_t>(1, r.NumPages(ctx->page_size()));
-  HybridSplit split =
-      SolveHybridSplit(r_pages, ctx->memory_pages, ctx->fudge);
-  if (split.q < 1.0) {
-    // The analytic q fills memory EXACTLY, so a positive fluctuation of the
-    // hash split (~sqrt(n) tuples, §3.3's central-limit argument) would
-    // overflow R_0 and force the expensive save-S_0 fallback. Shave q by
-    // 4 sigma of the binomial split so overflow is a true skew signal, not
-    // noise.
-    const double expected =
-        split.q * double(std::max<int64_t>(1, r.num_tuples()));
-    split.q = std::max(0.0, split.q * (1.0 - 4.0 / std::sqrt(expected + 1.0)));
-  }
-  return split;
-}
-
-/// Joins a spilled (R_b, S_b) pair. If R_b's hash table fits, builds and
-/// probes directly; otherwise applies the hybrid join recursively (§3.3:
-/// "if we err slightly we can always apply the hybrid hash join
-/// recursively, thereby adding an extra pass for the overflow tuples").
+/// Joins a spilled (R_p, S_p) pair. If R_p's hash table fits (or recursion
+/// is exhausted), builds and probes directly; otherwise applies the hybrid
+/// join recursively (§3.3: "if we err slightly we can always apply the
+/// hybrid hash join recursively, thereby adding an extra pass for the
+/// overflow tuples").
+///
+/// Recursion only helps if re-hashing can actually split the partition. An
+/// all-duplicates partition (every build tuple carries the same key — the
+/// skew case §3.3 worries about) maps to ONE partition at every level no
+/// matter the hash, so re-partitioning it rewrites the whole pair to disk
+/// fruitlessly until the depth cap. Detect that up front and force the
+/// in-memory probe instead: one oversized build beats max_recursion_depth
+/// wasted passes over the same bytes.
 Status JoinSpilledPair(std::vector<Row> r_rows, std::vector<Row> s_rows,
                        const Schema& rs, const Schema& ss,
                        const JoinSpec& spec, ExecContext* ctx,
                        JoinRunStats* stats, int depth, Relation* out) {
   const int64_t capacity =
       std::max<int64_t>(1, ctx->TuplesInPages(rs, ctx->memory_pages));
-  if (static_cast<int64_t>(r_rows.size()) <= capacity ||
-      depth >= ctx->max_recursion_depth) {
+  const size_t left_col = static_cast<size_t>(spec.left_column);
+  bool resolve_in_memory = static_cast<int64_t>(r_rows.size()) <= capacity ||
+                           depth >= ctx->max_recursion_depth;
+  if (!resolve_in_memory) {
+    const Value& k0 = r_rows[0][left_col];
+    bool single_key = true;
+    for (size_t i = 1; i < r_rows.size(); ++i) {
+      ctx->clock->Comp();
+      if (!ValuesEqual(r_rows[i][left_col], k0)) {
+        single_key = false;
+        break;
+      }
+    }
+    if (single_key) {
+      resolve_in_memory = true;
+      if (stats != nullptr) ++stats->forced_probes;
+    }
+  }
+  if (resolve_in_memory) {
     JoinHashTable table(spec.left_column, ctx->clock);
     for (Row& row : r_rows) {
       ctx->clock->Hash();
@@ -75,6 +81,8 @@ Status JoinSpilledPair(std::vector<Row> r_rows, std::vector<Row> s_rows,
   if (stats != nullptr) {
     stats->recursion_depth =
         std::max(stats->recursion_depth, child_stats.recursion_depth);
+    stats->forced_probes += child_stats.forced_probes;
+    stats->migrations += child_stats.migrations;
   }
   for (Row& row : child.mutable_rows()) {
     out->Add(std::move(row));
@@ -82,6 +90,31 @@ Status JoinSpilledPair(std::vector<Row> r_rows, std::vector<Row> s_rows,
   return Status::OK();
 }
 
+/// Hybrid hash join with dynamic partition migration (Jahangiri & Carey,
+/// *Design Trade-offs for a Robust Dynamic Hybrid Hash Join*): instead of
+/// carving a fixed resident fraction q up front (and shaving it by 4 sigma
+/// so hash noise would not overflow it), split R uniformly into P
+/// partitions and decide *per partition, during the build* which ones stay
+/// memory-resident. Whenever the buffered build exceeds the memory grant,
+/// the largest resident partition is destaged (its buffered tuples move to
+/// its spill file — the "migration"); everything that hashes there later
+/// goes straight to disk. Skew or a bad size estimate therefore costs
+/// exactly the partitions that truly do not fit, never the static split's
+/// save-everything fallback.
+///
+/// One code path serves every DOP: the destaging schedule is *replayed*
+/// from the partition-id array (a pure function of the input), so which
+/// partitions migrate — and hence every downstream charge — is identical
+/// whether the scan ran on one worker or eight:
+///  * partition ids compute morsel-parallel (one Hash per tuple);
+///  * resident partitions build serially in input order;
+///  * each spilled partition is written by one task (input order →
+///    byte-identical spill files); migrated tuples charge one extra Move
+///    each (the rewrite from the hash table to the output buffer);
+///  * resident S tuples probe morsel-parallel with matches concatenated in
+///    morsel order (the serial emission order);
+///  * phase 2 runs one task per spilled pair, outputs concatenated in
+///    partition order.
 StatusOr<Relation> HybridHashJoinImpl(const Relation& r, const Relation& s,
                                       const JoinSpec& spec, ExecContext* ctx,
                                       JoinRunStats* stats, int depth) {
@@ -90,155 +123,13 @@ StatusOr<Relation> HybridHashJoinImpl(const Relation& r, const Relation& s,
   Relation out(Schema::Concat(rs, ss));
   if (stats != nullptr) stats->recursion_depth = depth;
 
-  HybridSplit split = ComputeShavedSplit(r, ctx);
-  const int64_t b = split.q >= 1.0 ? 0 : split.num_partitions;
-  if (stats != nullptr) {
-    stats->q = split.q;
-    stats->partitions = b;
-  }
+  const int64_t r_pages = std::max<int64_t>(1, r.NumPages(ctx->page_size()));
+  const HybridSplit split =
+      SolveHybridSplit(r_pages, ctx->memory_pages, ctx->fudge);
+  const int64_t P = split.q >= 1.0 ? 1 : split.num_partitions + 1;
+  HashPartitioner partitioner(P, static_cast<uint32_t>(depth));
 
-  // Phase 1 over R: partition 0 builds in memory, 1..B spill.
-  // With a single output buffer the writes are sequential (§3.8 footnote).
-  const IoKind spill_kind = b <= 1 ? IoKind::kSequential : IoKind::kRandom;
-  HashPartitioner partitioner = HashPartitioner::Hybrid(
-      split.q, b, static_cast<uint32_t>(depth));
-
-  JoinHashTable resident(spec.left_column, ctx->clock);
-  const int64_t resident_capacity = std::max<int64_t>(
-      1, ctx->TuplesInPages(rs, std::max<int64_t>(1, ctx->memory_pages - b)));
-  std::unique_ptr<PartitionWriterSet> r_spill;
-  std::unique_ptr<PartitionWriterSet> r_overflow;
-  if (b > 0) {
-    r_spill = std::make_unique<PartitionWriterSet>(ctx, rs, b, spill_kind,
-                                                   "hybrid_r");
-  }
-
-  for (const Row& row : r.rows()) {
-    ctx->clock->Hash();
-    const Value& key = row[static_cast<size_t>(spec.left_column)];
-    const int64_t p = partitioner.PartitionOf(key);
-    if (p == 0) {
-      if (resident.size() < resident_capacity) {
-        ctx->clock->Move();
-        resident.Insert(row);
-      } else {
-        // R_0 overflow: siphon the excess to its own file; matching S_0
-        // tuples are saved below and the pair joins recursively.
-        if (r_overflow == nullptr) {
-          r_overflow = std::make_unique<PartitionWriterSet>(
-              ctx, rs, 1, spill_kind, "hybrid_r_ovf");
-        }
-        MMDB_RETURN_IF_ERROR(r_overflow->Append(0, row));
-      }
-    } else {
-      MMDB_RETURN_IF_ERROR(r_spill->Append(p - 1, row));
-    }
-  }
-  if (r_spill != nullptr) MMDB_RETURN_IF_ERROR(r_spill->FinishAll());
-  if (r_overflow != nullptr) MMDB_RETURN_IF_ERROR(r_overflow->FinishAll());
-
-  // Phase 1 over S: bucket 0 probes immediately; the rest spills.
-  std::unique_ptr<PartitionWriterSet> s_spill;
-  std::unique_ptr<PartitionWriterSet> s0_saved;
-  if (b > 0) {
-    s_spill = std::make_unique<PartitionWriterSet>(ctx, ss, b, spill_kind,
-                                                   "hybrid_s");
-  }
-  if (r_overflow != nullptr) {
-    s0_saved = std::make_unique<PartitionWriterSet>(ctx, ss, 1, spill_kind,
-                                                    "hybrid_s0_saved");
-  }
-  for (const Row& row : s.rows()) {
-    ctx->clock->Hash();
-    const Value& key = row[static_cast<size_t>(spec.right_column)];
-    const int64_t p = partitioner.PartitionOf(key);
-    if (p == 0) {
-      resident.Probe(key, [&](const Row& r_row) {
-        exec_internal::EmitJoined(r_row, row, &out);
-      });
-      if (s0_saved != nullptr) {
-        MMDB_RETURN_IF_ERROR(s0_saved->Append(0, row));
-      }
-    } else {
-      MMDB_RETURN_IF_ERROR(s_spill->Append(p - 1, row));
-    }
-  }
-  if (s_spill != nullptr) MMDB_RETURN_IF_ERROR(s_spill->FinishAll());
-  if (s0_saved != nullptr) MMDB_RETURN_IF_ERROR(s0_saved->FinishAll());
-
-  // Phase 2: join each spilled pair.
-  if (b > 0) {
-    auto r_parts = r_spill->Release();
-    auto s_parts = s_spill->Release();
-    for (int64_t i = 0; i < b; ++i) {
-      const auto& rp = r_parts[static_cast<size_t>(i)];
-      const auto& sp = s_parts[static_cast<size_t>(i)];
-      if (rp.records == 0 || sp.records == 0) {
-        ctx->disk->DeleteFile(rp.file);
-        ctx->disk->DeleteFile(sp.file);
-        continue;
-      }
-      MMDB_ASSIGN_OR_RETURN(std::vector<Row> r_rows,
-                            ReadAndDeletePartition(ctx, rs, rp));
-      MMDB_ASSIGN_OR_RETURN(std::vector<Row> s_rows,
-                            ReadAndDeletePartition(ctx, ss, sp));
-      MMDB_RETURN_IF_ERROR(JoinSpilledPair(std::move(r_rows),
-                                           std::move(s_rows), rs, ss, spec,
-                                           ctx, stats, depth, &out));
-    }
-  }
-
-  // Overflow of the resident partition, if any.
-  if (r_overflow != nullptr) {
-    auto ovf = r_overflow->Release();
-    auto saved = s0_saved->Release();
-    MMDB_ASSIGN_OR_RETURN(std::vector<Row> r_rows,
-                          ReadAndDeletePartition(ctx, rs, ovf[0]));
-    MMDB_ASSIGN_OR_RETURN(std::vector<Row> s_rows,
-                          ReadAndDeletePartition(ctx, ss, saved[0]));
-    MMDB_RETURN_IF_ERROR(JoinSpilledPair(std::move(r_rows), std::move(s_rows),
-                                         rs, ss, spec, ctx, stats, depth,
-                                         &out));
-  }
-
-  if (stats != nullptr) stats->output_tuples = out.num_tuples();
-  return out;
-}
-
-/// The DOP > 1 top-level hybrid (recursive overflow handling stays serial
-/// inside each worker: worker contexts have dop = 1). Charge-for-charge it
-/// mirrors HybridHashJoinImpl at depth 0:
-///  * the partitioning hash of every R/S tuple is charged during the
-///    morsel-parallel partition-id scan;
-///  * the resident partition R_0 is built serially in input order, so the
-///    resident/overflow split — and therefore every downstream comparison
-///    count — is identical to the serial run;
-///  * spilled partitions are written by one task each (input order →
-///    byte-identical spill files), and phase 2 runs one task per pair with
-///    results concatenated in partition order.
-StatusOr<Relation> HybridHashJoinParallel(const Relation& r,
-                                          const Relation& s,
-                                          const JoinSpec& spec,
-                                          ExecContext* ctx,
-                                          JoinRunStats* stats) {
-  const Schema& rs = r.schema();
-  const Schema& ss = s.schema();
-  Relation out(Schema::Concat(rs, ss));
-  if (stats != nullptr) stats->recursion_depth = 0;
-
-  HybridSplit split = ComputeShavedSplit(r, ctx);
-  const int64_t b = split.q >= 1.0 ? 0 : split.num_partitions;
-  if (stats != nullptr) {
-    stats->q = split.q;
-    stats->partitions = b;
-  }
-
-  const IoKind spill_kind = b <= 1 ? IoKind::kSequential : IoKind::kRandom;
-  HashPartitioner partitioner = HashPartitioner::Hybrid(split.q, b, 0);
-
-  // Phase 1 over R: parallel partition-id scan (charges the Hash per
-  // tuple), then resident build in input order + one spill task per
-  // partition.
+  // ---- Phase 1a: partition ids for R (the partitioning hash).
   std::vector<int32_t> r_pids;
   MMDB_RETURN_IF_ERROR(ComputePartitionIds(
       ctx, r.rows(),
@@ -248,40 +139,89 @@ StatusOr<Relation> HybridHashJoinParallel(const Relation& r,
       },
       &r_pids));
   const std::vector<std::vector<int64_t>> r_groups =
-      GroupIndicesByPartition(r_pids, b + 1);
+      GroupIndicesByPartition(r_pids, P);
 
-  JoinHashTable resident(spec.left_column, ctx->clock);
-  const int64_t resident_capacity = std::max<int64_t>(
-      1, ctx->TuplesInPages(rs, std::max<int64_t>(1, ctx->memory_pages - b)));
-  std::unique_ptr<PartitionWriterSet> r_spill;
-  std::unique_ptr<PartitionWriterSet> r_overflow;
-  if (b > 0) {
-    r_spill = std::make_unique<PartitionWriterSet>(ctx, rs, b, spill_kind,
-                                                   "hybrid_r");
-  }
-  for (int64_t idx : r_groups[0]) {
-    const Row& row = r.rows()[static_cast<size_t>(idx)];
-    if (resident.size() < resident_capacity) {
-      ctx->clock->Move();
-      resident.Insert(row);
-    } else {
-      if (r_overflow == nullptr) {
-        r_overflow = std::make_unique<PartitionWriterSet>(
-            ctx, rs, 1, spill_kind, "hybrid_r_ovf");
+  // ---- Destaging schedule: replay R's arrival order, evicting the
+  // largest resident partition whenever the buffered build would exceed
+  // the grant. Each spilled partition claims one output-buffer page, so
+  // the build's share shrinks as partitions destage.
+  std::vector<char> spilled(static_cast<size_t>(P), 0);
+  std::vector<int64_t> buffered(static_cast<size_t>(P), 0);
+  int64_t resident_rows = 0;
+  int64_t spilled_count = 0;
+  int64_t migrated_rows = 0;  // buffered tuples rewritten on eviction
+  int64_t migrations = 0;     // evictions that had buffered tuples
+  auto capacity_now = [&]() {
+    return std::max<int64_t>(
+        1, ctx->TuplesInPages(
+               rs, std::max<int64_t>(1, ctx->memory_pages - spilled_count)));
+  };
+  for (int32_t pid : r_pids) {
+    const size_t p = static_cast<size_t>(pid);
+    if (spilled[p]) continue;
+    ++buffered[p];
+    ++resident_rows;
+    while (resident_rows > capacity_now() && P > 1 &&
+           spilled_count < P) {
+      // Evict the largest buffered partition (ties -> lowest id). Evicting
+      // an empty partition frees nothing, so stop once only empties remain.
+      size_t victim = 0;
+      int64_t victim_rows = -1;
+      for (size_t cand = 0; cand < spilled.size(); ++cand) {
+        if (!spilled[cand] && buffered[cand] > victim_rows) {
+          victim = cand;
+          victim_rows = buffered[cand];
+        }
       }
-      MMDB_RETURN_IF_ERROR(r_overflow->Append(0, row));
+      if (victim_rows <= 0) break;
+      spilled[victim] = 1;
+      ++spilled_count;
+      ++migrations;
+      migrated_rows += buffered[victim];
+      resident_rows -= buffered[victim];
+      buffered[victim] = 0;
     }
   }
-  if (b > 0) {
-    MMDB_RETURN_IF_ERROR(
-        ParallelDistribute(ctx, r.rows(), r_groups, 1, r_spill.get()));
+  if (stats != nullptr) {
+    stats->partitions = spilled_count;
+    stats->migrations += migrations;
+    stats->q = r_pids.empty()
+                   ? 1.0
+                   : double(resident_rows) / double(r_pids.size());
   }
-  if (r_spill != nullptr) MMDB_RETURN_IF_ERROR(r_spill->FinishAll());
-  if (r_overflow != nullptr) MMDB_RETURN_IF_ERROR(r_overflow->FinishAll());
 
-  // Phase 1 over S: parallel partition-id scan; bucket 0 probes the (now
-  // read-only) resident table morsel-parallel with matches concatenated in
-  // morsel order — the same emission order as the serial S scan.
+  // ---- Phase 1b over R: build the resident partitions in input order;
+  // one spill task per destaged partition. Migrated tuples sat in the hash
+  // table before their partition destaged: charge the rewrite.
+  const IoKind spill_kind =
+      spilled_count <= 1 ? IoKind::kSequential : IoKind::kRandom;
+  JoinHashTable resident(spec.left_column, ctx->clock);
+  for (int64_t p = 0; p < P; ++p) {
+    if (spilled[static_cast<size_t>(p)]) continue;
+    for (int64_t idx : r_groups[static_cast<size_t>(p)]) {
+      ctx->clock->Move();
+      resident.Insert(r.rows()[static_cast<size_t>(idx)]);
+    }
+  }
+  std::unique_ptr<PartitionWriterSet> r_spill;
+  std::unique_ptr<PartitionWriterSet> s_spill;
+  if (spilled_count > 0) {
+    ctx->clock->Move(migrated_rows);
+    r_spill = std::make_unique<PartitionWriterSet>(ctx, rs, P, spill_kind,
+                                                   "hybrid_r");
+    std::vector<std::vector<int64_t>> spill_groups = r_groups;
+    for (int64_t p = 0; p < P; ++p) {
+      if (!spilled[static_cast<size_t>(p)]) {
+        spill_groups[static_cast<size_t>(p)].clear();
+      }
+    }
+    MMDB_RETURN_IF_ERROR(
+        ParallelDistribute(ctx, r.rows(), spill_groups, 0, r_spill.get()));
+    MMDB_RETURN_IF_ERROR(r_spill->FinishAll());
+  }
+
+  // ---- Phase 1c over S: resident partitions probe immediately
+  // (morsel-parallel against the now read-only table), the rest spills.
   std::vector<int32_t> s_pids;
   MMDB_RETURN_IF_ERROR(ComputePartitionIds(
       ctx, s.rows(),
@@ -290,23 +230,15 @@ StatusOr<Relation> HybridHashJoinParallel(const Relation& r,
             row[static_cast<size_t>(spec.right_column)]);
       },
       &s_pids));
-  const std::vector<std::vector<int64_t>> s_groups =
-      GroupIndicesByPartition(s_pids, b + 1);
-
-  std::unique_ptr<PartitionWriterSet> s_spill;
-  std::unique_ptr<PartitionWriterSet> s0_saved;
-  if (b > 0) {
-    s_spill = std::make_unique<PartitionWriterSet>(ctx, ss, b, spill_kind,
-                                                   "hybrid_s");
-  }
-  if (r_overflow != nullptr) {
-    s0_saved = std::make_unique<PartitionWriterSet>(ctx, ss, 1, spill_kind,
-                                                    "hybrid_s0_saved");
+  std::vector<int64_t> probe_idx;
+  for (size_t i = 0; i < s_pids.size(); ++i) {
+    if (!spilled[static_cast<size_t>(s_pids[i])]) {
+      probe_idx.push_back(static_cast<int64_t>(i));
+    }
   }
   {
-    const std::vector<int64_t>& s0 = s_groups[0];
     const std::vector<IndexRange> morsels =
-        MorselRanges(static_cast<int64_t>(s0.size()));
+        MorselRanges(static_cast<int64_t>(probe_idx.size()));
     std::vector<std::vector<Row>> emitted(morsels.size());
     MMDB_RETURN_IF_ERROR(ParallelFor(
         ctx, static_cast<int64_t>(morsels.size()),
@@ -314,8 +246,8 @@ StatusOr<Relation> HybridHashJoinParallel(const Relation& r,
           std::vector<Row>& local = emitted[static_cast<size_t>(m)];
           const IndexRange range = morsels[static_cast<size_t>(m)];
           for (int64_t i = range.begin; i < range.end; ++i) {
-            const Row& row =
-                s.rows()[static_cast<size_t>(s0[static_cast<size_t>(i)])];
+            const Row& row = s.rows()[static_cast<size_t>(
+                probe_idx[static_cast<size_t>(i)])];
             resident.ProbeWith(
                 wctx->clock, row[static_cast<size_t>(spec.right_column)],
                 [&](const Row& r_row) {
@@ -329,29 +261,31 @@ StatusOr<Relation> HybridHashJoinParallel(const Relation& r,
         out.Add(std::move(row));
       }
     }
-    if (s0_saved != nullptr) {
-      for (int64_t idx : s0) {
-        MMDB_RETURN_IF_ERROR(
-            s0_saved->Append(0, s.rows()[static_cast<size_t>(idx)]));
+  }
+  if (spilled_count > 0) {
+    s_spill = std::make_unique<PartitionWriterSet>(ctx, ss, P, spill_kind,
+                                                   "hybrid_s");
+    std::vector<std::vector<int64_t>> spill_groups =
+        GroupIndicesByPartition(s_pids, P);
+    for (int64_t p = 0; p < P; ++p) {
+      if (!spilled[static_cast<size_t>(p)]) {
+        spill_groups[static_cast<size_t>(p)].clear();
       }
     }
-  }
-  if (b > 0) {
     MMDB_RETURN_IF_ERROR(
-        ParallelDistribute(ctx, s.rows(), s_groups, 1, s_spill.get()));
+        ParallelDistribute(ctx, s.rows(), spill_groups, 0, s_spill.get()));
+    MMDB_RETURN_IF_ERROR(s_spill->FinishAll());
   }
-  if (s_spill != nullptr) MMDB_RETURN_IF_ERROR(s_spill->FinishAll());
-  if (s0_saved != nullptr) MMDB_RETURN_IF_ERROR(s0_saved->FinishAll());
 
-  // Phase 2: one task per spilled pair; per-pair outputs concatenated in
-  // partition order (the serial emission order).
-  if (b > 0) {
+  // ---- Phase 2: one task per spilled pair, concatenated in partition
+  // order (the serial emission order).
+  if (spilled_count > 0) {
     auto r_parts = r_spill->Release();
     auto s_parts = s_spill->Release();
-    std::vector<Relation> partial(static_cast<size_t>(b));
-    std::vector<int> depths(static_cast<size_t>(b), 0);
+    std::vector<Relation> partial(static_cast<size_t>(P));
+    std::vector<JoinRunStats> pair_stats(static_cast<size_t>(P));
     MMDB_RETURN_IF_ERROR(ParallelFor(
-        ctx, b, [&](ExecContext* wctx, int, int64_t i) {
+        ctx, P, [&](ExecContext* wctx, int, int64_t i) {
           const auto& rp = r_parts[static_cast<size_t>(i)];
           const auto& sp = s_parts[static_cast<size_t>(i)];
           if (rp.records == 0 || sp.records == 0) {
@@ -367,8 +301,8 @@ StatusOr<Relation> HybridHashJoinParallel(const Relation& r,
           JoinRunStats local_stats;
           MMDB_RETURN_IF_ERROR(JoinSpilledPair(
               std::move(r_rows), std::move(s_rows), rs, ss, spec, wctx,
-              &local_stats, 0, &local));
-          depths[static_cast<size_t>(i)] = local_stats.recursion_depth;
+              &local_stats, depth, &local));
+          pair_stats[static_cast<size_t>(i)] = local_stats;
           partial[static_cast<size_t>(i)] = std::move(local);
           return Status::OK();
         }));
@@ -378,23 +312,13 @@ StatusOr<Relation> HybridHashJoinParallel(const Relation& r,
       }
     }
     if (stats != nullptr) {
-      for (int d : depths) {
-        stats->recursion_depth = std::max(stats->recursion_depth, d);
+      for (const JoinRunStats& ps : pair_stats) {
+        stats->recursion_depth =
+            std::max(stats->recursion_depth, ps.recursion_depth);
+        stats->forced_probes += ps.forced_probes;
+        stats->migrations += ps.migrations;
       }
     }
-  }
-
-  // Overflow of the resident partition, if any (serial, like the tail of
-  // the serial implementation).
-  if (r_overflow != nullptr) {
-    auto ovf = r_overflow->Release();
-    auto saved = s0_saved->Release();
-    MMDB_ASSIGN_OR_RETURN(std::vector<Row> r_rows,
-                          ReadAndDeletePartition(ctx, rs, ovf[0]));
-    MMDB_ASSIGN_OR_RETURN(std::vector<Row> s_rows,
-                          ReadAndDeletePartition(ctx, ss, saved[0]));
-    MMDB_RETURN_IF_ERROR(JoinSpilledPair(std::move(r_rows), std::move(s_rows),
-                                         rs, ss, spec, ctx, stats, 0, &out));
   }
 
   if (stats != nullptr) stats->output_tuples = out.num_tuples();
@@ -406,9 +330,6 @@ StatusOr<Relation> HybridHashJoinParallel(const Relation& r,
 StatusOr<Relation> HybridHashJoin(const Relation& r, const Relation& s,
                                   const JoinSpec& spec, ExecContext* ctx,
                                   JoinRunStats* stats) {
-  if (ctx->dop > 1) {
-    return HybridHashJoinParallel(r, s, spec, ctx, stats);
-  }
   return HybridHashJoinImpl(r, s, spec, ctx, stats, 0);
 }
 

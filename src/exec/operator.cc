@@ -2,10 +2,20 @@
 
 namespace mmdb {
 
+StatusOr<const Row*> Operator::NextRef(Row* scratch) {
+  MMDB_ASSIGN_OR_RETURN(bool more, Next(scratch));
+  return more ? scratch : nullptr;
+}
+
 StatusOr<bool> MemScan::Next(Row* out) {
   if (pos_ >= relation_->num_tuples()) return false;
   *out = relation_->rows()[static_cast<size_t>(pos_++)];
   return true;
+}
+
+StatusOr<const Row*> MemScan::NextRef(Row* /*scratch*/) {
+  if (pos_ >= relation_->num_tuples()) return static_cast<const Row*>(nullptr);
+  return &relation_->rows()[static_cast<size_t>(pos_++)];
 }
 
 StatusOr<bool> Filter::Next(Row* out) {
@@ -14,6 +24,15 @@ StatusOr<bool> Filter::Next(Row* out) {
     if (!more) return false;
     if (clock_ != nullptr) clock_->Comp();
     if (pred_(*out)) return true;
+  }
+}
+
+StatusOr<const Row*> Filter::NextRef(Row* scratch) {
+  while (true) {
+    MMDB_ASSIGN_OR_RETURN(const Row* row, child_->NextRef(scratch));
+    if (row == nullptr) return row;
+    if (clock_ != nullptr) clock_->Comp();
+    if (pred_(*row)) return row;
   }
 }
 
@@ -34,14 +53,27 @@ StatusOr<bool> Project::Next(Row* out) {
   return true;
 }
 
+StatusOr<const Row*> Project::NextRef(Row* scratch) {
+  MMDB_ASSIGN_OR_RETURN(const Row* in, child_->NextRef(&in_scratch_));
+  if (in == nullptr) return in;
+  scratch->clear();
+  scratch->reserve(columns_.size());
+  for (int c : columns_) {
+    scratch->push_back((*in)[static_cast<size_t>(c)]);
+  }
+  return static_cast<const Row*>(scratch);
+}
+
 StatusOr<Relation> Materialize(Operator* op) {
   MMDB_RETURN_IF_ERROR(op->Open());
   Relation out(op->output_schema());
-  Row row;
+  Row scratch;
   while (true) {
-    MMDB_ASSIGN_OR_RETURN(bool more, op->Next(&row));
-    if (!more) break;
-    out.Add(row);
+    // NextRef pulls through the pipeline without a per-row Row copy: the
+    // single unavoidable copy happens here, into the output relation.
+    MMDB_ASSIGN_OR_RETURN(const Row* row, op->NextRef(&scratch));
+    if (row == nullptr) break;
+    out.Add(*row);
   }
   op->Close();
   return out;

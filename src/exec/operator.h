@@ -23,6 +23,12 @@ class Operator {
   virtual Status Open() = 0;
   /// Produces the next row into `*out`; returns false at end of stream.
   virtual StatusOr<bool> Next(Row* out) = 0;
+  /// Copy-free pull: returns the next row either as a borrowed pointer
+  /// (valid until the next pull) or as `*scratch` filled in place, so a
+  /// pipeline pulls rows through scan/filter/project without allocating a
+  /// fresh Row per call. Returns nullptr at end of stream. The base
+  /// implementation falls back to Next(scratch).
+  virtual StatusOr<const Row*> NextRef(Row* scratch);
   virtual void Close() = 0;
 
   virtual const Schema& output_schema() const = 0;
@@ -38,6 +44,7 @@ class MemScan : public Operator {
     return Status::OK();
   }
   StatusOr<bool> Next(Row* out) override;
+  StatusOr<const Row*> NextRef(Row* scratch) override;
   void Close() override {}
   const Schema& output_schema() const override {
     return relation_->schema();
@@ -60,6 +67,7 @@ class Filter : public Operator {
 
   Status Open() override { return child_->Open(); }
   StatusOr<bool> Next(Row* out) override;
+  StatusOr<const Row*> NextRef(Row* scratch) override;
   void Close() override { child_->Close(); }
   const Schema& output_schema() const override {
     return child_->output_schema();
@@ -79,6 +87,7 @@ class Project : public Operator {
 
   Status Open() override { return child_->Open(); }
   StatusOr<bool> Next(Row* out) override;
+  StatusOr<const Row*> NextRef(Row* scratch) override;
   void Close() override { child_->Close(); }
   const Schema& output_schema() const override { return schema_; }
 
@@ -86,6 +95,7 @@ class Project : public Operator {
   std::unique_ptr<Operator> child_;
   std::vector<int> columns_;
   Schema schema_;
+  Row in_scratch_;  ///< reused buffer for pulling the child (NextRef path)
 };
 
 /// Drains `op` into a materialized Relation (Open/Next*/Close).

@@ -24,16 +24,23 @@ HashPartitioner HashPartitioner::Hybrid(double q0, int64_t spilled,
 
 int64_t HashPartitioner::PartitionOf(const Value& key) const {
   const uint64_t h = Mix64(HashValue(key) ^ salt_);
-  // Map the hash to [0,1) and carve the unit interval.
+  // One mapping for both shapes: project the hash onto [0,1) and carve the
+  // unit interval. The uniform split is exactly the hybrid split with
+  // q0 = 0, so the two constructors can never disagree for the same key
+  // (an earlier version mixed this carve with `h % num_partitions_`, which
+  // routed the same key differently across call sites).
+  if (num_partitions_ == 1) return 0;
   const double x = double(h >> 11) * 0x1.0p-53;
   if (q0_ > 0.0) {
-    if (x < q0_ || num_partitions_ == 1) return 0;
+    if (x < q0_) return 0;
     const double rest = (x - q0_) / (1.0 - q0_);
     int64_t p = 1 + static_cast<int64_t>(rest * double(num_partitions_ - 1));
     if (p >= num_partitions_) p = num_partitions_ - 1;
     return p;
   }
-  return static_cast<int64_t>(h % static_cast<uint64_t>(num_partitions_));
+  int64_t p = static_cast<int64_t>(x * double(num_partitions_));
+  if (p >= num_partitions_) p = num_partitions_ - 1;
+  return p;
 }
 
 PartitionWriterSet::PartitionWriterSet(ExecContext* ctx, const Schema& schema,

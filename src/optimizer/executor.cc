@@ -1,8 +1,10 @@
 #include "optimizer/executor.h"
 
 #include <algorithm>
+#include <chrono>
 
 #include "common/check.h"
+#include "exec/batch.h"
 #include "exec/parallel.h"
 #include "optimizer/optimizer.h"
 
@@ -84,6 +86,78 @@ StatusOr<Relation> ExecuteNode(const PlanNode& plan, const Catalog& catalog,
       Relation out(in.schema());
       const int64_t rows_in = in.num_tuples();
       ScopedDop sd(ctx, plan.dop);
+      const bool timing = ctx->metrics != nullptr && ctx->collect_wall_ns;
+      const auto t0 = timing ? std::chrono::steady_clock::now()
+                             : std::chrono::steady_clock::time_point();
+      const auto publish_wall = [&] {
+        if (!timing) return;
+        ctx->metrics->Add(
+            "exec.filter.wall_ns",
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count());
+      };
+      if (plan.vector) {
+        // Vectorized filter (DESIGN.md §14): transpose kBatchRows-sized
+        // chunks into column-major batches and run the compiled-predicate
+        // kernel. Predicate j runs only over the rows that survived
+        // predicates 0..j-1 (the selection vector shrinks between stages),
+        // so the Comp totals equal the tuple loop's early-exit pattern, and
+        // survivors emit in input order — identical bytes, identical
+        // charges, at every DOP.
+        const std::vector<CompiledPredicate> compiled =
+            CompilePredicates(in.schema(), plan.predicates, col_indexes);
+        const auto filter_range = [&](ExecContext* wctx, int64_t begin,
+                                      int64_t end, std::vector<Row>* keep) {
+          RowBatch batch;
+          for (int64_t base = begin; base < end; base += kBatchRows) {
+            const int64_t stop = std::min(end, base + kBatchRows);
+            RowsToBatch(in, base, stop, &batch);
+            BatchFilter::FilterBatch(compiled, wctx->clock, &batch);
+            const int64_t live = batch.ActiveRows();
+            for (int64_t k = 0; k < live; ++k) {
+              keep->push_back(std::move(in.mutable_rows()[static_cast<size_t>(
+                  base + batch.ActiveIndex(k))]));
+            }
+          }
+        };
+        if (ctx->dop > 1) {
+          const std::vector<IndexRange> morsels =
+              MorselRanges(in.num_tuples());
+          std::vector<std::vector<Row>> kept(morsels.size());
+          MMDB_RETURN_IF_ERROR(ParallelFor(
+              ctx, static_cast<int64_t>(morsels.size()),
+              [&](ExecContext* wctx, int, int64_t m) {
+                const IndexRange range = morsels[static_cast<size_t>(m)];
+                std::vector<Row>& local = kept[static_cast<size_t>(m)];
+                filter_range(wctx, range.begin, range.end, &local);
+                if (wctx->metrics != nullptr) {
+                  wctx->metrics->Add("exec.filter.rows_in",
+                                     range.end - range.begin);
+                  wctx->metrics->Add("exec.filter.rows_out",
+                                     static_cast<int64_t>(local.size()));
+                }
+                return Status::OK();
+              }));
+          for (std::vector<Row>& batch : kept) {
+            for (Row& row : batch) {
+              out.Add(std::move(row));
+            }
+          }
+        } else {
+          std::vector<Row> keep;
+          filter_range(ctx, 0, in.num_tuples(), &keep);
+          for (Row& row : keep) {
+            out.Add(std::move(row));
+          }
+          if (ctx->metrics != nullptr) {
+            ctx->metrics->Add("exec.filter.rows_in", rows_in);
+            ctx->metrics->Add("exec.filter.rows_out", out.num_tuples());
+          }
+        }
+        publish_wall();
+        return out;
+      }
       if (ctx->dop > 1) {
         // Morsel-parallel filter: per-morsel survivor buffers concatenated
         // in morsel order give the serial output order; the early-exit
@@ -125,6 +199,7 @@ StatusOr<Relation> ExecuteNode(const PlanNode& plan, const Catalog& catalog,
             out.Add(std::move(row));
           }
         }
+        publish_wall();
         return out;
       }
       for (Row& row : in.mutable_rows()) {
@@ -142,6 +217,7 @@ StatusOr<Relation> ExecuteNode(const PlanNode& plan, const Catalog& catalog,
         ctx->metrics->Add("exec.filter.rows_in", rows_in);
         ctx->metrics->Add("exec.filter.rows_out", out.num_tuples());
       }
+      publish_wall();
       return out;
     }
     case PlanNode::Kind::kJoin: {
@@ -163,6 +239,12 @@ StatusOr<Relation> ExecuteNode(const PlanNode& plan, const Catalog& catalog,
       spec.left_column = plan.build_is_right ? right_idx : left_idx;
       spec.right_column = plan.build_is_right ? left_idx : right_idx;
       ScopedDop sd(ctx, plan.dop);
+      if (plan.vector && plan.algorithm == JoinAlgorithm::kHybridHash) {
+        // Vectorized probe; delegates back to the row-major hybrid when the
+        // build spills or the node runs parallel, so bytes and charges
+        // match tuple execution unconditionally.
+        return VectorHashJoin(build, probe, spec, ctx);
+      }
       return ExecuteJoin(plan.algorithm, build, probe, spec, ctx);
     }
     case PlanNode::Kind::kProject: {
@@ -210,8 +292,10 @@ StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
       ctx->metrics != nullptr ? ctx->metrics->Get("exec.spill.bytes") : 0;
   const int64_t spill_parts_before =
       ctx->metrics != nullptr ? ctx->metrics->Get("exec.spill.partitions") : 0;
+  const auto wall_before = std::chrono::steady_clock::now();
   StatusOr<Relation> out = ExecuteNode(plan, catalog, ctx, indexes, trace);
   if (!out.ok()) return out;
+  const auto wall_after = std::chrono::steady_clock::now();
   const CostCounters after = ctx->clock->counters();
   const SimulatedDisk::Stats disk_after = ctx->disk->stats();
   PlanNodeRunStats& st = trace->nodes[&plan];
@@ -226,6 +310,9 @@ StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
         ctx->metrics->Get("exec.spill.partitions") - spill_parts_before;
   }
   st.cost_seconds = ctx->clock->Seconds() - seconds_before;
+  st.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                   wall_after - wall_before)
+                   .count();
   return out;
 }
 
@@ -244,21 +331,25 @@ std::string RenderAnalyzedPlan(const PlanNode& plan,
         auto it = trace.nodes.find(&node);
         if (it == trace.nodes.end()) return std::string();
         const PlanNodeRunStats& s = it->second;
-        // Self cost = this node's inclusive window minus the children's.
+        // Self cost/time = this node's inclusive window minus the
+        // children's.
         double child_seconds = 0;
+        int64_t child_wall_ns = 0;
         for (const PlanNode* child :
              {node.child_left.get(), node.child_right.get()}) {
           if (child == nullptr) continue;
           auto cit = trace.nodes.find(child);
           if (cit != trace.nodes.end()) {
             child_seconds += cit->second.cost_seconds;
+            child_wall_ns += cit->second.wall_ns;
           }
         }
-        char buf[256];
+        char buf[320];
         std::snprintf(
             buf, sizeof(buf),
             "\n%s(actual rows=%lld comps=%lld hashes=%lld reads=%lld "
-            "writes=%lld spill=%lldB/%lldp cost=%.3fs self=%.3fs)",
+            "writes=%lld spill=%lldB/%lldp cost=%.3fs self=%.3fs "
+            "wall=%.3fms self_wall=%.3fms)",
             std::string(static_cast<size_t>(indent) * 2 + 4, ' ').c_str(),
             static_cast<long long>(s.rows_out),
             static_cast<long long>(s.comparisons),
@@ -267,7 +358,9 @@ std::string RenderAnalyzedPlan(const PlanNode& plan,
             static_cast<long long>(s.page_writes),
             static_cast<long long>(s.spill_bytes),
             static_cast<long long>(s.spill_partitions),
-            s.cost_seconds, s.cost_seconds - child_seconds);
+            s.cost_seconds, s.cost_seconds - child_seconds,
+            double(s.wall_ns) / 1e6,
+            double(s.wall_ns - child_wall_ns) / 1e6);
         return std::string(buf);
       });
 }

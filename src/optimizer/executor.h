@@ -38,6 +38,7 @@ struct PlanNodeRunStats {
   int64_t spill_partitions = 0;  ///< "exec.spill.partitions" delta
   int64_t spill_bytes = 0;       ///< "exec.spill.bytes" delta
   double cost_seconds = 0;       ///< simulated cost-clock delta
+  int64_t wall_ns = 0;           ///< real elapsed time (inclusive)
 };
 
 /// Per-node statistics keyed by plan node, filled by ExecutePlan when the

@@ -22,6 +22,10 @@ struct OptimizerOptions {
   /// Degree of parallelism stamped onto the join and filter nodes of the
   /// produced plan (DESIGN.md §8). 1 = serial plans, today's behavior.
   int dop = 1;
+  /// Stamp `vector=on` onto the join and filter nodes of the produced plan
+  /// (DESIGN.md §14): the executor then runs the batch kernels. Results and
+  /// cost-clock totals are identical to tuple execution at every DOP.
+  bool vectorize = false;
 };
 
 /// A Selinger-flavoured planner specialised for main memory (§4):

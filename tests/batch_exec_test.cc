@@ -1,0 +1,397 @@
+#include "exec/batch.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "exec/operator.h"
+#include "storage/datagen.h"
+
+namespace mmdb {
+namespace {
+
+/// Order-sensitive rendering: the vector kernels promise byte-identical
+/// output in the same order as the tuple path, not just the same multiset.
+std::vector<std::string> RowStrings(const Relation& rel) {
+  std::vector<std::string> out;
+  out.reserve(static_cast<size_t>(rel.num_tuples()));
+  for (const Row& row : rel.rows()) out.push_back(RowToString(row));
+  return out;
+}
+
+std::multiset<std::string> Canonical(const Relation& rel) {
+  std::multiset<std::string> out;
+  for (const Row& row : rel.rows()) out.insert(RowToString(row));
+  return out;
+}
+
+TEST(RowBatchTest, BatchMemScanRoundTrips) {
+  const Relation rel = MakeEmployeeRelation(3000, 64, 7);
+  BatchMemScan scan(&rel);
+  ASSERT_TRUE(scan.Open().ok());
+  RowBatch batch;
+  int64_t seen = 0;
+  while (true) {
+    auto more = scan.NextBatch(&batch);
+    ASSERT_TRUE(more.ok());
+    if (!*more) break;
+    EXPECT_LE(batch.ActiveRows(), kBatchRows);
+    for (int64_t k = 0; k < batch.ActiveRows(); ++k) {
+      const Row row = batch.RowAt(batch.ActiveIndex(k));
+      EXPECT_EQ(RowToString(row),
+                RowToString(rel.rows()[static_cast<size_t>(seen + k)]));
+    }
+    seen += batch.ActiveRows();
+  }
+  scan.Close();
+  EXPECT_EQ(seen, rel.num_tuples());
+
+  BatchMemScan scan2(&rel);
+  auto out = MaterializeBatches(&scan2);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(RowStrings(*out), RowStrings(rel));
+}
+
+TEST(CompiledPredicateTest, MatchesEvalPredicateIncludingTypeMismatches) {
+  const Relation rel = MakeEmployeeRelation(500, 64, 11);
+  const Schema& schema = rel.schema();
+  struct Case {
+    const char* column;
+    CmpOp op;
+    Value literal;
+  };
+  const Case cases[] = {
+      {"emp_id", CmpOp::kLt, Value{int64_t{250}}},
+      {"emp_id", CmpOp::kGe, Value{int64_t{100}}},
+      {"emp_id", CmpOp::kNe, Value{int64_t{42}}},
+      {"salary", CmpOp::kGt, Value{45'000.0}},
+      {"salary", CmpOp::kLe, Value{60'000.0}},
+      {"name", CmpOp::kPrefix, Value{std::string("jones_0001")}},
+      {"name", CmpOp::kEq, Value{std::string("jones_000042")}},
+      // Type mismatches: EvalPredicate rejects the row, and so must the
+      // compiled kernel.
+      {"emp_id", CmpOp::kEq, Value{std::string("42")}},
+      {"name", CmpOp::kLt, Value{int64_t{10}}},
+      {"emp_id", CmpOp::kPrefix, Value{int64_t{4}}},
+      {"salary", CmpOp::kPrefix, Value{std::string("4")}},
+  };
+  for (const Case& c : cases) {
+    auto idx = schema.ColumnIndex(c.column);
+    ASSERT_TRUE(idx.ok());
+    Predicate pred;
+    pred.table = "emp";
+    pred.column = c.column;
+    pred.op = c.op;
+    pred.literal = c.literal;
+    const std::vector<CompiledPredicate> compiled =
+        CompilePredicates(schema, {pred}, {*idx});
+    ASSERT_EQ(compiled.size(), 1u);
+    for (const Row& row : rel.rows()) {
+      EXPECT_EQ(EvalCompiled(compiled[0], row),
+                EvalPredicate(pred, row, *idx))
+          << c.column << " " << CmpOpName(c.op);
+    }
+  }
+}
+
+TEST(BatchFilterTest, MatchesEarlyExitConjunctionBytesAndCharges) {
+  const Relation rel = MakeEmployeeRelation(5000, 64, 13);
+  const Schema& schema = rel.schema();
+  auto dept_idx = schema.ColumnIndex("dept");
+  auto salary_idx = schema.ColumnIndex("salary");
+  ASSERT_TRUE(dept_idx.ok() && salary_idx.ok());
+  std::vector<Predicate> preds(2);
+  preds[0] = {"emp", "dept", CmpOp::kLt, Value{int64_t{5}}};
+  preds[1] = {"emp", "salary", CmpOp::kGt, Value{40'000.0}};
+  const std::vector<int> idxs = {*dept_idx, *salary_idx};
+
+  // Tuple oracle: the plan executor's early-exit conjunction loop.
+  ExecEnv tuple_env;
+  Relation expected(schema);
+  for (const Row& row : rel.rows()) {
+    bool keep = true;
+    for (size_t i = 0; i < preds.size(); ++i) {
+      tuple_env.clock.Comp();
+      if (!EvalPredicate(preds[i], row, idxs[i])) {
+        keep = false;
+        break;
+      }
+    }
+    if (keep) expected.Add(row);
+  }
+
+  ExecEnv vec_env;
+  BatchFilter filter(std::make_unique<BatchMemScan>(&rel), preds, idxs,
+                     &vec_env.clock);
+  auto out = MaterializeBatches(&filter);
+  ASSERT_TRUE(out.ok());
+  EXPECT_GT(out->num_tuples(), 0);
+  EXPECT_LT(out->num_tuples(), rel.num_tuples());
+  EXPECT_EQ(RowStrings(*out), RowStrings(expected));
+  EXPECT_EQ(vec_env.clock.counters(), tuple_env.clock.counters());
+}
+
+TEST(BatchProjectTest, MatchesTupleProject) {
+  const Relation rel = MakeEmployeeRelation(2000, 64, 17);
+  const std::vector<int> cols = {2, 0};
+
+  Project tuple(std::make_unique<MemScan>(&rel), cols);
+  auto expected = Materialize(&tuple);
+  ASSERT_TRUE(expected.ok());
+
+  BatchProject vec(std::make_unique<BatchMemScan>(&rel), cols);
+  auto out = MaterializeBatches(&vec);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(RowStrings(*out), RowStrings(*expected));
+}
+
+void ExpectAggParity(const Relation& input, const AggregateSpec& spec,
+                     int64_t memory_pages) {
+  ExecEnv tuple_env(memory_pages);
+  AggStats tuple_stats;
+  auto expected = HashAggregate(input, spec, &tuple_env.ctx, &tuple_stats);
+  ASSERT_TRUE(expected.ok());
+
+  ExecEnv vec_env(memory_pages);
+  AggStats vec_stats;
+  BatchMemScan scan(&input);
+  auto out = BatchHashAggregate(&scan, spec, &vec_env.ctx, &vec_stats);
+  ASSERT_TRUE(out.ok());
+
+  // Exact sequence (the batch kernel reproduces even the hash-table
+  // emission order), exact cost-clock totals, exact metrics.
+  EXPECT_EQ(RowStrings(*out), RowStrings(*expected));
+  EXPECT_EQ(vec_env.clock.counters(), tuple_env.clock.counters());
+  EXPECT_EQ(vec_env.metrics.ToJson(), tuple_env.metrics.ToJson());
+  EXPECT_EQ(vec_stats.groups, tuple_stats.groups);
+  EXPECT_EQ(vec_stats.one_pass, tuple_stats.one_pass);
+}
+
+TEST(BatchAggregateTest, InMemoryKernelMatchesHashAggregateExactly) {
+  GenOptions opts;
+  opts.num_tuples = 20'000;
+  opts.tuple_width = 48;
+  opts.distribution = KeyDistribution::kUniform;
+  opts.key_range = 97;
+  opts.seed = 19;
+  const Relation input = MakeKeyedRelation(opts);
+  AggregateSpec spec;
+  spec.group_by = {0};
+  spec.aggregates = {{AggFn::kCount, 0, "cnt"},
+                     {AggFn::kSum, 1, "sum_p"},
+                     {AggFn::kAvg, 1, "avg_p"},
+                     {AggFn::kMin, 1, "min_p"},
+                     {AggFn::kMax, 1, "max_p"}};
+  ExpectAggParity(input, spec, 4096);
+}
+
+TEST(BatchAggregateTest, StringGroupsAndAggregatesMatch) {
+  const Relation input = MakeEmployeeRelation(8000, 64, 23);
+  AggregateSpec spec;
+  spec.group_by = {2};  // dept
+  spec.aggregates = {{AggFn::kCount, 0, "cnt"},
+                     {AggFn::kMin, 1, "first_name"},
+                     {AggFn::kMax, 3, "top_salary"}};
+  ExpectAggParity(input, spec, 4096);
+}
+
+TEST(BatchAggregateTest, GlobalAggregateMatches) {
+  GenOptions opts;
+  opts.num_tuples = 5'000;
+  opts.seed = 29;
+  const Relation input = MakeKeyedRelation(opts);
+  AggregateSpec spec;
+  spec.aggregates = {{AggFn::kCount, 0, "cnt"}, {AggFn::kSum, 0, "sum_key"}};
+  ExpectAggParity(input, spec, 4096);
+}
+
+TEST(BatchAggregateTest, SpillDelegationMatches) {
+  GenOptions opts;
+  opts.num_tuples = 30'000;
+  opts.tuple_width = 48;
+  opts.distribution = KeyDistribution::kUniform;
+  opts.key_range = 1'000;
+  opts.seed = 31;
+  const Relation input = MakeKeyedRelation(opts);
+  AggregateSpec spec;
+  spec.group_by = {0};
+  spec.aggregates = {{AggFn::kCount, 0, "cnt"}, {AggFn::kSum, 1, "sum_p"}};
+  // 8 pages cannot hold 30k tuples: both paths run the spilling recursion.
+  ExpectAggParity(input, spec, 8);
+}
+
+void ExpectJoinParity(int64_t memory_pages, int64_t r_tuples,
+                      int64_t s_tuples) {
+  GenOptions r_opts;
+  r_opts.num_tuples = r_tuples;
+  r_opts.tuple_width = 64;
+  r_opts.seed = 37;
+  GenOptions s_opts;
+  s_opts.num_tuples = s_tuples;
+  s_opts.tuple_width = 48;
+  s_opts.distribution = KeyDistribution::kUniform;
+  s_opts.key_range = r_tuples;
+  s_opts.seed = 41;
+  const Relation r = MakeKeyedRelation(r_opts);
+  const Relation s = MakeKeyedRelation(s_opts);
+  const JoinSpec spec{0, 0};
+
+  ExecEnv tuple_env(memory_pages);
+  auto expected =
+      ExecuteJoin(JoinAlgorithm::kHybridHash, r, s, spec, &tuple_env.ctx);
+  ASSERT_TRUE(expected.ok());
+
+  ExecEnv vec_env(memory_pages);
+  JoinRunStats stats;
+  auto out = VectorHashJoin(r, s, spec, &vec_env.ctx, &stats);
+  ASSERT_TRUE(out.ok());
+
+  EXPECT_GT(out->num_tuples(), 0);
+  EXPECT_EQ(RowStrings(*out), RowStrings(*expected));
+  EXPECT_EQ(vec_env.clock.counters(), tuple_env.clock.counters());
+  EXPECT_EQ(vec_env.metrics.ToJson(), tuple_env.metrics.ToJson());
+}
+
+TEST(VectorHashJoinTest, InMemoryProbeMatchesHybridExactly) {
+  ExpectJoinParity(/*memory_pages=*/4096, 4'000, 12'000);
+}
+
+TEST(VectorHashJoinTest, SpillingInputDelegatesAndStillMatches) {
+  ExpectJoinParity(/*memory_pages=*/16, 4'000, 12'000);
+}
+
+TEST(RadixHashJoinTest, MatchesOracleAndActuallyPartitions) {
+  GenOptions r_opts;
+  r_opts.num_tuples = 3'000;
+  r_opts.tuple_width = 64;
+  r_opts.seed = 43;
+  GenOptions s_opts;
+  s_opts.num_tuples = 9'000;
+  s_opts.tuple_width = 48;
+  s_opts.distribution = KeyDistribution::kUniform;
+  s_opts.key_range = 3'000;
+  s_opts.seed = 47;
+  const Relation r = MakeKeyedRelation(r_opts);
+  const Relation s = MakeKeyedRelation(s_opts);
+  const JoinSpec spec{0, 0};
+
+  ExecEnv oracle_env(1 << 20);
+  auto oracle = NestedLoopJoin(r, s, spec, &oracle_env.ctx);
+  ASSERT_TRUE(oracle.ok());
+
+  ExecEnv env(1 << 20);
+  JoinRunStats stats;
+  auto out = RadixHashJoin(r, s, spec, &env.ctx, &stats, /*l2_bytes=*/8192);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Canonical(*out), Canonical(*oracle));
+  EXPECT_GT(stats.partitions, 1);
+
+  // One partition (generous cache) degrades to a plain in-memory hash join.
+  ExecEnv env1(1 << 20);
+  JoinRunStats stats1;
+  auto out1 = RadixHashJoin(r, s, spec, &env1.ctx, &stats1,
+                            /*l2_bytes=*/1 << 30);
+  ASSERT_TRUE(out1.ok());
+  EXPECT_EQ(Canonical(*out1), Canonical(*oracle));
+  EXPECT_EQ(stats1.partitions, 1);
+}
+
+TEST(CacheConsciousSortTest, EqualsStableSortBy) {
+  GenOptions opts;
+  opts.num_tuples = 6'000;
+  opts.tuple_width = 48;
+  opts.distribution = KeyDistribution::kUniform;
+  opts.key_range = 50;  // heavy duplicates: stability is observable
+  opts.seed = 53;
+  const Relation input = MakeKeyedRelation(opts);
+
+  Relation expected = input;
+  expected.SortBy(0);
+
+  ExecEnv env(1 << 20);
+  auto out = CacheConsciousSort(input, 0, &env.ctx, /*l2_bytes=*/4096);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(RowStrings(*out), RowStrings(expected));
+  EXPECT_GT(env.clock.counters().comparisons, 0);
+  EXPECT_EQ(env.clock.counters().moves, input.num_tuples());
+
+  // Single-bucket path.
+  ExecEnv env1(1 << 20);
+  auto out1 = CacheConsciousSort(input, 0, &env1.ctx, /*l2_bytes=*/1 << 30);
+  ASSERT_TRUE(out1.ok());
+  EXPECT_EQ(RowStrings(*out1), RowStrings(expected));
+
+  // Empty input.
+  ExecEnv env2;
+  const Relation empty(input.schema());
+  auto out2 = CacheConsciousSort(empty, 0, &env2.ctx);
+  ASSERT_TRUE(out2.ok());
+  EXPECT_EQ(out2->num_tuples(), 0);
+}
+
+// ---- Satellite 1: the copy-free NextRef pull path. --------------------
+
+TEST(NextRefTest, MemScanBorrowsRelationStorage) {
+  const Relation rel = MakeEmployeeRelation(100, 64, 59);
+  MemScan scan(&rel);
+  ASSERT_TRUE(scan.Open().ok());
+  Row scratch;
+  for (int64_t i = 0; i < rel.num_tuples(); ++i) {
+    auto row = scan.NextRef(&scratch);
+    ASSERT_TRUE(row.ok());
+    // Pointer identity: the scan hands out the relation's own rows, no
+    // copies anywhere on the path.
+    EXPECT_EQ(*row, &rel.rows()[static_cast<size_t>(i)]);
+  }
+  auto eos = scan.NextRef(&scratch);
+  ASSERT_TRUE(eos.ok());
+  EXPECT_EQ(*eos, nullptr);
+}
+
+TEST(NextRefTest, FilterPassesBorrowedPointersThrough) {
+  const Relation rel = MakeEmployeeRelation(500, 64, 61);
+  ExecEnv env;
+  Filter filter(std::make_unique<MemScan>(&rel),
+                [](const Row& row) {
+                  return std::get<int64_t>(row[0]) % 2 == 0;
+                },
+                &env.clock);
+  ASSERT_TRUE(filter.Open().ok());
+  Row scratch;
+  const Row* lo = rel.rows().data();
+  const Row* hi = lo + rel.rows().size();
+  int64_t count = 0;
+  while (true) {
+    auto row = filter.NextRef(&scratch);
+    ASSERT_TRUE(row.ok());
+    if (*row == nullptr) break;
+    EXPECT_TRUE(*row >= lo && *row < hi);  // borrowed, not copied
+    ++count;
+  }
+  EXPECT_EQ(count, 250);
+  EXPECT_EQ(env.clock.counters().comparisons, rel.num_tuples());
+}
+
+TEST(NextRefTest, MaterializeAndProjectStillCorrect) {
+  const Relation rel = MakeEmployeeRelation(800, 64, 67);
+  ExecEnv env;
+  auto filter = std::make_unique<Filter>(
+      std::make_unique<MemScan>(&rel),
+      [](const Row& row) { return std::get<int64_t>(row[2]) < 4; },
+      &env.clock);
+  Project project(std::move(filter), std::vector<int>{0, 2});
+  auto out = Materialize(&project);
+  ASSERT_TRUE(out.ok());
+  Relation expected(rel.schema().Select({0, 2}));
+  for (const Row& row : rel.rows()) {
+    if (std::get<int64_t>(row[2]) < 4) {
+      expected.Add(Row{row[0], row[2]});
+    }
+  }
+  EXPECT_EQ(RowStrings(*out), RowStrings(expected));
+}
+
+}  // namespace
+}  // namespace mmdb

@@ -203,6 +203,58 @@ TEST(JoinTest, HybridRecursionHandlesSkew) {
   EXPECT_EQ(Canonical(*out), Canonical(*oracle));
 }
 
+TEST(JoinTest, HybridAllDuplicatesForcesProbeInsteadOfRecursing) {
+  // Every build tuple carries the same key, so any spilled partition is a
+  // single-key partition: re-partitioning it can never make progress (every
+  // hash function maps one key to one partition). The no-progress guard
+  // must detect this and force an in-memory probe rather than recursing to
+  // the depth cap and failing.
+  Schema schema({Column::Int64("key"), Column::Int64("tag"),
+                 Column::Char("pad", 48)});
+  Relation r(schema), s(schema);
+  for (int64_t i = 0; i < 2000; ++i) {
+    r.Add({int64_t{42}, i, std::string()});
+    s.Add({i % 2 == 0 ? int64_t{42} : i, i, std::string()});
+  }
+  ExecEnv oracle_env(1 << 20);
+  auto oracle = NestedLoopJoin(r, s, JoinSpec{0, 0}, &oracle_env.ctx);
+  ASSERT_TRUE(oracle.ok());
+  ExecEnv env(3);  // the single-key partition cannot fit: must spill
+  JoinRunStats stats;
+  auto out = HybridHashJoin(r, s, JoinSpec{0, 0}, &env.ctx, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Canonical(*out), Canonical(*oracle));
+  EXPECT_GT(stats.forced_probes, 0);
+  // 2000 * 1000 matching pairs came out despite the 3-page grant.
+  EXPECT_EQ(out->num_tuples(), 2000 * 1000);
+}
+
+TEST(JoinTest, HybridDynamicMigrationReportsDestagedPartitions) {
+  // Uniform keys with a grant well below |R|F: the destaging schedule must
+  // evict buffered partitions mid-build (Jahangiri/Carey-style dynamic
+  // migration) and report how many it migrated.
+  GenOptions opts;
+  opts.num_tuples = 4000;
+  opts.tuple_width = 64;
+  opts.seed = 71;
+  Relation r = MakeKeyedRelation(opts);
+  opts.seed = 72;
+  opts.distribution = KeyDistribution::kUniform;
+  opts.key_range = 4000;
+  Relation s = MakeKeyedRelation(opts);
+  ExecEnv oracle_env(1 << 20);
+  auto oracle = NestedLoopJoin(r, s, JoinSpec{0, 0}, &oracle_env.ctx);
+  ASSERT_TRUE(oracle.ok());
+  ExecEnv env(20);
+  JoinRunStats stats;
+  auto out = HybridHashJoin(r, s, JoinSpec{0, 0}, &env.ctx, &stats);
+  ASSERT_TRUE(out.ok());
+  EXPECT_EQ(Canonical(*out), Canonical(*oracle));
+  EXPECT_GT(stats.migrations, 0);
+  EXPECT_GT(stats.partitions, 0);
+  EXPECT_LT(stats.q, 1.0);
+}
+
 TEST(JoinTest, SimpleHashEarlyExitWhenNothingPassedOver) {
   // If the first pass consumes everything (table fits), later passes are
   // skipped even when the pass estimate was pessimistic.

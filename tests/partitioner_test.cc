@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
+
 #include "common/random.h"
 #include "storage/datagen.h"
 
@@ -71,6 +73,62 @@ TEST(HashPartitionerTest, StringKeysPartitionConsistently) {
   HashPartitioner p(4);
   EXPECT_EQ(p.PartitionOf(Value{std::string("abc")}),
             p.PartitionOf(Value{std::string("abc")}));
+}
+
+TEST(HashPartitionerTest, UniformIsExactlyHybridWithZeroResidentFraction) {
+  // Both constructors carve the same unit interval, so the same key can
+  // never be routed differently by the two shapes (the bug this guards
+  // against: the uniform split using `h % P` while the hybrid split used
+  // the carve, silently disagreeing when call sites mixed them).
+  for (int64_t parts : {int64_t{1}, int64_t{2}, int64_t{7}, int64_t{64}}) {
+    HashPartitioner uniform(parts, 3);
+    HashPartitioner hybrid = HashPartitioner::Hybrid(0.0, parts - 1, 3);
+    for (int64_t k = -500; k < 500; ++k) {
+      EXPECT_EQ(uniform.PartitionOf(Value{k}), hybrid.PartitionOf(Value{k}))
+          << "parts=" << parts << " key=" << k;
+    }
+  }
+}
+
+TEST(HashPartitionerTest, ExtremeAndNegativeKeysStayInRange) {
+  const int64_t extremes[] = {std::numeric_limits<int64_t>::min(),
+                              std::numeric_limits<int64_t>::min() + 1,
+                              int64_t{-1},
+                              int64_t{0},
+                              std::numeric_limits<int64_t>::max() - 1,
+                              std::numeric_limits<int64_t>::max()};
+  const double doubles[] = {-0.0, 0.0, 1e308, -1e308,
+                            std::numeric_limits<double>::denorm_min()};
+  for (int64_t parts : {int64_t{1}, int64_t{2}, int64_t{5}, int64_t{1024}}) {
+    HashPartitioner uniform(parts);
+    HashPartitioner hybrid = HashPartitioner::Hybrid(0.4, parts);
+    for (int64_t k : extremes) {
+      const int64_t pu = uniform.PartitionOf(Value{k});
+      EXPECT_GE(pu, 0);
+      EXPECT_LT(pu, parts);
+      const int64_t ph = hybrid.PartitionOf(Value{k});
+      EXPECT_GE(ph, 0);
+      EXPECT_LT(ph, parts + 1);
+    }
+    for (double d : doubles) {
+      const int64_t pu = uniform.PartitionOf(Value{d});
+      EXPECT_GE(pu, 0);
+      EXPECT_LT(pu, parts);
+    }
+    // -0.0 and 0.0 must land together (HashValue normalizes the sign).
+    EXPECT_EQ(uniform.PartitionOf(Value{-0.0}),
+              uniform.PartitionOf(Value{0.0}));
+  }
+}
+
+TEST(HashPartitionerTest, SinglePartitionTakesEverything) {
+  HashPartitioner p(1);
+  HashPartitioner h = HashPartitioner::Hybrid(0.999, 0);
+  for (int64_t k = -2000; k < 2000; k += 37) {
+    EXPECT_EQ(p.PartitionOf(Value{k}), 0);
+    EXPECT_EQ(h.PartitionOf(Value{k}), 0);
+  }
+  EXPECT_EQ(p.PartitionOf(Value{std::string("anything")}), 0);
 }
 
 TEST(PartitionWriterSetTest, CompatiblePartitionsRoundTrip) {
