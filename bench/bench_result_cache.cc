@@ -1,0 +1,330 @@
+// Plan-fingerprint reuse cache under heavy read traffic (EXPERIMENTS.md
+// §S10, DESIGN.md §15).
+//
+// Two phases, both machine-checked:
+//  * Differential phase: a deterministic statement script — repeated
+//    SELECT joins interleaved with UPDATEs that force invalidation — runs
+//    in lockstep against a cache-on (costing-transparent) database and a
+//    cache-off twin. Every statement must return byte-identical rows.
+//  * Throughput phase: a skewed read-mostly workload from 8 concurrent
+//    sessions (a hot pair of join queries absorbs most of the traffic; a
+//    few sessions issue one invalidating UPDATE midway). The cache-on
+//    database must clear a wall-clock speedup bar over the cache-off twin
+//    (2x full, 1.3x under --smoke where inputs are small and noise
+//    matters) AND serve with a hit rate >= 80%. Afterwards every workload
+//    query is re-checked byte-for-byte across the two databases.
+//
+// Usage: bench_result_cache [--smoke] [--json=PATH]
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/check.h"
+#include "common/random.h"
+#include "db/database.h"
+#include "storage/datagen.h"
+
+namespace mmdb {
+namespace {
+
+struct BenchConfig {
+  bool smoke = false;
+  int64_t item_rows = 20'000;  // build side, unique keys
+  int64_t ord_rows = 60'000;   // probe side, uniform FKs into item
+  int sessions = 8;
+  int ops_per_session = 400;
+  int writer_sessions = 4;  // sessions that issue one UPDATE midway
+  int diff_rounds = 3;
+  double required_speedup = 2.0;
+  double required_hit_rate = 0.8;
+};
+BenchConfig cfg;
+
+struct JsonEntry {
+  std::string key;
+  std::string value;  // already-rendered JSON
+};
+std::vector<JsonEntry> json_entries;
+
+void JsonNum(const std::string& key, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.6f", v);
+  json_entries.push_back({key, buf});
+}
+void JsonInt(const std::string& key, int64_t v) {
+  json_entries.push_back({key, std::to_string(v)});
+}
+
+std::string RowBytes(const Relation& rel) {
+  std::string out;
+  for (const Row& row : rel.rows()) {
+    out += RowToString(row);
+    out += '\n';
+  }
+  return out;
+}
+
+// The workload's query set. Queries 0-5 are scan->join->project plans over
+// item x ord with different probe-side constants; 6-7 are single-table
+// filter->project plans. Both tables share column names, so every
+// reference is qualified.
+std::vector<std::string> WorkloadQueries() {
+  std::vector<std::string> queries;
+  for (int i = 0; i < 6; ++i) {
+    const int64_t lo = cfg.ord_rows * (2 + i) / 10;
+    queries.push_back(
+        "SELECT item.key, item.payload, ord.payload FROM item, ord WHERE "
+        "item.key = ord.key AND ord.payload >= " +
+        std::to_string(lo));
+  }
+  queries.push_back("SELECT ord.key, ord.payload FROM ord WHERE ord.payload < " +
+                    std::to_string(cfg.ord_rows / 4));
+  queries.push_back(
+      "SELECT item.key, item.payload FROM item WHERE item.payload >= " +
+      std::to_string(cfg.item_rows / 2));
+  return queries;
+}
+
+// Session `s`'s invalidating write. Distinct sessions target distinct ord
+// keys and the assigned value depends only on (s, round), so the final
+// table state is interleaving-independent — the cache-on and cache-off
+// runs converge to identical data.
+std::string WriterSql(int s, int round) {
+  return "UPDATE ord SET payload = " + std::to_string(1'000'000 + 100 * round + s) +
+         " WHERE key = " + std::to_string(7 * (s + 1));
+}
+
+void LoadTables(Database* db) {
+  GenOptions item_opts;
+  item_opts.num_tuples = cfg.item_rows;
+  item_opts.tuple_width = 64;
+  item_opts.distribution = KeyDistribution::kUniqueShuffled;
+  item_opts.seed = 101;
+  Relation item = MakeKeyedRelation(item_opts);
+  GenOptions ord_opts;
+  ord_opts.num_tuples = cfg.ord_rows;
+  ord_opts.tuple_width = 48;
+  ord_opts.distribution = KeyDistribution::kUniform;
+  ord_opts.key_range = cfg.item_rows;
+  ord_opts.seed = 103;
+  Relation ord = MakeKeyedRelation(ord_opts);
+  MMDB_CHECK(db->CreateTable("item", item.schema()).ok());
+  MMDB_CHECK(db->BulkLoad("item", std::move(item)).ok());
+  MMDB_CHECK(db->CreateTable("ord", ord.schema()).ok());
+  MMDB_CHECK(db->BulkLoad("ord", std::move(ord)).ok());
+}
+
+Database MakeCachedDb() {
+  Database::Options opts;
+  opts.reuse_cache_bytes = (cfg.smoke ? 16ll : 64ll) << 20;
+  // Costing-transparent mode: same plans as the cache-off twin, so the
+  // byte-identity checks compare like with like (DESIGN.md §15).
+  opts.reuse_plan_discounts = false;
+  return Database(opts);
+}
+
+// ---- Phase 1: lockstep statement differential. ------------------------
+
+void DifferentialSection(Database* cached, Database* plain) {
+  const std::vector<std::string> queries = WorkloadQueries();
+  std::vector<std::string> script;
+  for (int round = 0; round < cfg.diff_rounds; ++round) {
+    for (int rep = 0; rep < 2; ++rep) {  // rep 1 re-runs warm
+      for (const std::string& q : queries) script.push_back(q);
+    }
+    // Forced invalidation between repetitions: the next round's first rep
+    // must re-execute, not serve stale rows.
+    script.push_back(WriterSql(0, round));
+    script.push_back(WriterSql(1, round));
+  }
+
+  // Deltas, not totals: loading goes through Insert, which invalidates
+  // per row, so the cumulative counter mostly measures the bulk load.
+  const ReuseCache::Stats before = cached->reuse_cache()->stats();
+  int64_t compared = 0;
+  for (const std::string& sql : script) {
+    auto on = cached->ExecuteSql(sql);
+    auto off = plain->ExecuteSql(sql);
+    MMDB_CHECK_MSG(on.ok() && off.ok(), "differential statement failed");
+    MMDB_CHECK_MSG(on->rows_affected == off->rows_affected,
+                   "rows_affected diverged between cache-on and cache-off");
+    MMDB_CHECK_MSG(RowBytes(on->relation) == RowBytes(off->relation),
+                   "cache-on rows differ from cache-off rows");
+    ++compared;
+  }
+  const ReuseCache::Stats after = cached->reuse_cache()->stats();
+  const int64_t hits = after.hits - before.hits;
+  const int64_t misses = after.misses - before.misses;
+  const int64_t installs = after.installs - before.installs;
+  const int64_t invalidations = after.invalidations - before.invalidations;
+  std::printf("== differential: %lld lockstep statements, %d rounds ==\n",
+              static_cast<long long>(compared), cfg.diff_rounds);
+  std::printf("cache: hits=%lld misses=%lld installs=%lld invalidations=%lld\n\n",
+              static_cast<long long>(hits), static_cast<long long>(misses),
+              static_cast<long long>(installs),
+              static_cast<long long>(invalidations));
+  MMDB_CHECK_MSG(hits > 0, "differential script never served a hit");
+  MMDB_CHECK_MSG(invalidations > 0, "differential script never invalidated");
+  JsonInt("diff.statements", compared);
+  JsonInt("diff.hits", hits);
+  JsonInt("diff.invalidations", invalidations);
+}
+
+// ---- Phase 2: skewed read-mostly throughput. --------------------------
+
+// Runs the closed-loop workload against `db` and returns wall seconds.
+// Skew: ~70% of reads land on queries 0-2; the rest spread uniformly.
+double RunWorkload(Database* db, const std::vector<std::string>& queries) {
+  std::atomic<int64_t> failures{0};
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<size_t>(cfg.sessions));
+  for (int s = 0; s < cfg.sessions; ++s) {
+    threads.emplace_back([&, s] {
+      Random rng(static_cast<uint64_t>(211 + s));
+      for (int op = 0; op < cfg.ops_per_session; ++op) {
+        std::string sql;
+        if (s < cfg.writer_sessions && op == cfg.ops_per_session / 2) {
+          sql = WriterSql(s, 1'000);  // read-mostly: one write midway
+        } else {
+          const uint64_t r = rng.Uniform(100);
+          size_t q;
+          if (r < 30) {
+            q = 0;
+          } else if (r < 55) {
+            q = 1;
+          } else if (r < 70) {
+            q = 2;
+          } else {
+            q = static_cast<size_t>(rng.Uniform(queries.size()));
+          }
+          sql = queries[q];
+        }
+        auto result = db->ExecuteSql(sql);
+        if (!result.ok()) failures.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const std::chrono::duration<double> dt =
+      std::chrono::steady_clock::now() - start;
+  MMDB_CHECK_MSG(failures.load() == 0, "workload statement failed");
+  return dt.count();
+}
+
+void ThroughputSection(Database* cached, Database* plain) {
+  const std::vector<std::string> queries = WorkloadQueries();
+  const int64_t total_ops =
+      static_cast<int64_t>(cfg.sessions) * cfg.ops_per_session;
+
+  const ReuseCache::Stats before = cached->reuse_cache()->stats();
+  const double cached_wall = RunWorkload(cached, queries);
+  const ReuseCache::Stats after = cached->reuse_cache()->stats();
+  const double plain_wall = RunWorkload(plain, queries);
+
+  const double cached_tps = double(total_ops) / cached_wall;
+  const double plain_tps = double(total_ops) / plain_wall;
+  const double speedup = plain_wall / cached_wall;
+  const int64_t hits = after.hits - before.hits;
+  const int64_t misses = after.misses - before.misses;
+  const double hit_rate =
+      hits + misses > 0 ? double(hits) / double(hits + misses) : 0.0;
+
+  std::printf("== throughput: %d sessions x %d ops, %d writers, skewed reads "
+              "over %zu queries ==\n",
+              cfg.sessions, cfg.ops_per_session, cfg.writer_sessions,
+              queries.size());
+  std::printf("%-10s %12s %12s\n", "cache", "wall s", "tps");
+  std::printf("%-10s %12.3f %12.0f\n", "off", plain_wall, plain_tps);
+  std::printf("%-10s %12.3f %12.0f   (speedup %.2fx, required >= %.2fx)\n",
+              "on", cached_wall, cached_tps, speedup, cfg.required_speedup);
+  std::printf("hit rate %.3f (hits=%lld misses=%lld, required >= %.2f), "
+              "invalidations=%lld evictions=%lld\n\n",
+              hit_rate, static_cast<long long>(hits),
+              static_cast<long long>(misses), cfg.required_hit_rate,
+              static_cast<long long>(after.invalidations - before.invalidations),
+              static_cast<long long>(after.evictions - before.evictions));
+
+  // Post-run differential: concurrent interleavings done, both databases
+  // must have converged to identical data and serve identical rows.
+  for (const std::string& q : queries) {
+    auto on = cached->ExecuteSql(q);
+    auto off = plain->ExecuteSql(q);
+    MMDB_CHECK(on.ok() && off.ok());
+    MMDB_CHECK_MSG(RowBytes(on->relation) == RowBytes(off->relation),
+                   "post-workload rows differ between cache-on and cache-off");
+  }
+
+  MMDB_CHECK_MSG(speedup >= cfg.required_speedup,
+                 "reuse cache failed the throughput speedup bar");
+  MMDB_CHECK_MSG(hit_rate >= cfg.required_hit_rate,
+                 "reuse cache failed the hit-rate bar");
+  JsonNum("throughput.plain_wall_s", plain_wall);
+  JsonNum("throughput.cached_wall_s", cached_wall);
+  JsonNum("throughput.plain_tps", plain_tps);
+  JsonNum("throughput.cached_tps", cached_tps);
+  JsonNum("throughput.speedup", speedup);
+  JsonNum("throughput.required_speedup", cfg.required_speedup);
+  JsonNum("throughput.hit_rate", hit_rate);
+  JsonInt("throughput.hits", hits);
+  JsonInt("throughput.misses", misses);
+  JsonInt("throughput.total_ops", total_ops);
+}
+
+void WriteJson(const std::string& path, const std::string& metrics_json) {
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n  \"bench\": \"result_cache\",\n  \"smoke\": %s,\n",
+               cfg.smoke ? "true" : "false");
+  for (const JsonEntry& e : json_entries) {
+    std::fprintf(f, "  \"%s\": %s,\n", e.key.c_str(), e.value.c_str());
+  }
+  std::fprintf(f, "  \"metrics\": %s\n}\n", metrics_json.c_str());
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
+}  // namespace
+}  // namespace mmdb
+
+int main(int argc, char** argv) {
+  using namespace mmdb;
+  std::string json_path;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      cfg.smoke = true;
+      cfg.item_rows = 4'000;
+      cfg.ord_rows = 12'000;
+      cfg.ops_per_session = 120;
+      cfg.writer_sessions = 2;
+      cfg.diff_rounds = 2;
+      // Small inputs put parse/latch overhead in the denominator; the
+      // guard still requires the cache to win with margin.
+      cfg.required_speedup = 1.3;
+    } else if (std::strncmp(argv[i], "--json=", 7) == 0) {
+      json_path = argv[i] + 7;
+    }
+  }
+
+  Database cached = MakeCachedDb();
+  Database plain;
+  LoadTables(&cached);
+  LoadTables(&plain);
+
+  DifferentialSection(&cached, &plain);
+  ThroughputSection(&cached, &plain);
+
+  std::printf("%s\n", cached.reuse_cache()->DebugString().c_str());
+  if (!json_path.empty()) WriteJson(json_path, cached.MetricsJson());
+  std::printf("all result-cache machine checks passed.\n");
+  return 0;
+}

@@ -11,8 +11,10 @@
 //
 // `\demo` loads the paper's employee/department schema with sample data;
 // `\cost` prints the simulated-time tally; `\metrics` dumps the metrics
-// registry (server.sessions.* / server.admission.* included); `\quit`
-// exits.
+// registry (server.sessions.* / server.admission.* included); `\cache`
+// dumps the plan-fingerprint reuse cache (DESIGN.md §15 — the shell runs
+// with a 32 MB cache, so repeating a SELECT serves it from the cache);
+// `\quit` exits.
 //
 // Concurrent stress mode (DESIGN.md §10): `sql_repl --sessions N [ms]`
 // (alias `--stress`) loads the demo data, opens N sessions and drives
@@ -171,7 +173,11 @@ int main(int argc, char** argv) {
                      duration_ms > 0 ? duration_ms : 2000);
   }
 
-  Database db;
+  // The interactive shell runs with the reuse cache on (DESIGN.md §15):
+  // repeat a SELECT and \cache shows it being served.
+  Database::Options db_opts;
+  db_opts.reuse_cache_bytes = 32ll << 20;
+  Database db(db_opts);
   Server server(&db);
   auto opened = server.OpenSession();
   MMDB_CHECK(opened.ok());
@@ -182,7 +188,8 @@ int main(int argc, char** argv) {
   if (tty) {
     std::printf("mmdb SQL shell (server session #%lld) — \\demo loads "
                 "sample data, \\cost shows simulated time, \\metrics dumps "
-                "counters, \\quit exits; semicolons separate statements\n",
+                "counters, \\cache dumps the reuse cache, \\quit exits; "
+                "semicolons separate statements\n",
                 static_cast<long long>(session->id()));
   }
   while (true) {
@@ -203,6 +210,14 @@ int main(int argc, char** argv) {
     }
     if (line == "\\metrics") {
       std::printf("%s\n", db.MetricsJson().c_str());
+      continue;
+    }
+    if (line == "\\cache") {
+      if (db.reuse_cache() == nullptr) {
+        std::printf("reuse cache disabled (Options::reuse_cache_bytes = 0)\n");
+      } else {
+        std::printf("%s\n", db.reuse_cache()->DebugString().c_str());
+      }
       continue;
     }
     // One line may hold many statements; each runs even if an earlier one

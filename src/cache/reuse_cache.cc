@@ -1,0 +1,391 @@
+#include "cache/reuse_cache.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+
+#include "common/check.h"
+#include "optimizer/predicate.h"
+
+namespace mmdb {
+
+namespace {
+
+std::string_view AlgTag(JoinAlgorithm a) {
+  switch (a) {
+    case JoinAlgorithm::kNestedLoop: return "nl";
+    case JoinAlgorithm::kSortMerge: return "sm";
+    case JoinAlgorithm::kSimpleHash: return "sh";
+    case JoinAlgorithm::kGraceHash: return "gh";
+    case JoinAlgorithm::kHybridHash: return "hh";
+  }
+  return "?";
+}
+
+std::string_view IndexTag(IndexKind k) {
+  switch (k) {
+    case IndexKind::kAvl: return "avl";
+    case IndexKind::kBTree: return "bt";
+    case IndexKind::kHash: return "h";
+  }
+  return "?";
+}
+
+}  // namespace
+
+ReuseCache::ReuseCache() : ReuseCache(Options()) {}
+
+ReuseCache::ReuseCache(Options options) : options_(options) {}
+
+void ReuseCache::SetEnvTag(std::string tag) { env_tag_ = std::move(tag); }
+
+uint64_t ReuseCache::TableVersion(const std::string& table) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = versions_.find(table);
+  return it == versions_.end() ? 0 : it->second;
+}
+
+void ReuseCache::InvalidateTable(const std::string& table) {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++versions_[table];
+  ++stats_.invalidations;
+  auto it = by_table_.find(table);
+  if (it == by_table_.end()) return;
+  // EraseLocked mutates by_table_; detach the key set first.
+  const std::set<std::string> keys = std::move(it->second);
+  by_table_.erase(it);
+  for (const std::string& key : keys) {
+    if (entries_.count(key)) {
+      EraseLocked(key);
+      ++stats_.invalidated_entries;
+    }
+  }
+}
+
+std::string ReuseCache::CanonValue(const Value& v) {
+  char buf[64];
+  switch (TypeOf(v)) {
+    case ValueType::kInt64:
+      std::snprintf(buf, sizeof(buf), "i:%lld",
+                    static_cast<long long>(std::get<int64_t>(v)));
+      return buf;
+    case ValueType::kDouble:
+      std::snprintf(buf, sizeof(buf), "d:%.17g", std::get<double>(v));
+      return buf;
+    case ValueType::kString: {
+      const std::string& s = std::get<std::string>(v);
+      return "s:" + std::to_string(s.size()) + ":" + s;
+    }
+  }
+  return "?";
+}
+
+int ReuseCache::ResolvePos(const std::vector<ColumnRef>& columns,
+                           const ColumnRef& ref) {
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == ref) return static_cast<int>(i);
+  }
+  int found = -1;
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i].column == ref.column) {
+      if (found >= 0) return -1;  // ambiguous: don't guess
+      found = static_cast<int>(i);
+    }
+  }
+  return found;
+}
+
+namespace {
+
+/// Canonical predicate: column position (falling back to the raw column
+/// name when the position cannot be resolved), operator, exact literal.
+std::string CanonPred(const Predicate& p,
+                      const std::vector<ColumnRef>& columns) {
+  const int pos = ReuseCache::ResolvePos(columns, ColumnRef{p.table, p.column});
+  std::string out = pos >= 0 ? "#" + std::to_string(pos) : "$" + p.column;
+  out += CmpOpName(p.op);
+  out += ReuseCache::CanonValue(p.literal);
+  return out;
+}
+
+}  // namespace
+
+std::string ReuseCache::CanonJoin(JoinAlgorithm algorithm,
+                                  const std::string& build_fp,
+                                  const std::string& probe_fp,
+                                  int build_key_pos, int probe_key_pos) const {
+  std::string out = "join(";
+  out += AlgTag(algorithm);
+  out += ",";
+  out += env_tag_;
+  out += ",b#" + std::to_string(build_key_pos);
+  out += ",p#" + std::to_string(probe_key_pos);
+  out += ")(" + build_fp + ")(" + probe_fp + ")";
+  return out;
+}
+
+void ReuseCache::FingerprintPlan(const PlanNode& root, Fingerprints* out) const {
+  // Recursion writes canonical + table deps for every node.
+  std::function<void(const PlanNode&)> walk = [&](const PlanNode& node) {
+    std::string canon;
+    std::vector<std::string> tables;
+    switch (node.kind) {
+      case PlanNode::Kind::kScan: {
+        canon = "scan(" + node.table + "@" +
+                std::to_string(TableVersion(node.table)) + ")";
+        tables.push_back(node.table);
+        break;
+      }
+      case PlanNode::Kind::kIndexScan: {
+        canon = "ix(" + node.table + "@" +
+                std::to_string(TableVersion(node.table)) + ",";
+        canon += IndexTag(node.index_kind);
+        canon += ",";
+        if (!node.predicates.empty()) {
+          canon += CanonPred(node.predicates[0], node.output_columns);
+        }
+        canon += ")";
+        tables.push_back(node.table);
+        break;
+      }
+      case PlanNode::Kind::kFilter: {
+        MMDB_CHECK(node.child_left != nullptr);
+        walk(*node.child_left);
+        canon = "fil(";
+        for (size_t i = 0; i < node.predicates.size(); ++i) {
+          if (i > 0) canon += ";";
+          canon += CanonPred(node.predicates[i],
+                             node.child_left->output_columns);
+        }
+        canon += ")(" + out->canonical[node.child_left.get()] + ")";
+        tables = out->tables[node.child_left.get()];
+        break;
+      }
+      case PlanNode::Kind::kJoin: {
+        MMDB_CHECK(node.child_left != nullptr && node.child_right != nullptr);
+        walk(*node.child_left);
+        walk(*node.child_right);
+        const PlanNode& build =
+            node.build_is_right ? *node.child_right : *node.child_left;
+        const PlanNode& probe =
+            node.build_is_right ? *node.child_left : *node.child_right;
+        const ColumnRef& build_col =
+            node.build_is_right ? node.join.right : node.join.left;
+        const ColumnRef& probe_col =
+            node.build_is_right ? node.join.left : node.join.right;
+        canon = CanonJoin(node.algorithm, out->canonical[&build],
+                          out->canonical[&probe],
+                          ResolvePos(build.output_columns, build_col),
+                          ResolvePos(probe.output_columns, probe_col));
+        tables = out->tables[node.child_left.get()];
+        const auto& rt = out->tables[node.child_right.get()];
+        tables.insert(tables.end(), rt.begin(), rt.end());
+        break;
+      }
+      case PlanNode::Kind::kProject: {
+        MMDB_CHECK(node.child_left != nullptr);
+        walk(*node.child_left);
+        canon = "proj(";
+        for (size_t i = 0; i < node.projection.size(); ++i) {
+          if (i > 0) canon += ",";
+          const int pos =
+              ResolvePos(node.child_left->output_columns, node.projection[i]);
+          canon += pos >= 0 ? "#" + std::to_string(pos)
+                            : "$" + node.projection[i].column;
+        }
+        canon += ")(" + out->canonical[node.child_left.get()] + ")";
+        tables = out->tables[node.child_left.get()];
+        break;
+      }
+    }
+    std::sort(tables.begin(), tables.end());
+    tables.erase(std::unique(tables.begin(), tables.end()), tables.end());
+    out->canonical[&node] = std::move(canon);
+    out->tables[&node] = std::move(tables);
+  };
+  walk(root);
+}
+
+bool ReuseCache::HasResult(const std::string& fp) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fp);
+  return it != entries_.end() && it->second.result != nullptr;
+}
+
+std::shared_ptr<const Relation> ReuseCache::LookupResult(
+    const std::string& fp) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(fp);
+  if (it == entries_.end() || it->second.result == nullptr) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  it->second.tick = ++tick_;
+  return it->second.result;
+}
+
+bool ReuseCache::InstallResult(const std::string& fp,
+                               const std::vector<std::string>& tables,
+                               const Relation& result, double cost_seconds) {
+  Entry entry;
+  entry.result = std::make_shared<const Relation>(result);
+  entry.tables = tables;
+  entry.bytes = ApproxRelationBytes(result);
+  entry.cost_seconds = cost_seconds;
+  std::lock_guard<std::mutex> lock(mu_);
+  return AdmitLocked(fp, std::move(entry));
+}
+
+std::string ReuseCache::BuildKey(const std::string& build_fp, int key_column) {
+  return "build#" + std::to_string(key_column) + "(" + build_fp + ")";
+}
+
+bool ReuseCache::HasBuild(const std::string& build_fp, int key_column) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(BuildKey(build_fp, key_column));
+  return it != entries_.end() && it->second.build != nullptr;
+}
+
+std::shared_ptr<const CachedBuild> ReuseCache::LookupBuild(
+    const std::string& build_fp, int key_column) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = entries_.find(BuildKey(build_fp, key_column));
+  if (it == entries_.end() || it->second.build == nullptr) {
+    ++stats_.misses;
+    return nullptr;
+  }
+  ++stats_.hits;
+  ++stats_.build_hits;
+  it->second.tick = ++tick_;
+  return it->second.build;
+}
+
+bool ReuseCache::InstallBuild(const std::string& build_fp, int key_column,
+                              const std::vector<std::string>& tables,
+                              std::shared_ptr<const CachedBuild> build,
+                              double cost_seconds) {
+  Entry entry;
+  // A chained hash table costs more than the raw rows; 1.5x approximates
+  // the bucket-vector overhead without walking the buckets.
+  entry.bytes = static_cast<int64_t>(
+      1.5 * double(build->rows) *
+      double(std::max<int64_t>(32, build->schema.record_size())));
+  entry.build = std::move(build);
+  entry.tables = tables;
+  entry.cost_seconds = cost_seconds;
+  std::lock_guard<std::mutex> lock(mu_);
+  return AdmitLocked(BuildKey(build_fp, key_column), std::move(entry));
+}
+
+bool ReuseCache::AdmitLocked(const std::string& key, Entry entry) {
+  if (options_.budget_bytes <= 0) return false;
+  const int64_t cap = options_.max_entry_bytes > 0
+                          ? options_.max_entry_bytes
+                          : options_.budget_bytes / 4;
+  if (entry.cost_seconds < options_.min_cost_seconds || entry.bytes > cap ||
+      entry.bytes > options_.budget_bytes) {
+    ++stats_.rejected;
+    return false;
+  }
+  // Cost/size admission against the eviction pool: evicting strictly
+  // denser entries to fit this one would be a net loss, so refuse instead.
+  const double density =
+      entry.cost_seconds / double(std::max<int64_t>(1, entry.bytes));
+  int64_t reclaimable = options_.budget_bytes - bytes_;
+  for (const auto& [k, e] : entries_) {
+    const double d = e.cost_seconds / double(std::max<int64_t>(1, e.bytes));
+    if (d < density) reclaimable += e.bytes;
+  }
+  if (reclaimable < entry.bytes) {
+    ++stats_.rejected;
+    return false;
+  }
+  if (entries_.count(key)) EraseLocked(key);  // refresh in place
+  entry.tick = ++tick_;
+  bytes_ += entry.bytes;
+  for (const std::string& t : entry.tables) by_table_[t].insert(key);
+  entries_[key] = std::move(entry);
+  ++stats_.installs;
+  // Evict worst-density (oldest-tick tie-break) entries until the budget
+  // holds. The new entry is protected: admission proved the math above.
+  while (bytes_ > options_.budget_bytes) {
+    std::string victim;
+    double worst = std::numeric_limits<double>::infinity();
+    uint64_t worst_tick = std::numeric_limits<uint64_t>::max();
+    for (const auto& [k, e] : entries_) {
+      if (k == key) continue;
+      const double d = e.cost_seconds / double(std::max<int64_t>(1, e.bytes));
+      if (d < worst || (d == worst && e.tick < worst_tick)) {
+        worst = d;
+        worst_tick = e.tick;
+        victim = k;
+      }
+    }
+    if (victim.empty()) break;
+    EraseLocked(victim);
+    ++stats_.evictions;
+  }
+  return true;
+}
+
+void ReuseCache::EraseLocked(const std::string& key) {
+  auto it = entries_.find(key);
+  if (it == entries_.end()) return;
+  bytes_ -= it->second.bytes;
+  for (const std::string& t : it->second.tables) {
+    auto bt = by_table_.find(t);
+    if (bt != by_table_.end()) {
+      bt->second.erase(key);
+      if (bt->second.empty()) by_table_.erase(bt);
+    }
+  }
+  entries_.erase(it);
+}
+
+ReuseCache::Stats ReuseCache::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Stats s = stats_;
+  s.bytes = bytes_;
+  s.entries = static_cast<int64_t>(entries_.size());
+  return s;
+}
+
+std::string ReuseCache::DebugString() const {
+  const Stats s = stats();
+  char buf[512];
+  std::snprintf(
+      buf, sizeof(buf),
+      "reuse cache: %lld entries, %lld bytes (budget %lld)\n"
+      "  hits=%lld (build=%lld) misses=%lld hit_rate=%.1f%%\n"
+      "  installs=%lld rejected=%lld evictions=%lld\n"
+      "  invalidations=%lld (entries dropped=%lld)",
+      static_cast<long long>(s.entries), static_cast<long long>(s.bytes),
+      static_cast<long long>(options_.budget_bytes),
+      static_cast<long long>(s.hits), static_cast<long long>(s.build_hits),
+      static_cast<long long>(s.misses),
+      s.hits + s.misses > 0 ? 100.0 * double(s.hits) /
+                                  double(s.hits + s.misses)
+                            : 0.0,
+      static_cast<long long>(s.installs), static_cast<long long>(s.rejected),
+      static_cast<long long>(s.evictions),
+      static_cast<long long>(s.invalidations),
+      static_cast<long long>(s.invalidated_entries));
+  return buf;
+}
+
+int64_t ReuseCache::ApproxRelationBytes(const Relation& rel) {
+  int64_t bytes = static_cast<int64_t>(sizeof(Relation));
+  for (const Row& row : rel.rows()) {
+    bytes += static_cast<int64_t>(sizeof(Row)) +
+             static_cast<int64_t>(row.size() * sizeof(Value));
+    for (const Value& v : row) {
+      if (TypeOf(v) == ValueType::kString) {
+        bytes += static_cast<int64_t>(std::get<std::string>(v).capacity());
+      }
+    }
+  }
+  return bytes;
+}
+
+}  // namespace mmdb

@@ -28,6 +28,22 @@ Database::Database(Options options)
   disk_.AttachMetrics(&metrics_);
   pool_.AttachMetrics(&metrics_);
   exec_ctx_.metrics = &metrics_;
+  if (options.reuse_cache_bytes > 0) {
+    ReuseCache::Options ro;
+    ro.budget_bytes = options.reuse_cache_bytes;
+    ro.min_cost_seconds = options.reuse_min_cost_seconds;
+    reuse_cache_ = std::make_unique<ReuseCache>(ro);
+    // Entries must not cross execution environments: the memory grant,
+    // fudge factor and page size all change a hybrid join's spill split
+    // and therefore its emission order.
+    char tag[96];
+    std::snprintf(tag, sizeof(tag), "m%lldf%.3gp%lld",
+                  static_cast<long long>(options.memory_pages),
+                  options.cost_params.fudge,
+                  static_cast<long long>(options.page_size));
+    reuse_cache_->SetEnvTag(tag);
+    exec_ctx_.reuse_cache = reuse_cache_.get();
+  }
 }
 
 void Database::SyncTxnPlaneMetrics() {
@@ -94,6 +110,20 @@ void Database::SyncTxnPlaneMetrics() {
 
 MetricsRegistry::Snapshot Database::MetricsSnapshot() {
   SyncTxnPlaneMetrics();
+  if (reuse_cache_ != nullptr) {
+    // Absolute values Set (not Add-ed through statement shards): the cache
+    // keeps its own counters, the registry mirrors them per snapshot.
+    const ReuseCache::Stats cs = reuse_cache_->stats();
+    metrics_.Set("cache.reuse.hits", cs.hits);
+    metrics_.Set("cache.reuse.build_hits", cs.build_hits);
+    metrics_.Set("cache.reuse.misses", cs.misses);
+    metrics_.Set("cache.reuse.installs", cs.installs);
+    metrics_.Set("cache.reuse.rejected", cs.rejected);
+    metrics_.Set("cache.reuse.evictions", cs.evictions);
+    metrics_.Set("cache.reuse.invalidations", cs.invalidations);
+    metrics_.Set("cache.reuse.bytes", cs.bytes);
+    metrics_.Set("cache.reuse.entries", cs.entries);
+  }
   return metrics_.TakeSnapshot();
 }
 
@@ -158,6 +188,7 @@ Status Database::Insert(const std::string& name, Row row) {
   }
   table.relation.Add(std::move(row));
   InvalidateCatalog();
+  if (reuse_cache_ != nullptr) reuse_cache_->InvalidateTable(name);
   return Status::OK();
 }
 
@@ -533,6 +564,8 @@ StatusOr<QueryResult> Database::ExecuteWith(const Query& query,
   opts.w_cpu = options_.w_cpu;
   opts.hash_only = options_.planner_hash_only;
   opts.vectorize = options_.vectorize;
+  opts.reuse_cache = reuse_cache_.get();
+  opts.reuse_cost_discounts = options_.reuse_plan_discounts;
   return RunQuery(query, catalog(), opts, ctx, this);
 }
 
@@ -553,6 +586,8 @@ StatusOr<std::string> Database::Explain(const Query& query) {
   opts.w_cpu = options_.w_cpu;
   opts.hash_only = options_.planner_hash_only;
   opts.vectorize = options_.vectorize;
+  opts.reuse_cache = reuse_cache_.get();
+  opts.reuse_cost_discounts = options_.reuse_plan_discounts;
   Optimizer optimizer(&catalog(), opts);
   MMDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
                         optimizer.Optimize(query));
@@ -675,7 +710,9 @@ StatusOr<Database::SqlResult> Database::ExecuteSqlReadLocked(
       opts.cost_params = options_.cost_params;
       opts.w_cpu = options_.w_cpu;
       opts.hash_only = options_.planner_hash_only;
-  opts.vectorize = options_.vectorize;
+      opts.vectorize = options_.vectorize;
+      opts.reuse_cache = reuse_cache_.get();
+      opts.reuse_cost_discounts = options_.reuse_plan_discounts;
       Optimizer optimizer(&catalog(), opts);
       MMDB_ASSIGN_OR_RETURN(std::unique_ptr<PlanNode> plan,
                             optimizer.Optimize(stmt.query));
@@ -897,6 +934,13 @@ Status Database::ExecuteUpdateLocked(const ParsedStatement& stmt,
   // stale-statistics trade every optimizer makes (a per-update stats
   // rescan would serialize the whole session mix behind catalog_mu_).
   if (!rebuilds.empty()) InvalidateCatalog();
+  // Reuse-cache invalidation (DESIGN.md §15) runs under the exclusive
+  // latch, before any reader can plan against the new data: the version
+  // bump retires every fingerprint that read this table, and the entries
+  // drop eagerly. The table name here is the same string the server's
+  // table-lock namespace uses, so a locked writer invalidates exactly what
+  // its lock covers.
+  if (reuse_cache_ != nullptr) reuse_cache_->InvalidateTable(stmt.table_name);
   metrics_.Add("sql.update.statements", 1);
   metrics_.Add("sql.update.rows", matched);
   *rows_affected = matched;
@@ -957,6 +1001,16 @@ Status Database::EnableTransactions(const TxnPlaneOptions& options) {
   txn_manager_ = std::make_unique<TransactionManager>(
       store_.get(), lock_manager_.get(), wal_.get(), fut_.get(),
       /*first_txn_id=*/1, versions_.get());
+  // MVCC interaction (DESIGN.md §15): SQL plans never read the record
+  // plane, so its commits cannot make a cached SQL result stale — but the
+  // reserved namespace documents (and tests) the channel: every committed
+  // record-plane transaction bumps one version the way a table write
+  // would, after its locks are finalized.
+  if (reuse_cache_ != nullptr) {
+    txn_manager_->set_commit_hook([this](TxnId) {
+      reuse_cache_->InvalidateTable("<txn-records>");
+    });
+  }
   checkpointer_ = std::make_unique<Checkpointer>(
       store_.get(), fut_.get(), wal_.get(), options.checkpointer_options);
   backup_ = std::make_unique<BackupManager>(store_.get(), wal_.get(),
@@ -1035,6 +1089,11 @@ StatusOr<RecoveryStats> Database::Recover(RecoveryOptions options) {
   txn_manager_ = std::make_unique<TransactionManager>(
       store_.get(), lock_manager_.get(), wal_.get(), fut_.get(),
       stats.max_txn_id + 1, versions_.get());
+  if (reuse_cache_ != nullptr) {
+    txn_manager_->set_commit_hook([this](TxnId) {
+      reuse_cache_->InvalidateTable("<txn-records>");
+    });
+  }
   // Keep the SQL-statement commit-id namespace disjoint from the record
   // plane across restarts: seed it past every SQL commit id in the log
   // (max_txn_id above excludes those, so the record plane stays below

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "backup/hot_backup.h"
+#include "cache/reuse_cache.h"
 #include "cost/access_cost.h"
 #include "exec/aggregate.h"
 #include "exec/exec_context.h"
@@ -66,6 +67,18 @@ class Database : public IndexProvider {
     /// Buffer pool for the paged (B+-tree) indexes.
     int64_t buffer_pool_pages = 4096;
     ReplacementPolicy buffer_policy = ReplacementPolicy::kRandom;
+    /// Byte budget of the plan-fingerprint reuse cache (DESIGN.md §15):
+    /// materialized sub-plan results and join-build hash tables served
+    /// across statements. 0 (the default) disables reuse entirely.
+    int64_t reuse_cache_bytes = 0;
+    /// Admission floor for the reuse cache: sub-plans whose measured
+    /// production cost (simulated seconds) falls below this are not cached.
+    double reuse_min_cost_seconds = 1e-6;
+    /// Let the planner price cached sub-results/builds at their serve cost
+    /// (can flip join order — better plans, but row order may differ from
+    /// a cache-off run). False keeps the cache costing-transparent: same
+    /// plans, byte-identical output, reuse still serves within the plan.
+    bool reuse_plan_discounts = true;
   };
 
   enum class IndexType { kAvl, kBTree, kHash, kAuto };
@@ -259,6 +272,10 @@ class Database : public IndexProvider {
   MetricsRegistry::Snapshot MetricsSnapshot();
   std::string MetricsJson();
 
+  /// The plan-fingerprint reuse cache; null unless Options::
+  /// reuse_cache_bytes > 0.
+  ReuseCache* reuse_cache() { return reuse_cache_.get(); }
+
  private:
   struct IndexHolder {
     IndexType type;
@@ -308,6 +325,8 @@ class Database : public IndexProvider {
   MetricsRegistry metrics_;  ///< declared before its users (disk, pool)
   SimulatedDisk disk_;
   BufferPool pool_;
+  /// Declared before exec_ctx_, which points at it.
+  std::unique_ptr<ReuseCache> reuse_cache_;
   ExecContext exec_ctx_;
 
   std::map<std::string, TableHolder> tables_;

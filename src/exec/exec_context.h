@@ -12,6 +12,8 @@
 
 namespace mmdb {
 
+class ReuseCache;
+
 /// Everything an executed operator needs: the spill disk, the cost clock it
 /// charges primitive operations to, and the memory grant |M| (in pages).
 ///
@@ -44,6 +46,11 @@ struct ExecContext {
   /// nondeterministic, and the deterministic metric snapshot (which tests
   /// compare across DOPs and runs) must stay bit-identical.
   bool collect_wall_ns = false;
+  /// Intermediate-reuse cache (DESIGN.md §15). When set, the plan executor
+  /// serves and installs materialized sub-plan results and join-build hash
+  /// tables keyed by plan fingerprint. Null (the default) disables reuse:
+  /// every statement executes from scratch, today's behavior.
+  ReuseCache* reuse_cache = nullptr;
 
   int64_t page_size() const { return disk->page_size(); }
 

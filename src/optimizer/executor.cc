@@ -3,7 +3,9 @@
 #include <algorithm>
 #include <chrono>
 
+#include "cache/reuse_cache.h"
 #include "common/check.h"
+#include "cost/join_cost.h"
 #include "exec/batch.h"
 #include "exec/parallel.h"
 #include "optimizer/optimizer.h"
@@ -11,6 +13,14 @@
 namespace mmdb {
 
 namespace {
+
+/// Per-run reuse-cache state: the plan's fingerprints (computed once up
+/// front) and each node's cache outcome, copied into the trace at the end.
+struct CacheRun {
+  ReuseCache* cache = nullptr;
+  ReuseCache::Fingerprints fps;
+  std::map<const PlanNode*, int> state;
+};
 
 /// Applies a plan node's DOP to the context while the node itself runs
 /// (children execute under their own nodes' settings). A node dop of 1
@@ -41,11 +51,64 @@ StatusOr<int> FindColumn(const std::vector<ColumnRef>& columns,
 
 StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
                               ExecContext* ctx, IndexProvider* indexes,
-                              PlanRunTrace* trace);
+                              PlanRunTrace* trace, CacheRun* reuse);
+
+/// Probes a materialized build table with `probe`, replicating the
+/// in-memory hybrid hash join's emission (probe input order, bucket scan
+/// order within a key, build rows ++ probe row) and its probe-side charges
+/// (one Hash per probe tuple, one Comp per bucket entry or miss) — so a
+/// join served from a CachedBuild emits exactly the bytes the uncached
+/// plan would, minus the build-side work. The vector flavor mirrors the
+/// batch kernel: key hashes for a run of rows compute in one tight pass,
+/// then the bucket walks run back to back.
+Relation ProbeCachedBuild(const CachedBuild& build, const Relation& probe,
+                          int probe_key, bool vector, ExecContext* ctx) {
+  Relation out(Schema::Concat(build.schema, probe.schema()));
+  const size_t key = static_cast<size_t>(probe_key);
+  ctx->clock->Hash(probe.num_tuples());
+  if (vector) {
+    int64_t comps = 0;
+    std::vector<uint64_t> hashes;
+    const std::vector<Row>& rows = probe.rows();
+    const int64_t n = probe.num_tuples();
+    for (int64_t base = 0; base < n; base += kBatchRows) {
+      const int64_t take = std::min(kBatchRows, n - base);
+      hashes.resize(static_cast<size_t>(take));
+      for (int64_t k = 0; k < take; ++k) {
+        hashes[static_cast<size_t>(k)] =
+            HashValue(rows[static_cast<size_t>(base + k)][key]);
+      }
+      for (int64_t k = 0; k < take; ++k) {
+        const Row& s_row = rows[static_cast<size_t>(base + k)];
+        const std::vector<Row>* bucket =
+            build.table.FindBucket(hashes[static_cast<size_t>(k)]);
+        if (bucket == nullptr) {
+          ++comps;  // the miss still compares
+          continue;
+        }
+        for (const Row& r_row : *bucket) {
+          ++comps;
+          if (ValuesEqual(r_row[static_cast<size_t>(build.key_column)],
+                          s_row[key])) {
+            exec_internal::EmitJoined(r_row, s_row, &out);
+          }
+        }
+      }
+    }
+    ctx->clock->Comp(comps);
+    return out;
+  }
+  for (const Row& row : probe.rows()) {
+    build.table.ProbeWith(ctx->clock, row[key], [&](const Row& r_row) {
+      exec_internal::EmitJoined(r_row, row, &out);
+    });
+  }
+  return out;
+}
 
 StatusOr<Relation> ExecuteNode(const PlanNode& plan, const Catalog& catalog,
                                ExecContext* ctx, IndexProvider* indexes,
-                               PlanRunTrace* trace) {
+                               PlanRunTrace* trace, CacheRun* reuse) {
   switch (plan.kind) {
     case PlanNode::Kind::kScan: {
       MMDB_ASSIGN_OR_RETURN(const TableEntry* entry,
@@ -73,7 +136,7 @@ StatusOr<Relation> ExecuteNode(const PlanNode& plan, const Catalog& catalog,
     case PlanNode::Kind::kFilter: {
       MMDB_ASSIGN_OR_RETURN(
           Relation in,
-          ExecuteRec(*plan.child_left, catalog, ctx, indexes, trace));
+          ExecuteRec(*plan.child_left, catalog, ctx, indexes, trace, reuse));
       // Resolve each predicate once.
       std::vector<int> col_indexes;
       col_indexes.reserve(plan.predicates.size());
@@ -221,12 +284,80 @@ StatusOr<Relation> ExecuteNode(const PlanNode& plan, const Catalog& catalog,
       return out;
     }
     case PlanNode::Kind::kJoin: {
+      // CachedBuild hook (DESIGN.md §15): for an in-memory hybrid hash
+      // join, the build-side hash table is a pure function of the build
+      // subtree's fingerprint and the key column — serve it from the reuse
+      // cache and skip the entire build subtree, or install it after a
+      // miss. Only the q >= 1 (no spill) case is cached: a spilling build
+      // changes emission order, and its table never fully materializes.
+      if (reuse != nullptr && plan.algorithm == JoinAlgorithm::kHybridHash) {
+        const PlanNode& bnode =
+            plan.build_is_right ? *plan.child_right : *plan.child_left;
+        const PlanNode& pnode =
+            plan.build_is_right ? *plan.child_left : *plan.child_right;
+        const ColumnRef& bcol =
+            plan.build_is_right ? plan.join.right : plan.join.left;
+        const ColumnRef& pcol =
+            plan.build_is_right ? plan.join.left : plan.join.right;
+        MMDB_ASSIGN_OR_RETURN(int bpos,
+                              FindColumn(bnode.output_columns, bcol));
+        MMDB_ASSIGN_OR_RETURN(int ppos,
+                              FindColumn(pnode.output_columns, pcol));
+        const std::string& bfp = reuse->fps.canonical[&bnode];
+        if (std::shared_ptr<const CachedBuild> cached =
+                reuse->cache->LookupBuild(bfp, bpos)) {
+          MMDB_ASSIGN_OR_RETURN(
+              Relation probe,
+              ExecuteRec(pnode, catalog, ctx, indexes, trace, reuse));
+          reuse->state[&plan] = 2;
+          ScopedDop sd(ctx, plan.dop);
+          return ProbeCachedBuild(*cached, probe, ppos, plan.vector, ctx);
+        }
+        // Miss. Execute the probe child first so the build window (child
+        // subtree + table construction) is one contiguous cost span for
+        // admission; charge totals are order-independent.
+        MMDB_ASSIGN_OR_RETURN(
+            Relation probe,
+            ExecuteRec(pnode, catalog, ctx, indexes, trace, reuse));
+        const double build_t0 = ctx->clock->Seconds();
+        MMDB_ASSIGN_OR_RETURN(
+            Relation build,
+            ExecuteRec(bnode, catalog, ctx, indexes, trace, reuse));
+        ScopedDop sd(ctx, plan.dop);
+        const int64_t r_pages =
+            std::max<int64_t>(1, build.NumPages(ctx->page_size()));
+        const HybridSplit split =
+            SolveHybridSplit(r_pages, ctx->memory_pages, ctx->fudge);
+        if (split.q >= 1.0) {
+          // In-memory: construct the table once with the hybrid's exact
+          // single-partition charges (one Hash + one Move per build
+          // tuple, rows inserted in input order), probe, then admit.
+          auto cb = std::make_shared<CachedBuild>(bpos, build.schema());
+          ctx->clock->Hash(build.num_tuples());
+          ctx->clock->Move(build.num_tuples());
+          for (Row& row : build.mutable_rows()) {
+            cb->table.Insert(std::move(row));
+          }
+          cb->rows = cb->table.size();
+          const double build_cost = ctx->clock->Seconds() - build_t0;
+          Relation out = ProbeCachedBuild(*cb, probe, ppos, plan.vector, ctx);
+          reuse->cache->InstallBuild(bfp, bpos, reuse->fps.tables[&bnode],
+                                     std::move(cb), build_cost);
+          return out;
+        }
+        // Spilling build: fall through to the ordinary hybrid join.
+        JoinSpec spec;
+        spec.left_column = bpos;
+        spec.right_column = ppos;
+        if (plan.vector) return VectorHashJoin(build, probe, spec, ctx);
+        return ExecuteJoin(plan.algorithm, build, probe, spec, ctx);
+      }
       MMDB_ASSIGN_OR_RETURN(
           Relation left,
-          ExecuteRec(*plan.child_left, catalog, ctx, indexes, trace));
+          ExecuteRec(*plan.child_left, catalog, ctx, indexes, trace, reuse));
       MMDB_ASSIGN_OR_RETURN(
           Relation right,
-          ExecuteRec(*plan.child_right, catalog, ctx, indexes, trace));
+          ExecuteRec(*plan.child_right, catalog, ctx, indexes, trace, reuse));
       MMDB_ASSIGN_OR_RETURN(
           int left_idx,
           FindColumn(plan.child_left->output_columns, plan.join.left));
@@ -250,7 +381,7 @@ StatusOr<Relation> ExecuteNode(const PlanNode& plan, const Catalog& catalog,
     case PlanNode::Kind::kProject: {
       MMDB_ASSIGN_OR_RETURN(
           Relation in,
-          ExecuteRec(*plan.child_left, catalog, ctx, indexes, trace));
+          ExecuteRec(*plan.child_left, catalog, ctx, indexes, trace, reuse));
       std::vector<int> col_indexes;
       col_indexes.reserve(plan.projection.size());
       for (const ColumnRef& ref : plan.projection) {
@@ -281,9 +412,38 @@ StatusOr<Relation> ExecuteNode(const PlanNode& plan, const Catalog& catalog,
 /// its worker clocks/shards before the node returns.
 StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
                               ExecContext* ctx, IndexProvider* indexes,
-                              PlanRunTrace* trace) {
+                              PlanRunTrace* trace, CacheRun* reuse) {
+  // Result-cache hook (DESIGN.md §15): any node but a bare table scan may
+  // be served wholesale from a materialized result. A hit copies the
+  // cached relation out (one Move per tuple — the only work the warm plan
+  // does) and skips the entire subtree; a miss executes normally, and the
+  // node's inclusive cost-clock window becomes the admission cost.
+  const bool cacheable =
+      reuse != nullptr && plan.kind != PlanNode::Kind::kScan;
+  std::string fp;
+  if (cacheable) {
+    fp = reuse->fps.canonical[&plan];
+    if (std::shared_ptr<const Relation> hit = reuse->cache->LookupResult(fp)) {
+      ctx->clock->Move(hit->num_tuples());
+      reuse->state[&plan] = 1;
+      if (trace != nullptr) {
+        PlanNodeRunStats& st = trace->nodes[&plan];
+        st.rows_out = hit->num_tuples();
+        st.cache_state = 1;
+      }
+      return *hit;  // copy; the cached relation stays resident
+    }
+    reuse->state[&plan] = 3;  // a build serve below may upgrade this to 2
+  }
   if (trace == nullptr) {
-    return ExecuteNode(plan, catalog, ctx, indexes, trace);
+    if (!cacheable) return ExecuteNode(plan, catalog, ctx, indexes, trace, reuse);
+    const double seconds_before = ctx->clock->Seconds();
+    StatusOr<Relation> out = ExecuteNode(plan, catalog, ctx, indexes, trace, reuse);
+    if (out.ok()) {
+      reuse->cache->InstallResult(fp, reuse->fps.tables[&plan], *out,
+                                  ctx->clock->Seconds() - seconds_before);
+    }
+    return out;
   }
   const CostCounters before = ctx->clock->counters();
   const double seconds_before = ctx->clock->Seconds();
@@ -293,7 +453,7 @@ StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
   const int64_t spill_parts_before =
       ctx->metrics != nullptr ? ctx->metrics->Get("exec.spill.partitions") : 0;
   const auto wall_before = std::chrono::steady_clock::now();
-  StatusOr<Relation> out = ExecuteNode(plan, catalog, ctx, indexes, trace);
+  StatusOr<Relation> out = ExecuteNode(plan, catalog, ctx, indexes, trace, reuse);
   if (!out.ok()) return out;
   const auto wall_after = std::chrono::steady_clock::now();
   const CostCounters after = ctx->clock->counters();
@@ -313,6 +473,14 @@ StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
   st.wall_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
                    wall_after - wall_before)
                    .count();
+  if (cacheable) {
+    reuse->cache->InstallResult(fp, reuse->fps.tables[&plan], *out,
+                                st.cost_seconds);
+  }
+  if (reuse != nullptr) {
+    auto sit = reuse->state.find(&plan);
+    if (sit != reuse->state.end()) st.cache_state = sit->second;
+  }
   return out;
 }
 
@@ -321,7 +489,13 @@ StatusOr<Relation> ExecuteRec(const PlanNode& plan, const Catalog& catalog,
 StatusOr<Relation> ExecutePlan(const PlanNode& plan, const Catalog& catalog,
                                ExecContext* ctx, IndexProvider* indexes,
                                PlanRunTrace* trace) {
-  return ExecuteRec(plan, catalog, ctx, indexes, trace);
+  if (ctx->reuse_cache == nullptr) {
+    return ExecuteRec(plan, catalog, ctx, indexes, trace, nullptr);
+  }
+  CacheRun reuse;
+  reuse.cache = ctx->reuse_cache;
+  reuse.cache->FingerprintPlan(plan, &reuse.fps);
+  return ExecuteRec(plan, catalog, ctx, indexes, trace, &reuse);
 }
 
 std::string RenderAnalyzedPlan(const PlanNode& plan,
@@ -344,12 +518,19 @@ std::string RenderAnalyzedPlan(const PlanNode& plan,
             child_wall_ns += cit->second.wall_ns;
           }
         }
-        char buf[320];
+        const char* cache_tag = "";
+        switch (s.cache_state) {
+          case 1: cache_tag = " cache=hit"; break;
+          case 2: cache_tag = " cache=hit(build)"; break;
+          case 3: cache_tag = " cache=miss"; break;
+          default: break;
+        }
+        char buf[352];
         std::snprintf(
             buf, sizeof(buf),
             "\n%s(actual rows=%lld comps=%lld hashes=%lld reads=%lld "
             "writes=%lld spill=%lldB/%lldp cost=%.3fs self=%.3fs "
-            "wall=%.3fms self_wall=%.3fms)",
+            "wall=%.3fms self_wall=%.3fms%s)",
             std::string(static_cast<size_t>(indent) * 2 + 4, ' ').c_str(),
             static_cast<long long>(s.rows_out),
             static_cast<long long>(s.comparisons),
@@ -360,7 +541,7 @@ std::string RenderAnalyzedPlan(const PlanNode& plan,
             static_cast<long long>(s.spill_partitions),
             s.cost_seconds, s.cost_seconds - child_seconds,
             double(s.wall_ns) / 1e6,
-            double(s.wall_ns - child_wall_ns) / 1e6);
+            double(s.wall_ns - child_wall_ns) / 1e6, cache_tag);
         return std::string(buf);
       });
 }

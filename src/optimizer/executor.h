@@ -39,6 +39,11 @@ struct PlanNodeRunStats {
   int64_t spill_bytes = 0;       ///< "exec.spill.bytes" delta
   double cost_seconds = 0;       ///< simulated cost-clock delta
   int64_t wall_ns = 0;           ///< real elapsed time (inclusive)
+  /// Reuse-cache outcome for this node (DESIGN.md §15): 0 = cache off /
+  /// not cacheable, 1 = result served from cache (subtree skipped), 2 =
+  /// join probe ran against a cached build hash table, 3 = looked up and
+  /// missed. Rendered by EXPLAIN ANALYZE as cache=hit / hit(build) / miss.
+  int cache_state = 0;
 };
 
 /// Per-node statistics keyed by plan node, filled by ExecutePlan when the

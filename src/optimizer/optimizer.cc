@@ -6,6 +6,7 @@
 #include <map>
 #include <string>
 
+#include "cache/reuse_cache.h"
 #include "common/check.h"
 
 namespace mmdb {
@@ -246,10 +247,38 @@ StatusOr<std::unique_ptr<PlanNode>> Optimizer::Optimize(
     dp[1u << i] = std::move(base[static_cast<size_t>(i)]);
   }
 
+  // ---- Reuse-cache costing (DESIGN.md §15): fingerprint each DP state
+  // with the cache's canonical grammar so candidates whose sub-results or
+  // build tables are already materialized can be priced at their serve
+  // cost instead of their production cost. Base states fingerprint their
+  // finished subtrees directly; join states compose via CanonJoin, which
+  // stays in lockstep with FingerprintPlan on the final tree.
+  const ReuseCache* cache = options_.reuse_cache;
+  const bool discounts = cache != nullptr && options_.reuse_cost_discounts;
+  std::map<uint32_t, std::string> mask_fp;
+  std::map<uint32_t, std::vector<ColumnRef>> mask_cols;
+  if (cache != nullptr) {
+    for (int i = 0; i < n; ++i) {
+      const uint32_t bit = 1u << i;
+      SubPlan& sp = dp[bit];
+      ReuseCache::Fingerprints fps;
+      cache->FingerprintPlan(*sp.node, &fps);
+      mask_fp[bit] = fps.canonical[sp.node.get()];
+      mask_cols[bit] = sp.node->output_columns;
+      if (discounts && cache->HasResult(mask_fp[bit])) {
+        // Serving a materialized base result: one Move per tuple.
+        sp.cost_seconds =
+            std::min(sp.cost_seconds,
+                     options_.w_cpu * sp.est_tuples * cp.move_us * 1e-6);
+      }
+    }
+  }
+
   for (int size = 2; size <= n; ++size) {
     for (uint32_t mask = 1; mask < (1u << n); ++mask) {
       if (__builtin_popcount(mask) != size) continue;
       SubPlan best;
+      std::string best_fp;
       bool found = false;
       // Left-deep: extend a (size-1)-subset with one base table.
       for (int t = 0; t < n; ++t) {
@@ -299,9 +328,42 @@ StatusOr<std::unique_ptr<PlanNode>> Optimizer::Optimize(
         const AlgorithmChoice choice = ChooseJoinAlgorithm(
             build_pages, build_tuples, probe_pages, probe_tuples);
 
-        const double total =
-            left.cost_seconds + right.cost_seconds +
-            choice.weighted_cost_seconds;
+        double child_cost = left.cost_seconds + right.cost_seconds;
+        double join_cost = choice.weighted_cost_seconds;
+        std::string cand_fp;
+        if (cache != nullptr) {
+          const ColumnRef rest_col =
+              left_is_rest ? edge->clause.left : edge->clause.right;
+          const ColumnRef bit_col =
+              left_is_rest ? edge->clause.right : edge->clause.left;
+          // Candidate children: left = rest subset, right = table t (bit).
+          const std::string& bfp = right_builds ? mask_fp[bit] : mask_fp[rest];
+          const std::string& pfp = right_builds ? mask_fp[rest] : mask_fp[bit];
+          const int bpos = ReuseCache::ResolvePos(
+              right_builds ? mask_cols[bit] : mask_cols[rest],
+              right_builds ? bit_col : rest_col);
+          const int ppos = ReuseCache::ResolvePos(
+              right_builds ? mask_cols[rest] : mask_cols[bit],
+              right_builds ? rest_col : bit_col);
+          cand_fp = cache->CanonJoin(choice.algorithm, bfp, pfp, bpos, ppos);
+          if (discounts && cache->HasResult(cand_fp)) {
+            // The whole join result is materialized: serving it is one
+            // Move per output tuple, and neither child runs at all.
+            child_cost = 0;
+            join_cost = options_.w_cpu * out_tuples * cp.move_us * 1e-6;
+          } else if (discounts &&
+                     choice.algorithm == JoinAlgorithm::kHybridHash &&
+                     cache->HasBuild(bfp, bpos)) {
+            // The build-side hash table is materialized: the build subtree
+            // never runs, and the join reduces to the probe pass (one hash
+            // and F chained comparisons per probe tuple).
+            child_cost =
+                right_builds ? left.cost_seconds : right.cost_seconds;
+            join_cost = options_.w_cpu * probe_tuples *
+                        (cp.hash_us + cp.fudge * cp.comp_us) * 1e-6;
+          }
+        }
+        const double total = child_cost + join_cost;
         if (found && total >= best.cost_seconds) continue;
 
         auto node = std::make_unique<PlanNode>();
@@ -330,9 +392,24 @@ StatusOr<std::unique_ptr<PlanNode>> Optimizer::Optimize(
         // Stash which split produced it for the rebuild pass.
         best.node->dp_split_rest = rest;
         best.node->dp_split_bit = bit;
+        best_fp = std::move(cand_fp);
         found = true;
       }
-      if (found) dp[mask] = std::move(best);
+      if (found) {
+        if (cache != nullptr) {
+          // Record the winner's fingerprint and output columns (build side
+          // first, the Schema::Concat order) for composition in supersets.
+          const auto& l_cols = mask_cols[best.node->dp_split_rest];
+          const auto& r_cols = mask_cols[best.node->dp_split_bit];
+          std::vector<ColumnRef> cols =
+              best.node->build_is_right ? r_cols : l_cols;
+          const auto& tail = best.node->build_is_right ? l_cols : r_cols;
+          cols.insert(cols.end(), tail.begin(), tail.end());
+          mask_cols[mask] = std::move(cols);
+          mask_fp[mask] = std::move(best_fp);
+        }
+        dp[mask] = std::move(best);
+      }
     }
   }
 

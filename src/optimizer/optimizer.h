@@ -9,6 +9,8 @@
 
 namespace mmdb {
 
+class ReuseCache;
+
 /// Knobs for the §4 access planner.
 struct OptimizerOptions {
   int64_t memory_pages = 1024;   ///< |M| granted to each operator
@@ -26,6 +28,16 @@ struct OptimizerOptions {
   /// (DESIGN.md §14): the executor then runs the batch kernels. Results and
   /// cost-clock totals are identical to tuple execution at every DOP.
   bool vectorize = false;
+  /// Intermediate-reuse cache consulted during costing (DESIGN.md §15).
+  /// When set, each DP state is fingerprinted with the cache's canonical
+  /// grammar so already-materialized sub-results and join builds can be
+  /// priced at their serve cost — a cached build costs ~0, which can flip
+  /// the join order or build side.
+  const ReuseCache* reuse_cache = nullptr;
+  /// When false the cache is costing-transparent: fingerprints are still
+  /// computed but no discounts apply, so the chosen plan (and therefore
+  /// row order) is byte-identical to running with no cache at all.
+  bool reuse_cost_discounts = true;
 };
 
 /// A Selinger-flavoured planner specialised for main memory (§4):

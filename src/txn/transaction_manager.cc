@@ -222,6 +222,7 @@ Status TransactionManager::Commit(TxnId txn) {
     std::unique_lock<std::mutex> lock(mu_);
     ++stats_.committed;
   }
+  if (commit_hook_) commit_hook_(txn);
   return Status::OK();
 }
 

@@ -2,6 +2,7 @@
 #define MMDB_TXN_TRANSACTION_MANAGER_H_
 
 #include <atomic>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -108,6 +109,14 @@ class TransactionManager {
   Wal* wal() const { return wal_; }
   MvccManager* versions() const { return versions_; }
 
+  /// Invoked with the transaction id after every successful Commit, once
+  /// the commit is durable and its locks are finalized. The Database wires
+  /// this to reuse-cache invalidation for the record-plane namespace. Set
+  /// at most once, before traffic starts; not called on Abort.
+  void set_commit_hook(std::function<void(TxnId)> hook) {
+    commit_hook_ = std::move(hook);
+  }
+
  private:
   struct UndoEntry {
     int64_t record_id;
@@ -136,6 +145,8 @@ class TransactionManager {
   Wal* wal_;
   FirstUpdateTable* fut_;
   MvccManager* versions_;
+
+  std::function<void(TxnId)> commit_hook_;
 
   std::atomic<TxnId> next_txn_{1};
   mutable std::mutex mu_;
